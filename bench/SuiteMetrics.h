@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the benchmark harnesses that regenerate the paper's
+/// tables and figures: per-loop static analysis (Table 2 metrics),
+/// per-scheduler outcomes (II, MaxLive, MinAvg, ICR usage, statistics),
+/// and the Table 3/4 performance printer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_BENCH_SUITEMETRICS_H
+#define LSMS_BENCH_SUITEMETRICS_H
+
+#include "core/ModuloScheduler.h"
+#include "ir/LoopBody.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// Schedule-independent per-loop metrics (Table 2).
+struct LoopAnalysis {
+  std::string Name;
+  int Ops = 0;            ///< machine operations (incl. brtop)
+  int BasicBlocks = 1;    ///< source basic blocks before if-conversion
+  int CriticalOps = 0;    ///< critical operations at MII
+  int RecurrenceOps = 0;  ///< operations on non-trivial recurrence circuits
+  int DivOps = 0;         ///< div/mod/sqrt operations
+  int ResMII = 1;
+  int RecMII = 1;
+  int MII = 1;
+  long MinAvgAtMII = 0;
+  int Gprs = 0;
+  bool HasConditional = false;
+  bool HasRecurrence = false;
+};
+
+/// One scheduler's outcome on one loop.
+struct SchedOutcome {
+  bool Success = false;
+  int II = 0;  ///< achieved II (last attempted II for failures)
+  int MII = 0;
+  long MaxLive = 0;
+  long MinAvgAtII = 0;
+  long MinAvgPerValueCeilAtII = 0;
+  long IcrUsage = 0; ///< ICR MaxLive plus the kernel's stage predicates
+  int Stages = 0;
+  long ScheduleLength = 0;
+  ScheduleStats Stats;
+};
+
+/// Computes the Table 2 metrics of one loop.
+LoopAnalysis analyzeLoop(const LoopBody &Body, const MachineModel &Machine);
+
+/// Schedules one loop and derives the pressure metrics.
+SchedOutcome runScheduler(const LoopBody &Body, const MachineModel &Machine,
+                          const SchedulerOptions &Options);
+
+/// Suite size from argv (argv[1] overrides the paper's 1,525 for quick
+/// runs).
+int suiteSizeFromArgs(int Argc, char **Argv, int Default = 1525);
+
+/// Prints a Table 3/4-style performance table: per-class optimality, total
+/// II vs total MII, and the II > MII tail distribution.
+void printPerformanceTable(std::ostream &OS, const std::string &Title,
+                           const std::vector<LoopAnalysis> &Analyses,
+                           const std::vector<SchedOutcome> &Outcomes);
+
+} // namespace lsms
+
+#endif // LSMS_BENCH_SUITEMETRICS_H

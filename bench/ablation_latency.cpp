@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+/// \file Latency-robustness experiment (Section 7: "other experiments with
+/// different latencies for the functional units give very similar
+/// performance results and compilation times"). Sweeps the load latency
+/// and re-runs the suite.
+//===----------------------------------------------------------------------===//
+
+#include "SuiteMetrics.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/Suite.h"
+
+#include <iostream>
+
+using namespace lsms;
+
+int main(int Argc, char **Argv) {
+  const int N = suiteSizeFromArgs(Argc, Argv, /*Default=*/600);
+  const std::vector<LoopBody> Suite = buildFullSuite(N);
+
+  TextTable T;
+  T.setHeader({"load latency", "opt II %", "II/MII", "gap=0 %",
+               "gap<=10 %", "sched time (s)"});
+  for (const int LoadLatency : {1, 5, 13, 26}) {
+    const MachineModel Machine = MachineModel::withLoadLatency(LoadLatency);
+    long Opt = 0, Done = 0, SumII = 0, SumMII = 0, GapZero = 0, GapTen = 0;
+    double Seconds = 0;
+    for (const LoopBody &Body : Suite) {
+      const SchedOutcome O =
+          runScheduler(Body, Machine, SchedulerOptions::slack());
+      Seconds += O.Stats.SecondsTotal;
+      SumII += O.II;
+      SumMII += O.MII;
+      if (!O.Success)
+        continue;
+      ++Done;
+      Opt += O.II == O.MII ? 1 : 0;
+      const long Gap = O.MaxLive - O.MinAvgAtII;
+      GapZero += Gap <= 0 ? 1 : 0;
+      GapTen += Gap <= 10 ? 1 : 0;
+    }
+    T.addRow({std::to_string(LoadLatency),
+              formatNumber(100.0 * static_cast<double>(Opt) /
+                               static_cast<double>(Done),
+                           1),
+              formatNumber(static_cast<double>(SumII) /
+                               static_cast<double>(SumMII),
+                           3),
+              formatNumber(100.0 * static_cast<double>(GapZero) /
+                               static_cast<double>(Done),
+                           1),
+              formatNumber(100.0 * static_cast<double>(GapTen) /
+                               static_cast<double>(Done),
+                           1),
+              formatNumber(Seconds, 2)});
+  }
+
+  std::cout << "Latency robustness: slack scheduler across load latencies ("
+            << Suite.size() << " loops)\n";
+  T.print(std::cout);
+  std::cout << "\nExpected shape: near-optimal II percentage and pressure "
+               "gaps stay flat across latencies.\n";
+  return 0;
+}

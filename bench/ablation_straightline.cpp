@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+/// \file The paper's future-work experiment (Section 8): how does
+/// bidirectional slack scheduling fare on straight-line code, the context
+/// where Integrated Prepass Scheduling was studied [8,3]? Compares
+/// schedule length and register pressure of the bidirectional and
+/// unidirectional policies on basic blocks (suite loop bodies viewed as
+/// straight-line code).
+//===----------------------------------------------------------------------===//
+
+#include "SuiteMetrics.h"
+#include "core/AcyclicScheduler.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/Suite.h"
+
+#include <iostream>
+
+using namespace lsms;
+
+int main(int Argc, char **Argv) {
+  const int N = suiteSizeFromArgs(Argc, Argv, /*Default=*/400);
+  const MachineModel Machine = MachineModel::cydra5();
+  const std::vector<LoopBody> Suite = buildFullSuite(N);
+
+  struct Totals {
+    long Length = 0;
+    long MaxLive = 0;
+    long Blocks = 0;
+    long PressureWins = 0;
+  };
+  Totals Bi, Uni;
+  long Ties = 0;
+  for (const LoopBody &Body : Suite) {
+    const DepGraph Graph(Body, Machine);
+    const AcyclicSchedule A =
+        scheduleStraightLine(Graph, SchedulerOptions::slack());
+    const AcyclicSchedule B =
+        scheduleStraightLine(Graph, SchedulerOptions::unidirectionalSlack());
+    if (!A.Success || !B.Success)
+      continue;
+    ++Bi.Blocks;
+    ++Uni.Blocks;
+    Bi.Length += A.Length;
+    Uni.Length += B.Length;
+    Bi.MaxLive += A.MaxLive;
+    Uni.MaxLive += B.MaxLive;
+    if (A.MaxLive < B.MaxLive)
+      ++Bi.PressureWins;
+    else if (B.MaxLive < A.MaxLive)
+      ++Uni.PressureWins;
+    else
+      ++Ties;
+  }
+
+  std::cout << "Straight-line slack scheduling (" << Bi.Blocks
+            << " basic blocks)\n";
+  TextTable T;
+  T.setHeader({"policy", "total length", "total MaxLive", "pressure wins"});
+  T.addRow({"bidirectional", std::to_string(Bi.Length),
+            std::to_string(Bi.MaxLive), std::to_string(Bi.PressureWins)});
+  T.addRow({"unidirectional", std::to_string(Uni.Length),
+            std::to_string(Uni.MaxLive), std::to_string(Uni.PressureWins)});
+  T.print(std::cout);
+  std::cout << "(" << Ties << " ties)\n\n"
+            << "Expected shape: comparable schedule lengths, markedly lower "
+               "pressure for the bidirectional policy — supporting the "
+               "paper's conjecture that slack scheduling integrates "
+               "lifetime sensitivity where IPS merely switches heuristics.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+/// \file Regenerates Figure 5: distribution of MaxLive - MinAvg (register
+/// pressure above the schedule-independent lower bound) for the
+/// bidirectional slack scheduler ("New Scheduler") and the Cydrome-style
+/// baseline ("Old Scheduler"). The paper reports 46% of loops at 0 and
+/// 93% within 10 registers for the new scheduler.
+//===----------------------------------------------------------------------===//
+
+#include "SuiteMetrics.h"
+#include "support/Histogram.h"
+#include "support/Statistics.h"
+#include "workloads/Suite.h"
+
+#include <algorithm>
+#include <iostream>
+
+using namespace lsms;
+
+int main(int Argc, char **Argv) {
+  const int N = suiteSizeFromArgs(Argc, Argv);
+  const MachineModel Machine = MachineModel::cydra5();
+  const std::vector<LoopBody> Suite = buildFullSuite(N);
+
+  Histogram New(1, 30), Old(1, 30);
+  // Secondary reading of MinAvg (per-value ceilings, Section 3.2's literal
+  // formula); values below the bound clamp to 0.
+  Histogram NewCeil(1, 30), OldCeil(1, 30);
+  for (const LoopBody &Body : Suite) {
+    const SchedOutcome A =
+        runScheduler(Body, Machine, SchedulerOptions::slack());
+    const SchedOutcome B =
+        runScheduler(Body, Machine, SchedulerOptions::cydrome());
+    if (A.Success) {
+      New.add(A.MaxLive - A.MinAvgAtII);
+      NewCeil.add(std::max(0L, A.MaxLive - A.MinAvgPerValueCeilAtII));
+    }
+    if (B.Success) {
+      Old.add(B.MaxLive - B.MinAvgAtII);
+      OldCeil.add(std::max(0L, B.MaxLive - B.MinAvgPerValueCeilAtII));
+    }
+  }
+
+  printComparison(std::cout,
+                  "Figure 5: MaxLive - MinAvg (" +
+                      std::to_string(Suite.size()) + " loops)",
+                  New, "New Scheduler (bidirectional slack)", Old,
+                  "Old Scheduler (Cydrome-style)", "MaxLive-MinAvg");
+
+  std::cout << "\nNew scheduler: "
+            << formatNumber(100.0 * New.fractionAtOrBelow(0), 1)
+            << "% of loops achieve MinAvg exactly (paper: 46%); "
+            << formatNumber(100.0 * New.fractionAtOrBelow(10), 1)
+            << "% within 10 RRs (paper: 93%)\n";
+  std::cout << "Old scheduler: "
+            << formatNumber(100.0 * Old.fractionAtOrBelow(0), 1)
+            << "% at MinAvg; "
+            << formatNumber(100.0 * Old.fractionAtOrBelow(10), 1)
+            << "% within 10 RRs\n";
+
+  std::cout << "\nUnder the per-value-ceiling reading of MinAvg "
+               "(Section 3.2's literal formula, gap clamped at 0):\n"
+            << "  new: " << formatNumber(100.0 * NewCeil.fractionAtOrBelow(0), 1)
+            << "% at bound, "
+            << formatNumber(100.0 * NewCeil.fractionAtOrBelow(10), 1)
+            << "% within 10; old: "
+            << formatNumber(100.0 * OldCeil.fractionAtOrBelow(0), 1)
+            << "% at bound, "
+            << formatNumber(100.0 * OldCeil.fractionAtOrBelow(10), 1)
+            << "% within 10\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+/// \file Regenerates Table 1: functional unit latencies of the target
+/// machine (configuration echo — the machine model is an input).
+//===----------------------------------------------------------------------===//
+
+#include "machine/MachineModel.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace lsms;
+
+int main() {
+  const MachineModel M = MachineModel::cydra5();
+  std::cout << "Table 1: Functional Unit Latencies\n";
+  TextTable T;
+  T.setHeader({"Pipeline", "No.", "Operations", "Latency"});
+  auto Count = [&M](FuKind Kind) {
+    return std::to_string(M.unitCount(Kind));
+  };
+  auto Lat = [&M](Opcode Op) { return std::to_string(M.latency(Op)); };
+  T.addRow({"Memory Port", Count(FuKind::MemoryPort), "load",
+            Lat(Opcode::Load)});
+  T.addRow({"", "", "store", Lat(Opcode::Store)});
+  T.addRow({"Address ALU", Count(FuKind::AddressAlu), "addr add/sub/mult",
+            Lat(Opcode::AddrAdd)});
+  T.addRow({"Adder", Count(FuKind::Adder), "int add/sub/logical",
+            Lat(Opcode::IntAdd)});
+  T.addRow({"", "", "float add/sub", Lat(Opcode::FloatAdd)});
+  T.addRow({"Multiplier", Count(FuKind::Multiplier), "int/float multiply",
+            Lat(Opcode::IntMul)});
+  T.addRow({"Divider", Count(FuKind::Divider), "int/float div/mod",
+            Lat(Opcode::IntDiv)});
+  T.addRow({"", "", "float sqrt", Lat(Opcode::FloatSqrt)});
+  T.addRow({"Branch Unit", Count(FuKind::Branch), "brtop",
+            Lat(Opcode::BrTop)});
+  T.print(std::cout);
+  std::cout << "\nDivider is not pipelined (reserves the unit for its full "
+               "latency); all other units are fully pipelined.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+//===----------------------------------------------------------------------===//
+/// \file Regenerates Table 4: Cydrome-style scheduler performance (static
+/// initial-slack priority, recurrence operations placed first,
+/// unidirectional early placement; Section 8).
+//===----------------------------------------------------------------------===//
+
+#include "SuiteMetrics.h"
+#include "workloads/Suite.h"
+
+#include <iostream>
+
+using namespace lsms;
+
+int main(int Argc, char **Argv) {
+  const int N = suiteSizeFromArgs(Argc, Argv);
+  const MachineModel Machine = MachineModel::cydra5();
+  const std::vector<LoopBody> Suite = buildFullSuite(N);
+
+  std::vector<LoopAnalysis> Analyses;
+  std::vector<SchedOutcome> Outcomes;
+  for (const LoopBody &Body : Suite) {
+    Analyses.push_back(analyzeLoop(Body, Machine));
+    Outcomes.push_back(
+        runScheduler(Body, Machine, SchedulerOptions::cydrome()));
+  }
+
+  printPerformanceTable(std::cout,
+                        "Table 4: Cydrome's Scheduling Performance (" +
+                            std::to_string(Suite.size()) + " loops)",
+                        Analyses, Outcomes);
+  return 0;
+}

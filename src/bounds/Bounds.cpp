@@ -1,0 +1,65 @@
+#include "bounds/Bounds.h"
+
+#include "graph/MinRatioCycle.h"
+
+#include <algorithm>
+
+using namespace lsms;
+
+std::array<int, NumFuKinds> lsms::resourceUsage(const LoopBody &Body,
+                                                const MachineModel &Machine) {
+  std::array<int, NumFuKinds> Usage{};
+  for (const Operation &Op : Body.Ops) {
+    const FuKind Kind = Machine.unitFor(Op.Opc);
+    if (Kind == FuKind::None)
+      continue;
+    Usage[static_cast<unsigned>(Kind)] += Machine.reservationCycles(Op.Opc);
+  }
+  return Usage;
+}
+
+int lsms::computeResMII(const LoopBody &Body, const MachineModel &Machine) {
+  const auto Usage = resourceUsage(Body, Machine);
+  int ResMII = 1;
+  for (unsigned K = 0; K < NumFuKinds; ++K) {
+    const int Count = Machine.unitCount(static_cast<FuKind>(K));
+    if (Count <= 0 || Usage[K] == 0)
+      continue;
+    ResMII = std::max(ResMII, (Usage[K] + Count - 1) / Count);
+  }
+  return ResMII;
+}
+
+int lsms::computeRecMII(const DepGraph &Graph) {
+  return std::max(1, computeRecMIIByRatio(Graph));
+}
+
+MIIBounds lsms::computeMII(const DepGraph &Graph) {
+  MIIBounds B;
+  B.ResMII = computeResMII(Graph.body(), Graph.machine());
+  B.RecMII = computeRecMII(Graph);
+  B.MII = std::max(B.ResMII, B.RecMII);
+  return B;
+}
+
+std::vector<bool> lsms::markCriticalOps(const LoopBody &Body,
+                                        const MachineModel &Machine, int II) {
+  const auto Usage = resourceUsage(Body, Machine);
+  std::array<bool, NumFuKinds> CriticalKind{};
+  for (unsigned K = 0; K < NumFuKinds; ++K) {
+    const int Count = Machine.unitCount(static_cast<FuKind>(K));
+    if (Count <= 0)
+      continue;
+    CriticalKind[K] =
+        static_cast<double>(Usage[K]) >= 0.90 * II * Count;
+  }
+  std::vector<bool> Critical(static_cast<size_t>(Body.numOps()), false);
+  for (const Operation &Op : Body.Ops) {
+    const FuKind Kind = Machine.unitFor(Op.Opc);
+    if (Kind == FuKind::None)
+      continue;
+    Critical[static_cast<size_t>(Op.Id)] =
+        CriticalKind[static_cast<unsigned>(Kind)];
+  }
+  return Critical;
+}

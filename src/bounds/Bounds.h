@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Absolute lower bounds on the initiation interval (Section 3.1):
+/// ResMII from resource contention, RecMII from recurrence circuits, and
+/// MII = max(ResMII, RecMII). Also the "critical resource" classification
+/// used by the dynamic priority scheme (Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_BOUNDS_BOUNDS_H
+#define LSMS_BOUNDS_BOUNDS_H
+
+#include "ir/DepGraph.h"
+#include "machine/MachineModel.h"
+
+#include <array>
+#include <vector>
+
+namespace lsms {
+
+/// Cycles of each functional-unit kind consumed by one loop iteration
+/// (reservation cycles summed over operations).
+std::array<int, NumFuKinds> resourceUsage(const LoopBody &Body,
+                                          const MachineModel &Machine);
+
+/// Resource-contention bound: max over resources of
+/// ceil(usage / unit count). At least 1.
+int computeResMII(const LoopBody &Body, const MachineModel &Machine);
+
+/// Recurrence bound via the min cost-to-time ratio cycle. At least 1 for a
+/// loop body (the brtop self-spacing is implicit in II itself).
+int computeRecMII(const DepGraph &Graph);
+
+struct MIIBounds {
+  int ResMII = 1;
+  int RecMII = 1;
+  int MII = 1;
+};
+
+/// Computes both bounds and their max.
+MIIBounds computeMII(const DepGraph &Graph);
+
+/// Marks each operation whose functional unit is critical at \p II: one
+/// iteration uses the unit kind for at least 0.90 * II * count cycles
+/// (Section 4.3: "a resource is critical if one iteration uses the
+/// resource for at least 0.90 II cycles", applied per unit instance
+/// capacity).
+std::vector<bool> markCriticalOps(const LoopBody &Body,
+                                  const MachineModel &Machine, int II);
+
+} // namespace lsms
+
+#endif // LSMS_BOUNDS_BOUNDS_H

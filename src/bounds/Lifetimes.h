@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-pressure accounting (Sections 3.2 and 5.1): per-value lifetimes
+/// of a schedule, the LiveVector and its maximum MaxLive, the
+/// schedule-independent per-value lower bound MinLT, and the aggregate
+/// lower bound MinAvg = sum(ceil(MinLT(v)/II)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_BOUNDS_LIFETIMES_H
+#define LSMS_BOUNDS_LIFETIMES_H
+
+#include "graph/MinDist.h"
+#include "ir/DepGraph.h"
+
+#include <vector>
+
+namespace lsms {
+
+/// Lifetime accounting for one register class under a complete schedule.
+struct PressureInfo {
+  /// Lifetime length per value (0 for values of other classes or without
+  /// uses). A value defined at t is live in [t, t + Length).
+  std::vector<long> Length;
+  /// Number of live values per cycle modulo II.
+  std::vector<long> LiveVector;
+  /// max(LiveVector) — the schedule's register pressure proxy.
+  long MaxLive = 0;
+  /// Total lifetime length divided by II.
+  double AvgLive = 0;
+};
+
+/// Computes per-value lifetimes of \p Class given issue cycles \p Times
+/// (indexed by operation id; every op of the body must be placed) at
+/// initiation interval \p II. A value's lifetime runs from its defining
+/// operation's issue to its latest use's issue plus omega*II (Figure 3's
+/// convention). Values without uses contribute nothing.
+PressureInfo computePressure(const LoopBody &Body,
+                             const std::vector<int> &Times, int II,
+                             RegClass Class);
+
+/// Schedule-independent lower bound on the lifetime of \p ValueId at the
+/// MinDist matrix's II: max over flow dependences (omega*II +
+/// MinDist(def, use)) (Section 5.1). Returns 0 for values without uses.
+long computeMinLT(const DepGraph &Graph, const MinDistMatrix &MinDist,
+                  int ValueId);
+
+/// MinAvg = ceil(sum over RR values of MinLT(v) / II) (Section 3.2).
+///
+/// This is a genuine schedule-independent lower bound on MaxLive:
+/// MaxLive >= AvgLive = sum(LT)/II >= sum(MinLT)/II, and MaxLive is an
+/// integer. (The paper's typesetting can also be read as summing
+/// per-value ceilings — see computeMinAvgPerValueCeil — but that variant
+/// can exceed MaxLive and would contradict Figure 5's non-negative gap,
+/// so the sound reading is used throughout.)
+long computeMinAvg(const DepGraph &Graph, const MinDistMatrix &MinDist);
+
+/// The alternative per-value-ceiling reading of MinAvg:
+/// sum over RR values of ceil(MinLT(v)/II). Not a lower bound on MaxLive
+/// in general; provided for comparison.
+long computeMinAvgPerValueCeil(const DepGraph &Graph,
+                               const MinDistMatrix &MinDist);
+
+/// Number of loop-invariant (GPR) values, the paper's "# GPRs" metric.
+int countGprs(const LoopBody &Body);
+
+} // namespace lsms
+
+#endif // LSMS_BOUNDS_LIFETIMES_H

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Kernel-only code for a modulo-scheduled loop (Section 2.3 and Rau et
+/// al. [19]): one VLIW instruction word per kernel cycle, rotating
+/// register specifiers for loop variants, GPR indices for invariants, and
+/// a rotating stage-predicate chain that squashes operations of iterations
+/// that have not started or have already finished — no prologue/epilogue
+/// code is emitted.
+///
+/// Register specifier convention: the file rotates once per kernel
+/// iteration (the iteration control pointer ICP decrements), so in kernel
+/// iteration k a specifier S addresses physical register (S - k) mod size.
+/// An operation of stage s defining a value with allocator color C uses
+/// specifier C + s; a use omega iterations later in stage s' uses
+/// C + omega + s'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CODEGEN_KERNELCODE_H
+#define LSMS_CODEGEN_KERNELCODE_H
+
+#include "ir/LoopBody.h"
+
+#include <iosfwd>
+#include <vector>
+
+namespace lsms {
+
+/// A register reference in emitted code.
+struct RegRef {
+  enum class File : uint8_t { None, RR, GPR, ICR };
+  File WhichFile = File::None;
+  bool Rotating = false;
+  int Spec = 0; ///< rotating specifier or absolute GPR index
+};
+
+/// One operation slotted into the kernel.
+struct KernelOp {
+  Opcode Opc = Opcode::Start;
+  int Cycle = 0; ///< kernel cycle, 0..II-1
+  int Stage = 0; ///< floor(schedule time / II)
+  std::vector<RegRef> Srcs;
+  RegRef Dst;
+  /// Rotating ICR specifier of the stage predicate gating this op.
+  int StagePredSpec = 0;
+  /// Optional if-conversion predicate (ICR), File::None when always-on.
+  RegRef UserPred;
+  int ArrayId = -1; ///< loads/stores
+  int ElemOffset = 0;
+  int ElemStride = 1;
+  int OrigOp = -1; ///< originating LoopBody operation
+};
+
+/// The complete kernel.
+struct KernelCode {
+  int II = 0;
+  int StageCount = 0;
+  int RRSize = 0;  ///< rotating register file size
+  int ICRSize = 0; ///< rotating predicate file size
+  int GprCount = 0;
+  /// Rotating ICR color of the stage-predicate chain: stage s reads
+  /// specifier StagePredColor + s.
+  int StagePredColor = 0;
+  /// GPR index per invariant value id (-1 otherwise) and its initial
+  /// contents.
+  std::vector<int> GprIndex;
+  std::vector<double> GprInit;
+  /// Allocator colors per value id (-1 when the value has no register),
+  /// kept so the simulator can preload seeds and read back live-outs.
+  std::vector<int> RRColor;
+  std::vector<int> ICRColor;
+  /// Kernel operations sorted by cycle.
+  std::vector<KernelOp> Ops;
+
+  /// Prints a VLIW listing, one instruction word per kernel cycle.
+  void print(std::ostream &OS, const LoopBody &Body) const;
+};
+
+} // namespace lsms
+
+#endif // LSMS_CODEGEN_KERNELCODE_H

@@ -1,0 +1,29 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a scheduled loop body plus rotating-register allocations into
+/// kernel-only VLIW code (see KernelCode.h for the specifier convention).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CODEGEN_KERNELCODEGEN_H
+#define LSMS_CODEGEN_KERNELCODEGEN_H
+
+#include "codegen/KernelCode.h"
+#include "core/Schedule.h"
+#include "ir/LoopBody.h"
+
+#include <string>
+
+namespace lsms {
+
+/// Generates kernel-only code for \p Sched (which must be a successful
+/// schedule of \p Body). Performs RR and ICR rotating allocation
+/// internally (the ICR allocation includes the stage-predicate chain).
+/// Returns an empty string and fills \p Out on success, else a diagnostic.
+std::string generateKernelCode(const LoopBody &Body, const Schedule &Sched,
+                               KernelCode &Out);
+
+} // namespace lsms
+
+#endif // LSMS_CODEGEN_KERNELCODEGEN_H

@@ -1,0 +1,100 @@
+#include "codegen/ModuloVariableExpansion.h"
+
+#include "bounds/Lifetimes.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace lsms;
+
+namespace {
+
+/// Smallest divisor of \p U that is >= \p Need.
+int roundUpToDivisor(int Need, int U) {
+  for (int D = Need; D <= U; ++D)
+    if (U % D == 0)
+      return D;
+  return U;
+}
+
+} // namespace
+
+MveInfo lsms::planMve(const LoopBody &Body, const Schedule &Sched,
+                      RegClass Class) {
+  MveInfo Info;
+  Info.Slots.assign(static_cast<size_t>(Body.numValues()), 0);
+  if (!Sched.Success)
+    return Info;
+
+  const PressureInfo Pressure =
+      computePressure(Body, Sched.Times, Sched.II, Class);
+  Info.MaxLive = Pressure.MaxLive;
+
+  int U = 1;
+  for (const Value &V : Body.Values) {
+    if (V.Class != Class)
+      continue;
+    const long LT = Pressure.Length[static_cast<size_t>(V.Id)];
+    if (LT <= 0)
+      continue;
+    U = std::max(U, static_cast<int>((LT + Sched.II - 1) / Sched.II));
+  }
+  Info.UnrollFactor = U;
+
+  for (const Value &V : Body.Values) {
+    if (V.Class != Class)
+      continue;
+    const long LT = Pressure.Length[static_cast<size_t>(V.Id)];
+    if (LT <= 0)
+      continue;
+    const int Need = static_cast<int>((LT + Sched.II - 1) / Sched.II);
+    const int Slots = roundUpToDivisor(Need, U);
+    Info.Slots[static_cast<size_t>(V.Id)] = Slots;
+    Info.TotalRegisters += Slots;
+  }
+
+  Info.ExpandedKernelOps =
+      static_cast<long>(U) * Body.numMachineOps();
+  Info.Success = true;
+  return Info;
+}
+
+std::string lsms::validateMve(const LoopBody &Body, const Schedule &Sched,
+                              RegClass Class, const MveInfo &Info) {
+  std::ostringstream Err;
+  if (!Info.Success) {
+    Err << "MVE plan unsuccessful";
+    return Err.str();
+  }
+  const PressureInfo Pressure =
+      computePressure(Body, Sched.Times, Sched.II, Class);
+
+  for (const Value &V : Body.Values) {
+    if (V.Class != Class)
+      continue;
+    const long LT = Pressure.Length[static_cast<size_t>(V.Id)];
+    if (LT <= 0)
+      continue;
+    const int Slots = Info.Slots[static_cast<size_t>(V.Id)];
+    if (Slots <= 0) {
+      Err << "live value " << V.Name << " received no slots";
+      return Err.str();
+    }
+    if (Info.UnrollFactor % Slots != 0) {
+      Err << "slot count of " << V.Name
+          << " does not divide the kernel unroll factor";
+      return Err.str();
+    }
+    // Instances j and j + k*Slots share a register; their live intervals
+    // [j*II, j*II + LT) must not overlap for any k >= 1.
+    for (long J = 0; J < Info.UnrollFactor; ++J) {
+      const long Next = (J + Slots) * Sched.II;
+      if (J * Sched.II + LT > Next) {
+        Err << "instances of " << V.Name << " overlap in slot "
+            << J % Slots;
+        return Err.str();
+      }
+    }
+  }
+  return Err.str();
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Modulo variable expansion (MVE): the alternative to rotating register
+/// files for conventional machines (Section 2.3, citing Lam [9]). When a
+/// value's lifetime exceeds II, successive iterations cannot target the
+/// same register, so the *kernel* is unrolled and the value's register is
+/// renamed across kernel copies. The paper adopts rotating files instead
+/// because "this modulo variable expansion technique can result in a large
+/// amount of code expansion [18]" — this module quantifies that trade-off.
+///
+/// A value needing u = ceil(LT/II) simultaneous instances receives u
+/// registers cycled by iteration number mod u; for the renaming to be
+/// static, u must divide the kernel unroll factor U, so each value's slot
+/// count is rounded up to the smallest divisor of U no smaller than u
+/// (U itself being max over values of u).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CODEGEN_MODULOVARIABLEEXPANSION_H
+#define LSMS_CODEGEN_MODULOVARIABLEEXPANSION_H
+
+#include "core/Schedule.h"
+#include "ir/LoopBody.h"
+
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// The MVE plan for one scheduled loop.
+struct MveInfo {
+  bool Success = false;
+  /// Kernel unroll factor: max over values of ceil(LT/II).
+  int UnrollFactor = 1;
+  /// Registers per value id (0 for values without uses / other classes);
+  /// the smallest divisor of UnrollFactor >= ceil(LT/II).
+  std::vector<int> Slots;
+  /// Total conventional registers needed for the class.
+  long TotalRegisters = 0;
+  /// Kernel operations after unrolling (code expansion proxy):
+  /// UnrollFactor * (machine ops in the body).
+  long ExpandedKernelOps = 0;
+  /// The rotating-file alternative's pressure, for comparison.
+  long MaxLive = 0;
+};
+
+/// Plans modulo variable expansion for \p Class values of \p Body under
+/// \p Sched.
+MveInfo planMve(const LoopBody &Body, const Schedule &Sched,
+                RegClass Class = RegClass::RR);
+
+/// Validates the plan by brute force: instances j and j' of a value map to
+/// the same register iff j == j' (mod slots); no two live instances may
+/// collide. Returns an empty string when sound.
+std::string validateMve(const LoopBody &Body, const Schedule &Sched,
+                        RegClass Class, const MveInfo &Info);
+
+} // namespace lsms
+
+#endif // LSMS_CODEGEN_MODULOVARIABLEEXPANSION_H

@@ -1,0 +1,38 @@
+#include "codegen/Schema.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace lsms;
+
+SchemaInfo lsms::planSchema(const LoopBody &Body, const Schedule &Sched) {
+  SchemaInfo Info;
+  if (!Sched.Success)
+    return Info;
+
+  const int Span = Sched.Success ? Sched.Times[1] : 0;
+  Info.StageCount = std::max(1, (Span + Sched.II - 1) / Sched.II);
+  Info.MinTripCount = Info.StageCount;
+
+  // Operations per stage.
+  std::vector<long> PerStage(static_cast<size_t>(Info.StageCount), 0);
+  for (const Operation &Op : Body.Ops) {
+    if (isPseudo(Op.Opc))
+      continue;
+    const int Stage = Sched.Times[static_cast<size_t>(Op.Id)] / Sched.II;
+    ++PerStage[static_cast<size_t>(Stage)];
+    ++Info.KernelOps;
+  }
+
+  // Prologue copy p holds stages 0..p; epilogue copy e holds stages
+  // e+1..SC-1 (e = 0..SC-2).
+  for (int P = 0; P < Info.StageCount - 1; ++P)
+    for (int S = 0; S <= P; ++S)
+      Info.PrologueOps += PerStage[static_cast<size_t>(S)];
+  for (int E = 0; E < Info.StageCount - 1; ++E)
+    for (int S = E + 1; S < Info.StageCount; ++S)
+      Info.EpilogueOps += PerStage[static_cast<size_t>(S)];
+
+  Info.Success = true;
+  return Info;
+}

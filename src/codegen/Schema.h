@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prologue / kernel / epilogue code-generation schema (Rau et al. [19],
+/// cited in Sections 2.2-2.3): on machines without the brtop/stage-
+/// predicate support, the pipeline's fill and drain phases must be emitted
+/// as explicit code — StageCount-1 partial kernel copies before and after
+/// the kernel — "at the expense of code expansion". This module plans the
+/// schema (quantifying that expansion) and the machine simulator can
+/// execute it (runSchemaCode) to show it computes the same results as the
+/// kernel-only predicated form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CODEGEN_SCHEMA_H
+#define LSMS_CODEGEN_SCHEMA_H
+
+#include "codegen/KernelCode.h"
+#include "core/Schedule.h"
+#include "ir/LoopBody.h"
+
+namespace lsms {
+
+/// Static shape of the prologue/kernel/epilogue expansion of one schedule.
+struct SchemaInfo {
+  bool Success = false;
+  int StageCount = 0;
+  long KernelOps = 0;   ///< operations in the steady-state kernel
+  long PrologueOps = 0; ///< operations across the StageCount-1 fill copies
+  long EpilogueOps = 0; ///< operations across the StageCount-1 drain copies
+  /// Minimum trip count the schema supports without a scalar cleanup loop.
+  int MinTripCount = 0;
+
+  long totalOps() const { return KernelOps + PrologueOps + EpilogueOps; }
+};
+
+/// Plans the schema for \p Sched: prologue copy p (p = 0..SC-2) holds the
+/// operations of stages <= p; epilogue copy e holds stages >= e+1.
+SchemaInfo planSchema(const LoopBody &Body, const Schedule &Sched);
+
+} // namespace lsms
+
+#endif // LSMS_CODEGEN_SCHEMA_H

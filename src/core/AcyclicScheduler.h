@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straight-line (basic-block) scheduling with the slack framework. The
+/// paper notes the bidirectional framework "can be applied to straight-
+/// line code as well as loops" and leaves measuring it against Integrated
+/// Prepass Scheduling as future experimentation (Section 8) — this module
+/// runs that experiment.
+///
+/// Implementation: the modulo framework degenerates gracefully — at an II
+/// no schedule can reach, the modulo resource table never wraps and
+/// cross-iteration arcs become vacuous, so the very same central loop
+/// schedules the block. Register pressure is then measured without
+/// wraparound: a value is live from its definition to its last same-
+/// iteration use; cross-iteration reads become live-in intervals from
+/// cycle 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_ACYCLICSCHEDULER_H
+#define LSMS_CORE_ACYCLICSCHEDULER_H
+
+#include "core/Schedule.h"
+#include "core/SchedulerOptions.h"
+#include "ir/DepGraph.h"
+
+namespace lsms {
+
+/// Result of scheduling one basic block (the loop body viewed as
+/// straight-line code).
+struct AcyclicSchedule {
+  bool Success = false;
+  int Length = 0; ///< cycles until every result has been produced
+  std::vector<int> Times;
+  long MaxLive = 0; ///< peak simultaneously-live values (RR class)
+};
+
+/// Schedules \p Graph's body as straight-line code under \p Options
+/// (bidirectional vs unidirectional matters; recurrence policies are
+/// vacuous here).
+AcyclicSchedule
+scheduleStraightLine(const DepGraph &Graph,
+                     const SchedulerOptions &Options = SchedulerOptions());
+
+/// Peak register pressure of a straight-line schedule: per value, live
+/// from definition to last omega-0 use; values read with omega > 0 are
+/// live-in from cycle 0 to their last such use.
+long straightLineMaxLive(const LoopBody &Body, const std::vector<int> &Times,
+                         RegClass Class = RegClass::RR);
+
+} // namespace lsms
+
+#endif // LSMS_CORE_ACYCLICSCHEDULER_H

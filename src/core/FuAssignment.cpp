@@ -1,0 +1,30 @@
+#include "core/FuAssignment.h"
+
+#include <array>
+
+using namespace lsms;
+
+std::vector<int> lsms::assignFunctionalUnits(const LoopBody &Body,
+                                             const MachineModel &Machine) {
+  std::vector<int> Instance(static_cast<size_t>(Body.numOps()), 0);
+  // Round-robin on reserved cycles rather than op counts so a long divider
+  // reservation counts for its full occupancy.
+  std::array<std::vector<long>, NumFuKinds> Load;
+  for (unsigned K = 0; K < NumFuKinds; ++K)
+    Load[K].assign(
+        static_cast<size_t>(Machine.unitCount(static_cast<FuKind>(K))), 0);
+
+  for (const Operation &Op : Body.Ops) {
+    const FuKind Kind = Machine.unitFor(Op.Opc);
+    if (Kind == FuKind::None)
+      continue;
+    auto &Units = Load[static_cast<unsigned>(Kind)];
+    size_t Best = 0;
+    for (size_t U = 1; U < Units.size(); ++U)
+      if (Units[U] < Units[Best])
+        Best = U;
+    Units[Best] += Machine.reservationCycles(Op.Opc);
+    Instance[static_cast<size_t>(Op.Id)] = static_cast<int>(Best);
+  }
+  return Instance;
+}

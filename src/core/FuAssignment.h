@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pre-scheduling functional-unit assignment. The compiler "assigns
+/// operations to functional units before scheduling commences, thereby
+/// restricting an operation to one issue slot per cycle" (Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_FUASSIGNMENT_H
+#define LSMS_CORE_FUASSIGNMENT_H
+
+#include "ir/LoopBody.h"
+#include "machine/MachineModel.h"
+
+#include <vector>
+
+namespace lsms {
+
+/// Instance index per operation (0 for pseudo-ops). Operations are dealt
+/// round-robin across the instances of their unit kind, balancing the load
+/// each instance carries.
+std::vector<int> assignFunctionalUnits(const LoopBody &Body,
+                                       const MachineModel &Machine);
+
+} // namespace lsms
+
+#endif // LSMS_CORE_FUASSIGNMENT_H

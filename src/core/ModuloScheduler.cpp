@@ -1,0 +1,544 @@
+#include "core/ModuloScheduler.h"
+
+#include "bounds/Bounds.h"
+#include "bounds/Lifetimes.h"
+#include "core/FuAssignment.h"
+#include "graph/MinDist.h"
+#include "graph/Scc.h"
+#include "machine/ModuloResourceTable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <climits>
+#include <tuple>
+#include <vector>
+
+using namespace lsms;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+constexpr long Unbounded = LONG_MAX / 4;
+constexpr int NeverPlaced = INT_MIN / 2;
+
+/// One scheduling attempt at a fixed II.
+class AttemptScheduler {
+public:
+  AttemptScheduler(const DepGraph &Graph, const SchedulerOptions &Options,
+                   const MinDistMatrix &MinDist, int II, int ResMII,
+                   const std::vector<int> &FuInstance,
+                   const std::vector<bool> &OnRecurrence,
+                   ScheduleStats &Stats, long StopPad = -1)
+      : Graph(Graph), Body(Graph.body()), Machine(Graph.machine()),
+        Options(Options), MinDist(MinDist), II(II), ResMII(ResMII),
+        FuInstance(FuInstance), OnRecurrence(OnRecurrence), Stats(Stats),
+        StopPad(StopPad), Mrt(Machine, II) {}
+
+  /// Runs the central loop; on success fills \p Times.
+  bool run(std::vector<int> &TimesOut);
+
+private:
+  // -- Bounds maintenance (Section 4.1) ----------------------------------
+  void refreshBounds();
+  long estartOf(int X) const;
+  long lstartOf(int X) const;
+
+  // -- Step 1: operation choice (Section 4.3) ----------------------------
+  int chooseOperation();
+  long dynamicPriority(int X) const;
+  long applyHalving(int X, long Slack) const;
+
+  // -- Step 2: issue-cycle search (Section 5.2) --------------------------
+  bool placeEarlyHeuristic(int X) const;
+  bool findIssueCycle(int X, long &CycleOut) const;
+
+  // -- Step 3: forced placement with ejection (Section 4.4) --------------
+  bool forcePlace(int X);
+
+  // -- Placement bookkeeping ---------------------------------------------
+  void place(int X, int Cycle);
+  void eject(int Y);
+  bool resourceConflict(int X, int CycleX, int Y, int CycleY) const;
+  bool isPlaced(int X) const { return Times[static_cast<size_t>(X)] >= 0 ||
+                                      X == Body.startOp(); }
+
+  const DepGraph &Graph;
+  const LoopBody &Body;
+  const MachineModel &Machine;
+  const SchedulerOptions &Options;
+  const MinDistMatrix &MinDist;
+  const int II;
+  const int ResMII;
+  const std::vector<int> &FuInstance;
+  const std::vector<bool> &OnRecurrence;
+  ScheduleStats &Stats;
+  const long StopPad; ///< straight-line mode: additive Lstart(Stop) pad
+
+  /// Lstart(Stop) policy: the paper's rule, or Estart+pad in straight-line
+  /// mode.
+  long stopCapFor(long EstartStop) const {
+    if (StopPad >= 0)
+      return EstartStop + StopPad;
+    return ResMII == 1 ? EstartStop : ((EstartStop + II - 1) / II) * II;
+  }
+
+  ModuloResourceTable Mrt;
+  std::vector<int> Times;    ///< -1 when unplaced (Start held at 0)
+  std::vector<int> LastTime; ///< last placement, NeverPlaced initially
+  std::vector<long> Estart;
+  std::vector<long> Lstart;
+  std::vector<long> StaticPriority;
+  std::vector<bool> Critical;
+  std::vector<long> MinLT; ///< per value, at this II
+  long LstartStop = 0;
+  long EjectionsThisAttempt = 0;
+};
+
+bool AttemptScheduler::run(std::vector<int> &TimesOut) {
+  const int N = Body.numOps();
+  Times.assign(static_cast<size_t>(N), -1);
+  LastTime.assign(static_cast<size_t>(N), NeverPlaced);
+  Estart.assign(static_cast<size_t>(N), 0);
+  Lstart.assign(static_cast<size_t>(N), Unbounded);
+
+  Critical = markCriticalOps(Body, Machine, II);
+
+  MinLT.assign(static_cast<size_t>(Body.numValues()), 0);
+  for (const Value &V : Body.Values)
+    if (V.Class != RegClass::GPR)
+      MinLT[static_cast<size_t>(V.Id)] = computeMinLT(Graph, MinDist, V.Id);
+
+  // Start is fixed at cycle 0 (Section 4.1).
+  Times[static_cast<size_t>(Body.startOp())] = 0;
+
+  // Lstart(Stop): meet the critical path exactly when there is no resource
+  // contention, otherwise round up to a whole number of stages to provide
+  // extra slack and lessen backtracking (Section 4.2).
+  const long EstartStop0 = MinDist.at(Body.startOp(), Body.stopOp());
+  LstartStop = stopCapFor(EstartStop0);
+
+  refreshBounds();
+
+  if (!Options.DynamicPriority) {
+    // Cydrome's static priority: the operation's slack in the empty
+    // schedule, with the same halving refinements.
+    StaticPriority.assign(static_cast<size_t>(N), 0);
+    for (int X = 0; X < N; ++X)
+      StaticPriority[static_cast<size_t>(X)] = applyHalving(
+          X, Lstart[static_cast<size_t>(X)] - Estart[static_cast<size_t>(X)]);
+  }
+
+  const long Budget =
+      static_cast<long>(Options.BudgetRatio) * std::max(N, 8);
+  int Remaining = N - 1; // all but Start
+
+  while (Remaining > 0) {
+    ++Stats.CentralLoopIterations;
+
+    const int X = chooseOperation();
+    assert(X >= 0 && "no unplaced operation found");
+
+    long Cycle;
+    if (findIssueCycle(X, Cycle)) {
+      place(X, static_cast<int>(Cycle));
+      --Remaining;
+    } else {
+      const auto T0 = Clock::now();
+      ++Stats.ForcedPlacements;
+      const int Before = static_cast<int>(EjectionsThisAttempt);
+      if (!forcePlace(X)) {
+        Stats.SecondsBacktracking += secondsSince(T0);
+        return false; // irreconcilable brtop conflict: try a larger II
+      }
+      Remaining -= 1 - (static_cast<int>(EjectionsThisAttempt) - Before);
+      Stats.SecondsBacktracking += secondsSince(T0);
+      if (EjectionsThisAttempt > Budget)
+        return false; // step 6: start over at a larger II
+    }
+
+    refreshBounds();
+  }
+
+  TimesOut = Times;
+  TimesOut[static_cast<size_t>(Body.startOp())] = 0;
+  return true;
+}
+
+void AttemptScheduler::refreshBounds() {
+  // Recompute Estart/Lstart of unplaced operations from the placed set via
+  // MinDist (Section 4.4 notes this is O(placed * unplaced); exactly what
+  // we do). Also apply the Lstart(Stop) control and its reset rule
+  // (Section 4.2).
+  const int N = Body.numOps();
+  const int Stop = Body.stopOp();
+
+  // Reset rule for Lstart(Stop): only when Estart(Stop) is pushed beyond it
+  // (or beyond Stop's current placement, which ejection handles).
+  long EstartStop = 0;
+  for (int Y = 0; Y < N; ++Y) {
+    if (!isPlaced(Y) || !MinDist.connected(Y, Stop))
+      continue;
+    EstartStop = std::max(EstartStop, Times[static_cast<size_t>(Y)] +
+                                          MinDist.at(Y, Stop));
+  }
+  if (EstartStop > LstartStop)
+    LstartStop = stopCapFor(EstartStop);
+
+  for (int X = 0; X < N; ++X) {
+    if (isPlaced(X))
+      continue;
+    Estart[static_cast<size_t>(X)] = estartOf(X);
+    Lstart[static_cast<size_t>(X)] = lstartOf(X);
+  }
+}
+
+long AttemptScheduler::estartOf(int X) const {
+  long E = 0; // Start at cycle 0 reaches everything with MinDist >= 0
+  for (int Y = 0; Y < Body.numOps(); ++Y) {
+    if (!isPlaced(Y) || !MinDist.connected(Y, X))
+      continue;
+    E = std::max(E, Times[static_cast<size_t>(Y)] + MinDist.at(Y, X));
+  }
+  return E;
+}
+
+long AttemptScheduler::lstartOf(int X) const {
+  const int Stop = Body.stopOp();
+  long L = Unbounded;
+  if (X == Stop)
+    L = LstartStop;
+  else if (!isPlaced(Stop) && MinDist.connected(X, Stop))
+    L = LstartStop - MinDist.at(X, Stop);
+  for (int Y = 0; Y < Body.numOps(); ++Y) {
+    if (!isPlaced(Y) || !MinDist.connected(X, Y))
+      continue;
+    L = std::min(L, Times[static_cast<size_t>(Y)] - MinDist.at(X, Y));
+  }
+  return L;
+}
+
+long AttemptScheduler::applyHalving(int X, long Slack) const {
+  if (Options.HalveCriticalSlack && ResMII > 1 &&
+      Critical[static_cast<size_t>(X)])
+    Slack /= 2;
+  if (Options.HalveDividerSlack && isDividerOp(Body.op(X).Opc))
+    Slack /= 2;
+  return Slack;
+}
+
+long AttemptScheduler::dynamicPriority(int X) const {
+  const long Slack =
+      Lstart[static_cast<size_t>(X)] - Estart[static_cast<size_t>(X)];
+  return applyHalving(X, Slack);
+}
+
+int AttemptScheduler::chooseOperation() {
+  int Best = -1;
+  long BestTier = LONG_MAX, BestPrio = LONG_MAX, BestLstart = LONG_MAX;
+  for (int X = 0; X < Body.numOps(); ++X) {
+    if (isPlaced(X))
+      continue;
+    const long Tier =
+        Options.RecurrencesFirst && !OnRecurrence[static_cast<size_t>(X)] ? 1
+                                                                          : 0;
+    const long Prio = Options.DynamicPriority
+                          ? dynamicPriority(X)
+                          : StaticPriority[static_cast<size_t>(X)];
+    const long L = Lstart[static_cast<size_t>(X)];
+    if (std::tie(Tier, Prio, L) < std::tie(BestTier, BestPrio, BestLstart)) {
+      Best = X;
+      BestTier = Tier;
+      BestPrio = Prio;
+      BestLstart = L;
+    }
+  }
+  return Best;
+}
+
+bool AttemptScheduler::placeEarlyHeuristic(int X) const {
+  if (!Options.Bidirectional)
+    return true;
+
+  const Operation &Op = Body.op(X);
+
+  // Count stretchable inputs: RR flow operands, ignoring loop invariants,
+  // duplicate inputs, and self-recurrences (Section 5.2). An input cannot
+  // be stretched by this operation when some other use already pins the
+  // lifetime at least as far: Estart(def) + MinLT(v) >= omega*II +
+  // Lstart(x).
+  int NumIn = 0;
+  std::vector<int> Seen;
+  auto CountInput = [this, X, &Seen, &NumIn](const Use &U) {
+    const Value &V = Body.value(U.Value);
+    if (V.Class != RegClass::RR || V.Def == X)
+      return;
+    if (std::find(Seen.begin(), Seen.end(), U.Value) != Seen.end())
+      return;
+    Seen.push_back(U.Value);
+    const long Pinned = Estart[static_cast<size_t>(V.Def)] +
+                        MinLT[static_cast<size_t>(U.Value)];
+    const long Reach = static_cast<long>(U.Omega) * II +
+                       Lstart[static_cast<size_t>(X)];
+    if (Pinned < Reach)
+      ++NumIn;
+  };
+  for (const Use &U : Op.Operands)
+    CountInput(U);
+  if (Op.PredValue >= 0)
+    CountInput(Use{Op.PredValue, Op.PredOmega});
+
+  // Outputs: in SSA form, placing the operation early stretches its result
+  // lifetime; a self-recurrence-only result has fixed length and does not
+  // count.
+  int NumOut = 0;
+  if (Op.Result >= 0 && Body.value(Op.Result).Class == RegClass::RR) {
+    for (const LoopBody::UseSite &Site : Body.usesOf(Op.Result)) {
+      if (Site.Op == X)
+        continue;
+      NumOut = 1;
+      break;
+    }
+  }
+
+  // No stretchable flow dependences either way: place early to minimize
+  // the overall schedule length.
+  if (NumIn == 0 && NumOut == 0)
+    return true;
+  if (NumIn != NumOut)
+    return NumIn > NumOut;
+
+  // Tie: place near whichever adjacent group (immediate predecessors or
+  // successors) has the larger fraction already placed — it is less likely
+  // to be ejected later.
+  long PredPlaced = 0, PredTotal = 0, SuccPlaced = 0, SuccTotal = 0;
+  for (int ArcIdx : Graph.predArcs(X)) {
+    const int Y = Graph.arc(ArcIdx).Src;
+    if (Y == X || Y == Body.startOp() || Y == Body.stopOp())
+      continue;
+    ++PredTotal;
+    if (isPlaced(Y))
+      ++PredPlaced;
+  }
+  for (int ArcIdx : Graph.succArcs(X)) {
+    const int Y = Graph.arc(ArcIdx).Dst;
+    if (Y == X || Y == Body.startOp() || Y == Body.stopOp())
+      continue;
+    ++SuccTotal;
+    if (isPlaced(Y))
+      ++SuccPlaced;
+  }
+  // Compare PredPlaced/PredTotal with SuccPlaced/SuccTotal; an empty group
+  // counts as fraction zero.
+  const long Lhs = PredPlaced * std::max(SuccTotal, 1L);
+  const long Rhs = SuccPlaced * std::max(PredTotal, 1L);
+  if (Lhs != Rhs)
+    return Lhs > Rhs;
+
+  // Final tie: early if and only if no predecessor or successor is placed.
+  return PredPlaced + SuccPlaced == 0;
+}
+
+bool AttemptScheduler::findIssueCycle(int X, long &CycleOut) const {
+  const long EstartX = Estart[static_cast<size_t>(X)];
+  const long LstartX = Lstart[static_cast<size_t>(X)];
+  if (EstartX > LstartX)
+    return false;
+
+  const Operation &Op = Body.op(X);
+  const FuKind Kind = Machine.unitFor(Op.Opc);
+  const int Instance = FuInstance[static_cast<size_t>(X)];
+
+  // Due to the modulo constraint at most II consecutive cycles need to be
+  // scanned, but the window must anchor at the end the heuristic favors:
+  // [Estart, Estart+II-1] scanning up for an early placement,
+  // [Lstart-II+1, Lstart] scanning down for a late one (Section 5.2).
+  const bool Early = placeEarlyHeuristic(X);
+  long Lo, Hi;
+  if (Early) {
+    Lo = EstartX;
+    Hi = std::min(LstartX, EstartX + II - 1);
+  } else {
+    Hi = LstartX;
+    Lo = std::max(EstartX, LstartX - II + 1);
+  }
+  for (long Step = 0; Step <= Hi - Lo; ++Step) {
+    const long T = Early ? Lo + Step : Hi - Step;
+    if (Mrt.canPlace(Op.Opc, Kind, Instance, static_cast<int>(T))) {
+      CycleOut = T;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AttemptScheduler::forcePlace(int X) {
+  const Operation &Op = Body.op(X);
+  const FuKind Kind = Machine.unitFor(Op.Opc);
+  const int Instance = FuInstance[static_cast<size_t>(X)];
+  const int BrTop = Body.brTopOp();
+
+  if (Machine.reservationCycles(Op.Opc) > II)
+    return false; // can never hold this op at this II (non-pipelined)
+
+  long F = std::max(Estart[static_cast<size_t>(X)],
+                    static_cast<long>(LastTime[static_cast<size_t>(X)]) + 1);
+
+  // brtop cannot be ejected: search successive cycles until the forced slot
+  // does not conflict with it (Section 4.4). All offsets repeat mod II.
+  bool Ok = false;
+  for (int Offset = 0; Offset < II; ++Offset) {
+    const long Cand = F + Offset;
+    const bool BrTopPlaced = BrTop >= 0 && isPlaced(BrTop) && BrTop != X;
+    if (BrTopPlaced) {
+      if (resourceConflict(X, static_cast<int>(Cand), BrTop,
+                           Times[static_cast<size_t>(BrTop)]))
+        continue;
+      if (MinDist.connected(X, BrTop) &&
+          Cand + MinDist.at(X, BrTop) > Times[static_cast<size_t>(BrTop)])
+        continue;
+    }
+    F = Cand;
+    Ok = true;
+    break;
+  }
+  if (!Ok)
+    return false;
+
+  // Eject every placed operation that conflicts with x at cycle F, either
+  // on resources or through the (transitive) dependence relation.
+  for (int Y = 0; Y < Body.numOps(); ++Y) {
+    if (!isPlaced(Y) || Y == Body.startOp() || Y == BrTop || Y == X)
+      continue;
+    const int Ty = Times[static_cast<size_t>(Y)];
+    bool Conflict = resourceConflict(X, static_cast<int>(F), Y, Ty);
+    if (!Conflict && MinDist.connected(Y, X) &&
+        Ty + MinDist.at(Y, X) > F)
+      Conflict = true;
+    if (!Conflict && MinDist.connected(X, Y) &&
+        F + MinDist.at(X, Y) > Ty)
+      Conflict = true;
+    if (Conflict)
+      eject(Y);
+  }
+
+  assert(Mrt.canPlace(Op.Opc, Kind, Instance, static_cast<int>(F)) &&
+         "forced slot still blocked after ejection");
+  (void)Kind;
+  (void)Instance;
+  place(X, static_cast<int>(F));
+  return true;
+}
+
+bool AttemptScheduler::resourceConflict(int X, int CycleX, int Y,
+                                        int CycleY) const {
+  const Operation &OpX = Body.op(X);
+  const Operation &OpY = Body.op(Y);
+  const FuKind KindX = Machine.unitFor(OpX.Opc);
+  const FuKind KindY = Machine.unitFor(OpY.Opc);
+  if (KindX == FuKind::None || KindX != KindY)
+    return false;
+  if (FuInstance[static_cast<size_t>(X)] != FuInstance[static_cast<size_t>(Y)])
+    return false;
+  const int ResX = Machine.reservationCycles(OpX.Opc);
+  const int ResY = Machine.reservationCycles(OpY.Opc);
+  for (int I = 0; I < ResX; ++I)
+    for (int J = 0; J < ResY; ++J)
+      if (((CycleX + I) % II + II) % II == ((CycleY + J) % II + II) % II)
+        return true;
+  return false;
+}
+
+void AttemptScheduler::place(int X, int Cycle) {
+  const Operation &Op = Body.op(X);
+  Mrt.place(Op.Opc, Machine.unitFor(Op.Opc),
+            FuInstance[static_cast<size_t>(X)], Cycle);
+  Times[static_cast<size_t>(X)] = Cycle;
+  LastTime[static_cast<size_t>(X)] = Cycle;
+  ++Stats.Placements;
+}
+
+void AttemptScheduler::eject(int Y) {
+  const Operation &Op = Body.op(Y);
+  Mrt.remove(Op.Opc, Machine.unitFor(Op.Opc),
+             FuInstance[static_cast<size_t>(Y)],
+             Times[static_cast<size_t>(Y)]);
+  Times[static_cast<size_t>(Y)] = -1;
+  ++EjectionsThisAttempt;
+  ++Stats.Ejections;
+  Stats.Backtracked = true;
+}
+
+} // namespace
+
+Schedule lsms::scheduleLoop(const DepGraph &Graph,
+                            const SchedulerOptions &Options) {
+  const auto TotalT0 = Clock::now();
+  Schedule Result;
+
+  Result.ResMII = computeResMII(Graph.body(), Graph.machine());
+  {
+    const auto T0 = Clock::now();
+    Result.RecMII = computeRecMII(Graph);
+    Result.Stats.SecondsRecMII += secondsSince(T0);
+  }
+  Result.MII = std::max(Result.ResMII, Result.RecMII);
+
+  const std::vector<int> FuInstance =
+      assignFunctionalUnits(Graph.body(), Graph.machine());
+  const SccInfo Sccs = computeSccs(Graph);
+
+  const int MaxII =
+      Result.MII * Options.MaxIIFactor + Options.MaxIISlack;
+
+  int II = Result.MII;
+  long StopPad = Options.AcyclicPadStep > 0 ? 0 : -1;
+  MinDistMatrix MinDist;
+  for (;;) {
+    Result.II = II;
+    {
+      const auto T0 = Clock::now();
+      const bool Valid = MinDist.compute(Graph, II);
+      Result.Stats.SecondsMinDist += secondsSince(T0);
+      assert(Valid && "II below RecMII");
+      (void)Valid;
+    }
+
+    AttemptScheduler Attempt(Graph, Options, MinDist, II, Result.ResMII,
+                             FuInstance, Sccs.OnRecurrence, Result.Stats,
+                             StopPad);
+    if (Attempt.run(Result.Times)) {
+      Result.Success = true;
+      break;
+    }
+
+    ++Result.Stats.IIRestarts;
+    if (Options.AcyclicPadStep > 0) {
+      // Straight-line mode: growing II is meaningless for a basic block;
+      // loosen the Lstart(Stop) cap instead.
+      StopPad += Options.AcyclicPadStep;
+      if (StopPad > 8L * II)
+        break;
+      continue;
+    }
+    const int Increment =
+        std::max(II * Options.IIIncrementPct / 100, 1);
+    II += Increment;
+    if (II > MaxII)
+      break; // report failure with the last II attempted
+  }
+
+  Result.Stats.SecondsTotal += secondsSince(TotalT0);
+  return Result;
+}
+
+Schedule lsms::scheduleLoop(const LoopBody &Body, const MachineModel &Machine,
+                            const SchedulerOptions &Options) {
+  const DepGraph Graph(Body, Machine);
+  return scheduleLoop(Graph, Options);
+}

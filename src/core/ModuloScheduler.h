@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bidirectional slack-scheduling framework of Sections 4 and 5, plus
+/// (via SchedulerOptions) the Cydrome-style baseline of Section 8.
+///
+/// The central loop, per Section 4.2:
+///  1. choose the unplaced operation with minimum dynamic priority;
+///  2. scan for a conflict-free issue cycle within [Estart, Lstart],
+///     scanning early-to-late or late-to-early per the lifetime-sensitive
+///     heuristic of Section 5.2;
+///  3. if none exists, force the operation into
+///     max(Estart, 1 + its last placement) and eject every conflicting
+///     operation (except brtop);
+///  4. place it and update the modulo resource table;
+///  5. refresh Estart/Lstart bounds of unplaced operations;
+///  6. if ejections exceed the budget, drop everything, increment II by
+///     max(floor(0.04*II), 1), and start over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_MODULOSCHEDULER_H
+#define LSMS_CORE_MODULOSCHEDULER_H
+
+#include "core/Schedule.h"
+#include "core/SchedulerOptions.h"
+#include "ir/DepGraph.h"
+
+namespace lsms {
+
+/// Modulo schedules \p Graph's loop body under \p Options. Deterministic:
+/// the same input always yields the same schedule.
+Schedule scheduleLoop(const DepGraph &Graph,
+                      const SchedulerOptions &Options = SchedulerOptions());
+
+/// Convenience overload building the dependence graph internally.
+Schedule scheduleLoop(const LoopBody &Body, const MachineModel &Machine,
+                      const SchedulerOptions &Options = SchedulerOptions());
+
+} // namespace lsms
+
+#endif // LSMS_CORE_MODULOSCHEDULER_H

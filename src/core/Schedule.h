@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of modulo scheduling a loop: per-operation issue cycles at a
+/// given initiation interval, plus the statistics Section 6 of the paper
+/// reports (central-loop iterations, ejections, II restarts, time split).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_SCHEDULE_H
+#define LSMS_CORE_SCHEDULE_H
+
+#include <vector>
+
+namespace lsms {
+
+/// Counters mirroring Section 6's measurements.
+struct ScheduleStats {
+  long CentralLoopIterations = 0; ///< iterations of the 6-step central loop
+  long Placements = 0;            ///< operations placed (incl. re-placements)
+  long ForcedPlacements = 0;      ///< step-3 invocations (no free issue slot)
+  long Ejections = 0;             ///< operations ejected from the schedule
+  long IIRestarts = 0;            ///< step-6 invocations (II incremented)
+  bool Backtracked = false;       ///< any ejection happened
+  double SecondsTotal = 0;
+  double SecondsMinDist = 0;
+  double SecondsRecMII = 0;
+  double SecondsBacktracking = 0; ///< time spent ejecting/re-placing
+
+  void accumulate(const ScheduleStats &Other) {
+    CentralLoopIterations += Other.CentralLoopIterations;
+    Placements += Other.Placements;
+    ForcedPlacements += Other.ForcedPlacements;
+    Ejections += Other.Ejections;
+    IIRestarts += Other.IIRestarts;
+    Backtracked = Backtracked || Other.Backtracked;
+    SecondsTotal += Other.SecondsTotal;
+    SecondsMinDist += Other.SecondsMinDist;
+    SecondsRecMII += Other.SecondsRecMII;
+    SecondsBacktracking += Other.SecondsBacktracking;
+  }
+};
+
+/// A (possibly failed) modulo schedule.
+struct Schedule {
+  bool Success = false;
+  int II = 0;     ///< achieved II; for failures, the last II attempted
+  int MII = 0;    ///< max(ResMII, RecMII)
+  int ResMII = 0;
+  int RecMII = 0;
+  /// Issue cycle per operation id (Start at 0); valid only on success.
+  std::vector<int> Times;
+  ScheduleStats Stats;
+
+  /// Schedule length: the Stop pseudo-op's issue time.
+  int length() const { return Success ? Times[1] : 0; }
+};
+
+} // namespace lsms
+
+#endif // LSMS_CORE_SCHEDULE_H

@@ -1,0 +1,95 @@
+#include "core/SchedulePrinter.h"
+
+#include "core/FuAssignment.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+using namespace lsms;
+
+void lsms::printScheduleListing(std::ostream &OS, const LoopBody &Body,
+                                const MachineModel &Machine,
+                                const Schedule &Sched) {
+  if (!Sched.Success) {
+    OS << "(no schedule)\n";
+    return;
+  }
+  std::vector<int> Order;
+  for (const Operation &Op : Body.Ops)
+    if (!isPseudo(Op.Opc))
+      Order.push_back(Op.Id);
+  std::stable_sort(Order.begin(), Order.end(), [&Sched](int A, int B) {
+    return Sched.Times[static_cast<size_t>(A)] <
+           Sched.Times[static_cast<size_t>(B)];
+  });
+
+  TextTable T;
+  T.setHeader({"cycle", "mod II", "stage", "unit", "operation"});
+  for (int Op : Order) {
+    const int Time = Sched.Times[static_cast<size_t>(Op)];
+    T.addRow({std::to_string(Time), std::to_string(Time % Sched.II),
+              std::to_string(Time / Sched.II),
+              fuKindName(Machine.unitFor(Body.op(Op).Opc)),
+              Body.op(Op).Name});
+  }
+  T.print(OS);
+}
+
+void lsms::printReservationTable(std::ostream &OS, const LoopBody &Body,
+                                 const MachineModel &Machine,
+                                 const Schedule &Sched) {
+  if (!Sched.Success) {
+    OS << "(no schedule)\n";
+    return;
+  }
+  const std::vector<int> FuInstance = assignFunctionalUnits(Body, Machine);
+
+  // Columns: every unit instance of every kind that exists.
+  struct Column {
+    FuKind Kind;
+    int Instance;
+  };
+  std::vector<Column> Columns;
+  std::vector<std::string> Header = {"cycle"};
+  const FuKind Kinds[] = {FuKind::MemoryPort, FuKind::AddressAlu,
+                          FuKind::Adder,      FuKind::Multiplier,
+                          FuKind::Divider,    FuKind::Branch};
+  for (FuKind Kind : Kinds) {
+    for (int I = 0; I < Machine.unitCount(Kind); ++I) {
+      Columns.push_back({Kind, I});
+      Header.push_back(std::string(fuKindName(Kind)) + "#" +
+                       std::to_string(I));
+    }
+  }
+
+  TextTable T;
+  T.setHeader(Header);
+  for (int Cycle = 0; Cycle < Sched.II; ++Cycle) {
+    std::vector<std::string> Row = {std::to_string(Cycle)};
+    for (const Column &Col : Columns) {
+      std::string Cell;
+      for (const Operation &Op : Body.Ops) {
+        if (isPseudo(Op.Opc) || Machine.unitFor(Op.Opc) != Col.Kind ||
+            FuInstance[static_cast<size_t>(Op.Id)] != Col.Instance)
+          continue;
+        const int Time = Sched.Times[static_cast<size_t>(Op.Id)];
+        const int Res = Machine.reservationCycles(Op.Opc);
+        for (int R = 0; R < Res; ++R) {
+          if (((Time + R) % Sched.II + Sched.II) % Sched.II != Cycle)
+            continue;
+          if (!Cell.empty())
+            Cell += "/";
+          Cell += Op.Name + "[s" + std::to_string(Time / Sched.II) + "]";
+          if (Res > 1)
+            Cell += R == 0 ? "" : "*"; // busy continuation cycle
+          break;
+        }
+      }
+      Row.push_back(Cell.empty() ? "." : Cell);
+    }
+    T.addRow(Row);
+  }
+  T.print(OS);
+}

@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable schedule dumps: the flat issue-cycle listing and the
+/// modulo reservation table view (rows = cycles mod II, columns =
+/// functional-unit instances) that papers on modulo scheduling
+/// traditionally draw.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_SCHEDULEPRINTER_H
+#define LSMS_CORE_SCHEDULEPRINTER_H
+
+#include "core/Schedule.h"
+#include "ir/LoopBody.h"
+#include "machine/MachineModel.h"
+
+#include <iosfwd>
+
+namespace lsms {
+
+/// Prints one line per operation in issue order: cycle, stage, unit, name.
+void printScheduleListing(std::ostream &OS, const LoopBody &Body,
+                          const MachineModel &Machine, const Schedule &Sched);
+
+/// Prints the modulo reservation table: one row per cycle 0..II-1, one
+/// column per functional-unit instance, cells naming the operation issued
+/// there (with its stage).
+void printReservationTable(std::ostream &OS, const LoopBody &Body,
+                           const MachineModel &Machine,
+                           const Schedule &Sched);
+
+} // namespace lsms
+
+#endif // LSMS_CORE_SCHEDULEPRINTER_H

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Policy knobs for the modulo-scheduling framework. The defaults are the
+/// paper's bidirectional slack scheduler; presets configure the Cydrome
+/// baseline (Section 8) and the ablations (unidirectional slack, static
+/// priority, II increment of 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_SCHEDULEROPTIONS_H
+#define LSMS_CORE_SCHEDULEROPTIONS_H
+
+namespace lsms {
+
+struct SchedulerOptions {
+  /// Use the dynamic priority scheme (recompute slack from live
+  /// Estart/Lstart bounds each central-loop iteration, Section 4.3). When
+  /// false, priorities are the operations' initial slack values, as in
+  /// Cydrome's scheduler.
+  bool DynamicPriority = true;
+
+  /// Use the bidirectional early/late placement heuristic of Section 5.2.
+  /// When false, operations are always placed as early as possible (the
+  /// unidirectional legacy strategy the paper criticizes).
+  bool Bidirectional = true;
+
+  /// Place every operation that lies on a non-trivial recurrence circuit
+  /// before any other operation (Cydrome's policy; Section 8).
+  bool RecurrencesFirst = false;
+
+  /// Halve the slack of operations on critical resources (>= 0.90*II
+  /// usage), and halve divider operations' slack again (Section 4.3).
+  bool HalveCriticalSlack = true;
+  bool HalveDividerSlack = true;
+
+  /// Percentage for the II escalation step: II += max(floor(Pct/100*II),1).
+  /// The paper uses 4; 0 yields the increment-by-1 ablation (footnote 6).
+  int IIIncrementPct = 4;
+
+  /// Ejection budget per II attempt, as a multiple of the operation count.
+  int BudgetRatio = 16;
+
+  /// Hard cap on II attempts beyond which the loop is reported unschedul-
+  /// able (the paper's Cydrome scheduler failed on 14 loops): II is allowed
+  /// to grow to MaxIIFactor*MII + MaxIISlack before giving up.
+  int MaxIIFactor = 2;
+  int MaxIISlack = 64;
+
+  /// Straight-line mode (used by scheduleStraightLine): when positive,
+  /// Lstart(Stop) is pinned to Estart(Stop) plus an additive pad instead
+  /// of the II-rounded rule, and failed attempts grow the pad by this step
+  /// at a fixed II rather than escalating II (escalation is meaningless
+  /// for basic blocks).
+  int AcyclicPadStep = 0;
+
+  /// The paper's slack scheduler (Sections 4-5).
+  static SchedulerOptions slack() { return SchedulerOptions(); }
+
+  /// Cydrome's scheduler as characterized in Section 8.
+  static SchedulerOptions cydrome() {
+    SchedulerOptions O;
+    O.DynamicPriority = false;
+    O.Bidirectional = false;
+    O.RecurrencesFirst = true;
+    return O;
+  }
+
+  /// Slack scheduling without lifetime sensitivity (ablation: "without
+  /// them, the slack scheduler generates nearly the same register pressure
+  /// as Cydrome's scheduler", Section 7).
+  static SchedulerOptions unidirectionalSlack() {
+    SchedulerOptions O;
+    O.Bidirectional = false;
+    return O;
+  }
+};
+
+} // namespace lsms
+
+#endif // LSMS_CORE_SCHEDULEROPTIONS_H

@@ -1,0 +1,73 @@
+#include "core/Validate.h"
+
+#include "core/FuAssignment.h"
+#include "machine/ModuloResourceTable.h"
+
+#include <sstream>
+
+using namespace lsms;
+
+std::string lsms::validateSchedule(const DepGraph &Graph,
+                                   const Schedule &Sched) {
+  const LoopBody &Body = Graph.body();
+  const MachineModel &Machine = Graph.machine();
+  std::ostringstream Err;
+
+  if (!Sched.Success) {
+    Err << "schedule marked unsuccessful";
+    return Err.str();
+  }
+  if (Sched.II <= 0) {
+    Err << "non-positive II";
+    return Err.str();
+  }
+  if (Sched.Times.size() != static_cast<size_t>(Body.numOps())) {
+    Err << "times array does not cover every operation";
+    return Err.str();
+  }
+  if (Sched.Times[static_cast<size_t>(Body.startOp())] != 0) {
+    Err << "Start is not at cycle 0";
+    return Err.str();
+  }
+  for (const Operation &Op : Body.Ops) {
+    if (Sched.Times[static_cast<size_t>(Op.Id)] < 0) {
+      Err << "operation " << Op.Name << " is unplaced";
+      return Err.str();
+    }
+  }
+
+  for (const DepArc &Arc : Graph.arcs()) {
+    const long Src = Sched.Times[static_cast<size_t>(Arc.Src)];
+    const long Dst = Sched.Times[static_cast<size_t>(Arc.Dst)];
+    const long Need =
+        Src + Arc.Latency - static_cast<long>(Arc.Omega) * Sched.II;
+    if (Dst < Need) {
+      Err << "dependence " << Body.op(Arc.Src).Name << " -> "
+          << Body.op(Arc.Dst).Name << " violated: t=" << Dst
+          << " < " << Need << " (lat=" << Arc.Latency
+          << ", omega=" << Arc.Omega << ", II=" << Sched.II << ")";
+      return Err.str();
+    }
+  }
+
+  // Resource check: replay all reservations into a fresh table using the
+  // same deterministic functional-unit assignment the scheduler used.
+  const std::vector<int> FuInstance = assignFunctionalUnits(Body, Machine);
+  ModuloResourceTable Mrt(Machine, Sched.II);
+  for (const Operation &Op : Body.Ops) {
+    const FuKind Kind = Machine.unitFor(Op.Opc);
+    if (Kind == FuKind::None)
+      continue;
+    const int Instance = FuInstance[static_cast<size_t>(Op.Id)];
+    const int Cycle = Sched.Times[static_cast<size_t>(Op.Id)];
+    if (!Mrt.canPlace(Op.Opc, Kind, Instance, Cycle)) {
+      Err << "resource conflict on " << fuKindName(Kind) << "[" << Instance
+          << "] at cycle " << Cycle << " (mod " << Sched.II << ") for "
+          << Op.Name;
+      return Err.str();
+    }
+    Mrt.place(Op.Opc, Kind, Instance, Cycle);
+  }
+
+  return std::string();
+}

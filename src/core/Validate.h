@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent validation of a modulo schedule: every dependence arc must
+/// satisfy time(dst) >= time(src) + latency - omega*II, and no functional
+/// unit instance may be reserved twice at the same cycle modulo II.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_VALIDATE_H
+#define LSMS_CORE_VALIDATE_H
+
+#include "core/Schedule.h"
+#include "ir/DepGraph.h"
+
+#include <string>
+
+namespace lsms {
+
+/// Returns an empty string when \p Sched is a legal modulo schedule for
+/// \p Graph, otherwise a description of the first violation found.
+std::string validateSchedule(const DepGraph &Graph, const Schedule &Sched);
+
+} // namespace lsms
+
+#endif // LSMS_CORE_VALIDATE_H

@@ -1,0 +1,230 @@
+#include "frontend/Lexer.h"
+
+#include "support/Compiler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace lsms;
+
+const char *lsms::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwParam:
+    return "'param'";
+  case TokenKind::KwLoop:
+    return "'loop'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwSqrt:
+    return "'sqrt'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::Ne:
+    return "'!='";
+  case TokenKind::Newline:
+    return "newline";
+  case TokenKind::Eof:
+    return "end of input";
+  }
+  LSMS_UNREACHABLE("invalid token kind");
+}
+
+static TokenKind keywordKind(const std::string &Word) {
+  if (Word == "param")
+    return TokenKind::KwParam;
+  if (Word == "loop")
+    return TokenKind::KwLoop;
+  if (Word == "if")
+    return TokenKind::KwIf;
+  if (Word == "then")
+    return TokenKind::KwThen;
+  if (Word == "else")
+    return TokenKind::KwElse;
+  if (Word == "end" || Word == "endif" || Word == "endloop")
+    return TokenKind::KwEnd;
+  if (Word == "sqrt")
+    return TokenKind::KwSqrt;
+  return TokenKind::Identifier;
+}
+
+bool lsms::tokenize(const std::string &Source, std::vector<Token> &TokensOut,
+                    std::string &ErrorOut) {
+  int Line = 1, Column = 1;
+  size_t I = 0;
+  const size_t N = Source.size();
+
+  auto Push = [&TokensOut, &Line, &Column](TokenKind Kind, std::string Text,
+                                           double Num = 0) {
+    // Collapse consecutive newlines and skip a leading one.
+    if (Kind == TokenKind::Newline &&
+        (TokensOut.empty() || TokensOut.back().Kind == TokenKind::Newline))
+      return;
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.NumberValue = Num;
+    T.Line = Line;
+    T.Column = Column;
+    TokensOut.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    const char C = Source[I];
+    if (C == '\n') {
+      Push(TokenKind::Newline, "\\n");
+      ++Line;
+      Column = 1;
+      ++I;
+      continue;
+    }
+    if (C == '#') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C)) || C == ';') {
+      if (C == ';')
+        Push(TokenKind::Newline, ";");
+      ++I;
+      ++Column;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Word;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_')) {
+        Word += Source[I++];
+        ++Column;
+      }
+      Push(keywordKind(Word), Word);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Source[I + 1])))) {
+      const size_t Begin = I;
+      while (I < N && (std::isdigit(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '.' || Source[I] == 'e' ||
+                       Source[I] == 'E' ||
+                       ((Source[I] == '+' || Source[I] == '-') && I > Begin &&
+                        (Source[I - 1] == 'e' || Source[I - 1] == 'E')))) {
+        ++I;
+        ++Column;
+      }
+      const std::string Text = Source.substr(Begin, I - Begin);
+      char *EndPtr = nullptr;
+      const double Num = std::strtod(Text.c_str(), &EndPtr);
+      if (EndPtr != Text.c_str() + Text.size()) {
+        std::ostringstream OS;
+        OS << "line " << Line << ": malformed number '" << Text << "'";
+        ErrorOut = OS.str();
+        return false;
+      }
+      Push(TokenKind::Number, Text, Num);
+      continue;
+    }
+
+    auto Two = [&](char Next) {
+      return I + 1 < N && Source[I + 1] == Next;
+    };
+    TokenKind Kind;
+    int Len = 1;
+    switch (C) {
+    case '(':
+      Kind = TokenKind::LParen;
+      break;
+    case ')':
+      Kind = TokenKind::RParen;
+      break;
+    case '[':
+      Kind = TokenKind::LBracket;
+      break;
+    case ']':
+      Kind = TokenKind::RBracket;
+      break;
+    case '+':
+      Kind = TokenKind::Plus;
+      break;
+    case '-':
+      Kind = TokenKind::Minus;
+      break;
+    case '*':
+      Kind = TokenKind::Star;
+      break;
+    case '/':
+      Kind = TokenKind::Slash;
+      break;
+    case ',':
+      Kind = TokenKind::Comma;
+      break;
+    case '<':
+      Kind = Two('=') ? (Len = 2, TokenKind::Le) : TokenKind::Lt;
+      break;
+    case '>':
+      Kind = Two('=') ? (Len = 2, TokenKind::Ge) : TokenKind::Gt;
+      break;
+    case '=':
+      Kind = Two('=') ? (Len = 2, TokenKind::EqEq) : TokenKind::Assign;
+      break;
+    case '!':
+      if (Two('=')) {
+        Kind = TokenKind::Ne;
+        Len = 2;
+        break;
+      }
+      [[fallthrough]];
+    default: {
+      std::ostringstream OS;
+      OS << "line " << Line << ": unexpected character '" << C << "'";
+      ErrorOut = OS.str();
+      return false;
+    }
+    }
+    Push(Kind, Source.substr(I, static_cast<size_t>(Len)));
+    I += static_cast<size_t>(Len);
+    Column += Len;
+  }
+
+  Push(TokenKind::Newline, "\\n");
+  Push(TokenKind::Eof, "");
+  return true;
+}

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the loop DSL — a minimal FORTRAN-like notation for the DO
+/// loops the paper's compiler pipelines:
+///
+///   param a = 3.0
+///   loop i = 3, n
+///     x[i] = x[i-1] + y[i-2]
+///     if (x[i] > 0) then
+///       y[i] = a * x[i]
+///     else
+///       y[i] = 0 - x[i]
+///     end
+///   end
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_FRONTEND_LEXER_H
+#define LSMS_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+enum class TokenKind : uint8_t {
+  Identifier,
+  Number,
+  KwParam,
+  KwLoop,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwEnd,
+  KwSqrt,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Assign, // '='
+  Comma,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  Ne,
+  Newline,
+  Eof,
+};
+
+/// Returns a printable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  double NumberValue = 0;
+  int Line = 0;
+  int Column = 0;
+};
+
+/// Tokenizes \p Source. On a lexical error, returns false and fills
+/// \p ErrorOut (tokens produced so far remain in \p TokensOut).
+/// Comments run from '#' to end of line. Newlines are significant (they
+/// separate statements) and consecutive ones are collapsed.
+bool tokenize(const std::string &Source, std::vector<Token> &TokensOut,
+              std::string &ErrorOut);
+
+} // namespace lsms
+
+#endif // LSMS_FRONTEND_LEXER_H

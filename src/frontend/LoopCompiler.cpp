@@ -1,0 +1,654 @@
+#include "frontend/LoopCompiler.h"
+
+#include "frontend/Parser.h"
+#include "ir/IRBuilder.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace lsms;
+
+namespace {
+
+/// A write site discovered during analysis.
+struct WriteSite {
+  int Offset = 0;
+  int Stride = 1;
+  bool Conditional = false;
+  int TopLevelIndex = 0; ///< index of the containing top-level statement
+};
+
+long gcdOf(long A, long B) {
+  A = std::abs(A);
+  B = std::abs(B);
+  while (B) {
+    const long T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// GCD dependence test: may subscripts Stride1*i + Off1 and
+/// Stride2*j + Off2 ever address the same element (for some integers
+/// i, j)?
+bool mayAlias(int Stride1, int Off1, int Stride2, int Off2) {
+  const long G = gcdOf(Stride1, Stride2);
+  return G != 0 && (static_cast<long>(Off1) - Off2) % G == 0;
+}
+
+/// Per-array analysis results.
+struct ArrayInfo {
+  int Id = -1;
+  std::vector<WriteSite> Writes;
+  /// Value id carrying the unconditional single-writer store per
+  /// (stride, offset) subscript, declared up-front so earlier reads can
+  /// reference it across iterations (load/store elimination).
+  std::map<std::pair<int, int>, int> StoreValue;
+};
+
+class Compiler {
+public:
+  Compiler(const Program &Prog, const std::string &Name, LoopBody &Body)
+      : Prog(Prog), Body(Body), Builder(Body) {
+    Body.Name = Name;
+    Body.First = Prog.First;
+  }
+
+  std::string run();
+
+private:
+  // ---- analysis ----
+  bool analyze();
+  void analyzeStmt(const Stmt &S, bool Conditional, int TopLevelIndex);
+  void analyzeExpr(const Expr &E);
+  bool error(int Line, const std::string &Msg) {
+    if (Diag.empty()) {
+      std::ostringstream OS;
+      OS << "line " << Line << ": " << Msg;
+      Diag = OS.str();
+    }
+    return false;
+  }
+
+  // ---- code generation ----
+  void genStmtList(const std::vector<std::unique_ptr<Stmt>> &Stmts,
+                   int Predicate, bool TopLevel);
+  void genAssign(const Stmt &S, int Predicate, bool TopLevel);
+  void genIf(const Stmt &S, int Predicate, bool TopLevel);
+  /// Generates \p E; when \p Target >= 0 the root operation defines that
+  /// pre-declared value (a Copy is emitted when the expression root is a
+  /// leaf or an already-materialized value).
+  Use genExpr(const Expr &E, int Target = -1);
+  Use finishLeaf(Use U, int Target);
+  Use genOp(Opcode Opc, std::vector<Use> Operands, const std::string &Name,
+            int Target);
+  Use genArrayRead(const std::string &Name, int Stride, int Offset);
+  bool tryEliminateLoad(const std::string &Array, int Stride, int Offset,
+                        Use &Out);
+  Use addressOf(const std::string &Array, int Stride, int Offset);
+  Use inductionValue();
+  Use scalarValue(const std::string &Name);
+  int scalarLastAssignTarget(const std::string &Name, bool TopLevel);
+  void addMemoryDeps();
+  std::string freshName(const std::string &Base) {
+    return Base + "." + std::to_string(NameCounter++);
+  }
+
+  const Program &Prog;
+  LoopBody &Body;
+  IRBuilder Builder;
+  std::string Diag;
+
+  // Analysis state.
+  std::set<std::string> ArrayVars;
+  std::set<std::string> AssignedScalars;
+  std::map<std::string, int> LastTopLevelAssign; // scalar -> stmt index
+  std::map<std::string, ArrayInfo> Arrays;
+  std::map<std::string, double> ParamInit;
+
+  // Codegen state.
+  std::map<std::string, int> FinalValue;     // assigned scalar -> value id
+  std::map<std::string, Use> CurBinding;     // scalar -> current value
+  std::map<std::string, int> InvariantValue; // invariant scalar -> value id
+  using RefKey = std::tuple<std::string, int, int>; // (array, stride, off)
+  std::map<RefKey, Use> AddrStream;
+  std::map<RefKey, Use> LoadCache;
+  std::map<RefKey, int> LoadCacheVersion;
+  std::map<std::string, int> MemVersion; // array -> store counter
+  std::map<RefKey, bool> StoreDone;
+  int CurrentTopLevel = 0;
+  int InductionVal = -1;
+  int NameCounter = 0;
+  double NextDefaultInit = 1.25;
+};
+
+std::string Compiler::run() {
+  if (!analyze())
+    return Diag;
+  genStmtList(Prog.Body, /*Predicate=*/-1, /*TopLevel=*/true);
+  if (!Diag.empty())
+    return Diag;
+  // Degenerate flows (e.g. a conditional self-assignment) can leave a
+  // scalar's pre-declared final value undefined; close the loop with a
+  // copy of its current binding.
+  for (const auto &[Name, V] : FinalValue)
+    if (Body.value(V).Def < 0)
+      Builder.defineValue(V, Opcode::Copy, {CurBinding.at(Name)});
+  addMemoryDeps();
+  Builder.finish();
+  return Diag;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+bool Compiler::analyze() {
+  for (const auto &[Name, Init] : Prog.Params) {
+    if (Name == Prog.Counter)
+      return error(1, "the induction variable cannot be a parameter");
+    if (ParamInit.count(Name))
+      return error(1, "duplicate parameter '" + Name + "'");
+    ParamInit[Name] = Init;
+  }
+
+  for (size_t I = 0; I < Prog.Body.size(); ++I)
+    analyzeStmt(*Prog.Body[I], /*Conditional=*/false, static_cast<int>(I));
+  if (!Diag.empty())
+    return false;
+
+  // Array ids in name order; declare cross-iteration store values for
+  // offsets written exactly once and unconditionally (the only case where
+  // load/store elimination is sound without predicate analysis).
+  for (auto &[Name, Info] : Arrays) {
+    Info.Id = Builder.newArray(Name);
+    std::map<std::pair<int, int>, int> Writers, ConditionalWriters;
+    for (const WriteSite &W : Info.Writes) {
+      ++Writers[{W.Stride, W.Offset}];
+      ConditionalWriters[{W.Stride, W.Offset}] += W.Conditional ? 1 : 0;
+    }
+    for (const auto &[Ref, Count] : Writers) {
+      if (Count != 1 || ConditionalWriters[Ref] != 0)
+        continue;
+      const auto [Stride, Offset] = Ref;
+      const int V = Builder.declareValue(
+          RegClass::RR, Name + (Stride != 1 ? "_s" + std::to_string(Stride)
+                                            : std::string()) +
+                            (Offset < 0 ? "_m" : "_p") +
+                            std::to_string(std::abs(Offset)));
+      Body.value(V).SeedArrayId = Info.Id;
+      Body.value(V).SeedElemOffset = Offset;
+      Body.value(V).SeedElemStride = Stride;
+      Info.StoreValue[Ref] = V;
+    }
+  }
+
+  // Pre-declare each assigned scalar's per-iteration final value so reads
+  // of the previous iteration can reference it before its definition.
+  for (const std::string &S : AssignedScalars) {
+    const int V = Builder.declareValue(RegClass::RR, S);
+    FinalValue[S] = V;
+    const auto It = ParamInit.find(S);
+    Builder.setSeeds(V, {It != ParamInit.end() ? It->second : 0.75});
+    Builder.markLiveOut(V);
+    CurBinding[S] = Use{V, 1};
+  }
+  return Diag.empty();
+}
+
+void Compiler::analyzeStmt(const Stmt &S, bool Conditional,
+                           int TopLevelIndex) {
+  if (S.Kind == StmtKind::If) {
+    Body.HasConditional = true;
+    Body.SourceBasicBlocks += S.If.Else.empty() ? 2 : 3;
+    analyzeExpr(*S.If.Cond.Lhs);
+    analyzeExpr(*S.If.Cond.Rhs);
+    for (const auto &Sub : S.If.Then)
+      analyzeStmt(*Sub, /*Conditional=*/true, TopLevelIndex);
+    for (const auto &Sub : S.If.Else)
+      analyzeStmt(*Sub, /*Conditional=*/true, TopLevelIndex);
+    return;
+  }
+
+  const AssignStmt &A = S.Assign;
+  analyzeExpr(*A.Value);
+  if (A.Name == Prog.Counter) {
+    error(S.Line, "the induction variable cannot be assigned");
+    return;
+  }
+  if (A.IsArray) {
+    if (AssignedScalars.count(A.Name) || ParamInit.count(A.Name)) {
+      error(S.Line, "'" + A.Name + "' used as both scalar and array");
+      return;
+    }
+    ArrayVars.insert(A.Name);
+    Arrays[A.Name].Writes.push_back(
+        {A.Offset, A.Stride, Conditional, TopLevelIndex});
+    return;
+  }
+  if (ArrayVars.count(A.Name)) {
+    error(S.Line, "'" + A.Name + "' used as both scalar and array");
+    return;
+  }
+  AssignedScalars.insert(A.Name);
+  LastTopLevelAssign[A.Name] = TopLevelIndex;
+}
+
+void Compiler::analyzeExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return;
+  case ExprKind::Scalar:
+    if (ArrayVars.count(E.Name))
+      error(E.Line, "'" + E.Name + "' used as both scalar and array");
+    return;
+  case ExprKind::ArrayRef:
+    if (AssignedScalars.count(E.Name) || ParamInit.count(E.Name)) {
+      error(E.Line, "'" + E.Name + "' used as both scalar and array");
+      return;
+    }
+    ArrayVars.insert(E.Name);
+    Arrays[E.Name]; // ensure the array exists even when never written
+    return;
+  case ExprKind::Unary:
+  case ExprKind::Sqrt:
+    analyzeExpr(*E.Lhs);
+    return;
+  case ExprKind::Binary:
+    analyzeExpr(*E.Lhs);
+    analyzeExpr(*E.Rhs);
+    return;
+  }
+  LSMS_UNREACHABLE("invalid expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+void Compiler::genStmtList(const std::vector<std::unique_ptr<Stmt>> &Stmts,
+                           int Predicate, bool TopLevel) {
+  for (size_t I = 0; I < Stmts.size(); ++I) {
+    if (!Diag.empty())
+      return;
+    if (TopLevel)
+      CurrentTopLevel = static_cast<int>(I);
+    const Stmt &S = *Stmts[I];
+    if (S.Kind == StmtKind::Assign)
+      genAssign(S, Predicate, TopLevel);
+    else
+      genIf(S, Predicate, TopLevel);
+  }
+}
+
+int Compiler::scalarLastAssignTarget(const std::string &Name, bool TopLevel) {
+  if (!TopLevel)
+    return -1;
+  const auto It = LastTopLevelAssign.find(Name);
+  if (It == LastTopLevelAssign.end() || It->second != CurrentTopLevel)
+    return -1;
+  return FinalValue.at(Name);
+}
+
+void Compiler::genAssign(const Stmt &S, int Predicate, bool TopLevel) {
+  const AssignStmt &A = S.Assign;
+
+  if (!A.IsArray) {
+    const int Target = scalarLastAssignTarget(A.Name, TopLevel);
+    CurBinding[A.Name] = genExpr(*A.Value, Target);
+    return;
+  }
+
+  ArrayInfo &Info = Arrays.at(A.Name);
+  int Target = -1;
+  if (Predicate < 0) {
+    const auto It = Info.StoreValue.find({A.Stride, A.Offset});
+    if (It != Info.StoreValue.end())
+      Target = It->second;
+  }
+  const Use V = genExpr(*A.Value, Target);
+  const Use Addr = addressOf(A.Name, A.Stride, A.Offset);
+  const int StoreOp = Builder.emitStore(
+      Info.Id, A.Offset, Addr, V,
+      "st_" + A.Name + "[" + std::to_string(A.Offset) + "]", Predicate, 0);
+  Body.op(StoreOp).ElemStride = A.Stride;
+  ++MemVersion[A.Name];
+  if (Predicate < 0)
+    StoreDone[{A.Name, A.Stride, A.Offset}] = true;
+}
+
+void Compiler::genIf(const Stmt &S, int Predicate, bool TopLevel) {
+  // Evaluate the condition speculatively (if-conversion computes both
+  // sides; only stores are guarded).
+  const Use L = genExpr(*S.If.Cond.Lhs);
+  const Use R = genExpr(*S.If.Cond.Rhs);
+  Opcode CmpOpc = Opcode::CmpEQ;
+  switch (S.If.Cond.Op) {
+  case CmpOp::Eq:
+    CmpOpc = Opcode::CmpEQ;
+    break;
+  case CmpOp::Ne:
+    CmpOpc = Opcode::CmpNE;
+    break;
+  case CmpOp::Lt:
+    CmpOpc = Opcode::CmpLT;
+    break;
+  case CmpOp::Le:
+    CmpOpc = Opcode::CmpLE;
+    break;
+  case CmpOp::Gt:
+    CmpOpc = Opcode::CmpGT;
+    break;
+  case CmpOp::Ge:
+    CmpOpc = Opcode::CmpGE;
+    break;
+  }
+  const int P = Body.value(genOp(CmpOpc, {L, R}, freshName("p"), -1).Value).Id;
+
+  const int ThenPred =
+      Predicate < 0
+          ? P
+          : Body.value(genOp(Opcode::PredAnd, {Use{Predicate, 0}, Use{P, 0}},
+                             freshName("pa"), -1)
+                           .Value)
+                .Id;
+
+  const auto Saved = CurBinding;
+  genStmtList(S.If.Then, ThenPred, /*TopLevel=*/false);
+  const auto ThenBind = CurBinding;
+
+  CurBinding = Saved;
+  if (!S.If.Else.empty()) {
+    const int NotP =
+        Body.value(genOp(Opcode::PredNot, {Use{P, 0}}, freshName("np"), -1)
+                       .Value)
+            .Id;
+    const int ElsePred =
+        Predicate < 0
+            ? NotP
+            : Body.value(genOp(Opcode::PredAnd,
+                               {Use{Predicate, 0}, Use{NotP, 0}},
+                               freshName("pa"), -1)
+                             .Value)
+                  .Id;
+    genStmtList(S.If.Else, ElsePred, /*TopLevel=*/false);
+  }
+  const auto ElseBind = CurBinding;
+
+  // Join: merge scalar bindings that differ across the branches with a
+  // select on the local condition.
+  CurBinding = Saved;
+  for (const auto &[Name, SavedUse] : Saved) {
+    const Use TB = ThenBind.at(Name);
+    const Use EB = ElseBind.at(Name);
+    if (TB == EB) {
+      CurBinding[Name] = TB;
+      continue;
+    }
+    const int Target = scalarLastAssignTarget(Name, TopLevel);
+    CurBinding[Name] =
+        genOp(Opcode::Select, {Use{P, 0}, TB, EB}, freshName(Name + ".sel"),
+              Target);
+  }
+}
+
+Use Compiler::finishLeaf(Use U, int Target) {
+  if (Target < 0)
+    return U;
+  Builder.defineValue(Target, Opcode::Copy, {U});
+  return Use{Target, 0};
+}
+
+Use Compiler::genOp(Opcode Opc, std::vector<Use> Operands,
+                    const std::string &Name, int Target) {
+  if (Target >= 0) {
+    Builder.defineValue(Target, Opc, std::move(Operands));
+    return Use{Target, 0};
+  }
+  return Use{Builder.emitValue(Opc, std::move(Operands), Name), 0};
+}
+
+Use Compiler::genExpr(const Expr &E, int Target) {
+  switch (E.Kind) {
+  case ExprKind::Number:
+    return finishLeaf(Use{Builder.constant(E.Number), 0}, Target);
+  case ExprKind::Scalar:
+    return finishLeaf(scalarValue(E.Name), Target);
+  case ExprKind::ArrayRef:
+    return finishLeaf(genArrayRead(E.Name, E.Stride, E.Offset), Target);
+  case ExprKind::Unary: {
+    const Use A = genExpr(*E.Lhs);
+    return genOp(Opcode::FloatSub, {Use{Builder.constant(0.0), 0}, A},
+                 freshName("neg"), Target);
+  }
+  case ExprKind::Sqrt: {
+    const Use A = genExpr(*E.Lhs);
+    return genOp(Opcode::FloatSqrt, {A}, freshName("sqrt"), Target);
+  }
+  case ExprKind::Binary: {
+    const Use A = genExpr(*E.Lhs);
+    const Use B = genExpr(*E.Rhs);
+    Opcode Opc = Opcode::FloatAdd;
+    switch (E.Op) {
+    case BinaryOp::Add:
+      Opc = Opcode::FloatAdd;
+      break;
+    case BinaryOp::Sub:
+      Opc = Opcode::FloatSub;
+      break;
+    case BinaryOp::Mul:
+      Opc = Opcode::FloatMul;
+      break;
+    case BinaryOp::Div:
+      Opc = Opcode::FloatDiv;
+      break;
+    }
+    return genOp(Opc, {A, B}, freshName("t"), Target);
+  }
+  }
+  LSMS_UNREACHABLE("invalid expression kind");
+}
+
+Use Compiler::scalarValue(const std::string &Name) {
+  if (Name == Prog.Counter)
+    return inductionValue();
+  const auto Bound = CurBinding.find(Name);
+  if (Bound != CurBinding.end())
+    return Bound->second;
+  // Loop invariant (parameter or implicitly declared input).
+  const auto Known = InvariantValue.find(Name);
+  if (Known != InvariantValue.end())
+    return Use{Known->second, 0};
+  const auto It = ParamInit.find(Name);
+  const double Init =
+      It != ParamInit.end() ? It->second : (NextDefaultInit += 0.5);
+  const int V = Builder.invariant(Name, Init);
+  InvariantValue[Name] = V;
+  return Use{V, 0};
+}
+
+Use Compiler::inductionValue() {
+  if (InductionVal < 0) {
+    InductionVal = Builder.declareValue(RegClass::RR, Prog.Counter);
+    Builder.defineValue(
+        InductionVal, Opcode::IntAdd,
+        {Use{InductionVal, 1}, Use{Builder.constant(1.0), 0}});
+    Builder.setSeeds(InductionVal, {static_cast<double>(Prog.First - 1)});
+  }
+  return Use{InductionVal, 0};
+}
+
+Use Compiler::addressOf(const std::string &Array, int Stride, int Offset) {
+  const RefKey Key{Array, Stride, Offset};
+  const auto It = AddrStream.find(Key);
+  if (It != AddrStream.end())
+    return It->second;
+  const ArrayInfo &Info = Arrays.at(Array);
+  // Element size 4; per-array base spacing keeps streams distinct. The
+  // numeric address is never interpreted (loads/stores carry the array id
+  // and affine subscript), but keeping it consistent exercises the
+  // address ALUs the way a real code generator would.
+  const double Base =
+      4096.0 * (Info.Id + 1) +
+      4.0 * static_cast<double>(Stride * (Prog.First - 1) + Offset);
+  const int V = Builder.addressStream(
+      "addr_" + Array + (Offset < 0 ? "_m" : "_p") +
+          std::to_string(std::abs(Offset)),
+      Base, 4.0 * Stride);
+  AddrStream[Key] = Use{V, 0};
+  return Use{V, 0};
+}
+
+bool Compiler::tryEliminateLoad(const std::string &Array, int Stride,
+                                int Offset, Use &Out) {
+  const ArrayInfo &Info = Arrays.at(Array);
+  // Writes through a different affine shape that may alias this read make
+  // the memory state unanalyzable: keep the load.
+  for (const WriteSite &W : Info.Writes) {
+    const bool Exact =
+        W.Stride == Stride && (W.Offset - Offset) % Stride == 0;
+    if (!Exact && mayAlias(Stride, Offset, W.Stride, W.Offset))
+      return false;
+  }
+  // Candidate covering writes, most recent (smallest distance) first. A
+  // write at stride*i + M covers the read of stride*i + Offset from
+  // (M - Offset)/stride iterations earlier.
+  std::set<int> Distances;
+  for (const WriteSite &W : Info.Writes)
+    if (W.Stride == Stride && (W.Offset - Offset) % Stride == 0 &&
+        W.Offset >= Offset)
+      Distances.insert((W.Offset - Offset) / Stride);
+  for (const int D : Distances) {
+    const int M = Offset + D * Stride;
+    if (D == 0 && !StoreDone.count({Array, Stride, Offset})) {
+      // The same-subscript write has not executed yet this iteration; the
+      // most recent value of this location is the next covering write.
+      continue;
+    }
+    const auto It = Info.StoreValue.find({Stride, M});
+    if (It == Info.StoreValue.end())
+      return false; // covering write is conditional or multi-writer
+    Out = Use{It->second, D};
+    return true;
+  }
+  return false;
+}
+
+Use Compiler::genArrayRead(const std::string &Name, int Stride,
+                           int Offset) {
+  Use Eliminated;
+  if (tryEliminateLoad(Name, Stride, Offset, Eliminated))
+    return Eliminated;
+
+  const RefKey Key{Name, Stride, Offset};
+  const int Version = MemVersion[Name];
+  const auto Cached = LoadCache.find(Key);
+  if (Cached != LoadCache.end() && LoadCacheVersion[Key] == Version)
+    return Cached->second;
+
+  const ArrayInfo &Info = Arrays.at(Name);
+  const Use Addr = addressOf(Name, Stride, Offset);
+  const int V = Builder.emitLoad(Info.Id, Offset, Addr,
+                                 "ld_" + Name +
+                                     (Offset < 0 ? "_m" : "_p") +
+                                     std::to_string(std::abs(Offset)));
+  Body.op(Body.value(V).Def).ElemStride = Stride;
+  const Use U{V, 0};
+  LoadCache[Key] = U;
+  LoadCacheVersion[Key] = Version;
+  return U;
+}
+
+void Compiler::addMemoryDeps() {
+  struct MemOp {
+    int Op;
+    bool IsStore;
+    int Array;
+    int Offset;
+    int Stride;
+  };
+  std::vector<MemOp> MemOps;
+  for (const Operation &Op : Body.Ops)
+    if (isMemoryOp(Op.Opc))
+      MemOps.push_back({Op.Id, Op.Opc == Opcode::Store, Op.ArrayId,
+                        Op.ElemOffset, Op.ElemStride});
+
+  for (size_t I = 0; I < MemOps.size(); ++I) {
+    for (size_t J = I + 1; J < MemOps.size(); ++J) {
+      const MemOp &A = MemOps[I]; // emitted (program order) first
+      const MemOp &B = MemOps[J];
+      if (A.Array != B.Array || (!A.IsStore && !B.IsStore))
+        continue;
+      // GCD dependence test: references that can never touch the same
+      // element need no ordering at all.
+      if (!mayAlias(A.Stride, A.Offset, B.Stride, B.Offset))
+        continue;
+
+      if (A.Stride == B.Stride && (A.Offset - B.Offset) % A.Stride == 0) {
+        // Exact iteration distance.
+        const int D = (A.Offset - B.Offset) / A.Stride;
+        if (A.IsStore && B.IsStore) {
+          if (D >= 0)
+            Builder.addMemDep(A.Op, B.Op, DepKind::Output, 1, D);
+          else
+            Builder.addMemDep(B.Op, A.Op, DepKind::Output, 1, -D);
+          continue;
+        }
+        if (A.IsStore) { // store then load
+          if (D >= 0)
+            Builder.addMemDep(A.Op, B.Op, DepKind::Flow, 1, D);
+          else
+            Builder.addMemDep(B.Op, A.Op, DepKind::Anti, 0, -D);
+          continue;
+        }
+        // Load then store.
+        if (D >= 0)
+          Builder.addMemDep(A.Op, B.Op, DepKind::Anti, 0, D);
+        else
+          Builder.addMemDep(B.Op, A.Op, DepKind::Flow, 1, -D);
+        continue;
+      }
+
+      // May alias at some unknown distance: serialize conservatively —
+      // program order within the iteration (omega 0) and the reverse
+      // direction across iterations (omega 1 dominates all distances).
+      if (A.IsStore && B.IsStore) {
+        Builder.addMemDep(A.Op, B.Op, DepKind::Output, 1, 0);
+        Builder.addMemDep(B.Op, A.Op, DepKind::Output, 1, 1);
+      } else if (A.IsStore) {
+        Builder.addMemDep(A.Op, B.Op, DepKind::Flow, 1, 0);
+        Builder.addMemDep(B.Op, A.Op, DepKind::Anti, 0, 1);
+      } else {
+        Builder.addMemDep(A.Op, B.Op, DepKind::Anti, 0, 0);
+        Builder.addMemDep(B.Op, A.Op, DepKind::Flow, 1, 1);
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::string lsms::compileProgram(const Program &Prog, const std::string &Name,
+                                 LoopBody &Out) {
+  Compiler C(Prog, Name, Out);
+  return C.run();
+}
+
+std::string lsms::compileLoop(const std::string &Source,
+                              const std::string &Name, LoopBody &Out) {
+  std::string Err;
+  const std::unique_ptr<Program> Prog = parseProgram(Source, Err);
+  if (!Prog)
+    return Err.empty() ? "parse error" : Err;
+  Out.Source = Source;
+  return compileProgram(*Prog, Name, Out);
+}
+
+std::vector<std::string> lsms::arrayNamesOf(const LoopBody &Body) {
+  return Body.ArrayNames;
+}

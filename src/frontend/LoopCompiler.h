@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a loop DSL program into a branch-free LoopBody ready for modulo
+/// scheduling, performing the front-end work the paper assumes:
+///
+///  - if-conversion (Section 2.2): conditionals become predicated stores
+///    plus select merges for scalars; all other operations are speculated;
+///  - load/store elimination (Section 2.3): reads of a[i+k] covered by an
+///    unconditional write a[i+m] (m >= k) become cross-iteration register
+///    flow with omega = m-k, seeded from the array's initial contents;
+///  - exact dependence omegas from array subscripts (Section 3.1);
+///  - address arithmetic lowering: one self-recurrent address stream per
+///    distinct array reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_FRONTEND_LOOPCOMPILER_H
+#define LSMS_FRONTEND_LOOPCOMPILER_H
+
+#include "frontend/Ast.h"
+#include "ir/LoopBody.h"
+
+#include <string>
+
+namespace lsms {
+
+/// Compiles \p Prog into \p Out. Returns an empty string on success or a
+/// diagnostic on semantic errors. \p Out must be a fresh LoopBody.
+std::string compileProgram(const Program &Prog, const std::string &Name,
+                           LoopBody &Out);
+
+/// Parses and compiles \p Source. Returns an empty string on success.
+std::string compileLoop(const std::string &Source, const std::string &Name,
+                        LoopBody &Out);
+
+/// Names of the arrays in declaration order (ArrayId indexes this list);
+/// derived from the compiled body's metadata. Provided so tools can label
+/// simulator output.
+std::vector<std::string> arrayNamesOf(const LoopBody &Body);
+
+} // namespace lsms
+
+#endif // LSMS_FRONTEND_LOOPCOMPILER_H

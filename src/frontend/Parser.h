@@ -1,0 +1,25 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the loop DSL.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_FRONTEND_PARSER_H
+#define LSMS_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace lsms {
+
+/// Parses \p Source into a Program. Returns nullptr and fills \p ErrorOut
+/// on syntax errors.
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      std::string &ErrorOut);
+
+} // namespace lsms
+
+#endif // LSMS_FRONTEND_PARSER_H

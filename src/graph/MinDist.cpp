@@ -1,0 +1,48 @@
+#include "graph/MinDist.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lsms;
+
+bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
+  II = NewII;
+  N = Graph.numOps();
+  const size_t NN = static_cast<size_t>(N);
+  Matrix.assign(NN * NN, NoPath);
+
+  auto At = [this, NN](int X, int Y) -> long & {
+    return Matrix[static_cast<size_t>(X) * NN + static_cast<size_t>(Y)];
+  };
+
+  for (const DepArc &Arc : Graph.arcs()) {
+    const long W = static_cast<long>(Arc.Latency) -
+                   static_cast<long>(II) * static_cast<long>(Arc.Omega);
+    At(Arc.Src, Arc.Dst) = std::max(At(Arc.Src, Arc.Dst), W);
+  }
+  for (int X = 0; X < N; ++X)
+    At(X, X) = std::max(At(X, X), 0L);
+
+  // Floyd-Warshall in max-plus algebra. Valid because II >= RecMII implies
+  // all cycles have non-positive weight; a positive diagonal afterwards
+  // reveals the opposite and the computation is rejected.
+  for (int K = 0; K < N; ++K) {
+    for (int X = 0; X < N; ++X) {
+      const long XK = At(X, K);
+      if (XK == NoPath)
+        continue;
+      long *RowK = &Matrix[static_cast<size_t>(K) * NN];
+      long *RowX = &Matrix[static_cast<size_t>(X) * NN];
+      for (int Y = 0; Y < N; ++Y) {
+        if (RowK[Y] == NoPath)
+          continue;
+        RowX[Y] = std::max(RowX[Y], XK + RowK[Y]);
+      }
+    }
+  }
+
+  for (int X = 0; X < N; ++X)
+    if (At(X, X) > 0)
+      return false;
+  return true;
+}

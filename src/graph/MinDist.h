@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The minimum distance relation of Section 4.1: MinDist(x,y) is the
+/// minimum number of cycles (possibly negative) by which x must precede y
+/// in any feasible schedule at a given II, or -infinity when no dependence
+/// path connects them. Computed as an all-pairs longest-paths problem over
+/// arc weights latency - omega*II (all cycles non-positive once
+/// II >= RecMII).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_GRAPH_MINDIST_H
+#define LSMS_GRAPH_MINDIST_H
+
+#include "ir/DepGraph.h"
+
+#include <climits>
+#include <vector>
+
+namespace lsms {
+
+/// Dense MinDist matrix for one (graph, II) pair.
+class MinDistMatrix {
+public:
+  /// Sentinel for "no path" (a very negative value safe to add once).
+  static constexpr long NoPath = LONG_MIN / 4;
+
+  /// Computes the relation; returns false (leaving the matrix unusable)
+  /// when II admits a positive cycle, i.e. II < RecMII.
+  bool compute(const DepGraph &Graph, int II);
+
+  int initiationInterval() const { return II; }
+  int numOps() const { return N; }
+
+  /// MinDist(x,y); NoPath when unconnected.
+  long at(int X, int Y) const {
+    return Matrix[static_cast<size_t>(X) * static_cast<size_t>(N) +
+                  static_cast<size_t>(Y)];
+  }
+
+  /// True when a dependence path leads from x to y.
+  bool connected(int X, int Y) const { return at(X, Y) != NoPath; }
+
+private:
+  int N = 0;
+  int II = 0;
+  std::vector<long> Matrix;
+};
+
+} // namespace lsms
+
+#endif // LSMS_GRAPH_MINDIST_H

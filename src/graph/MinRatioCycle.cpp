@@ -1,0 +1,53 @@
+#include "graph/MinRatioCycle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace lsms;
+
+bool lsms::hasPositiveCycle(const DepGraph &Graph, int II) {
+  // Longest-path relaxation from all sources simultaneously: initialize all
+  // distances to 0 and relax V times; a relaxation succeeding on the V-th
+  // pass proves a positive cycle.
+  const int N = Graph.numOps();
+  std::vector<long> Dist(static_cast<size_t>(N), 0);
+  for (int Pass = 0; Pass < N; ++Pass) {
+    bool Changed = false;
+    for (const DepArc &Arc : Graph.arcs()) {
+      const long W = static_cast<long>(Arc.Latency) -
+                     static_cast<long>(II) * static_cast<long>(Arc.Omega);
+      if (Dist[static_cast<size_t>(Arc.Src)] + W >
+          Dist[static_cast<size_t>(Arc.Dst)]) {
+        Dist[static_cast<size_t>(Arc.Dst)] =
+            Dist[static_cast<size_t>(Arc.Src)] + W;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return false;
+  }
+  return true;
+}
+
+int lsms::computeRecMIIByRatio(const DepGraph &Graph) {
+  long Hi = 1;
+  // Total latency is a safe upper bound on any circuit's RecMII
+  // contribution (omegas are >= 1 on every cycle).
+  long LatSum = 1;
+  for (const DepArc &Arc : Graph.arcs())
+    LatSum += std::max(0, Arc.Latency);
+  Hi = LatSum;
+  assert(!hasPositiveCycle(Graph, static_cast<int>(Hi)) &&
+         "graph has a zero-omega cycle");
+
+  long Lo = 0;
+  while (Lo < Hi) {
+    const long Mid = Lo + (Hi - Lo) / 2;
+    if (hasPositiveCycle(Graph, static_cast<int>(Mid)))
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return static_cast<int>(Lo);
+}

@@ -1,0 +1,85 @@
+#include "graph/Scc.h"
+
+#include <algorithm>
+
+using namespace lsms;
+
+SccInfo lsms::computeSccs(const DepGraph &Graph) {
+  const int N = Graph.numOps();
+  SccInfo Info;
+  Info.Component.assign(static_cast<size_t>(N), -1);
+  Info.OnRecurrence.assign(static_cast<size_t>(N), false);
+
+  std::vector<int> Index(static_cast<size_t>(N), -1);
+  std::vector<int> LowLink(static_cast<size_t>(N), 0);
+  std::vector<bool> OnStack(static_cast<size_t>(N), false);
+  std::vector<int> Stack;
+  int NextIndex = 0;
+
+  struct Frame {
+    int Node;
+    size_t ArcPos;
+  };
+  std::vector<Frame> Dfs;
+
+  for (int Root = 0; Root < N; ++Root) {
+    if (Index[static_cast<size_t>(Root)] != -1)
+      continue;
+    Dfs.push_back({Root, 0});
+    Index[static_cast<size_t>(Root)] = LowLink[static_cast<size_t>(Root)] =
+        NextIndex++;
+    Stack.push_back(Root);
+    OnStack[static_cast<size_t>(Root)] = true;
+
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      const auto &Succ = Graph.succArcs(F.Node);
+      if (F.ArcPos < Succ.size()) {
+        const int To = Graph.arc(Succ[F.ArcPos++]).Dst;
+        if (Index[static_cast<size_t>(To)] == -1) {
+          Index[static_cast<size_t>(To)] = LowLink[static_cast<size_t>(To)] =
+              NextIndex++;
+          Stack.push_back(To);
+          OnStack[static_cast<size_t>(To)] = true;
+          Dfs.push_back({To, 0});
+        } else if (OnStack[static_cast<size_t>(To)]) {
+          LowLink[static_cast<size_t>(F.Node)] =
+              std::min(LowLink[static_cast<size_t>(F.Node)],
+                       Index[static_cast<size_t>(To)]);
+        }
+        continue;
+      }
+
+      const int Node = F.Node;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        LowLink[static_cast<size_t>(Dfs.back().Node)] =
+            std::min(LowLink[static_cast<size_t>(Dfs.back().Node)],
+                     LowLink[static_cast<size_t>(Node)]);
+
+      if (LowLink[static_cast<size_t>(Node)] !=
+          Index[static_cast<size_t>(Node)])
+        continue;
+
+      // Node is the root of a component: pop it off the stack.
+      const int Comp = Info.NumComponents++;
+      int Size = 0;
+      for (;;) {
+        const int Member = Stack.back();
+        Stack.pop_back();
+        OnStack[static_cast<size_t>(Member)] = false;
+        Info.Component[static_cast<size_t>(Member)] = Comp;
+        ++Size;
+        if (Member == Node)
+          break;
+      }
+      Info.Size.push_back(Size);
+    }
+  }
+
+  for (int Op = 0; Op < N; ++Op)
+    Info.OnRecurrence[static_cast<size_t>(Op)] =
+        Info.Size[static_cast<size_t>(
+            Info.Component[static_cast<size_t>(Op)])] >= 2;
+  return Info;
+}

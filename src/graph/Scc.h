@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly connected components of the dependence graph, used to find the
+/// operations that lie on non-trivial recurrence circuits (Section 4's
+/// definition: a dependence arc from an operation to itself is a *trivial*
+/// circuit and is excluded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_GRAPH_SCC_H
+#define LSMS_GRAPH_SCC_H
+
+#include "ir/DepGraph.h"
+
+#include <vector>
+
+namespace lsms {
+
+/// Result of an SCC decomposition over the dependence graph (Start/Stop
+/// arcs participate but Start/Stop can never be in a cycle).
+struct SccInfo {
+  /// Component id per operation (components numbered in reverse topological
+  /// order of the condensation).
+  std::vector<int> Component;
+  /// Size of each component.
+  std::vector<int> Size;
+  /// True when the operation is part of a non-trivial recurrence circuit
+  /// (its SCC has >= 2 operations).
+  std::vector<bool> OnRecurrence;
+  int NumComponents = 0;
+};
+
+/// Computes SCCs with Tarjan's algorithm (iterative).
+SccInfo computeSccs(const DepGraph &Graph);
+
+} // namespace lsms
+
+#endif // LSMS_GRAPH_SCC_H

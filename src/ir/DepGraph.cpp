@@ -1,0 +1,49 @@
+#include "ir/DepGraph.h"
+
+using namespace lsms;
+
+DepGraph::DepGraph(const LoopBody &Body, const MachineModel &Machine)
+    : TheBody(Body), Machine(Machine) {
+  const int N = Body.numOps();
+  Adjacency.assign(static_cast<size_t>(N), {});
+  RevAdjacency.assign(static_cast<size_t>(N), {});
+
+  const int Start = Body.startOp();
+  const int Stop = Body.stopOp();
+
+  // Start precedes everything; everything precedes Stop, arriving after its
+  // own latency so that time(Stop) is the schedule length.
+  for (const Operation &Op : Body.Ops) {
+    if (Op.Id != Start)
+      addArc({Start, Op.Id, 0, 0, DepKind::Extra, -1});
+    if (Op.Id != Stop)
+      addArc({Op.Id, Stop, Machine.latency(Op.Opc), 0, DepKind::Extra, -1});
+  }
+
+  // Register flow dependences from operand and predicate uses. Loop
+  // invariants (GPR) impose no scheduling constraint beyond the Start arc.
+  for (const Operation &Op : Body.Ops) {
+    auto AddFlow = [this, &Body, &Machine, &Op](const Use &U) {
+      const Value &V = Body.value(U.Value);
+      if (V.Class == RegClass::GPR)
+        return;
+      addArc({V.Def, Op.Id, Machine.latency(Body.op(V.Def).Opc), U.Omega,
+              DepKind::Flow, U.Value});
+    };
+    for (const Use &U : Op.Operands)
+      AddFlow(U);
+    if (Op.PredValue >= 0)
+      AddFlow(Use{Op.PredValue, Op.PredOmega});
+  }
+
+  // Memory and extra precedence arcs.
+  for (const MemDep &D : Body.MemDeps)
+    addArc({D.Src, D.Dst, D.Latency, D.Omega, D.Kind, -1});
+}
+
+void DepGraph::addArc(DepArc Arc) {
+  const int Index = static_cast<int>(Arcs.size());
+  Adjacency[static_cast<size_t>(Arc.Src)].push_back(Index);
+  RevAdjacency[static_cast<size_t>(Arc.Dst)].push_back(Index);
+  Arcs.push_back(Arc);
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence graph the scheduler works on: loop-body operations plus
+/// arcs labeled with (latency, omega). Register flow dependences are derived
+/// from operand lists (latency = producer latency); memory and extra arcs
+/// come from the LoopBody; Start/Stop arcs make Estart/Lstart well defined
+/// for every operation (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_IR_DEPGRAPH_H
+#define LSMS_IR_DEPGRAPH_H
+
+#include "ir/LoopBody.h"
+#include "machine/MachineModel.h"
+
+#include <vector>
+
+namespace lsms {
+
+/// One dependence arc: Dst must issue at least Latency cycles after Src's
+/// instance Omega iterations earlier; i.e. in any schedule with initiation
+/// interval II, time(Dst) >= time(Src) + Latency - Omega*II.
+struct DepArc {
+  int Src = -1;
+  int Dst = -1;
+  int Latency = 0;
+  int Omega = 0;
+  DepKind Kind = DepKind::Flow;
+  int Value = -1; ///< carried value for register flow arcs, else -1
+};
+
+/// Immutable dependence graph over a LoopBody.
+class DepGraph {
+public:
+  DepGraph(const LoopBody &Body, const MachineModel &Machine);
+
+  const LoopBody &body() const { return TheBody; }
+  const MachineModel &machine() const { return Machine; }
+
+  int numOps() const { return static_cast<int>(Adjacency.size()); }
+  const std::vector<DepArc> &arcs() const { return Arcs; }
+
+  /// Arc indices leaving \p Op.
+  const std::vector<int> &succArcs(int Op) const {
+    return Adjacency[static_cast<size_t>(Op)];
+  }
+  /// Arc indices entering \p Op.
+  const std::vector<int> &predArcs(int Op) const {
+    return RevAdjacency[static_cast<size_t>(Op)];
+  }
+
+  const DepArc &arc(int Index) const {
+    return Arcs[static_cast<size_t>(Index)];
+  }
+
+  /// Latency of the operation's result (0 for pseudo-ops).
+  int latency(int Op) const {
+    return Machine.latency(TheBody.op(Op).Opc);
+  }
+
+private:
+  void addArc(DepArc Arc);
+
+  const LoopBody &TheBody;
+  const MachineModel &Machine;
+  std::vector<DepArc> Arcs;
+  std::vector<std::vector<int>> Adjacency;
+  std::vector<std::vector<int>> RevAdjacency;
+};
+
+} // namespace lsms
+
+#endif // LSMS_IR_DEPGRAPH_H

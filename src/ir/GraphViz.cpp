@@ -1,0 +1,38 @@
+#include "ir/GraphViz.h"
+
+#include <ostream>
+
+using namespace lsms;
+
+void lsms::writeGraphViz(std::ostream &OS, const DepGraph &Graph,
+                         bool IncludePseudo) {
+  const LoopBody &Body = Graph.body();
+  OS << "digraph \"" << Body.Name << "\" {\n";
+  OS << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+
+  for (const Operation &Op : Body.Ops) {
+    if (!IncludePseudo && isPseudo(Op.Opc))
+      continue;
+    OS << "  n" << Op.Id << " [label=\"" << Op.Name << "\\n"
+       << opcodeName(Op.Opc) << "\"";
+    if (isPseudo(Op.Opc))
+      OS << ", style=dotted";
+    else if (isDividerOp(Op.Opc))
+      OS << ", style=bold";
+    OS << "];\n";
+  }
+
+  for (const DepArc &Arc : Graph.arcs()) {
+    if (!IncludePseudo &&
+        (isPseudo(Body.op(Arc.Src).Opc) || isPseudo(Body.op(Arc.Dst).Opc)))
+      continue;
+    OS << "  n" << Arc.Src << " -> n" << Arc.Dst << " [label=\"("
+       << Arc.Latency << "," << Arc.Omega << ")\"";
+    if (Arc.Kind != DepKind::Flow)
+      OS << ", style=dashed";
+    if (Arc.Omega > 0)
+      OS << ", color=red, constraint=false";
+    OS << "];\n";
+  }
+  OS << "}\n";
+}

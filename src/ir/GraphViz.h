@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GraphViz (DOT) export of the dependence graph, for visualizing
+/// recurrence circuits and the Start/Stop scaffolding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_IR_GRAPHVIZ_H
+#define LSMS_IR_GRAPHVIZ_H
+
+#include "ir/DepGraph.h"
+
+#include <iosfwd>
+
+namespace lsms {
+
+/// Writes \p Graph as a DOT digraph. Flow arcs are solid and labeled with
+/// (latency, omega); memory arcs dashed; the Start/Stop scaffolding is
+/// omitted unless \p IncludePseudo.
+void writeGraphViz(std::ostream &OS, const DepGraph &Graph,
+                   bool IncludePseudo = false);
+
+} // namespace lsms
+
+#endif // LSMS_IR_GRAPHVIZ_H

@@ -1,0 +1,123 @@
+#include "ir/IRBuilder.h"
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace lsms;
+
+int IRBuilder::invariant(const std::string &Name, double Init) {
+  const int V = Body.addValue(RegClass::GPR, Body.startOp(), Name);
+  Body.value(V).Init = Init;
+  return V;
+}
+
+int IRBuilder::constant(double C) {
+  auto It = Constants.find(C);
+  if (It != Constants.end())
+    return It->second;
+  const int V = invariant("#" + formatNumber(C, 6), C);
+  Constants.emplace(C, V);
+  return V;
+}
+
+int IRBuilder::emitValue(Opcode Opc, std::vector<Use> Operands,
+                         const std::string &Name, int PredValue,
+                         int PredOmega) {
+  assert(!isPseudo(Opc) && Opc != Opcode::Store && Opc != Opcode::BrTop &&
+         "opcode does not produce a value");
+  const int Op = Body.addOperation(Opc, std::move(Operands), Name);
+  const RegClass Class =
+      producesPredicate(Opc) ? RegClass::ICR : RegClass::RR;
+  const int V = Body.addValue(Class, Op, Name);
+  Body.op(Op).Result = V;
+  Body.op(Op).PredValue = PredValue;
+  Body.op(Op).PredOmega = PredOmega;
+  return V;
+}
+
+int IRBuilder::declareValue(RegClass Class, const std::string &Name) {
+  assert(Class != RegClass::GPR && "declare is for loop-defined values");
+  return Body.addValue(Class, /*Def=*/-1, Name);
+}
+
+int IRBuilder::defineValue(int ValueId, Opcode Opc, std::vector<Use> Operands,
+                           int PredValue, int PredOmega) {
+  assert(Body.value(ValueId).Def < 0 && "value already defined");
+  assert(!isPseudo(Opc) && Opc != Opcode::Store && Opc != Opcode::BrTop &&
+         "opcode does not produce a value");
+  const int Op =
+      Body.addOperation(Opc, std::move(Operands), Body.value(ValueId).Name);
+  Body.op(Op).Result = ValueId;
+  Body.op(Op).PredValue = PredValue;
+  Body.op(Op).PredOmega = PredOmega;
+  Body.value(ValueId).Def = Op;
+  return Op;
+}
+
+int IRBuilder::emitLoad(int ArrayId, int ElemOffset, Use Addr,
+                        const std::string &Name, int PredValue,
+                        int PredOmega) {
+  const int V = emitValue(Opcode::Load, {Addr}, Name, PredValue, PredOmega);
+  Operation &Op = Body.op(Body.value(V).Def);
+  Op.ArrayId = ArrayId;
+  Op.ElemOffset = ElemOffset;
+  return V;
+}
+
+int IRBuilder::emitStore(int ArrayId, int ElemOffset, Use Addr, Use Val,
+                         const std::string &Name, int PredValue,
+                         int PredOmega) {
+  const int Op = Body.addOperation(Opcode::Store, {Addr, Val}, Name);
+  Body.op(Op).ArrayId = ArrayId;
+  Body.op(Op).ElemOffset = ElemOffset;
+  Body.op(Op).PredValue = PredValue;
+  Body.op(Op).PredOmega = PredOmega;
+  return Op;
+}
+
+int IRBuilder::addressStream(const std::string &Name, double Base,
+                             double Stride) {
+  const int StrideC = constant(Stride);
+  // Forward-declare the value so the operation can use itself with omega 1.
+  const int Op = Body.addOperation(Opcode::AddrAdd, {}, Name);
+  const int V = Body.addValue(RegClass::RR, Op, Name);
+  Body.op(Op).Result = V;
+  Body.op(Op).Operands = {Use{V, 1}, Use{StrideC, 0}};
+  Body.value(V).Seeds = {Base};
+  return V;
+}
+
+int IRBuilder::newArray(const std::string &Name) {
+  Body.ArrayNames.push_back(Name.empty() ? "A" + std::to_string(Body.NumArrays)
+                                         : Name);
+  return Body.NumArrays++;
+}
+
+void IRBuilder::setSeeds(int ValueId, std::vector<double> Seeds) {
+  Body.value(ValueId).Seeds = std::move(Seeds);
+}
+
+void IRBuilder::markLiveOut(int ValueId) {
+  Body.value(ValueId).LiveOut = true;
+}
+
+void IRBuilder::addMemDep(int SrcOp, int DstOp, DepKind Kind, int Latency,
+                          int Omega) {
+  Body.MemDeps.push_back({SrcOp, DstOp, Kind, Latency, Omega});
+}
+
+LoopBody &IRBuilder::finish() {
+  assert(!Finished && "finish() called twice");
+  Finished = true;
+  const int BrTop = Body.addOperation(Opcode::BrTop, {}, "brtop");
+  Body.setBrTop(BrTop);
+  const std::string Err = Body.verify();
+  if (!Err.empty()) {
+    std::fprintf(stderr, "IRBuilder produced an invalid loop '%s': %s\n",
+                 Body.Name.c_str(), Err.c_str());
+    assert(false && "IRBuilder produced an invalid loop body");
+  }
+  return Body;
+}

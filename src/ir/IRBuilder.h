@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience API for constructing well-formed LoopBody instances. Used by
+/// the DSL front end, the hand-written kernel suite, and the random loop
+/// generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_IR_IRBUILDER_H
+#define LSMS_IR_IRBUILDER_H
+
+#include "ir/LoopBody.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// Incrementally builds a LoopBody. Call finish() exactly once at the end;
+/// it appends the brtop loop-control operation and asserts the body
+/// verifies.
+class IRBuilder {
+public:
+  explicit IRBuilder(LoopBody &Body) : Body(Body) {}
+
+  LoopBody &body() { return Body; }
+
+  /// Creates (or reuses) a loop-invariant GPR input with initial value
+  /// \p Init.
+  int invariant(const std::string &Name, double Init);
+
+  /// Creates (or reuses) a literal constant, modeled as a GPR input.
+  int constant(double C);
+
+  /// Creates a rotating (RR or ICR) loop input seeded from outside the loop
+  /// is not supported directly; recurrences seed via setSeeds().
+
+  /// Emits a value-producing operation and returns the *value* id.
+  /// The result class is ICR for predicate-producing opcodes, RR otherwise.
+  int emitValue(Opcode Opc, std::vector<Use> Operands,
+                const std::string &Name, int PredValue = -1,
+                int PredOmega = 0);
+
+  /// Forward-declares a rotating value so mutually recurrent operations can
+  /// reference each other; pair with defineValue().
+  int declareValue(RegClass Class, const std::string &Name);
+
+  /// Creates the operation that defines a previously declared value and
+  /// returns the operation id.
+  int defineValue(int ValueId, Opcode Opc, std::vector<Use> Operands,
+                  int PredValue = -1, int PredOmega = 0);
+
+  /// Emits a load of Array[i + ElemOffset] through address \p Addr and
+  /// returns the loaded value id.
+  int emitLoad(int ArrayId, int ElemOffset, Use Addr, const std::string &Name,
+               int PredValue = -1, int PredOmega = 0);
+
+  /// Emits a store of \p Val to Array[i + ElemOffset] through address
+  /// \p Addr and returns the *operation* id.
+  int emitStore(int ArrayId, int ElemOffset, Use Addr, Use Val,
+                const std::string &Name, int PredValue = -1,
+                int PredOmega = 0);
+
+  /// Creates a self-recurrent address stream: a = aadd(a@1, stride), seeded
+  /// so that iteration j's value is Base + (j+1)*Stride. Returns the value
+  /// id. Each distinct array reference keeps its own stream, mirroring the
+  /// address arithmetic a FORTRAN compiler generates per reference.
+  int addressStream(const std::string &Name, double Base, double Stride = 4);
+
+  /// Declares a new array and returns its id.
+  int newArray(const std::string &Name = std::string());
+
+  /// Sets the pre-loop seed instances of \p ValueId (Seeds[K] is the value
+  /// omega K+1 before the first iteration).
+  void setSeeds(int ValueId, std::vector<double> Seeds);
+
+  /// Marks \p ValueId as read after the loop (e.g. a reduction result).
+  void markLiveOut(int ValueId);
+
+  /// Adds an explicit (memory) dependence arc.
+  void addMemDep(int SrcOp, int DstOp, DepKind Kind, int Latency, int Omega);
+
+  /// Appends the brtop operation, verifies the body, and returns it.
+  /// Asserts on verification failure (builder clients are trusted code; the
+  /// verifier message is printed first).
+  LoopBody &finish();
+
+private:
+  LoopBody &Body;
+  std::map<double, int> Constants;
+  bool Finished = false;
+};
+
+} // namespace lsms
+
+#endif // LSMS_IR_IRBUILDER_H

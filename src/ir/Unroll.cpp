@@ -1,0 +1,155 @@
+#include "ir/Unroll.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <cstdio>
+#include <map>
+
+using namespace lsms;
+
+namespace {
+
+/// Copy index holding source-iteration residue (k - Omega) mod F.
+int copyOf(int K, int Omega, int Factor) {
+  return (((K - Omega) % Factor) + Factor) % Factor;
+}
+
+/// New omega for a use with source omega \p Omega read by copy \p K.
+int omegaOf(int K, int Omega, int Factor) {
+  const int KPrime = copyOf(K, Omega, Factor);
+  assert((Omega - K + KPrime) % Factor == 0 && "copy arithmetic broken");
+  return (Omega - K + KPrime) / Factor;
+}
+
+} // namespace
+
+LoopBody lsms::unrollLoop(const LoopBody &Body, int Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+
+  LoopBody Out;
+  Out.Name = Body.Name + "_x" + std::to_string(Factor);
+  Out.Source = Body.Source;
+  Out.First = 0;
+  Out.NumArrays = Body.NumArrays;
+  Out.ArrayNames = Body.ArrayNames;
+  Out.HasConditional = Body.HasConditional;
+  Out.SourceBasicBlocks = Body.SourceBasicBlocks;
+
+  const int NumValues = Body.numValues();
+  const int NumOps = Body.numOps();
+
+  // Value map: invariants are shared; loop-defined values get one copy per
+  // unroll instance (def links patched once the operations exist).
+  std::vector<std::vector<int>> ValueMap(
+      static_cast<size_t>(NumValues), std::vector<int>(Factor, -1));
+  for (const Value &V : Body.Values) {
+    if (V.Def == Body.startOp()) {
+      const int NewV = Out.addValue(V.Class, Out.startOp(), V.Name);
+      Out.value(NewV).Init = V.Init;
+      for (int K = 0; K < Factor; ++K)
+        ValueMap[static_cast<size_t>(V.Id)][static_cast<size_t>(K)] = NewV;
+      continue;
+    }
+    for (int K = 0; K < Factor; ++K) {
+      const int NewV = Out.addValue(
+          V.Class, /*Def=*/-1, V.Name + "." + std::to_string(K));
+      ValueMap[static_cast<size_t>(V.Id)][static_cast<size_t>(K)] = NewV;
+      Value &NV = Out.value(NewV);
+      NV.LiveOut = V.LiveOut && K == Factor - 1;
+      if (V.SeedArrayId >= 0) {
+        // Source instance j_src = First + J*F + K, index j_src*S + O.
+        NV.SeedArrayId = V.SeedArrayId;
+        NV.SeedElemStride = V.SeedElemStride * Factor;
+        NV.SeedElemOffset =
+            static_cast<int>((Body.First + K) * V.SeedElemStride) +
+            V.SeedElemOffset;
+      } else if (!V.Seeds.empty()) {
+        // New depth d' corresponds to source depth d'*F - K.
+        const int Needed =
+            (static_cast<int>(V.Seeds.size()) + K + Factor - 1) / Factor;
+        NV.Seeds.assign(static_cast<size_t>(Needed), 0.0);
+        for (int D = 1; D <= Needed; ++D) {
+          const int SrcDepth = D * Factor - K;
+          if (SrcDepth >= 1 &&
+              static_cast<size_t>(SrcDepth - 1) < V.Seeds.size())
+            NV.Seeds[static_cast<size_t>(D - 1)] =
+                V.Seeds[static_cast<size_t>(SrcDepth - 1)];
+        }
+      }
+    }
+  }
+
+  auto MapUse = [&ValueMap, &Body, Factor](const Use &U, int K) -> Use {
+    const Value &V = Body.value(U.Value);
+    if (V.Def == Body.startOp())
+      return Use{ValueMap[static_cast<size_t>(U.Value)][0], 0};
+    return Use{ValueMap[static_cast<size_t>(U.Value)][static_cast<size_t>(
+                   copyOf(K, U.Omega, Factor))],
+               omegaOf(K, U.Omega, Factor)};
+  };
+
+  // Clone operations: copy 0 of every op, then copy 1, etc., preserving
+  // program order within a copy. BrTop is emitted once at the very end.
+  std::vector<std::vector<int>> OpMap(static_cast<size_t>(NumOps),
+                                      std::vector<int>(Factor, -1));
+  for (int K = 0; K < Factor; ++K) {
+    for (const Operation &Op : Body.Ops) {
+      if (isPseudo(Op.Opc) || Op.Opc == Opcode::BrTop)
+        continue;
+      std::vector<Use> Operands;
+      Operands.reserve(Op.Operands.size());
+      for (const Use &U : Op.Operands)
+        Operands.push_back(MapUse(U, K));
+      const int NewOp = Out.addOperation(
+          Op.Opc, std::move(Operands),
+          Op.Name + "." + std::to_string(K));
+      OpMap[static_cast<size_t>(Op.Id)][static_cast<size_t>(K)] = NewOp;
+      Operation &NO = Out.op(NewOp);
+      if (Op.PredValue >= 0) {
+        const Use P = MapUse(Use{Op.PredValue, Op.PredOmega}, K);
+        NO.PredValue = P.Value;
+        NO.PredOmega = P.Omega;
+      }
+      if (Op.ArrayId >= 0) {
+        NO.ArrayId = Op.ArrayId;
+        NO.ElemStride = Op.ElemStride * Factor;
+        NO.ElemOffset =
+            static_cast<int>((Body.First + K) * Op.ElemStride) +
+            Op.ElemOffset;
+      }
+      if (Op.Result >= 0) {
+        const int NewV =
+            ValueMap[static_cast<size_t>(Op.Result)][static_cast<size_t>(K)];
+        NO.Result = NewV;
+        Out.value(NewV).Def = NewOp;
+      }
+    }
+  }
+
+  // Memory and extra dependence arcs, translated per destination copy.
+  for (const MemDep &D : Body.MemDeps) {
+    for (int K = 0; K < Factor; ++K) {
+      const int SrcCopy = copyOf(K, D.Omega, Factor);
+      const int NewOmega = omegaOf(K, D.Omega, Factor);
+      const int NewSrc =
+          OpMap[static_cast<size_t>(D.Src)][static_cast<size_t>(SrcCopy)];
+      const int NewDst =
+          OpMap[static_cast<size_t>(D.Dst)][static_cast<size_t>(K)];
+      if (NewSrc < 0 || NewDst < 0)
+        continue;
+      Out.MemDeps.push_back({NewSrc, NewDst, D.Kind, D.Latency, NewOmega});
+    }
+  }
+
+  const int BrTop = Out.addOperation(Opcode::BrTop, {}, "brtop");
+  Out.setBrTop(BrTop);
+
+  const std::string Err = Out.verify();
+  if (!Err.empty()) {
+    std::fprintf(stderr, "unrollLoop produced an invalid body: %s\n",
+                 Err.c_str());
+    assert(false && "unrollLoop produced an invalid body");
+  }
+  return Out;
+}

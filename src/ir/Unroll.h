@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop unrolling at the IR level. Section 3.1 of the paper observes that
+/// a compiler performing loop unrolling can exploit *fractional* lower
+/// bounds on II: a loop whose exact minimum II is 3/2 can be unrolled once
+/// and scheduled at II = 3, initiating two source iterations per kernel
+/// iteration. ("Unfortunately, the current compiler does not perform any
+/// such loop transformations" — this module adds the transformation the
+/// paper wished for.)
+///
+/// Unrolling by F makes each new iteration execute F consecutive source
+/// iterations: every operation and every loop-defined value is cloned F
+/// times; a use with omega w in copy k reads copy (k - w) mod F at omega
+/// (w - k + k')/F; memory subscripts become stride-F affine expressions;
+/// seeds are retargeted so the unrolled loop's pre-history matches the
+/// source loop's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_IR_UNROLL_H
+#define LSMS_IR_UNROLL_H
+
+#include "ir/LoopBody.h"
+
+namespace lsms {
+
+/// Returns \p Body unrolled by \p Factor (>= 1; 1 returns a copy). The
+/// result iterates from 0: new iteration J performs source iterations
+/// First + J*Factor .. First + J*Factor + Factor - 1. Executing the
+/// result for N/Factor iterations is memory-equivalent to executing the
+/// source for N iterations (N a multiple of Factor); live-out values are
+/// carried by the last copy.
+LoopBody unrollLoop(const LoopBody &Body, int Factor);
+
+} // namespace lsms
+
+#endif // LSMS_IR_UNROLL_H

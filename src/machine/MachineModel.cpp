@@ -1,0 +1,109 @@
+#include "machine/MachineModel.h"
+
+#include "support/Compiler.h"
+
+#include <sstream>
+
+using namespace lsms;
+
+const char *lsms::fuKindName(FuKind Kind) {
+  switch (Kind) {
+  case FuKind::MemoryPort:
+    return "Memory Port";
+  case FuKind::AddressAlu:
+    return "Address ALU";
+  case FuKind::Adder:
+    return "Adder";
+  case FuKind::Multiplier:
+    return "Multiplier";
+  case FuKind::Divider:
+    return "Divider";
+  case FuKind::Branch:
+    return "Branch Unit";
+  case FuKind::None:
+    return "None";
+  }
+  LSMS_UNREACHABLE("invalid functional unit kind");
+}
+
+MachineModel::MachineModel() {
+  for (auto &U : Units)
+    U = FuKind::None;
+  for (auto &L : Latencies)
+    L = 0;
+}
+
+MachineModel MachineModel::cydra5() {
+  MachineModel M;
+
+  auto Set = [&M](Opcode Op, FuKind Kind, int Lat) {
+    M.Units[static_cast<unsigned>(Op)] = Kind;
+    M.Latencies[static_cast<unsigned>(Op)] = Lat;
+  };
+
+  M.Counts[static_cast<unsigned>(FuKind::MemoryPort)] = 2;
+  M.Counts[static_cast<unsigned>(FuKind::AddressAlu)] = 2;
+  M.Counts[static_cast<unsigned>(FuKind::Adder)] = 1;
+  M.Counts[static_cast<unsigned>(FuKind::Multiplier)] = 1;
+  M.Counts[static_cast<unsigned>(FuKind::Divider)] = 1;
+  M.Counts[static_cast<unsigned>(FuKind::Branch)] = 1;
+
+  Set(Opcode::Start, FuKind::None, 0);
+  Set(Opcode::Stop, FuKind::None, 0);
+
+  Set(Opcode::Load, FuKind::MemoryPort, 13);
+  Set(Opcode::Store, FuKind::MemoryPort, 1);
+
+  Set(Opcode::AddrAdd, FuKind::AddressAlu, 1);
+  Set(Opcode::AddrSub, FuKind::AddressAlu, 1);
+  Set(Opcode::AddrMul, FuKind::AddressAlu, 1);
+
+  Set(Opcode::IntAdd, FuKind::Adder, 1);
+  Set(Opcode::IntSub, FuKind::Adder, 1);
+  Set(Opcode::IntAnd, FuKind::Adder, 1);
+  Set(Opcode::IntOr, FuKind::Adder, 1);
+  Set(Opcode::IntXor, FuKind::Adder, 1);
+  Set(Opcode::FloatAdd, FuKind::Adder, 1);
+  Set(Opcode::FloatSub, FuKind::Adder, 1);
+
+  Set(Opcode::IntMul, FuKind::Multiplier, 2);
+  Set(Opcode::FloatMul, FuKind::Multiplier, 2);
+
+  Set(Opcode::IntDiv, FuKind::Divider, 17);
+  Set(Opcode::IntMod, FuKind::Divider, 17);
+  Set(Opcode::FloatDiv, FuKind::Divider, 17);
+  Set(Opcode::FloatSqrt, FuKind::Divider, 21);
+
+  Set(Opcode::CmpEQ, FuKind::Adder, 1);
+  Set(Opcode::CmpNE, FuKind::Adder, 1);
+  Set(Opcode::CmpLT, FuKind::Adder, 1);
+  Set(Opcode::CmpLE, FuKind::Adder, 1);
+  Set(Opcode::CmpGT, FuKind::Adder, 1);
+  Set(Opcode::CmpGE, FuKind::Adder, 1);
+  Set(Opcode::PredAnd, FuKind::Adder, 1);
+  Set(Opcode::PredOr, FuKind::Adder, 1);
+  Set(Opcode::PredNot, FuKind::Adder, 1);
+  Set(Opcode::Copy, FuKind::Adder, 1);
+  Set(Opcode::Select, FuKind::Adder, 1);
+
+  Set(Opcode::BrTop, FuKind::Branch, 2);
+
+  return M;
+}
+
+MachineModel MachineModel::withLoadLatency(int LoadLatency) {
+  MachineModel M = cydra5();
+  M.setLatency(Opcode::Load, LoadLatency);
+  return M;
+}
+
+std::string MachineModel::describe() const {
+  std::ostringstream OS;
+  OS << "VLIW:";
+  const FuKind Kinds[] = {FuKind::MemoryPort, FuKind::AddressAlu, FuKind::Adder,
+                          FuKind::Multiplier, FuKind::Divider, FuKind::Branch};
+  for (FuKind K : Kinds)
+    OS << ' ' << fuKindName(K) << "x" << unitCount(K);
+  OS << ", load latency " << latency(Opcode::Load);
+  return OS.str();
+}

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hypothetical VLIW target machine of Section 2: functional-unit kinds,
+/// per-unit counts, opcode latencies (Table 1), and pipelining behaviour.
+/// All latencies are configurable so the robustness experiment ("other
+/// experiments with different latencies...", Section 7) can perturb them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_MACHINE_MACHINEMODEL_H
+#define LSMS_MACHINE_MACHINEMODEL_H
+
+#include "machine/Opcode.h"
+
+#include <array>
+#include <cassert>
+#include <string>
+
+namespace lsms {
+
+/// The machine's functional-unit classes (Table 1).
+enum class FuKind : uint8_t {
+  MemoryPort, ///< 2 units: load / store
+  AddressAlu, ///< 2 units: address add / sub / mult
+  Adder,      ///< 1 unit: int & float add/sub/logical, compares
+  Multiplier, ///< 1 unit: int / float multiply
+  Divider,    ///< 1 unit, not pipelined: div / mod / sqrt
+  Branch,     ///< 1 unit: brtop
+  None,       ///< pseudo-operations
+};
+
+inline constexpr unsigned NumFuKinds = 6;
+
+/// Returns a printable name for \p Kind.
+const char *fuKindName(FuKind Kind);
+
+/// Describes the target machine: how many instances of each functional unit
+/// exist, which unit executes each opcode, the opcode's result latency, and
+/// how long the unit stays reserved (1 cycle when fully pipelined, the full
+/// latency for the divider).
+class MachineModel {
+public:
+  /// Builds the paper's default machine (Table 1).
+  static MachineModel cydra5();
+
+  /// Builds a variant of the default machine with the load latency replaced
+  /// by \p LoadLatency (used by the latency-robustness ablation).
+  static MachineModel withLoadLatency(int LoadLatency);
+
+  /// Number of instances of \p Kind.
+  int unitCount(FuKind Kind) const {
+    return Counts[static_cast<unsigned>(Kind)];
+  }
+
+  /// The functional unit that executes \p Op; FuKind::None for pseudo-ops.
+  FuKind unitFor(Opcode Op) const {
+    return Units[static_cast<unsigned>(Op)];
+  }
+
+  /// Result latency of \p Op in cycles (0 for pseudo-ops).
+  int latency(Opcode Op) const {
+    return Latencies[static_cast<unsigned>(Op)];
+  }
+
+  /// Number of consecutive cycles \p Op reserves its functional unit:
+  /// 1 for fully pipelined units, the full latency on the non-pipelined
+  /// divider, 0 for pseudo-ops.
+  int reservationCycles(Opcode Op) const {
+    const FuKind Kind = unitFor(Op);
+    if (Kind == FuKind::None)
+      return 0;
+    if (Kind == FuKind::Divider)
+      return latency(Op);
+    return 1;
+  }
+
+  /// True when every instance of \p Kind is fully pipelined.
+  bool isPipelined(FuKind Kind) const { return Kind != FuKind::Divider; }
+
+  /// Overrides the latency of \p Op (for ablation studies).
+  void setLatency(Opcode Op, int Lat) {
+    assert(Lat >= 0 && "negative latency");
+    Latencies[static_cast<unsigned>(Op)] = Lat;
+  }
+
+  /// Overrides the number of instances of \p Kind.
+  void setUnitCount(FuKind Kind, int Count) {
+    assert(Count > 0 && "need at least one unit");
+    Counts[static_cast<unsigned>(Kind)] = Count;
+  }
+
+  /// A short human-readable description (used by bench headers).
+  std::string describe() const;
+
+private:
+  MachineModel();
+
+  std::array<int, NumFuKinds + 1> Counts{};
+  std::array<FuKind, NumOpcodeValues> Units{};
+  std::array<int, NumOpcodeValues> Latencies{};
+};
+
+} // namespace lsms
+
+#endif // LSMS_MACHINE_MACHINEMODEL_H

@@ -1,0 +1,66 @@
+#include "machine/ModuloResourceTable.h"
+
+using namespace lsms;
+
+ModuloResourceTable::ModuloResourceTable(const MachineModel &Machine, int II)
+    : Machine(Machine), II(II) {
+  assert(II > 0 && "initiation interval must be positive");
+  KindBase.assign(NumFuKinds, 0);
+  int Next = 0;
+  for (unsigned K = 0; K < NumFuKinds; ++K) {
+    KindBase[K] = Next;
+    Next += Machine.unitCount(static_cast<FuKind>(K)) * II;
+  }
+  Slots.assign(static_cast<size_t>(Next), 0);
+}
+
+bool ModuloResourceTable::canPlace(Opcode Op, FuKind Kind, int Instance,
+                                   int Cycle) const {
+  if (Kind == FuKind::None)
+    return true;
+  const int Res = Machine.reservationCycles(Op);
+  // A non-pipelined reservation longer than II would overlap the same
+  // operation's next iteration: never placeable at this II.
+  if (Res > II)
+    return false;
+  for (int K = 0; K < Res; ++K)
+    if (Slots[slotIndex(Kind, Instance, wrap(Cycle + K))])
+      return false;
+  return true;
+}
+
+void ModuloResourceTable::place(Opcode Op, FuKind Kind, int Instance,
+                                int Cycle) {
+  if (Kind == FuKind::None)
+    return;
+  const int Res = Machine.reservationCycles(Op);
+  assert(Res <= II && "reservation longer than II");
+  for (int K = 0; K < Res; ++K) {
+    uint8_t &Slot = Slots[slotIndex(Kind, Instance, wrap(Cycle + K))];
+    assert(!Slot && "placing over an existing reservation");
+    Slot = 1;
+  }
+}
+
+void ModuloResourceTable::remove(Opcode Op, FuKind Kind, int Instance,
+                                 int Cycle) {
+  if (Kind == FuKind::None)
+    return;
+  const int Res = Machine.reservationCycles(Op);
+  for (int K = 0; K < Res; ++K) {
+    uint8_t &Slot = Slots[slotIndex(Kind, Instance, wrap(Cycle + K))];
+    assert(Slot && "removing a reservation that was never made");
+    Slot = 0;
+  }
+}
+
+int ModuloResourceTable::occupancy(FuKind Kind, int Instance,
+                                   int Cycle) const {
+  if (Kind == FuKind::None)
+    return 0;
+  return Slots[slotIndex(Kind, Instance, wrap(Cycle))];
+}
+
+void ModuloResourceTable::clear() {
+  std::fill(Slots.begin(), Slots.end(), 0);
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The modulo resource table (Section 1): II entries, each tracking which
+/// functional-unit instances are reserved at that cycle modulo II. Placing
+/// an operation at cycle t commits its unit for cycles t+k*II for all k, so
+/// reservations are recorded at t mod II.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_MACHINE_MODULORESOURCETABLE_H
+#define LSMS_MACHINE_MODULORESOURCETABLE_H
+
+#include "machine/MachineModel.h"
+
+#include <cassert>
+#include <vector>
+
+namespace lsms {
+
+/// Tracks per-cycle (mod II) reservations of functional-unit instances.
+///
+/// Operations are pre-assigned to a specific unit instance before scheduling
+/// commences (Section 4.3), so a reservation is identified by
+/// (FuKind, instance). Non-pipelined operations (divider) reserve
+/// `reservationCycles` consecutive cycles; the table rejects placements
+/// whose reservation would wrap onto itself (which would mean the operation
+/// conflicts with its own next-iteration instance).
+class ModuloResourceTable {
+public:
+  ModuloResourceTable(const MachineModel &Machine, int II);
+
+  int initiationInterval() const { return II; }
+
+  /// True if \p Op (on unit \p Kind instance \p Instance) can be issued at
+  /// \p Cycle without a resource conflict.
+  bool canPlace(Opcode Op, FuKind Kind, int Instance, int Cycle) const;
+
+  /// Reserves the unit for \p Op at \p Cycle. Must be preceded by a
+  /// successful canPlace query.
+  void place(Opcode Op, FuKind Kind, int Instance, int Cycle);
+
+  /// Releases the reservation made by place().
+  void remove(Opcode Op, FuKind Kind, int Instance, int Cycle);
+
+  /// Returns the operation count currently holding a reservation in the slot
+  /// of (\p Kind, \p Instance) at \p Cycle mod II (0 or 1).
+  int occupancy(FuKind Kind, int Instance, int Cycle) const;
+
+  /// Drops every reservation.
+  void clear();
+
+private:
+  int slotIndex(FuKind Kind, int Instance, int CycleModII) const {
+    assert(Kind != FuKind::None && "pseudo-ops take no slots");
+    assert(Instance >= 0 && Instance < Machine.unitCount(Kind) &&
+           "unit instance out of range");
+    return KindBase[static_cast<unsigned>(Kind)] +
+           Instance * II + CycleModII;
+  }
+
+  int wrap(int Cycle) const {
+    const int M = Cycle % II;
+    return M < 0 ? M + II : M;
+  }
+
+  const MachineModel &Machine;
+  int II;
+  std::vector<int> KindBase;  ///< first slot index per FuKind
+  std::vector<uint8_t> Slots; ///< 1 when reserved
+};
+
+} // namespace lsms
+
+#endif // LSMS_MACHINE_MODULORESOURCETABLE_H

@@ -1,0 +1,77 @@
+#include "machine/Opcode.h"
+
+#include "support/Compiler.h"
+
+using namespace lsms;
+
+const char *lsms::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Start:
+    return "start";
+  case Opcode::Stop:
+    return "stop";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::AddrAdd:
+    return "aadd";
+  case Opcode::AddrSub:
+    return "asub";
+  case Opcode::AddrMul:
+    return "amul";
+  case Opcode::IntAdd:
+    return "iadd";
+  case Opcode::IntSub:
+    return "isub";
+  case Opcode::IntAnd:
+    return "iand";
+  case Opcode::IntOr:
+    return "ior";
+  case Opcode::IntXor:
+    return "ixor";
+  case Opcode::FloatAdd:
+    return "fadd";
+  case Opcode::FloatSub:
+    return "fsub";
+  case Opcode::IntMul:
+    return "imul";
+  case Opcode::FloatMul:
+    return "fmul";
+  case Opcode::IntDiv:
+    return "idiv";
+  case Opcode::IntMod:
+    return "imod";
+  case Opcode::FloatDiv:
+    return "fdiv";
+  case Opcode::FloatSqrt:
+    return "fsqrt";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::CmpNE:
+    return "cmpne";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpLE:
+    return "cmple";
+  case Opcode::CmpGT:
+    return "cmpgt";
+  case Opcode::CmpGE:
+    return "cmpge";
+  case Opcode::PredAnd:
+    return "pand";
+  case Opcode::PredOr:
+    return "por";
+  case Opcode::PredNot:
+    return "pnot";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Select:
+    return "select";
+  case Opcode::BrTop:
+    return "brtop";
+  case Opcode::NumOpcodes:
+    break;
+  }
+  LSMS_UNREACHABLE("invalid opcode");
+}

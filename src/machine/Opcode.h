@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation repertoire of the hypothetical Cydra-5-like VLIW target
+/// (Section 2 of the paper). Opcodes are shared between the loop IR and the
+/// machine model; the machine model maps each opcode to a functional unit
+/// and a latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_MACHINE_OPCODE_H
+#define LSMS_MACHINE_OPCODE_H
+
+#include <cstdint>
+
+namespace lsms {
+
+/// Machine operations plus the two scheduling pseudo-operations (Start and
+/// Stop, Section 4.1) which consume no machine resources.
+enum class Opcode : uint8_t {
+  Start, ///< pseudo-op: predecessor of every operation, fixed at cycle 0
+  Stop,  ///< pseudo-op: successor of every operation
+
+  Load,  ///< memory port, latency 13 (second-level cache)
+  Store, ///< memory port, latency 1
+
+  AddrAdd, ///< address ALU, latency 1
+  AddrSub, ///< address ALU, latency 1
+  AddrMul, ///< address ALU, latency 1
+
+  IntAdd, ///< adder, latency 1
+  IntSub, ///< adder, latency 1
+  IntAnd, ///< adder (logical), latency 1
+  IntOr,  ///< adder (logical), latency 1
+  IntXor, ///< adder (logical), latency 1
+  FloatAdd, ///< adder, latency 1
+  FloatSub, ///< adder, latency 1
+
+  IntMul,   ///< multiplier, latency 2
+  FloatMul, ///< multiplier, latency 2
+
+  IntDiv,    ///< divider (non-pipelined), latency 17
+  IntMod,    ///< divider (non-pipelined), latency 17
+  FloatDiv,  ///< divider (non-pipelined), latency 17
+  FloatSqrt, ///< divider (non-pipelined), latency 21
+
+  CmpEQ, ///< adder; produces an ICR predicate, latency 1
+  CmpNE, ///< adder; produces an ICR predicate, latency 1
+  CmpLT, ///< adder; produces an ICR predicate, latency 1
+  CmpLE, ///< adder; produces an ICR predicate, latency 1
+  CmpGT, ///< adder; produces an ICR predicate, latency 1
+  CmpGE, ///< adder; produces an ICR predicate, latency 1
+
+  PredAnd, ///< adder; combines predicates for nested if-conversion
+  PredOr,  ///< adder; combines predicates (else-branches)
+  PredNot, ///< adder; negates a predicate
+
+  Copy,   ///< adder; register-to-register move
+  Select, ///< adder; select(pred, a, b) — merges if-converted values
+
+  BrTop, ///< branch unit; loop-control conditional branch, latency 2
+
+  NumOpcodes
+};
+
+/// Number of real+pseudo opcodes, usable for dense tables.
+inline constexpr unsigned NumOpcodeValues =
+    static_cast<unsigned>(Opcode::NumOpcodes);
+
+/// Returns a stable mnemonic for \p Op (e.g. "fadd", "brtop").
+const char *opcodeName(Opcode Op);
+
+/// Returns true for the Start/Stop pseudo-operations, which occupy no
+/// functional unit and have zero latency (Stop) or zero latency (Start).
+inline bool isPseudo(Opcode Op) {
+  return Op == Opcode::Start || Op == Opcode::Stop;
+}
+
+/// Returns true for operations that read or write memory.
+inline bool isMemoryOp(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+/// Returns true for comparison / predicate-manipulation ops whose result is
+/// an ICR predicate.
+inline bool producesPredicate(Opcode Op) {
+  switch (Op) {
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+  case Opcode::CmpGT:
+  case Opcode::CmpGE:
+  case Opcode::PredAnd:
+  case Opcode::PredOr:
+  case Opcode::PredNot:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Returns true for divide/modulo/square-root operations, which use the
+/// non-pipelined divider (their slack is halved twice by the dynamic
+/// priority scheme, Section 4.3).
+inline bool isDividerOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::IntDiv:
+  case Opcode::IntMod:
+  case Opcode::FloatDiv:
+  case Opcode::FloatSqrt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace lsms
+
+#endif // LSMS_MACHINE_OPCODE_H

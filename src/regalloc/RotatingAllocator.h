@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rotating register allocation for modulo-scheduled loops (Section 2.3).
+///
+/// Each rotating value receives a color C in a rotating file of S
+/// registers; iteration j's instance lives in physical register
+/// (C - j) mod S for [def(j), def(j) + LT) cycles, where the file rotates
+/// once per II. The allocator greedily colors values (start-time order,
+/// first fit), growing S until conflict-free — reproducing the observation
+/// of Rau et al. [18], which the paper leans on, that allocation almost
+/// always lands within a register or two of the MaxLive lower bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_REGALLOC_ROTATINGALLOCATOR_H
+#define LSMS_REGALLOC_ROTATINGALLOCATOR_H
+
+#include "ir/LoopBody.h"
+
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+struct AllocationResult {
+  bool Success = false;
+  /// Size of the rotating file used (number of registers).
+  int FileSize = 0;
+  /// Color per value id; -1 for values of other classes or without uses.
+  std::vector<int> Color;
+  /// Colors of the caller-supplied extra ranges (same order).
+  std::vector<int> ExtraColor;
+  /// The MaxLive lower bound for comparison (loop values only).
+  long MaxLive = 0;
+};
+
+/// A caller-supplied rotating live range allocated alongside the loop's
+/// values (e.g. the kernel's stage-predicate chain, whose single logical
+/// value is live for StageCount * II cycles).
+struct ExtraRange {
+  long Start = 0;
+  long Length = 0;
+};
+
+/// Allocates rotating registers for all \p Class values of \p Body under
+/// the complete schedule \p Times at initiation interval \p II. Fails only
+/// if more than \p MaxSize registers would be needed.
+AllocationResult allocateRotating(const LoopBody &Body,
+                                  const std::vector<int> &Times, int II,
+                                  RegClass Class = RegClass::RR,
+                                  int MaxSize = 4096,
+                                  const std::vector<ExtraRange> &Extra = {});
+
+/// Independently validates \p Alloc by simulating physical-register
+/// occupancy over enough iterations to cover every relative overlap.
+/// Returns an empty string when no two live ranges collide.
+std::string validateAllocation(const LoopBody &Body,
+                               const std::vector<int> &Times, int II,
+                               RegClass Class, const AllocationResult &Alloc);
+
+} // namespace lsms
+
+#endif // LSMS_REGALLOC_ROTATINGALLOCATOR_H

@@ -1,0 +1,31 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability helpers shared across the LSMS libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SUPPORT_COMPILER_H
+#define LSMS_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsms {
+
+/// Reports an unreachable program point and aborts.
+///
+/// Use via the LSMS_UNREACHABLE macro so the message carries file/line
+/// context. Marked [[noreturn]] so callers may omit dummy returns.
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace lsms
+
+#define LSMS_UNREACHABLE(msg)                                                  \
+  ::lsms::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // LSMS_SUPPORT_COMPILER_H

@@ -1,0 +1,80 @@
+#include "support/Histogram.h"
+
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+using namespace lsms;
+
+Histogram::Histogram(int64_t BucketWidth, int64_t MaxValue)
+    : BucketWidth(BucketWidth), MaxValue(MaxValue) {
+  assert(BucketWidth > 0 && MaxValue >= BucketWidth && "bad bucket geometry");
+  const size_t NumBuckets =
+      static_cast<size_t>((MaxValue + BucketWidth - 1) / BucketWidth) + 1;
+  Buckets.assign(NumBuckets, 0);
+}
+
+void Histogram::add(int64_t Value) {
+  if (Value < 0)
+    Value = 0;
+  size_t Index = static_cast<size_t>(Value / BucketWidth);
+  if (Index >= Buckets.size())
+    Index = Buckets.size() - 1;
+  ++Buckets[Index];
+  Samples.push_back(Value);
+  ++Total;
+}
+
+double Histogram::fractionAtOrBelow(int64_t Value) const {
+  if (Total == 0)
+    return 0.0;
+  size_t N = 0;
+  for (int64_t S : Samples)
+    if (S <= Value)
+      ++N;
+  return static_cast<double>(N) / static_cast<double>(Total);
+}
+
+static std::string bucketLabel(size_t Index, int64_t Width, size_t NumBuckets,
+                               int64_t MaxValue) {
+  const int64_t Lo = static_cast<int64_t>(Index) * Width;
+  if (Index + 1 == NumBuckets)
+    return "> " + formatNumber(static_cast<double>(MaxValue));
+  if (Width == 1)
+    return formatNumber(static_cast<double>(Lo));
+  return "[" + formatNumber(static_cast<double>(Lo)) + "," +
+         formatNumber(static_cast<double>(Lo + Width)) + ")";
+}
+
+void Histogram::print(std::ostream &OS, const std::string &ValueLabel) const {
+  TextTable T;
+  T.setHeader({ValueLabel, "loops", "%", "cum%", ""});
+  double Cum = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    const double Pct =
+        Total ? 100.0 * static_cast<double>(Buckets[I]) /
+                    static_cast<double>(Total)
+              : 0.0;
+    Cum += Pct;
+    const size_t BarLen = static_cast<size_t>(Pct / 2.0 + 0.5);
+    T.addRow({bucketLabel(I, BucketWidth, Buckets.size(), MaxValue),
+              std::to_string(Buckets[I]), formatNumber(Pct, 1),
+              formatNumber(std::min(Cum, 100.0), 1),
+              std::string(BarLen, '#')});
+  }
+  T.print(OS);
+}
+
+void lsms::printComparison(std::ostream &OS, const std::string &Title,
+                           const Histogram &A, const std::string &NameA,
+                           const Histogram &B, const std::string &NameB,
+                           const std::string &ValueLabel) {
+  OS << Title << '\n';
+  OS << "--- " << NameA << " ---\n";
+  A.print(OS, ValueLabel);
+  OS << "--- " << NameB << " ---\n";
+  B.print(OS, ValueLabel);
+}

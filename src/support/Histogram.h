@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bucketed histograms with cumulative percentages, used to regenerate the
+/// paper's Figures 5-8 ("percent of all loops" vs "number of registers").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SUPPORT_HISTOGRAM_H
+#define LSMS_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// A histogram over non-negative integer samples with fixed-width buckets.
+class Histogram {
+public:
+  /// Creates a histogram with buckets [0,W), [W,2W), ... up to \p MaxValue;
+  /// larger samples fall in a final overflow bucket.
+  Histogram(int64_t BucketWidth, int64_t MaxValue);
+
+  /// Adds one sample.
+  void add(int64_t Value);
+
+  /// Number of samples added.
+  size_t count() const { return Total; }
+
+  /// Fraction of samples <= \p Value, in [0,1]. Counts exact samples, not
+  /// bucket boundaries.
+  double fractionAtOrBelow(int64_t Value) const;
+
+  /// Prints one line per bucket: range, count, percent, cumulative percent,
+  /// and a proportional bar.
+  void print(std::ostream &OS, const std::string &ValueLabel) const;
+
+private:
+  int64_t BucketWidth;
+  int64_t MaxValue;
+  std::vector<size_t> Buckets; // last bucket is overflow
+  std::vector<int64_t> Samples;
+  size_t Total = 0;
+};
+
+/// Prints two histograms side by side as a comparison series (e.g. new vs
+/// old scheduler in Figures 5 and 6). Both must share bucket geometry.
+void printComparison(std::ostream &OS, const std::string &Title,
+                     const Histogram &A, const std::string &NameA,
+                     const Histogram &B, const std::string &NameB,
+                     const std::string &ValueLabel);
+
+} // namespace lsms
+
+#endif // LSMS_SUPPORT_HISTOGRAM_H

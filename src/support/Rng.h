@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation for workload synthesis.
+///
+/// The workload generator must be reproducible across platforms and standard
+/// library implementations, so we use a fixed xorshift128+ generator instead
+/// of <random> engines/distributions (whose outputs are not pinned down by
+/// the standard for all distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SUPPORT_RNG_H
+#define LSMS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lsms {
+
+/// A small, fast, deterministic xorshift128+ generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 seeding avoids the all-zero state and decorrelates nearby
+    // seeds.
+    State[0] = splitMix(Seed);
+    State[1] = splitMix(Seed);
+  }
+
+  /// Returns the next raw 64-bit sample.
+  uint64_t next() {
+    uint64_t X = State[0];
+    const uint64_t Y = State[1];
+    State[0] = Y;
+    X ^= X << 23;
+    State[1] = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State[1] + Y;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Modulo bias is negligible for the small bounds used here.
+    return next() % Bound;
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t splitMix(uint64_t &X) {
+    X += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t State[2];
+};
+
+} // namespace lsms
+
+#endif // LSMS_SUPPORT_RNG_H

@@ -1,0 +1,62 @@
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace lsms;
+
+double lsms::quantileOfSorted(const std::vector<double> &Sorted, double Q) {
+  assert(!Sorted.empty() && "quantile of empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  // Nearest-rank: smallest value with at least ceil(Q * N) observations at or
+  // below it.
+  const double N = static_cast<double>(Sorted.size());
+  size_t Rank = static_cast<size_t>(std::ceil(Q * N));
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Sorted.size())
+    Rank = Sorted.size();
+  return Sorted[Rank - 1];
+}
+
+QuantileSummary lsms::summarize(std::vector<double> Samples) {
+  QuantileSummary S;
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.Count = Samples.size();
+  S.Min = Samples.front();
+  S.Max = Samples.back();
+  S.Median = quantileOfSorted(Samples, 0.50);
+  S.Pct90 = quantileOfSorted(Samples, 0.90);
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Samples.size());
+  return S;
+}
+
+QuantileSummary lsms::summarize(const std::vector<int64_t> &Samples) {
+  std::vector<double> D;
+  D.reserve(Samples.size());
+  for (int64_t V : Samples)
+    D.push_back(static_cast<double>(V));
+  return summarize(std::move(D));
+}
+
+std::string lsms::formatNumber(double Value, int MaxDecimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", MaxDecimals, Value);
+  std::string S(Buf);
+  if (S.find('.') != std::string::npos) {
+    while (!S.empty() && S.back() == '0')
+      S.pop_back();
+    if (!S.empty() && S.back() == '.')
+      S.pop_back();
+  }
+  return S;
+}

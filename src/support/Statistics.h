@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Order statistics used to report the paper's Min / 50% / 90% / Max rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SUPPORT_STATISTICS_H
+#define LSMS_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// Summary of a sample in the format used by Table 2 and Tables 3/4 of the
+/// paper: minimum, median, 90th percentile, and maximum.
+struct QuantileSummary {
+  double Min = 0;
+  double Median = 0;
+  double Pct90 = 0;
+  double Max = 0;
+  double Mean = 0;
+  size_t Count = 0;
+};
+
+/// Computes a QuantileSummary over \p Samples. Empty input yields all zeros.
+QuantileSummary summarize(std::vector<double> Samples);
+
+/// Convenience overload for integer samples.
+QuantileSummary summarize(const std::vector<int64_t> &Samples);
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of the *sorted* \p Sorted sample
+/// using the nearest-rank method, matching how the paper reports "50%" and
+/// "90%" columns over discrete loop metrics.
+double quantileOfSorted(const std::vector<double> &Sorted, double Q);
+
+/// Renders \p Value with trailing zeros trimmed (e.g. "3", "2.5", "0.04").
+std::string formatNumber(double Value, int MaxDecimals = 2);
+
+} // namespace lsms
+
+#endif // LSMS_SUPPORT_STATISTICS_H

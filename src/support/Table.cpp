@@ -1,0 +1,78 @@
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+using namespace lsms;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), /*Separator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*Separator=*/true}); }
+
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  bool SawDigit = false;
+  for (char C : S) {
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '.' || C == '-' || C == '+' || C == '%' || C == ',' || C == 'x')
+      continue;
+    return false;
+  }
+  return SawDigit;
+}
+
+void TextTable::print(std::ostream &OS) const {
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const Row &R : Rows)
+    Grow(R.Cells);
+
+  auto PrintCells = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      const size_t Pad = Widths[I] - Cell.size();
+      if (looksNumeric(Cell)) {
+        OS << std::string(Pad, ' ') << Cell;
+      } else {
+        OS << Cell << std::string(Pad, ' ');
+      }
+      OS << (I + 1 == Widths.size() ? "" : "  ");
+    }
+    OS << '\n';
+  };
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  if (Total >= 2)
+    Total -= 2;
+
+  if (!Header.empty()) {
+    PrintCells(Header);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator) {
+      OS << std::string(Total, '-') << '\n';
+      continue;
+    }
+    PrintCells(R.Cells);
+  }
+}

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned text-table printer used by the benchmark harnesses
+/// to regenerate the paper's tables on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SUPPORT_TABLE_H
+#define LSMS_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// Accumulates rows of strings and prints them with columns padded to the
+/// widest cell. The first row added as a header is underlined with dashes.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Prints the table to \p OS. Columns are left-aligned except cells that
+  /// parse as numbers, which are right-aligned.
+  void print(std::ostream &OS) const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace lsms
+
+#endif // LSMS_SUPPORT_TABLE_H

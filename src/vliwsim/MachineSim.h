@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-level simulation of kernel-only code: executes the emitted VLIW
+/// instruction words against concrete rotating register files with an
+/// iteration control pointer that decrements once per kernel iteration,
+/// stage predicates squashing out-of-range iterations, and predicated
+/// stores. The most end-to-end check in the repository: schedule,
+/// rotating allocation, specifier arithmetic, and staging must all be
+/// right for the memory image to match the sequential reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_VLIWSIM_MACHINESIM_H
+#define LSMS_VLIWSIM_MACHINESIM_H
+
+#include "codegen/KernelCode.h"
+#include "vliwsim/Execution.h"
+
+namespace lsms {
+
+/// Executes \p Code for \p Iterations source iterations (the kernel runs
+/// Iterations + StageCount - 1 times). Live-outs are captured as their
+/// final instance is produced — modeling the post-loop code that must copy
+/// them out before the pipeline drain reuses the rotating register — and
+/// are reported only for values that received a register (a dead live-out
+/// has none).
+ExecutionResult runKernelCode(const LoopBody &Body, const KernelCode &Code,
+                              long Iterations,
+                              const MemoryInit &Init = defaultMemoryInit);
+
+/// Executes the prologue/kernel/epilogue schema form of \p Code (Rau et
+/// al. [19]): no stage predicates — the fill and drain phases exist as
+/// explicit partial code copies, modeled by filtering each kernel
+/// iteration's operations on their stage. Must compute exactly what
+/// runKernelCode computes.
+ExecutionResult runSchemaCode(const LoopBody &Body, const KernelCode &Code,
+                              long Iterations,
+                              const MemoryInit &Init = defaultMemoryInit);
+
+} // namespace lsms
+
+#endif // LSMS_VLIWSIM_MACHINESIM_H

@@ -1,0 +1,162 @@
+#include "workloads/Kernels.h"
+
+#include "ir/IRBuilder.h"
+
+using namespace lsms;
+
+LoopBody lsms::buildSampleLoop() {
+  LoopBody Body;
+  Body.Name = "sample";
+  Body.First = 3;
+  Body.Source = "x(i) = x(i-1) + y(i-2); y(i) = y(i-1) + x(i-2)";
+  IRBuilder B(Body);
+
+  const int ArrX = B.newArray();
+  const int ArrY = B.newArray();
+
+  // Mutual recurrence: forward-declare both values.
+  const int X = B.declareValue(RegClass::RR, "x");
+  const int Y = B.declareValue(RegClass::RR, "y");
+  B.defineValue(X, Opcode::FloatAdd, {Use{X, 1}, Use{Y, 2}});
+  B.defineValue(Y, Opcode::FloatAdd, {Use{Y, 1}, Use{X, 2}});
+  // Seeds: x(2), x(1) and y(2), y(1) (omega 1 and 2 before i = 3).
+  B.setSeeds(X, {2.0, 1.0});
+  B.setSeeds(Y, {20.0, 10.0});
+
+  const int Ax = B.addressStream("ax", 4.0 * 2);
+  const int Ay = B.addressStream("ay", 4.0 * 2);
+  B.emitStore(ArrX, 0, Use{Ax, 0}, Use{X, 0}, "st_x");
+  B.emitStore(ArrY, 0, Use{Ay, 0}, Use{Y, 0}, "st_y");
+
+  B.finish();
+  return Body;
+}
+
+LoopBody lsms::buildDaxpyLoop() {
+  LoopBody Body;
+  Body.Name = "daxpy";
+  Body.First = 1;
+  Body.Source = "z(i) = a*x(i) + y(i)";
+  IRBuilder B(Body);
+
+  const int ArrX = B.newArray();
+  const int ArrY = B.newArray();
+  const int ArrZ = B.newArray();
+  const int A = B.invariant("a", 3.0);
+
+  const int Ax = B.addressStream("ax", 0);
+  const int Ay = B.addressStream("ay", 0);
+  const int Az = B.addressStream("az", 0);
+  const int Lx = B.emitLoad(ArrX, 0, Use{Ax, 0}, "lx");
+  const int Ly = B.emitLoad(ArrY, 0, Use{Ay, 0}, "ly");
+  const int T = B.emitValue(Opcode::FloatMul, {Use{A, 0}, Use{Lx, 0}}, "t");
+  const int Z = B.emitValue(Opcode::FloatAdd, {Use{T, 0}, Use{Ly, 0}}, "z");
+  B.emitStore(ArrZ, 0, Use{Az, 0}, Use{Z, 0}, "st_z");
+
+  B.finish();
+  return Body;
+}
+
+LoopBody lsms::buildDotLoop() {
+  LoopBody Body;
+  Body.Name = "dot";
+  Body.First = 1;
+  Body.Source = "s = s + x(i)*y(i)";
+  IRBuilder B(Body);
+
+  const int ArrX = B.newArray();
+  const int ArrY = B.newArray();
+
+  const int Ax = B.addressStream("ax", 0);
+  const int Ay = B.addressStream("ay", 0);
+  const int Lx = B.emitLoad(ArrX, 0, Use{Ax, 0}, "lx");
+  const int Ly = B.emitLoad(ArrY, 0, Use{Ay, 0}, "ly");
+  const int P = B.emitValue(Opcode::FloatMul, {Use{Lx, 0}, Use{Ly, 0}}, "p");
+  const int S = B.declareValue(RegClass::RR, "s");
+  B.defineValue(S, Opcode::FloatAdd, {Use{S, 1}, Use{P, 0}});
+  B.setSeeds(S, {0.0});
+  B.markLiveOut(S);
+
+  B.finish();
+  return Body;
+}
+
+LoopBody lsms::buildLinearRecurrenceLoop() {
+  LoopBody Body;
+  Body.Name = "linrec";
+  Body.First = 1;
+  Body.Source = "x(i) = a*x(i-1) + b";
+  IRBuilder B(Body);
+
+  const int ArrX = B.newArray();
+  const int A = B.invariant("a", 0.5);
+  const int C = B.invariant("b", 1.0);
+
+  const int X = B.declareValue(RegClass::RR, "x");
+  const int T = B.emitValue(Opcode::FloatMul, {Use{A, 0}, Use{X, 1}}, "t");
+  B.defineValue(X, Opcode::FloatAdd, {Use{T, 0}, Use{C, 0}});
+  B.setSeeds(X, {4.0});
+
+  const int Ax = B.addressStream("ax", 0);
+  B.emitStore(ArrX, 0, Use{Ax, 0}, Use{X, 0}, "st_x");
+
+  B.finish();
+  return Body;
+}
+
+LoopBody lsms::buildPredicatedAbsLoop() {
+  LoopBody Body;
+  Body.Name = "predabs";
+  Body.First = 1;
+  Body.Source = "if (x(i) > 0) then y(i) = x(i) else y(i) = -x(i)";
+  Body.HasConditional = true;
+  Body.SourceBasicBlocks = 4;
+  IRBuilder B(Body);
+
+  const int ArrX = B.newArray();
+  const int ArrY = B.newArray();
+  const int Zero = B.constant(0.0);
+
+  const int Ax = B.addressStream("ax", 0);
+  const int Ay = B.addressStream("ay", 0);
+  const int Lx = B.emitLoad(ArrX, 0, Use{Ax, 0}, "lx");
+  const int P =
+      B.emitValue(Opcode::CmpGT, {Use{Lx, 0}, Use{Zero, 0}}, "p");
+  const int Q = B.emitValue(Opcode::PredNot, {Use{P, 0}}, "q");
+  const int Neg =
+      B.emitValue(Opcode::FloatSub, {Use{Zero, 0}, Use{Lx, 0}}, "neg");
+  const int St1 =
+      B.emitStore(ArrY, 0, Use{Ay, 0}, Use{Lx, 0}, "st_then", P, 0);
+  const int St2 =
+      B.emitStore(ArrY, 0, Use{Ay, 0}, Use{Neg, 0}, "st_else", Q, 0);
+  // The two stores execute under mutually exclusive predicates, but the
+  // compiler "does not perform the requisite analysis" (Section 3.2) and
+  // conservatively orders same-location writes.
+  B.addMemDep(St1, St2, DepKind::Output, 1, 0);
+
+  B.finish();
+  return Body;
+}
+
+LoopBody lsms::buildDivideLoop() {
+  LoopBody Body;
+  Body.Name = "divide";
+  Body.First = 1;
+  Body.Source = "z(i) = x(i) / y(i)";
+  IRBuilder B(Body);
+
+  const int ArrX = B.newArray();
+  const int ArrY = B.newArray();
+  const int ArrZ = B.newArray();
+
+  const int Ax = B.addressStream("ax", 0);
+  const int Ay = B.addressStream("ay", 0);
+  const int Az = B.addressStream("az", 0);
+  const int Lx = B.emitLoad(ArrX, 0, Use{Ax, 0}, "lx");
+  const int Ly = B.emitLoad(ArrY, 0, Use{Ay, 0}, "ly");
+  const int Z = B.emitValue(Opcode::FloatDiv, {Use{Lx, 0}, Use{Ly, 0}}, "z");
+  B.emitStore(ArrZ, 0, Use{Az, 0}, Use{Z, 0}, "st_z");
+
+  B.finish();
+  return Body;
+}

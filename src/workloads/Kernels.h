@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-built kernel loop bodies, starting with the paper's Figure 1 sample
+/// loop. Most kernels are written in the loop DSL (see Suite.h); the ones
+/// here are constructed directly with IRBuilder so the scheduler can be
+/// exercised without the front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_WORKLOADS_KERNELS_H
+#define LSMS_WORKLOADS_KERNELS_H
+
+#include "ir/LoopBody.h"
+
+namespace lsms {
+
+/// The paper's Figure 1 loop after load/store elimination:
+///   do i = 3, n
+///     x(i) = x(i-1) + y(i-2)
+///     y(i) = y(i-1) + x(i-2)
+/// Cross-iteration reads flow through rotating registers (omega 1 and 2);
+/// the stores keep memory up to date. MII = ResMII = 2 on the default
+/// machine (two FP adds on one adder).
+LoopBody buildSampleLoop();
+
+/// A single-statement streaming kernel: z(i) = a*x(i) + y(i) (daxpy-like),
+/// with loads, a multiply, an add, and a store. No recurrences beyond the
+/// address streams.
+LoopBody buildDaxpyLoop();
+
+/// A reduction: s = s + x(i)*y(i) (inner product). The accumulator is a
+/// lifetime-fixed self-recurrence and is live-out.
+LoopBody buildDotLoop();
+
+/// First-order linear recurrence: x(i) = a*x(i-1) + b (RecMII-bound).
+LoopBody buildLinearRecurrenceLoop();
+
+/// A loop with a conditional, if-converted into predicated stores:
+///   if (x(i) > 0) then y(i) = x(i) else y(i) = -x(i)
+LoopBody buildPredicatedAbsLoop();
+
+/// A divider-bound kernel: z(i) = x(i) / y(i).
+LoopBody buildDivideLoop();
+
+} // namespace lsms
+
+#endif // LSMS_WORKLOADS_KERNELS_H

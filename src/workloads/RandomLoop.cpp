@@ -1,0 +1,284 @@
+#include "workloads/RandomLoop.h"
+
+#include "frontend/LoopCompiler.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace lsms;
+
+RandomLoopConfig lsms::drawTable2Config(Rng &R) {
+  RandomLoopConfig C;
+  // Log-normal op-count distribution fit to Table 2: median 18, 90th
+  // percentile 80, clamped to [4, 400]. Approximate a standard normal
+  // with the sum of four uniforms (Irwin-Hall).
+  const double Z =
+      (R.nextDouble() + R.nextDouble() + R.nextDouble() + R.nextDouble() -
+       2.0) *
+      std::sqrt(3.0);
+  const double Ops = std::exp(2.89 + 1.45 * Z);
+  C.TargetOps = static_cast<int>(std::min(900.0, std::max(4.0, Ops)));
+  return C;
+}
+
+namespace {
+
+/// Emits DSL text for one random loop.
+class SourceGen {
+public:
+  SourceGen(Rng &R, const RandomLoopConfig &C) : R(R), C(C) {}
+
+  std::string run();
+
+private:
+  // ---- statement emitters ----
+  void emitRecurrence();
+  void emitAccumulator();
+  void emitPlainWrite();
+  void emitConditional(int Depth);
+  void statement(int CondDepth);
+
+  // ---- expression synthesis ----
+  std::string expr(int Depth);
+  std::string leaf();
+  std::string inputRead();
+  const char *binop();
+
+  std::string indent() const { return std::string(2 * (Nesting + 1), ' '); }
+
+  Rng &R;
+  const RandomLoopConfig &C;
+  std::ostringstream Body;
+  int EstOps = 0;
+  int NumInArrays = 0;
+  int NumPlainOut = 0;
+  int NumCondOut = 0;
+  int NumRecOut = 0;
+  int NumAccums = 0;
+  int NumParams = 0;
+  int Nesting = 0;
+  bool WantRecurrence = false;
+  bool WantConditional = false;
+  bool MadeRecurrence = false;
+  bool MadeConditional = false;
+};
+
+std::string SourceGen::run() {
+  WantRecurrence = R.nextBool(C.RecurrenceProb);
+  WantConditional = R.nextBool(C.ConditionalProb);
+  NumInArrays = static_cast<int>(R.nextInRange(1, 3));
+  NumParams = static_cast<int>(R.nextInRange(1, 3));
+
+  const long First = R.nextInRange(1, 4);
+
+  while (EstOps < C.TargetOps || (WantRecurrence && !MadeRecurrence) ||
+         (WantConditional && !MadeConditional))
+    statement(/*CondDepth=*/0);
+
+  std::ostringstream Out;
+  for (int P = 0; P < NumParams; ++P)
+    Out << "param p" << P << " = "
+        << formatNumber(0.25 + 0.5 * static_cast<double>(P), 2) << "\n";
+  for (int S = 0; S < NumAccums; ++S)
+    Out << "param s" << S << " = 0\n";
+  Out << "loop i = " << First << ", n\n" << Body.str() << "end\n";
+  return Out.str();
+}
+
+void SourceGen::statement(int CondDepth) {
+  // Priorities: satisfy the requested classes first, then mix.
+  if (CondDepth == 0 && WantRecurrence && !MadeRecurrence) {
+    emitRecurrence();
+    return;
+  }
+  if (CondDepth == 0 && WantConditional && !MadeConditional) {
+    emitConditional(CondDepth);
+    return;
+  }
+  const double U = R.nextDouble();
+  if (CondDepth == 0 && WantConditional && U < 0.15) {
+    emitConditional(CondDepth);
+  } else if (CondDepth == 0 && WantRecurrence && U < 0.30) {
+    emitRecurrence();
+  } else if (U < 0.45 && (NumAccums > 0 || U < 0.38)) {
+    emitAccumulator();
+  } else {
+    emitPlainWrite();
+  }
+}
+
+void SourceGen::emitRecurrence() {
+  // w[i] = f(w[i-d], ...): load/store elimination turns this into a
+  // non-trivial recurrence circuit through rotating registers.
+  const int Array = NumRecOut < 2 ? NumRecOut++ : 0;
+  NumRecOut = std::max(NumRecOut, Array + 1);
+  const int D = static_cast<int>(R.nextInRange(1, C.MaxOmega));
+  const int Depth = static_cast<int>(R.nextInRange(0, 1));
+  Body << indent() << "r" << Array << "[i] = r" << Array << "[i-" << D
+       << "]";
+  if (R.nextBool(0.6)) {
+    Body << " * p" << R.nextInRange(0, NumParams - 1);
+    ++EstOps;
+  }
+  Body << " + " << expr(Depth) << "\n";
+  EstOps += 4; // fadd + store + address streams
+  MadeRecurrence = true;
+}
+
+void SourceGen::emitAccumulator() {
+  const int S = NumAccums == 0 || R.nextBool(0.5)
+                    ? (NumAccums < 3 ? NumAccums++ : 0)
+                    : static_cast<int>(R.nextInRange(0, NumAccums - 1));
+  NumAccums = std::max(NumAccums, S + 1);
+  Body << indent() << "s" << S << " = s" << S;
+  if (WantRecurrence && R.nextBool(0.2)) {
+    // Multi-op recurrence circuit: s = s * p + e.
+    Body << " * p" << R.nextInRange(0, NumParams - 1);
+    ++EstOps;
+    MadeRecurrence = true;
+  }
+  Body << " + " << expr(static_cast<int>(R.nextInRange(0, 2))) << "\n";
+  EstOps += 1;
+}
+
+void SourceGen::emitPlainWrite() {
+  const int Array = NumPlainOut == 0 || R.nextBool(0.4)
+                        ? (NumPlainOut < 4 ? NumPlainOut++ : 0)
+                        : static_cast<int>(R.nextInRange(0, NumPlainOut - 1));
+  NumPlainOut = std::max(NumPlainOut, Array + 1);
+  const int Depth = static_cast<int>(R.nextInRange(1, 2));
+  Body << indent() << "w" << Array << "[i] = " << expr(Depth) << "\n";
+  EstOps += 3;
+}
+
+void SourceGen::emitConditional(int Depth) {
+  MadeConditional = true;
+  Body << indent() << "if (" << leaf() << " "
+       << (R.nextBool(0.5) ? ">" : "<=") << " " << leaf() << ") then\n";
+  EstOps += 2;
+  ++Nesting;
+  const int ThenStmts = static_cast<int>(R.nextInRange(1, 2));
+  for (int S = 0; S < ThenStmts; ++S) {
+    if (R.nextBool(0.3) && NumAccums < 3) {
+      emitAccumulator();
+    } else {
+      const int Array = NumCondOut < 3 ? NumCondOut++ : 0;
+      NumCondOut = std::max(NumCondOut, Array + 1);
+      Body << indent() << "c" << Array << "[i] = "
+           << expr(static_cast<int>(R.nextInRange(0, 2))) << "\n";
+      EstOps += 3;
+    }
+  }
+  --Nesting;
+  if (R.nextBool(0.5)) {
+    Body << indent() << "else\n";
+    ++Nesting;
+    if (Depth == 0 && R.nextBool(0.2)) {
+      emitConditional(Depth + 1); // one level of nesting
+    } else {
+      const int Array = NumCondOut < 3 ? NumCondOut++ : 0;
+      NumCondOut = std::max(NumCondOut, Array + 1);
+      Body << indent() << "c" << Array << "[i] = "
+           << expr(static_cast<int>(R.nextInRange(0, 1))) << "\n";
+      EstOps += 3;
+    }
+    --Nesting;
+  }
+  Body << indent() << "end\n";
+}
+
+std::string SourceGen::expr(int Depth) {
+  if (Depth <= 0)
+    return leaf();
+  const double U = R.nextDouble();
+  if (U < C.DividerProb) {
+    ++EstOps;
+    EstOps += 16; // divider pressure: count its reservation weight
+    if (R.nextBool(0.3))
+      return "sqrt(" + expr(Depth - 1) + ")";
+    return "(" + expr(Depth - 1) + " / (" + leaf() + " + 2))";
+  }
+  ++EstOps;
+  return "(" + expr(Depth - 1) + " " + binop() + " " + expr(Depth - 1) + ")";
+}
+
+const char *SourceGen::binop() {
+  const double U = R.nextDouble();
+  if (U < 0.45)
+    return "+";
+  if (U < 0.70)
+    return "-";
+  return "*";
+}
+
+std::string SourceGen::leaf() {
+  const double U = R.nextDouble();
+  if (U < 0.55)
+    return inputRead();
+  if (U < 0.60 && NumPlainOut > 0) {
+    // Cross-iteration (or future) read of a written array: exercises
+    // load/store elimination and anti dependences.
+    const int Array = static_cast<int>(R.nextInRange(0, NumPlainOut - 1));
+    // Negative offsets into written arrays close recurrence circuits via
+    // load/store elimination; only draw them when the loop is meant to
+    // carry recurrences.
+    const int Off = static_cast<int>(
+        WantRecurrence ? R.nextInRange(-C.MaxOmega, 1) : R.nextInRange(0, 1));
+    std::ostringstream OS;
+    OS << "w" << Array << "[i" << (Off < 0 ? "-" : "+") << std::abs(Off)
+       << "]";
+    EstOps += Off >= 1 ? 2 : 0; // future reads stay loads
+    return OS.str();
+  }
+  if (U < 0.72)
+    return "p" + std::to_string(R.nextInRange(0, NumParams - 1));
+  if (U < 0.78)
+    return formatNumber(0.5 + R.nextDouble() * 3.0, 2);
+  if (U < 0.82)
+    return "i";
+  return inputRead();
+}
+
+std::string SourceGen::inputRead() {
+  const int Array = static_cast<int>(R.nextInRange(0, NumInArrays - 1));
+  const int Off = static_cast<int>(R.nextInRange(-2, 2));
+  std::ostringstream OS;
+  OS << "in" << Array << "[i";
+  if (Off != 0)
+    OS << (Off < 0 ? "-" : "+") << std::abs(Off);
+  OS << "]";
+  EstOps += 2;
+  return OS.str();
+}
+
+} // namespace
+
+std::string lsms::generateRandomLoopSource(Rng &R,
+                                           const RandomLoopConfig &Config) {
+  SourceGen G(R, Config);
+  return G.run();
+}
+
+LoopBody lsms::generateRandomLoop(uint64_t Seed,
+                                  const RandomLoopConfig &Config) {
+  Rng R(Seed);
+  const std::string Source = generateRandomLoopSource(R, Config);
+  LoopBody Body;
+  const std::string Err =
+      compileLoop(Source, "rand" + std::to_string(Seed), Body);
+  if (!Err.empty()) {
+    std::fprintf(stderr,
+                 "random loop generator produced invalid source (%s):\n%s\n",
+                 Err.c_str(), Source.c_str());
+    assert(false && "random loop generator produced invalid source");
+  }
+  return Body;
+}
+
+LoopBody lsms::generateRandomLoop(uint64_t Seed) {
+  Rng R(Seed ^ 0xABCDEF);
+  return generateRandomLoop(Seed, drawTable2Config(R));
+}

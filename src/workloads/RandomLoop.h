@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random loop synthesis. The paper evaluates on 1,525 FORTRAN DO loops
+/// from the Lawrence Livermore Loops, SPEC89, and the Perfect Club; those
+/// sources (and Cydrome's front end) are not available, so the suite is
+/// substituted with random programs in the loop DSL, drawn so the resulting
+/// bodies match Table 2's distributions of operation counts, recurrence
+/// membership, conditional frequency, and divider usage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_WORKLOADS_RANDOMLOOP_H
+#define LSMS_WORKLOADS_RANDOMLOOP_H
+
+#include "ir/LoopBody.h"
+#include "support/Rng.h"
+
+#include <string>
+
+namespace lsms {
+
+/// Knobs for one random loop.
+struct RandomLoopConfig {
+  /// Approximate number of machine operations to aim for (the generator
+  /// adds statements until the estimate is reached).
+  int TargetOps = 18;
+  /// Probability that the loop contains conditionals (if-converted).
+  double ConditionalProb = 0.30;
+  /// Probability that the loop carries a non-trivial recurrence.
+  double RecurrenceProb = 0.37;
+  /// Probability that a generated statement uses divide or sqrt.
+  double DividerProb = 0.04;
+  /// Maximum omega for cross-iteration references.
+  int MaxOmega = 3;
+};
+
+/// Draws a config whose TargetOps follow the heavy-tailed size
+/// distribution of the paper's Table 2 (median ~18 ops, 90th percentile
+/// ~80, maximum ~400).
+RandomLoopConfig drawTable2Config(Rng &R);
+
+/// Generates DSL source for one random loop.
+std::string generateRandomLoopSource(Rng &R, const RandomLoopConfig &Config);
+
+/// Generates and compiles one random loop (asserts the generated source
+/// compiles — the generator emits only valid programs).
+LoopBody generateRandomLoop(uint64_t Seed, const RandomLoopConfig &Config);
+
+/// Convenience: Table 2-calibrated loop from a seed alone.
+LoopBody generateRandomLoop(uint64_t Seed);
+
+} // namespace lsms
+
+#endif // LSMS_WORKLOADS_RANDOMLOOP_H

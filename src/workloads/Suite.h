@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation suite. The paper uses all 1,525 eligible DO loops from
+/// the Lawrence Livermore Loops, SPEC89 FORTRAN, and the Perfect Club;
+/// this repository substitutes ~25 hand-written Livermore-style DSL
+/// kernels plus random loops calibrated to Table 2 (see RandomLoop.h and
+/// DESIGN.md for the substitution rationale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_WORKLOADS_SUITE_H
+#define LSMS_WORKLOADS_SUITE_H
+
+#include "ir/LoopBody.h"
+
+#include <vector>
+
+namespace lsms {
+
+/// A named DSL kernel.
+struct NamedKernel {
+  const char *Name;
+  const char *Source;
+};
+
+/// The hand-written kernels (name + DSL source).
+const std::vector<NamedKernel> &kernelSources();
+
+/// Compiles every hand-written kernel.
+std::vector<LoopBody> buildKernelSuite();
+
+/// The full evaluation suite: hand-written kernels plus random loops up to
+/// \p TotalLoops (default matches the paper's 1,525).
+std::vector<LoopBody> buildFullSuite(int TotalLoops = 1525,
+                                     uint64_t Seed = 19930601);
+
+} // namespace lsms
+
+#endif // LSMS_WORKLOADS_SUITE_H

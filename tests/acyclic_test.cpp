@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for straight-line slack scheduling (the paper's Section 8
+/// future-work experiment): the schedule must respect same-iteration
+/// dependences and resources, and the bidirectional heuristic should not
+/// lose to the unidirectional one on register pressure.
+//===----------------------------------------------------------------------===//
+
+#include "core/AcyclicScheduler.h"
+#include "workloads/Kernels.h"
+#include "workloads/RandomLoop.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+/// Checks omega-0 dependences and per-cycle unit capacities.
+void checkStraightLine(const LoopBody &Body, const AcyclicSchedule &Sched) {
+  ASSERT_TRUE(Sched.Success) << Body.Name;
+  const DepGraph Graph(Body, machine());
+  for (const DepArc &Arc : Graph.arcs()) {
+    if (Arc.Omega != 0 || Arc.Src == Body.startOp() ||
+        Arc.Dst == Body.stopOp())
+      continue;
+    EXPECT_GE(Sched.Times[static_cast<size_t>(Arc.Dst)],
+              Sched.Times[static_cast<size_t>(Arc.Src)] + Arc.Latency)
+        << Body.Name;
+  }
+  // Unit-capacity check per cycle (no wraparound in straight-line code).
+  std::map<std::pair<int, long>, int> UnitUse; // (fu kind, cycle)
+  for (const Operation &Op : Body.Ops) {
+    const FuKind Kind = machine().unitFor(Op.Opc);
+    if (Kind == FuKind::None)
+      continue;
+    const long T = Sched.Times[static_cast<size_t>(Op.Id)];
+    for (int R = 0; R < machine().reservationCycles(Op.Opc); ++R) {
+      const int Used =
+          ++UnitUse[{static_cast<int>(Kind), T + R}];
+      EXPECT_LE(Used, machine().unitCount(Kind)) << Body.Name;
+    }
+  }
+}
+
+} // namespace
+
+TEST(StraightLine, DaxpyBlockSchedules) {
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  const AcyclicSchedule Sched = scheduleStraightLine(Graph);
+  checkStraightLine(Body, Sched);
+  // Critical chain: aadd(1) + load(13) + fmul(2) + fadd(1) + store(1).
+  EXPECT_GE(Sched.Length, 18);
+}
+
+TEST(StraightLine, AllKernelsSchedule) {
+  for (const LoopBody &Body : buildKernelSuite()) {
+    const DepGraph Graph(Body, machine());
+    checkStraightLine(Body, scheduleStraightLine(Graph));
+  }
+}
+
+TEST(StraightLine, BidirectionalPressureNoWorseOnAggregate) {
+  long Bi = 0, Uni = 0;
+  for (const LoopBody &Body : buildKernelSuite()) {
+    const DepGraph Graph(Body, machine());
+    const AcyclicSchedule A =
+        scheduleStraightLine(Graph, SchedulerOptions::slack());
+    const AcyclicSchedule B =
+        scheduleStraightLine(Graph, SchedulerOptions::unidirectionalSlack());
+    ASSERT_TRUE(A.Success && B.Success) << Body.Name;
+    Bi += A.MaxLive;
+    Uni += B.MaxLive;
+  }
+  EXPECT_LE(Bi, Uni);
+}
+
+TEST(StraightLine, MaxLiveCountsLiveIns) {
+  // A block reading a value from outside (omega > 0) keeps it live from
+  // entry.
+  const LoopBody Body = buildDotLoop(); // s reads s@1: live-in
+  const DepGraph Graph(Body, machine());
+  const AcyclicSchedule Sched = scheduleStraightLine(Graph);
+  ASSERT_TRUE(Sched.Success);
+  EXPECT_GE(Sched.MaxLive, 2); // the live-in accumulator plus a load
+}
+
+class StraightLineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StraightLineProperty, RandomBlocksScheduleAndVerify) {
+  RandomLoopConfig Config;
+  Config.TargetOps = 20;
+  const LoopBody Body =
+      generateRandomLoop(static_cast<uint64_t>(GetParam()) + 8800, Config);
+  const DepGraph Graph(Body, machine());
+  const AcyclicSchedule Sched = scheduleStraightLine(Graph);
+  checkStraightLine(Body, Sched);
+  EXPECT_GE(Sched.MaxLive, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StraightLineProperty,
+                         ::testing::Range(1, 26));

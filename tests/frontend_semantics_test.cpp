@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+/// \file Semantic tests for the DSL front end, checked through the
+/// reference interpreter: operator precedence, nested conditionals,
+/// load CSE invalidation across stores, scalar chains, and parameters.
+//===----------------------------------------------------------------------===//
+
+#include "frontend/LoopCompiler.h"
+#include "vliwsim/Execution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace lsms;
+
+namespace {
+
+LoopBody compileOrDie(const std::string &Src, const std::string &Name) {
+  LoopBody Body;
+  const std::string Err = compileLoop(Src, Name, Body);
+  EXPECT_EQ(Err, "") << Src;
+  EXPECT_EQ(Body.verify(), "") << Name;
+  return Body;
+}
+
+/// Runs the loop with x[i] = i (and every other array = 1) and returns the
+/// written cells of the named output array.
+std::map<long, double> runWith(const LoopBody &Body, int OutArray, long N) {
+  const auto Init = [](int Array, long Index) {
+    return Array == 0 ? static_cast<double>(Index) : 1.0;
+  };
+  const ExecutionResult R = runReference(Body, N, Init);
+  EXPECT_EQ(R.Error, "");
+  return R.Arrays[static_cast<size_t>(OutArray)];
+}
+
+int arrayIdOf(const LoopBody &Body, const std::string &Name) {
+  for (size_t I = 0; I < Body.ArrayNames.size(); ++I)
+    if (Body.ArrayNames[I] == Name)
+      return static_cast<int>(I);
+  ADD_FAILURE() << "array " << Name << " not found";
+  return -1;
+}
+
+} // namespace
+
+TEST(FrontendSemantics, PrecedenceMulBeforeAdd) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = x[i] + 2 * 3\nend\n", "prec1");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  for (long I = 1; I <= 3; ++I)
+    EXPECT_DOUBLE_EQ(Y.at(I), I + 6.0);
+}
+
+TEST(FrontendSemantics, ParenthesesOverride) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = (x[i] + 2) * 3\nend\n", "prec2");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  for (long I = 1; I <= 3; ++I)
+    EXPECT_DOUBLE_EQ(Y.at(I), (I + 2.0) * 3.0);
+}
+
+TEST(FrontendSemantics, LeftAssociativeSubtraction) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = x[i] - 1 - 2\nend\n", "assoc");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  for (long I = 1; I <= 3; ++I)
+    EXPECT_DOUBLE_EQ(Y.at(I), I - 3.0);
+}
+
+TEST(FrontendSemantics, UnaryMinusBindsTightly) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = -x[i] * 2\nend\n", "unary");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  for (long I = 1; I <= 3; ++I)
+    EXPECT_DOUBLE_EQ(Y.at(I), -static_cast<double>(I) * 2.0);
+}
+
+TEST(FrontendSemantics, NegativeParam) {
+  const LoopBody Body = compileOrDie(
+      "param a = -2.5\nloop i = 1, n\n  y[i] = a * x[i]\nend\n", "negp");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 2);
+  EXPECT_DOUBLE_EQ(Y.at(1), -2.5);
+  EXPECT_DOUBLE_EQ(Y.at(2), -5.0);
+}
+
+TEST(FrontendSemantics, LoadCseInvalidatedByStore) {
+  // The second read of x[i] must observe the store between the reads.
+  const LoopBody Body = compileOrDie("loop i = 1, n\n"
+                                     "  y[i] = x[i]\n"
+                                     "  x[i] = 7\n"
+                                     "  z[i] = x[i]\n"
+                                     "end\n",
+                                     "cseinv");
+  const auto Init = [](int Array, long Index) {
+    (void)Array;
+    return static_cast<double>(Index);
+  };
+  const ExecutionResult R = runReference(Body, 3, Init);
+  ASSERT_EQ(R.Error, "");
+  const int Y = arrayIdOf(Body, "y"), Z = arrayIdOf(Body, "z");
+  for (long I = 1; I <= 3; ++I) {
+    EXPECT_DOUBLE_EQ(R.Arrays[static_cast<size_t>(Y)].at(I), I); // pre-store
+    EXPECT_DOUBLE_EQ(R.Arrays[static_cast<size_t>(Z)].at(I), 7); // forwarded
+  }
+}
+
+TEST(FrontendSemantics, ScalarChainWithinIteration) {
+  const LoopBody Body = compileOrDie("loop i = 1, n\n"
+                                     "  t = x[i] * 2\n"
+                                     "  t = t + 1\n"
+                                     "  y[i] = t\n"
+                                     "end\n",
+                                     "chain");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  for (long I = 1; I <= 3; ++I)
+    EXPECT_DOUBLE_EQ(Y.at(I), 2.0 * I + 1.0);
+}
+
+TEST(FrontendSemantics, IfInsideElse) {
+  const LoopBody Body = compileOrDie("param lo = 1.5\nparam hi = 2.5\n"
+                                     "loop i = 1, n\n"
+                                     "  if (x[i] < lo) then\n"
+                                     "    y[i] = 0\n"
+                                     "  else\n"
+                                     "    if (x[i] > hi) then\n"
+                                     "      y[i] = 2\n"
+                                     "    else\n"
+                                     "      y[i] = 1\n"
+                                     "    end\n"
+                                     "  end\n"
+                                     "end\n",
+                                     "nested");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  // x[i] = i: x=1 -> <lo -> 0; x=2 -> middle -> 1; x=3 -> >hi -> 2.
+  EXPECT_DOUBLE_EQ(Y.at(1), 0);
+  EXPECT_DOUBLE_EQ(Y.at(2), 1);
+  EXPECT_DOUBLE_EQ(Y.at(3), 2);
+}
+
+TEST(FrontendSemantics, ConditionalScalarKeepsOldValue) {
+  const LoopBody Body = compileOrDie("param s = 100\n"
+                                     "loop i = 1, n\n"
+                                     "  if (x[i] > 2) then\n"
+                                     "    s = x[i]\n"
+                                     "  end\n"
+                                     "  y[i] = s\n"
+                                     "end\n",
+                                     "condscalar");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 4);
+  // x[i] = i: s stays 100 until i=3.
+  EXPECT_DOUBLE_EQ(Y.at(1), 100);
+  EXPECT_DOUBLE_EQ(Y.at(2), 100);
+  EXPECT_DOUBLE_EQ(Y.at(3), 3);
+  EXPECT_DOUBLE_EQ(Y.at(4), 4);
+}
+
+TEST(FrontendSemantics, SqrtComposes) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = sqrt(x[i] * x[i] + 0)\nend\n", "sqrt");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 4);
+  for (long I = 1; I <= 4; ++I)
+    EXPECT_DOUBLE_EQ(Y.at(I), static_cast<double>(I));
+}
+
+TEST(FrontendSemantics, ReadOnlyArrayNeverWritten) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = x[i] + x[i+1]\nend\n", "readonly");
+  // Array x exists with no stores; loads only.
+  int Loads = 0, Stores = 0;
+  for (const Operation &Op : Body.Ops) {
+    Loads += Op.Opc == Opcode::Load ? 1 : 0;
+    Stores += Op.Opc == Opcode::Store ? 1 : 0;
+  }
+  EXPECT_EQ(Loads, 2);
+  EXPECT_EQ(Stores, 1);
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  for (long I = 1; I <= 3; ++I)
+    EXPECT_DOUBLE_EQ(Y.at(I), I + (I + 1.0));
+}
+
+TEST(FrontendSemantics, CrossIterationScalarReadsPreviousFinal) {
+  const LoopBody Body = compileOrDie("param s = 10\n"
+                                     "loop i = 1, n\n"
+                                     "  y[i] = s\n"
+                                     "  s = s + 1\n"
+                                     "end\n",
+                                     "prevfinal");
+  const auto Y = runWith(Body, arrayIdOf(Body, "y"), 3);
+  // y[i] reads the PREVIOUS iteration's final s.
+  EXPECT_DOUBLE_EQ(Y.at(1), 10);
+  EXPECT_DOUBLE_EQ(Y.at(2), 11);
+  EXPECT_DOUBLE_EQ(Y.at(3), 12);
+}

@@ -1,0 +1,356 @@
+//===----------------------------------------------------------------------===//
+/// \file Unit tests for the loop DSL front end: lexer, parser, if-conversion,
+/// load/store elimination, and memory dependence analysis.
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/LoopCompiler.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+LoopBody compileOrDie(const std::string &Src, const std::string &Name) {
+  LoopBody Body;
+  const std::string Err = compileLoop(Src, Name, Body);
+  EXPECT_EQ(Err, "") << Src;
+  EXPECT_EQ(Body.verify(), "") << Name;
+  return Body;
+}
+
+int countOpcode(const LoopBody &Body, Opcode Opc) {
+  int N = 0;
+  for (const Operation &Op : Body.Ops)
+    if (Op.Opc == Opc)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  std::vector<Token> Tokens;
+  std::string Err;
+  ASSERT_TRUE(tokenize("loop i = 1, n\nx[i] = a <= 3.5 # comment\nend",
+                       Tokens, Err))
+      << Err;
+  ASSERT_GE(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwLoop);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Text, "i");
+  bool SawLe = false, SawNumber = false;
+  for (const Token &T : Tokens) {
+    SawLe |= T.Kind == TokenKind::Le;
+    if (T.Kind == TokenKind::Number) {
+      SawNumber = true;
+      EXPECT_DOUBLE_EQ(T.NumberValue, T.Text == "1" ? 1.0 : 3.5);
+    }
+  }
+  EXPECT_TRUE(SawLe);
+  EXPECT_TRUE(SawNumber);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  std::vector<Token> Tokens;
+  std::string Err;
+  EXPECT_FALSE(tokenize("loop i = 1, n\nx[i] = $\nend", Tokens, Err));
+  EXPECT_NE(Err.find("unexpected character"), std::string::npos);
+}
+
+TEST(Lexer, SemicolonSeparatesStatements) {
+  std::vector<Token> Tokens;
+  std::string Err;
+  ASSERT_TRUE(tokenize("a = 1; b = 2", Tokens, Err));
+  int Newlines = 0;
+  for (const Token &T : Tokens)
+    Newlines += T.Kind == TokenKind::Newline ? 1 : 0;
+  EXPECT_GE(Newlines, 2);
+}
+
+TEST(Parser, ParsesSampleLoop) {
+  std::string Err;
+  const auto Prog = parseProgram(
+      "loop i = 3, n\n"
+      "  x[i] = x[i-1] + y[i-2]\n"
+      "  y[i] = y[i-1] + x[i-2]\n"
+      "end\n",
+      Err);
+  ASSERT_NE(Prog, nullptr) << Err;
+  EXPECT_EQ(Prog->Counter, "i");
+  EXPECT_EQ(Prog->First, 3);
+  EXPECT_EQ(Prog->Body.size(), 2u);
+  EXPECT_EQ(Prog->Body[0]->Assign.Offset, 0);
+  EXPECT_TRUE(Prog->Body[0]->Assign.IsArray);
+}
+
+TEST(Parser, ParsesIfElseAndParams) {
+  std::string Err;
+  const auto Prog = parseProgram(
+      "param a = 2.5\n"
+      "loop i = 1, n\n"
+      "  if (x[i] > a) then\n"
+      "    y[i] = x[i]\n"
+      "  else\n"
+      "    y[i] = -x[i]\n"
+      "  end\n"
+      "end\n",
+      Err);
+  ASSERT_NE(Prog, nullptr) << Err;
+  ASSERT_EQ(Prog->Params.size(), 1u);
+  EXPECT_EQ(Prog->Params[0].first, "a");
+  EXPECT_DOUBLE_EQ(Prog->Params[0].second, 2.5);
+  ASSERT_EQ(Prog->Body.size(), 1u);
+  EXPECT_EQ(Prog->Body[0]->Kind, StmtKind::If);
+  EXPECT_EQ(Prog->Body[0]->If.Then.size(), 1u);
+  EXPECT_EQ(Prog->Body[0]->If.Else.size(), 1u);
+}
+
+TEST(Parser, ReportsSyntaxErrors) {
+  std::string Err;
+  EXPECT_EQ(parseProgram("loop i = 1, n\nx[i] = +\nend", Err), nullptr);
+  EXPECT_NE(Err.find("line 2"), std::string::npos);
+
+  Err.clear();
+  EXPECT_EQ(parseProgram("loop i = 1, n\nend", Err), nullptr);
+  EXPECT_NE(Err.find("empty"), std::string::npos);
+
+  Err.clear();
+  EXPECT_EQ(parseProgram("loop i = 1, 10\nx[i] = 1\nend", Err), nullptr);
+  EXPECT_NE(Err.find("'n'"), std::string::npos);
+}
+
+TEST(Parser, RejectsNonConstantSubscript) {
+  std::string Err;
+  EXPECT_EQ(parseProgram("loop i = 1, n\nx[j] = 1\nend", Err), nullptr);
+}
+
+TEST(LoopCompiler, SampleLoopEliminatesAllLoads) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 3, n\n"
+      "  x[i] = x[i-1] + y[i-2]\n"
+      "  y[i] = y[i-1] + x[i-2]\n"
+      "end\n",
+      "sample");
+  // All four reads are covered by the unconditional writes at offset 0:
+  // no loads remain (Section 2.3's load/store elimination).
+  EXPECT_EQ(countOpcode(Body, Opcode::Load), 0);
+  EXPECT_EQ(countOpcode(Body, Opcode::Store), 2);
+  EXPECT_EQ(countOpcode(Body, Opcode::FloatAdd), 2);
+
+  // The x value is read at omega 1 (x[i-1]) and omega 2 (x[i-2]).
+  int X = -1;
+  for (const Value &V : Body.Values)
+    if (V.Name == "x_p0")
+      X = V.Id;
+  ASSERT_GE(X, 0);
+  EXPECT_EQ(Body.value(X).SeedArrayId, 0);
+  std::vector<int> Omegas;
+  for (const auto &Site : Body.usesOf(X))
+    Omegas.push_back(Site.Omega);
+  std::sort(Omegas.begin(), Omegas.end());
+  EXPECT_EQ(Omegas, (std::vector<int>{0, 1, 2})); // store@0, x[i-1], x[i-2]
+}
+
+TEST(LoopCompiler, PureStreamKeepsLoads) {
+  const LoopBody Body = compileOrDie(
+      "param a = 3\n"
+      "loop i = 1, n\n"
+      "  z[i] = a * x[i] + y[i]\n"
+      "end\n",
+      "daxpy");
+  EXPECT_EQ(countOpcode(Body, Opcode::Load), 2);
+  EXPECT_EQ(countOpcode(Body, Opcode::Store), 1);
+  EXPECT_EQ(countOpcode(Body, Opcode::FloatMul), 1);
+  EXPECT_FALSE(Body.HasConditional);
+}
+
+TEST(LoopCompiler, LoadCseReusesIdenticalReads) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n"
+      "  y[i] = x[i] * x[i]\n"
+      "end\n",
+      "square");
+  EXPECT_EQ(countOpcode(Body, Opcode::Load), 1);
+}
+
+TEST(LoopCompiler, ReadBeforeWriteAtSameOffsetLoads) {
+  // The read of x[i] happens before x[i] is written: it must load the
+  // original memory, and the write creates an anti dependence.
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n"
+      "  y[i] = x[i] + 1\n"
+      "  x[i] = y[i] * 2\n"
+      "end\n",
+      "rbw");
+  EXPECT_EQ(countOpcode(Body, Opcode::Load), 1);
+  bool SawAnti = false;
+  for (const MemDep &D : Body.MemDeps)
+    SawAnti |= D.Kind == DepKind::Anti;
+  EXPECT_TRUE(SawAnti);
+}
+
+TEST(LoopCompiler, ReadAfterWriteAtSameOffsetForwards) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n"
+      "  x[i] = y[i] + 1\n"
+      "  z[i] = x[i] * 2\n"
+      "end\n",
+      "raw");
+  // x[i] is forwarded from the store's value: only the y load remains.
+  EXPECT_EQ(countOpcode(Body, Opcode::Load), 1);
+}
+
+TEST(LoopCompiler, ConditionalWriteBlocksElimination) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 2, n\n"
+      "  if (y[i] > 0) then\n"
+      "    x[i] = y[i]\n"
+      "  end\n"
+      "  z[i] = x[i-1]\n"
+      "end\n",
+      "condwrite");
+  // x[i-1] cannot be forwarded from the conditional store; a load plus a
+  // cross-iteration memory flow arc must exist.
+  int Loads = 0;
+  for (const Operation &Op : Body.Ops)
+    if (Op.Opc == Opcode::Load && Op.ElemOffset == -1)
+      ++Loads;
+  EXPECT_EQ(Loads, 1);
+  bool SawOmega1Flow = false;
+  for (const MemDep &D : Body.MemDeps)
+    SawOmega1Flow |= D.Kind == DepKind::Flow && D.Omega == 1;
+  EXPECT_TRUE(SawOmega1Flow);
+}
+
+TEST(LoopCompiler, IfConversionPredicatesStores) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n"
+      "  if (x[i] > 0) then\n"
+      "    y[i] = x[i]\n"
+      "  else\n"
+      "    y[i] = -x[i]\n"
+      "  end\n"
+      "end\n",
+      "predabs");
+  EXPECT_TRUE(Body.HasConditional);
+  EXPECT_EQ(Body.SourceBasicBlocks, 4);
+  int PredicatedStores = 0;
+  for (const Operation &Op : Body.Ops)
+    if (Op.Opc == Opcode::Store && Op.PredValue >= 0)
+      ++PredicatedStores;
+  EXPECT_EQ(PredicatedStores, 2);
+  EXPECT_EQ(countOpcode(Body, Opcode::PredNot), 1);
+  // Both stores write y[i]: an output memory dependence must order them.
+  bool SawOutput = false;
+  for (const MemDep &D : Body.MemDeps)
+    SawOutput |= D.Kind == DepKind::Output && D.Omega == 0;
+  EXPECT_TRUE(SawOutput);
+}
+
+TEST(LoopCompiler, ScalarMergeUsesSelect) {
+  const LoopBody Body = compileOrDie(
+      "param s = 0\n"
+      "loop i = 1, n\n"
+      "  if (x[i] > 0) then\n"
+      "    s = s + x[i]\n"
+      "  end\n"
+      "end\n",
+      "condsum");
+  EXPECT_EQ(countOpcode(Body, Opcode::Select), 1);
+  // The select defines the scalar's final value: its result is the value
+  // named "s", which must be live-out and seeded with the param init.
+  int S = -1;
+  for (const Value &V : Body.Values)
+    if (V.Name == "s" && V.Class == RegClass::RR)
+      S = V.Id;
+  ASSERT_GE(S, 0);
+  EXPECT_TRUE(Body.value(S).LiveOut);
+  ASSERT_EQ(Body.value(S).Seeds.size(), 1u);
+  EXPECT_DOUBLE_EQ(Body.value(S).Seeds[0], 0.0);
+  EXPECT_EQ(Body.op(Body.value(S).Def).Opc, Opcode::Select);
+}
+
+TEST(LoopCompiler, AccumulatorBecomesSelfRecurrence) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n"
+      "  s = s + x[i] * y[i]\n"
+      "end\n",
+      "dot");
+  int S = -1;
+  for (const Value &V : Body.Values)
+    if (V.Name == "s" && V.Class == RegClass::RR)
+      S = V.Id;
+  ASSERT_GE(S, 0);
+  // s's defining fadd uses s@1.
+  const Operation &Def = Body.op(Body.value(S).Def);
+  EXPECT_EQ(Def.Opc, Opcode::FloatAdd);
+  bool UsesSelf = false;
+  for (const Use &U : Def.Operands)
+    UsesSelf |= U.Value == S && U.Omega == 1;
+  EXPECT_TRUE(UsesSelf);
+}
+
+TEST(LoopCompiler, InductionVariableMaterializes) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 5, n\n"
+      "  x[i] = i * 2\n"
+      "end\n",
+      "iota");
+  int IV = -1;
+  for (const Value &V : Body.Values)
+    if (V.Name == "i" && V.Class == RegClass::RR)
+      IV = V.Id;
+  ASSERT_GE(IV, 0);
+  EXPECT_EQ(Body.op(Body.value(IV).Def).Opc, Opcode::IntAdd);
+  ASSERT_EQ(Body.value(IV).Seeds.size(), 1u);
+  EXPECT_DOUBLE_EQ(Body.value(IV).Seeds[0], 4.0);
+}
+
+TEST(LoopCompiler, SqrtAndDivideMapToDivider) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n"
+      "  y[i] = sqrt(x[i]) / (x[i] + 1)\n"
+      "end\n",
+      "sqrtdiv");
+  EXPECT_EQ(countOpcode(Body, Opcode::FloatSqrt), 1);
+  EXPECT_EQ(countOpcode(Body, Opcode::FloatDiv), 1);
+}
+
+TEST(LoopCompiler, SemanticErrors) {
+  LoopBody B1;
+  EXPECT_NE(compileLoop("loop i = 1, n\n i = 3\nend", "bad1", B1), "");
+  LoopBody B2;
+  EXPECT_NE(compileLoop("loop i = 1, n\n x = x[i]\nend", "bad2", B2), "");
+  LoopBody B3;
+  EXPECT_NE(
+      compileLoop("param a = 1\nparam a = 2\nloop i = 1, n\nx[i] = a\nend",
+                  "bad3", B3),
+      "");
+}
+
+TEST(LoopCompiler, AddressStreamsPerReference) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 2, n\n"
+      "  y[i] = x[i] + x[i-1]\n"
+      "end\n",
+      "stencil");
+  // Address streams: x[i], x[i-1], y[i] -> three self-recurrent aadds.
+  EXPECT_EQ(countOpcode(Body, Opcode::AddrAdd), 3);
+}
+
+TEST(LoopCompiler, StoreValueSeededFromArray) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 2, n\n"
+      "  x[i] = x[i-1] * 0.5\n"
+      "end\n",
+      "decay");
+  int XS = -1;
+  for (const Value &V : Body.Values)
+    if (V.SeedArrayId >= 0)
+      XS = V.Id;
+  ASSERT_GE(XS, 0);
+  EXPECT_EQ(Body.value(XS).SeedElemOffset, 0);
+}

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+/// \file Unit tests for SCCs, circuit enumeration, min-ratio RecMII, and
+/// the MinDist relation.
+//===----------------------------------------------------------------------===//
+
+#include "graph/Circuits.h"
+#include "graph/MinDist.h"
+#include "graph/MinRatioCycle.h"
+#include "graph/Scc.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+DepGraph makeGraph(const LoopBody &Body) {
+  static MachineModel Machine = MachineModel::cydra5();
+  return DepGraph(Body, Machine);
+}
+
+} // namespace
+
+TEST(Scc, SampleLoopHasOneTwoOpComponent) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph = makeGraph(Body);
+  const SccInfo Sccs = computeSccs(Graph);
+
+  int OnRec = 0;
+  for (const Operation &Op : Body.Ops)
+    if (Sccs.OnRecurrence[static_cast<size_t>(Op.Id)])
+      ++OnRec;
+  // Exactly the two mutually recurrent fadds (address self-loops are
+  // trivial circuits and do not count).
+  EXPECT_EQ(OnRec, 2);
+}
+
+TEST(Scc, StraightLineLoopHasNoRecurrences) {
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph = makeGraph(Body);
+  const SccInfo Sccs = computeSccs(Graph);
+  for (const Operation &Op : Body.Ops)
+    EXPECT_FALSE(Sccs.OnRecurrence[static_cast<size_t>(Op.Id)]) << Op.Name;
+}
+
+TEST(Circuits, SampleLoopCircuits) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph = makeGraph(Body);
+  const CircuitScan Scan = findElementaryCircuits(Graph);
+  EXPECT_FALSE(Scan.Truncated);
+
+  // Self-loops: x->x, y->y, ax->ax, ay->ay. Two-node circuit: x<->y.
+  int SelfLoops = 0, TwoNode = 0;
+  for (const Circuit &C : Scan.Circuits) {
+    if (C.Nodes.size() == 1)
+      ++SelfLoops;
+    if (C.Nodes.size() == 2)
+      ++TwoNode;
+  }
+  EXPECT_EQ(SelfLoops, 4);
+  EXPECT_EQ(TwoNode, 1);
+}
+
+TEST(Circuits, CircuitScanMatchesRatioAlgorithm) {
+  for (const LoopBody &Body :
+       {buildSampleLoop(), buildDotLoop(), buildLinearRecurrenceLoop(),
+        buildDivideLoop()}) {
+    const DepGraph Graph = makeGraph(Body);
+    const CircuitScan Scan = findElementaryCircuits(Graph);
+    ASSERT_FALSE(Scan.Truncated);
+    int ByScan = 0;
+    for (const Circuit &C : Scan.Circuits)
+      ByScan = std::max(ByScan, circuitRecMII(Graph, C.Nodes));
+    const int ByRatio = computeRecMIIByRatio(Graph);
+    EXPECT_EQ(ByScan, ByRatio) << Body.Name;
+  }
+}
+
+TEST(MinRatioCycle, LinearRecurrenceRecMII) {
+  // x(i) = a*x(i-1) + b: fmul(2) + fadd(1) over omega 1 -> RecMII 3.
+  const LoopBody Body = buildLinearRecurrenceLoop();
+  const DepGraph Graph = makeGraph(Body);
+  EXPECT_EQ(computeRecMIIByRatio(Graph), 3);
+}
+
+TEST(MinRatioCycle, SampleLoopRecMII) {
+  // x<->y: two fadds (lat 1 each) over omega 4 -> ceil(2/4) = 1;
+  // self-recurrences: lat 1 over omega 1 -> 1.
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph = makeGraph(Body);
+  EXPECT_EQ(computeRecMIIByRatio(Graph), 1);
+}
+
+TEST(MinRatioCycle, PositiveCycleDetection) {
+  const LoopBody Body = buildLinearRecurrenceLoop();
+  const DepGraph Graph = makeGraph(Body);
+  EXPECT_TRUE(hasPositiveCycle(Graph, 2));
+  EXPECT_FALSE(hasPositiveCycle(Graph, 3));
+}
+
+TEST(MinDist, RejectsTooSmallII) {
+  const LoopBody Body = buildLinearRecurrenceLoop();
+  const DepGraph Graph = makeGraph(Body);
+  MinDistMatrix M;
+  EXPECT_FALSE(M.compute(Graph, 2));
+  EXPECT_TRUE(M.compute(Graph, 3));
+}
+
+TEST(MinDist, DiagonalIsZeroAtFeasibleII) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph = makeGraph(Body);
+  MinDistMatrix M;
+  ASSERT_TRUE(M.compute(Graph, 2));
+  for (int X = 0; X < M.numOps(); ++X)
+    EXPECT_EQ(M.at(X, X), 0);
+}
+
+TEST(MinDist, TriangleInequalityOfLongestPaths) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph = makeGraph(Body);
+  MinDistMatrix M;
+  ASSERT_TRUE(M.compute(Graph, 2));
+  const int N = M.numOps();
+  for (int X = 0; X < N; ++X)
+    for (int Y = 0; Y < N; ++Y)
+      for (int Z = 0; Z < N; ++Z) {
+        if (!M.connected(X, Y) || !M.connected(Y, Z))
+          continue;
+        ASSERT_TRUE(M.connected(X, Z));
+        EXPECT_GE(M.at(X, Z), M.at(X, Y) + M.at(Y, Z));
+      }
+}
+
+TEST(MinDist, StartReachesEverythingNonNegative) {
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph = makeGraph(Body);
+  MinDistMatrix M;
+  ASSERT_TRUE(M.compute(Graph, 3));
+  for (int X = 0; X < M.numOps(); ++X) {
+    ASSERT_TRUE(M.connected(Body.startOp(), X));
+    EXPECT_GE(M.at(Body.startOp(), X), 0);
+  }
+}
+
+TEST(MinDist, CriticalPathThroughLoad) {
+  // daxpy: load (13) -> fmul (2) -> fadd (1) -> store (1) -> Stop.
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph = makeGraph(Body);
+  MinDistMatrix M;
+  ASSERT_TRUE(M.compute(Graph, 3));
+  // Address add (1) precedes the load, so the span to Stop is
+  // 1 + 13 + 2 + 1 + 1 = 18.
+  EXPECT_EQ(M.at(Body.startOp(), Body.stopOp()), 18);
+}
+
+TEST(MinDist, HigherIILoosensRecurrenceDistances) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph = makeGraph(Body);
+  MinDistMatrix M2, M5;
+  ASSERT_TRUE(M2.compute(Graph, 2));
+  ASSERT_TRUE(M5.compute(Graph, 5));
+  // Distances along omega-carrying paths shrink as II grows.
+  bool SomewhereSmaller = false;
+  for (int X = 0; X < M2.numOps(); ++X)
+    for (int Y = 0; Y < M2.numOps(); ++Y) {
+      if (!M2.connected(X, Y))
+        continue;
+      ASSERT_TRUE(M5.connected(X, Y));
+      EXPECT_LE(M5.at(X, Y), M2.at(X, Y));
+      SomewhereSmaller |= M5.at(X, Y) < M2.at(X, Y);
+    }
+  EXPECT_TRUE(SomewhereSmaller);
+}

@@ -1,0 +1,182 @@
+//===----------------------------------------------------------------------===//
+/// \file Unit tests for the loop IR, builder, verifier, and DepGraph.
+//===----------------------------------------------------------------------===//
+
+#include "ir/DepGraph.h"
+#include "ir/IRBuilder.h"
+#include "ir/LoopBody.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace lsms;
+
+TEST(LoopBody, StartStopPseudoOpsExist) {
+  LoopBody Body;
+  EXPECT_EQ(Body.op(Body.startOp()).Opc, Opcode::Start);
+  EXPECT_EQ(Body.op(Body.stopOp()).Opc, Opcode::Stop);
+  EXPECT_EQ(Body.numMachineOps(), 0);
+}
+
+TEST(LoopBody, SampleLoopVerifies) {
+  const LoopBody Body = buildSampleLoop();
+  EXPECT_EQ(Body.verify(), "");
+  EXPECT_EQ(Body.brTopOp(), Body.numOps() - 1);
+  EXPECT_EQ(Body.NumArrays, 2);
+}
+
+TEST(LoopBody, AllKernelsVerify) {
+  for (const LoopBody &Body :
+       {buildSampleLoop(), buildDaxpyLoop(), buildDotLoop(),
+        buildLinearRecurrenceLoop(), buildPredicatedAbsLoop(),
+        buildDivideLoop()})
+    EXPECT_EQ(Body.verify(), "") << Body.Name;
+}
+
+TEST(LoopBody, UsesOfFindsOperandAndPredicateSites) {
+  const LoopBody Body = buildPredicatedAbsLoop();
+  // Find the predicate value "p" and check it is used as a predicate.
+  int P = -1;
+  for (const Value &V : Body.Values)
+    if (V.Name == "p")
+      P = V.Id;
+  ASSERT_GE(P, 0);
+  const auto Sites = Body.usesOf(P);
+  // Used by PredNot (operand) and the then-store (predicate).
+  EXPECT_EQ(Sites.size(), 2u);
+}
+
+TEST(LoopBody, VerifierRejectsMissingBrTop) {
+  LoopBody Body;
+  IRBuilder B(Body);
+  const int C = B.constant(1.0);
+  B.emitValue(Opcode::FloatAdd, {Use{C, 0}, Use{C, 0}}, "t");
+  // finish() not called: no brtop.
+  EXPECT_NE(Body.verify(), "");
+}
+
+TEST(LoopBody, VerifierRejectsZeroOmegaCycle) {
+  LoopBody Body;
+  IRBuilder B(Body);
+  const int X = B.declareValue(RegClass::RR, "x");
+  const int Y =
+      B.emitValue(Opcode::FloatAdd, {Use{X, 0}, Use{X, 0}}, "y");
+  B.defineValue(X, Opcode::FloatMul, {Use{Y, 0}, Use{Y, 0}});
+  Body.addOperation(Opcode::BrTop, {}, "brtop");
+  Body.setBrTop(Body.numOps() - 1);
+  const std::string Err = Body.verify();
+  EXPECT_NE(Err.find("cycle"), std::string::npos) << Err;
+}
+
+TEST(LoopBody, VerifierAcceptsOmegaOneCycle) {
+  const LoopBody Body = buildLinearRecurrenceLoop();
+  EXPECT_EQ(Body.verify(), "");
+}
+
+TEST(LoopBody, VerifierRejectsGprWithOmega) {
+  LoopBody Body;
+  IRBuilder B(Body);
+  const int A = B.invariant("a", 1.0);
+  B.emitValue(Opcode::FloatAdd, {Use{A, 1}, Use{A, 0}}, "t");
+  Body.addOperation(Opcode::BrTop, {}, "brtop");
+  Body.setBrTop(Body.numOps() - 1);
+  EXPECT_NE(Body.verify(), "");
+}
+
+TEST(LoopBody, VerifierRejectsBadArity) {
+  LoopBody Body;
+  const int Op = Body.addOperation(Opcode::FloatAdd, {}, "bad");
+  const int V = Body.addValue(RegClass::RR, Op, "bad");
+  Body.op(Op).Result = V;
+  Body.addOperation(Opcode::BrTop, {}, "brtop");
+  Body.setBrTop(Body.numOps() - 1);
+  EXPECT_NE(Body.verify(), "");
+}
+
+TEST(LoopBody, PrintMentionsEveryOp) {
+  const LoopBody Body = buildSampleLoop();
+  std::ostringstream OS;
+  Body.print(OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("fadd"), std::string::npos);
+  EXPECT_NE(Out.find("store"), std::string::npos);
+  EXPECT_NE(Out.find("x"), std::string::npos);
+}
+
+TEST(DepGraph, StartAndStopArcsCoverAllOps) {
+  const LoopBody Body = buildDaxpyLoop();
+  const MachineModel Machine = MachineModel::cydra5();
+  const DepGraph Graph(Body, Machine);
+
+  // Every op other than Start has an incoming arc from Start; every op
+  // other than Stop reaches Stop directly.
+  for (const Operation &Op : Body.Ops) {
+    if (Op.Id != Body.startOp()) {
+      bool FromStart = false;
+      for (int ArcIdx : Graph.predArcs(Op.Id))
+        FromStart |= Graph.arc(ArcIdx).Src == Body.startOp();
+      EXPECT_TRUE(FromStart) << Op.Name;
+    }
+    if (Op.Id != Body.stopOp()) {
+      bool ToStop = false;
+      for (int ArcIdx : Graph.succArcs(Op.Id))
+        ToStop |= Graph.arc(ArcIdx).Dst == Body.stopOp();
+      EXPECT_TRUE(ToStop) << Op.Name;
+    }
+  }
+}
+
+TEST(DepGraph, FlowArcLatencyIsProducerLatency) {
+  const LoopBody Body = buildDaxpyLoop();
+  const MachineModel Machine = MachineModel::cydra5();
+  const DepGraph Graph(Body, Machine);
+
+  // Find the flow arc from the load lx into the multiply.
+  bool Found = false;
+  for (const DepArc &Arc : Graph.arcs()) {
+    if (Arc.Kind != DepKind::Flow)
+      continue;
+    if (Body.op(Arc.Src).Opc == Opcode::Load &&
+        Body.op(Arc.Dst).Opc == Opcode::FloatMul) {
+      EXPECT_EQ(Arc.Latency, 13);
+      EXPECT_EQ(Arc.Omega, 0);
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(DepGraph, GprUsesCreateNoFlowArcs) {
+  const LoopBody Body = buildDaxpyLoop();
+  const MachineModel Machine = MachineModel::cydra5();
+  const DepGraph Graph(Body, Machine);
+  for (const DepArc &Arc : Graph.arcs()) {
+    if (Arc.Kind == DepKind::Flow) {
+      EXPECT_NE(Body.value(Arc.Value).Class, RegClass::GPR);
+    }
+  }
+}
+
+TEST(DepGraph, OmegaCarriedOnRecurrenceArcs) {
+  const LoopBody Body = buildSampleLoop();
+  const MachineModel Machine = MachineModel::cydra5();
+  const DepGraph Graph(Body, Machine);
+  int Omega2Arcs = 0;
+  for (const DepArc &Arc : Graph.arcs())
+    if (Arc.Kind == DepKind::Flow && Arc.Omega == 2)
+      ++Omega2Arcs;
+  // x uses y@2 and y uses x@2.
+  EXPECT_EQ(Omega2Arcs, 2);
+}
+
+TEST(DepGraph, MemDepsBecomeArcs) {
+  const LoopBody Body = buildPredicatedAbsLoop();
+  const MachineModel Machine = MachineModel::cydra5();
+  const DepGraph Graph(Body, Machine);
+  bool Found = false;
+  for (const DepArc &Arc : Graph.arcs())
+    Found |= Arc.Kind == DepKind::Output;
+  EXPECT_TRUE(Found);
+}

@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for modulo variable expansion planning: slot counts must
+/// divide the kernel unroll factor and keep same-register instances from
+/// overlapping; MVE never needs fewer registers than MaxLive.
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ModuloVariableExpansion.h"
+#include "core/ModuloScheduler.h"
+#include "workloads/Kernels.h"
+#include "workloads/RandomLoop.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+} // namespace
+
+TEST(Mve, SampleLoopPlan) {
+  const LoopBody Body = buildSampleLoop();
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  const MveInfo Info = planMve(Body, Sched);
+  ASSERT_TRUE(Info.Success);
+  // x and y live ~2.5 II each -> at least 3 kernel copies.
+  EXPECT_GE(Info.UnrollFactor, 2);
+  EXPECT_EQ(validateMve(Body, Sched, RegClass::RR, Info), "");
+  EXPECT_GE(Info.TotalRegisters, Info.MaxLive);
+  EXPECT_EQ(Info.ExpandedKernelOps,
+            static_cast<long>(Info.UnrollFactor) * Body.numMachineOps());
+}
+
+TEST(Mve, LongLoadLifetimesForceExpansion) {
+  // daxpy at II=2 keeps 13-cycle loads live ~7 II: deep expansion.
+  const LoopBody Body = buildDaxpyLoop();
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  const MveInfo Info = planMve(Body, Sched);
+  ASSERT_TRUE(Info.Success);
+  EXPECT_GE(Info.UnrollFactor, 6);
+  EXPECT_EQ(validateMve(Body, Sched, RegClass::RR, Info), "");
+}
+
+TEST(Mve, FailedScheduleRejected) {
+  const LoopBody Body = buildDaxpyLoop();
+  Schedule Bad;
+  const MveInfo Info = planMve(Body, Bad);
+  EXPECT_FALSE(Info.Success);
+  EXPECT_NE(validateMve(Body, Bad, RegClass::RR, Info), "");
+}
+
+TEST(Mve, AllKernelsValidate) {
+  for (const LoopBody &Body : buildKernelSuite()) {
+    const Schedule Sched = scheduleLoop(Body, machine());
+    ASSERT_TRUE(Sched.Success) << Body.Name;
+    const MveInfo Info = planMve(Body, Sched);
+    ASSERT_TRUE(Info.Success) << Body.Name;
+    EXPECT_EQ(validateMve(Body, Sched, RegClass::RR, Info), "") << Body.Name;
+    EXPECT_GE(Info.TotalRegisters, Info.MaxLive) << Body.Name;
+  }
+}
+
+class MveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MveProperty, RandomLoopsValidate) {
+  RandomLoopConfig Config;
+  Config.TargetOps = 22;
+  const LoopBody Body =
+      generateRandomLoop(static_cast<uint64_t>(GetParam()) + 6100, Config);
+  const Schedule Sched = scheduleLoop(Body, machine());
+  if (!Sched.Success)
+    return;
+  const MveInfo Info = planMve(Body, Sched);
+  ASSERT_TRUE(Info.Success) << Body.Source;
+  EXPECT_EQ(validateMve(Body, Sched, RegClass::RR, Info), "") << Body.Source;
+  // Every slot count divides the unroll factor.
+  for (const Value &V : Body.Values) {
+    const int Slots = Info.Slots[static_cast<size_t>(V.Id)];
+    if (Slots > 0) {
+      EXPECT_EQ(Info.UnrollFactor % Slots, 0) << Body.Source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MveProperty, ::testing::Range(1, 31));

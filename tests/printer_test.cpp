@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for the schedule listing / reservation-table printers and
+/// the GraphViz exporter.
+//===----------------------------------------------------------------------===//
+
+#include "core/ModuloScheduler.h"
+#include "core/SchedulePrinter.h"
+#include "ir/GraphViz.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+} // namespace
+
+TEST(SchedulePrinter, ListingShowsEveryOp) {
+  const LoopBody Body = buildSampleLoop();
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  std::ostringstream OS;
+  printScheduleListing(OS, Body, machine(), Sched);
+  const std::string Out = OS.str();
+  for (const Operation &Op : Body.Ops) {
+    if (!isPseudo(Op.Opc)) {
+      EXPECT_NE(Out.find(Op.Name), std::string::npos) << Op.Name;
+    }
+  }
+  EXPECT_NE(Out.find("stage"), std::string::npos);
+}
+
+TEST(SchedulePrinter, ReservationTableHasIIRows) {
+  const LoopBody Body = buildSampleLoop();
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  std::ostringstream OS;
+  printReservationTable(OS, Body, machine(), Sched);
+  const std::string Out = OS.str();
+  // One data row per cycle of the kernel plus header/separator.
+  EXPECT_NE(Out.find("Adder#0"), std::string::npos);
+  EXPECT_NE(Out.find("Memory Port#1"), std::string::npos);
+  int Lines = 0;
+  for (char C : Out)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, 2 + Sched.II);
+}
+
+TEST(SchedulePrinter, DividerContinuationMarked) {
+  const LoopBody Body = buildDivideLoop();
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  std::ostringstream OS;
+  printReservationTable(OS, Body, machine(), Sched);
+  // The non-pipelined divide occupies 17 rows; continuation cells carry *.
+  EXPECT_NE(OS.str().find("*"), std::string::npos);
+}
+
+TEST(SchedulePrinter, FailedScheduleHandled) {
+  const LoopBody Body = buildSampleLoop();
+  Schedule Bad;
+  std::ostringstream OS;
+  printScheduleListing(OS, Body, machine(), Bad);
+  printReservationTable(OS, Body, machine(), Bad);
+  EXPECT_NE(OS.str().find("(no schedule)"), std::string::npos);
+}
+
+TEST(GraphViz, EmitsNodesAndArcs) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  std::ostringstream OS;
+  writeGraphViz(OS, Graph);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("digraph"), std::string::npos);
+  EXPECT_NE(Out.find("fadd"), std::string::npos);
+  // Cross-iteration arcs are highlighted.
+  EXPECT_NE(Out.find("color=red"), std::string::npos);
+  // Pseudo ops omitted by default.
+  EXPECT_EQ(Out.find("start"), std::string::npos);
+}
+
+TEST(GraphViz, IncludePseudoShowsScaffolding) {
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  std::ostringstream OS;
+  writeGraphViz(OS, Graph, /*IncludePseudo=*/true);
+  EXPECT_NE(OS.str().find("style=dotted"), std::string::npos);
+}

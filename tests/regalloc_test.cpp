@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for the rotating register allocator: conflict-freedom
+/// (verified by occupancy simulation) and nearness to the MaxLive bound.
+//===----------------------------------------------------------------------===//
+
+#include "core/ModuloScheduler.h"
+#include "ir/IRBuilder.h"
+#include "regalloc/RotatingAllocator.h"
+#include "workloads/Kernels.h"
+#include "workloads/RandomLoop.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+AllocationResult allocateFor(const LoopBody &Body, RegClass Class,
+                             Schedule *SchedOut = nullptr) {
+  const Schedule Sched = scheduleLoop(Body, machine());
+  EXPECT_TRUE(Sched.Success) << Body.Name;
+  if (SchedOut)
+    *SchedOut = Sched;
+  return allocateRotating(Body, Sched.Times, Sched.II, Class);
+}
+
+} // namespace
+
+TEST(RotatingAllocator, SampleLoopWithinOneOfMaxLive) {
+  const LoopBody Body = buildSampleLoop();
+  Schedule Sched;
+  const AllocationResult Alloc = allocateFor(Body, RegClass::RR, &Sched);
+  ASSERT_TRUE(Alloc.Success);
+  EXPECT_EQ(validateAllocation(Body, Sched.Times, Sched.II, RegClass::RR,
+                               Alloc),
+            "");
+  EXPECT_LE(Alloc.FileSize, Alloc.MaxLive + 1);
+  EXPECT_GE(Alloc.FileSize, Alloc.MaxLive);
+}
+
+TEST(RotatingAllocator, AllKernelsAllocateCloseToMaxLive) {
+  for (const LoopBody &Body : buildKernelSuite()) {
+    Schedule Sched;
+    const AllocationResult Alloc = allocateFor(Body, RegClass::RR, &Sched);
+    ASSERT_TRUE(Alloc.Success) << Body.Name;
+    EXPECT_EQ(validateAllocation(Body, Sched.Times, Sched.II, RegClass::RR,
+                                 Alloc),
+              "")
+        << Body.Name;
+    // Rau et al. [18]: end-fit/best-fit strategies stay within MaxLive+1..5.
+    EXPECT_LE(Alloc.FileSize, Alloc.MaxLive + 5) << Body.Name;
+  }
+}
+
+TEST(RotatingAllocator, IcrPredicatesAllocate) {
+  const LoopBody Body = buildPredicatedAbsLoop();
+  Schedule Sched;
+  const AllocationResult Alloc = allocateFor(Body, RegClass::ICR, &Sched);
+  ASSERT_TRUE(Alloc.Success);
+  EXPECT_EQ(validateAllocation(Body, Sched.Times, Sched.II, RegClass::ICR,
+                               Alloc),
+            "");
+}
+
+TEST(RotatingAllocator, EmptyClassYieldsEmptyAllocation) {
+  const LoopBody Body = buildDaxpyLoop(); // no ICR values at all
+  Schedule Sched;
+  const AllocationResult Alloc = allocateFor(Body, RegClass::ICR, &Sched);
+  EXPECT_TRUE(Alloc.Success);
+  EXPECT_EQ(Alloc.FileSize, 0);
+}
+
+TEST(RotatingAllocator, LongLifetimeNeedsMultipleRegisters) {
+  // A single value with lifetime > II needs ceil(LT/II) rotating
+  // registers even though only one value exists.
+  LoopBody Body;
+  {
+    IRBuilder B(Body);
+    const int X = B.declareValue(RegClass::RR, "x");
+    B.defineValue(X, Opcode::FloatAdd, {Use{X, 1}, Use{X, 4}});
+    B.setSeeds(X, {1, 2, 3, 4});
+    B.finish();
+  }
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  const AllocationResult Alloc =
+      allocateRotating(Body, Sched.Times, Sched.II, RegClass::RR);
+  ASSERT_TRUE(Alloc.Success);
+  // Lifetime = 4*II (the omega-4 self use): four instances live at once.
+  EXPECT_GE(Alloc.FileSize, 4);
+  EXPECT_EQ(validateAllocation(Body, Sched.Times, Sched.II, RegClass::RR,
+                               Alloc),
+            "");
+}
+
+class RandomAllocProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAllocProperty, ConflictFreeAndNearBound) {
+  RandomLoopConfig Config;
+  Config.TargetOps = 24;
+  const LoopBody Body =
+      generateRandomLoop(static_cast<uint64_t>(GetParam()) + 900, Config);
+  const Schedule Sched = scheduleLoop(Body, machine());
+  if (!Sched.Success)
+    return;
+  const AllocationResult Alloc =
+      allocateRotating(Body, Sched.Times, Sched.II, RegClass::RR);
+  ASSERT_TRUE(Alloc.Success) << Body.Source;
+  ASSERT_EQ(validateAllocation(Body, Sched.Times, Sched.II, RegClass::RR,
+                               Alloc),
+            "")
+      << Body.Source;
+  EXPECT_GE(Alloc.FileSize, Alloc.MaxLive) << Body.Source;
+  EXPECT_LE(Alloc.FileSize, Alloc.MaxLive + 5) << Body.Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAllocProperty,
+                         ::testing::Range(1, 41));

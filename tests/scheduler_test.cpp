@@ -1,0 +1,217 @@
+//===----------------------------------------------------------------------===//
+/// \file Unit tests for the bidirectional slack scheduler, the Cydrome-style
+/// baseline, and the schedule validator.
+//===----------------------------------------------------------------------===//
+
+#include "bounds/Lifetimes.h"
+#include "core/ModuloScheduler.h"
+#include "core/Validate.h"
+#include "graph/MinDist.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+std::vector<LoopBody> allKernels() {
+  std::vector<LoopBody> Kernels;
+  Kernels.push_back(buildSampleLoop());
+  Kernels.push_back(buildDaxpyLoop());
+  Kernels.push_back(buildDotLoop());
+  Kernels.push_back(buildLinearRecurrenceLoop());
+  Kernels.push_back(buildPredicatedAbsLoop());
+  Kernels.push_back(buildDivideLoop());
+  return Kernels;
+}
+
+} // namespace
+
+TEST(SlackScheduler, SampleLoopAchievesMII) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Sched = scheduleLoop(Graph);
+  ASSERT_TRUE(Sched.Success);
+  EXPECT_EQ(Sched.MII, 2);
+  EXPECT_EQ(Sched.II, 2) << "paper's sample loop schedules at II = MII = 2";
+  EXPECT_EQ(validateSchedule(Graph, Sched), "");
+}
+
+TEST(SlackScheduler, AllKernelsScheduleAtMII) {
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    const Schedule Sched = scheduleLoop(Graph);
+    ASSERT_TRUE(Sched.Success) << Body.Name;
+    EXPECT_EQ(Sched.II, Sched.MII) << Body.Name;
+    EXPECT_EQ(validateSchedule(Graph, Sched), "") << Body.Name;
+  }
+}
+
+TEST(SlackScheduler, DivideLoopBoundByDivider) {
+  const LoopBody Body = buildDivideLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Sched = scheduleLoop(Graph);
+  ASSERT_TRUE(Sched.Success);
+  EXPECT_EQ(Sched.ResMII, 17);
+  EXPECT_EQ(Sched.II, 17);
+}
+
+TEST(SlackScheduler, Deterministic) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule A = scheduleLoop(Graph);
+  const Schedule B = scheduleLoop(Graph);
+  ASSERT_TRUE(A.Success);
+  ASSERT_TRUE(B.Success);
+  EXPECT_EQ(A.II, B.II);
+  EXPECT_EQ(A.Times, B.Times);
+}
+
+TEST(SlackScheduler, StartAtZeroAndStopIsLength) {
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    const Schedule Sched = scheduleLoop(Graph);
+    ASSERT_TRUE(Sched.Success) << Body.Name;
+    EXPECT_EQ(Sched.Times[static_cast<size_t>(Body.startOp())], 0);
+    for (const Operation &Op : Body.Ops)
+      EXPECT_LE(Sched.Times[static_cast<size_t>(Op.Id)] +
+                    machine().latency(Op.Opc),
+                Sched.length())
+          << Body.Name << "/" << Op.Name;
+  }
+}
+
+TEST(SlackScheduler, StatsArepopulated) {
+  const LoopBody Body = buildSampleLoop();
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  // One central-loop iteration per placed op (no backtracking expected on
+  // this small kernel, but allow it).
+  EXPECT_GE(Sched.Stats.CentralLoopIterations, Body.numOps() - 1);
+  EXPECT_GE(Sched.Stats.Placements, Body.numOps() - 1);
+  EXPECT_GE(Sched.Stats.SecondsTotal, 0.0);
+}
+
+TEST(SlackScheduler, PressureRespectsTrueLowerBound) {
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    const Schedule Sched = scheduleLoop(Graph);
+    ASSERT_TRUE(Sched.Success) << Body.Name;
+
+    MinDistMatrix M;
+    ASSERT_TRUE(M.compute(Graph, Sched.II));
+    const PressureInfo Info =
+        computePressure(Body, Sched.Times, Sched.II, RegClass::RR);
+
+    // MaxLive >= AvgLive >= sum(MinLT)/II.
+    long MinLTSum = 0;
+    for (const Value &V : Body.Values)
+      if (V.Class == RegClass::RR)
+        MinLTSum += computeMinLT(Graph, M, V.Id);
+    EXPECT_GE(Info.MaxLive,
+              (MinLTSum + Sched.II - 1) / Sched.II -
+                  static_cast<long>(Body.numValues()))
+        << Body.Name; // slack form; the strict check follows
+    EXPECT_GE(static_cast<double>(Info.MaxLive) + 1e-9,
+              static_cast<double>(MinLTSum) / Sched.II)
+        << Body.Name;
+  }
+}
+
+TEST(CydromeScheduler, SchedulesAllKernels) {
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    const Schedule Sched = scheduleLoop(Graph, SchedulerOptions::cydrome());
+    ASSERT_TRUE(Sched.Success) << Body.Name;
+    EXPECT_EQ(validateSchedule(Graph, Sched), "") << Body.Name;
+  }
+}
+
+TEST(CydromeScheduler, SlackNeverWorsePressureOnKernelAggregate) {
+  // The paper's headline: bidirectional slack scheduling reduces register
+  // pressure relative to Cydrome's unidirectional scheduler. Check the
+  // aggregate over the kernel set (individual loops may tie).
+  long SlackTotal = 0, CydromeTotal = 0;
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    const Schedule A = scheduleLoop(Graph, SchedulerOptions::slack());
+    const Schedule B = scheduleLoop(Graph, SchedulerOptions::cydrome());
+    ASSERT_TRUE(A.Success && B.Success) << Body.Name;
+    SlackTotal +=
+        computePressure(Body, A.Times, A.II, RegClass::RR).MaxLive;
+    CydromeTotal +=
+        computePressure(Body, B.Times, B.II, RegClass::RR).MaxLive;
+  }
+  EXPECT_LE(SlackTotal, CydromeTotal);
+}
+
+TEST(Validator, CatchesDependenceViolation) {
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  Schedule Sched = scheduleLoop(Graph);
+  ASSERT_TRUE(Sched.Success);
+  // Move the multiply before its load finishes.
+  for (const Operation &Op : Body.Ops)
+    if (Op.Opc == Opcode::FloatMul)
+      Sched.Times[static_cast<size_t>(Op.Id)] = 0;
+  EXPECT_NE(validateSchedule(Graph, Sched), "");
+}
+
+TEST(Validator, CatchesResourceConflict) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  Schedule Sched = scheduleLoop(Graph);
+  ASSERT_TRUE(Sched.Success);
+  // Put both fadds in the same cycle: one adder -> conflict.
+  std::vector<int> FaddOps;
+  for (const Operation &Op : Body.Ops)
+    if (Op.Opc == Opcode::FloatAdd)
+      FaddOps.push_back(Op.Id);
+  ASSERT_EQ(FaddOps.size(), 2u);
+  Sched.Times[static_cast<size_t>(FaddOps[1])] =
+      Sched.Times[static_cast<size_t>(FaddOps[0])];
+  const std::string Err = validateSchedule(Graph, Sched);
+  EXPECT_NE(Err, "");
+}
+
+TEST(Validator, CatchesFailedSchedule) {
+  Schedule Sched;
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  EXPECT_NE(validateSchedule(Graph, Sched), "");
+}
+
+TEST(UnidirectionalAblation, SchedulesAllKernels) {
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    const Schedule Sched =
+        scheduleLoop(Graph, SchedulerOptions::unidirectionalSlack());
+    ASSERT_TRUE(Sched.Success) << Body.Name;
+    EXPECT_EQ(validateSchedule(Graph, Sched), "") << Body.Name;
+  }
+}
+
+TEST(SlackScheduler, BidirectionalPlacesLoadsLate) {
+  // The paper's motivating observation: unidirectional scheduling places
+  // loads too early, stretching their lifetimes. On daxpy the load feeding
+  // the multiply should sit later (closer to its use) under the
+  // bidirectional heuristic than under the unidirectional one.
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Bi = scheduleLoop(Graph, SchedulerOptions::slack());
+  const Schedule Uni =
+      scheduleLoop(Graph, SchedulerOptions::unidirectionalSlack());
+  ASSERT_TRUE(Bi.Success && Uni.Success);
+
+  const PressureInfo PBi =
+      computePressure(Body, Bi.Times, Bi.II, RegClass::RR);
+  const PressureInfo PUni =
+      computePressure(Body, Uni.Times, Uni.II, RegClass::RR);
+  EXPECT_LE(PBi.MaxLive, PUni.MaxLive);
+}

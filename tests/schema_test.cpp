@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for the prologue/kernel/epilogue code schema (Rau et al.
+/// [19]): the schema plan's shape, its code-expansion accounting, and
+/// execution equivalence with both the kernel-only predicated form and
+/// the sequential reference.
+//===----------------------------------------------------------------------===//
+
+#include "codegen/KernelCodeGen.h"
+#include "ir/IRBuilder.h"
+#include "codegen/Schema.h"
+#include "core/ModuloScheduler.h"
+#include "vliwsim/MachineSim.h"
+#include "workloads/Kernels.h"
+#include "workloads/RandomLoop.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+void checkSchemaEquivalence(const LoopBody &Body, long Iterations) {
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success) << Body.Name;
+  KernelCode Code;
+  ASSERT_EQ(generateKernelCode(Body, Sched, Code), "") << Body.Name;
+  ASSERT_GE(Iterations, Code.StageCount)
+      << "schema requires trip count >= stage count";
+
+  const ExecutionResult Ref = runReference(Body, Iterations);
+  ExecutionResult Schema = runSchemaCode(Body, Code, Iterations);
+  ASSERT_EQ(Schema.Error, "") << Body.Name;
+  ExecutionResult RefAligned = Ref;
+  for (auto It = RefAligned.LiveOuts.begin();
+       It != RefAligned.LiveOuts.end();)
+    It = Schema.LiveOuts.count(It->first) ? std::next(It)
+                                          : RefAligned.LiveOuts.erase(It);
+  EXPECT_EQ(compareExecutions(RefAligned, Schema), "") << Body.Name;
+
+  // And the two machine forms agree with each other.
+  const ExecutionResult Kernel = runKernelCode(Body, Code, Iterations);
+  EXPECT_EQ(compareExecutions(Kernel, Schema), "") << Body.Name;
+}
+
+} // namespace
+
+TEST(Schema, PlanShapeDaxpy) {
+  const LoopBody Body = buildDaxpyLoop();
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  const SchemaInfo Info = planSchema(Body, Sched);
+  ASSERT_TRUE(Info.Success);
+  EXPECT_GE(Info.StageCount, 2);
+  EXPECT_EQ(Info.KernelOps, Body.numMachineOps());
+  // Prologue + epilogue together replicate each op StageCount-1 times.
+  EXPECT_EQ(Info.PrologueOps + Info.EpilogueOps,
+            static_cast<long>(Info.StageCount - 1) * Info.KernelOps);
+  EXPECT_EQ(Info.MinTripCount, Info.StageCount);
+}
+
+TEST(Schema, SingleStageLoopNeedsNoProlog) {
+  // A loop whose span fits one stage has an empty prologue/epilogue.
+  LoopBody Body;
+  {
+    IRBuilder B(Body);
+    const int C = B.constant(1.0);
+    const int S = B.declareValue(RegClass::RR, "s");
+    B.defineValue(S, Opcode::FloatAdd, {Use{S, 1}, Use{C, 0}});
+    B.setSeeds(S, {0.0});
+    B.markLiveOut(S);
+    B.finish();
+  }
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  const SchemaInfo Info = planSchema(Body, Sched);
+  if (Info.StageCount == 1) {
+    EXPECT_EQ(Info.PrologueOps, 0);
+    EXPECT_EQ(Info.EpilogueOps, 0);
+  }
+}
+
+TEST(Schema, FailedScheduleRejected) {
+  const LoopBody Body = buildDaxpyLoop();
+  Schedule Bad;
+  EXPECT_FALSE(planSchema(Body, Bad).Success);
+}
+
+TEST(Schema, ExecutionMatchesKernelOnlyAndReference) {
+  checkSchemaEquivalence(buildSampleLoop(), 30);
+  checkSchemaEquivalence(buildDaxpyLoop(), 30);
+  checkSchemaEquivalence(buildDotLoop(), 30);
+  checkSchemaEquivalence(buildPredicatedAbsLoop(), 30);
+}
+
+TEST(Schema, AllSuiteKernels) {
+  for (const LoopBody &Body : buildKernelSuite())
+    checkSchemaEquivalence(Body, 40);
+}
+
+class SchemaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemaProperty, RandomLoopsMatch) {
+  RandomLoopConfig Config;
+  Config.TargetOps = 24;
+  const LoopBody Body =
+      generateRandomLoop(static_cast<uint64_t>(GetParam()) + 9900, Config);
+  const Schedule Sched = scheduleLoop(Body, machine());
+  if (!Sched.Success)
+    return;
+  checkSchemaEquivalence(Body, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaProperty, ::testing::Range(1, 26));

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+/// \file End-to-end functional validation: the pipelined execution of every
+/// schedule must produce bit-identical memory and live-outs to the
+/// sequential reference interpreter.
+//===----------------------------------------------------------------------===//
+
+#include "core/ModuloScheduler.h"
+#include "frontend/LoopCompiler.h"
+#include "vliwsim/Execution.h"
+#include "workloads/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+void checkEquivalence(const LoopBody &Body, long Iterations = 40) {
+  const DepGraph Graph(Body, machine());
+  const Schedule Sched = scheduleLoop(Graph);
+  ASSERT_TRUE(Sched.Success) << Body.Name;
+
+  const ExecutionResult Ref = runReference(Body, Iterations);
+  ASSERT_EQ(Ref.Error, "") << Body.Name;
+  const ExecutionResult Pipe = runPipelined(Body, Sched, Iterations);
+  ASSERT_EQ(Pipe.Error, "") << Body.Name;
+  EXPECT_EQ(compareExecutions(Ref, Pipe), "") << Body.Name;
+}
+
+LoopBody compileOrDie(const std::string &Src, const std::string &Name) {
+  LoopBody Body;
+  const std::string Err = compileLoop(Src, Name, Body);
+  EXPECT_EQ(Err, "") << Src;
+  return Body;
+}
+
+} // namespace
+
+TEST(Reference, DotProductComputesExpectedValue) {
+  const LoopBody Body = buildDotLoop();
+  const ExecutionResult R = runReference(Body, 10);
+  ASSERT_EQ(R.Error, "");
+  // s = sum of x(i)*y(i) over 10 iterations with the default memory init.
+  double Expected = 0;
+  for (long I = 1; I <= 10; ++I)
+    Expected += defaultMemoryInit(0, I) * defaultMemoryInit(1, I);
+  int S = -1;
+  for (const Value &V : Body.Values)
+    if (V.Name == "s")
+      S = V.Id;
+  ASSERT_GE(S, 0);
+  ASSERT_TRUE(R.LiveOuts.count(S));
+  EXPECT_DOUBLE_EQ(R.LiveOuts.at(S), Expected);
+}
+
+TEST(Reference, SampleLoopRecurrenceValues) {
+  // x(i) = x(i-1) + y(i-2) with seeds x(1)=1, x(2)=2, y(1)=10, y(2)=20.
+  const LoopBody Body = buildSampleLoop();
+  const ExecutionResult R = runReference(Body, 3);
+  ASSERT_EQ(R.Error, "");
+  // i=3: x(3) = x(2)+y(1) = 2+10 = 12; y(3) = y(2)+x(1) = 20+1 = 21.
+  // i=4: x(4) = x(3)+y(2) = 12+20 = 32; y(4) = y(3)+x(2) = 21+2 = 23.
+  // i=5: x(5) = x(4)+y(3) = 32+21 = 53; y(5) = y(4)+x(3) = 23+12 = 35.
+  ASSERT_EQ(R.Arrays.size(), 2u);
+  EXPECT_DOUBLE_EQ(R.Arrays[0].at(3), 12);
+  EXPECT_DOUBLE_EQ(R.Arrays[0].at(4), 32);
+  EXPECT_DOUBLE_EQ(R.Arrays[0].at(5), 53);
+  EXPECT_DOUBLE_EQ(R.Arrays[1].at(3), 21);
+  EXPECT_DOUBLE_EQ(R.Arrays[1].at(4), 23);
+  EXPECT_DOUBLE_EQ(R.Arrays[1].at(5), 35);
+}
+
+TEST(Reference, PredicatedAbs) {
+  LoopBody Body = buildPredicatedAbsLoop();
+  const auto Init = [](int Array, long Index) {
+    (void)Array;
+    return Index % 2 == 0 ? -2.0 : 3.0;
+  };
+  const ExecutionResult R = runReference(Body, 6, Init);
+  ASSERT_EQ(R.Error, "");
+  for (long I = 1; I <= 6; ++I)
+    EXPECT_DOUBLE_EQ(R.Arrays[1].at(I), I % 2 == 0 ? 2.0 : 3.0) << I;
+}
+
+TEST(PipelinedExecution, MatchesReferenceOnHandKernels) {
+  checkEquivalence(buildSampleLoop());
+  checkEquivalence(buildDaxpyLoop());
+  checkEquivalence(buildDotLoop());
+  checkEquivalence(buildLinearRecurrenceLoop());
+  checkEquivalence(buildPredicatedAbsLoop());
+  checkEquivalence(buildDivideLoop());
+}
+
+TEST(PipelinedExecution, MatchesReferenceUnderCydromeScheduler) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Sched = scheduleLoop(Graph, SchedulerOptions::cydrome());
+  ASSERT_TRUE(Sched.Success);
+  const ExecutionResult Ref = runReference(Body, 25);
+  const ExecutionResult Pipe = runPipelined(Body, Sched, 25);
+  EXPECT_EQ(compareExecutions(Ref, Pipe), "");
+}
+
+TEST(PipelinedExecution, DslLoopsMatchReference) {
+  const char *Sources[] = {
+      // Livermore-like hydro fragment.
+      "param q = 0.5\nparam r = 0.25\nparam t = 2\n"
+      "loop i = 1, n\n  x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])\nend\n",
+      // First-order recurrence.
+      "loop i = 2, n\n  x[i] = x[i-1]*0.5 + y[i]\nend\n",
+      // Conditional with else and scalar reduction.
+      "param s = 0\n"
+      "loop i = 1, n\n"
+      "  if (x[i] > 2) then\n    s = s + x[i]\n    y[i] = 1\n"
+      "  else\n    y[i] = 0 - 1\n  end\nend\n",
+      // Read-before-write anti-dependence.
+      "loop i = 1, n\n  y[i] = x[i] + 1\n  x[i] = y[i] * 0.5\nend\n",
+      // Stencil with cross-iteration elimination and genuine loads.
+      "loop i = 3, n\n  a[i] = a[i-1] + a[i-2] + b[i]\nend\n",
+      // sqrt / divide on the non-pipelined divider.
+      "loop i = 1, n\n  y[i] = sqrt(x[i]) / (x[i] + 2)\nend\n",
+      // Induction variable used as data.
+      "loop i = 1, n\n  x[i] = i * y[i]\nend\n",
+  };
+  int Index = 0;
+  for (const char *Src : Sources) {
+    const LoopBody Body =
+        compileOrDie(Src, "dsl" + std::to_string(Index++));
+    checkEquivalence(Body);
+  }
+}
+
+TEST(PipelinedExecution, LongPipelineManyIterations) {
+  // Deep software pipeline (load latency 13 at II 1-2): many iterations in
+  // flight at once; equivalence must still hold.
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = x[i] * 2 + 1\nend\n", "deep");
+  checkEquivalence(Body, 200);
+}
+
+TEST(PipelinedExecution, FailedScheduleReportsError) {
+  Schedule Bad;
+  const LoopBody Body = buildDaxpyLoop();
+  const ExecutionResult R = runPipelined(Body, Bad, 4);
+  EXPECT_NE(R.Error, "");
+}
+
+TEST(CompareExecutions, DetectsDifferences) {
+  ExecutionResult A, B;
+  A.Arrays.resize(1);
+  B.Arrays.resize(1);
+  A.Arrays[0][3] = 1.0;
+  B.Arrays[0][3] = 2.0;
+  EXPECT_NE(compareExecutions(A, B), "");
+  B.Arrays[0][3] = 1.0;
+  EXPECT_EQ(compareExecutions(A, B), "");
+  B.Arrays[0][4] = 9.0;
+  EXPECT_NE(compareExecutions(A, B), "");
+}
+
+TEST(CompareExecutions, NanEqualsNan) {
+  ExecutionResult A, B;
+  A.Arrays.resize(1);
+  B.Arrays.resize(1);
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  A.Arrays[0][0] = NaN;
+  B.Arrays[0][0] = NaN;
+  EXPECT_EQ(compareExecutions(A, B), "");
+}

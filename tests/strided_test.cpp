@@ -1,0 +1,196 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for affine strided subscripts (a[2*i+1]) and the GCD
+/// dependence test: interleaved (red/black) access patterns, elimination
+/// through strided stores, conservative serialization for mixed strides,
+/// and full schedule + execution equivalence.
+//===----------------------------------------------------------------------===//
+
+#include "core/ModuloScheduler.h"
+#include "core/Validate.h"
+#include "codegen/KernelCodeGen.h"
+#include "frontend/LoopCompiler.h"
+#include "ir/Unroll.h"
+#include "vliwsim/MachineSim.h"
+#include "vliwsim/Execution.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+LoopBody compileOrDie(const std::string &Src, const std::string &Name) {
+  LoopBody Body;
+  const std::string Err = compileLoop(Src, Name, Body);
+  EXPECT_EQ(Err, "") << Src;
+  EXPECT_EQ(Body.verify(), "") << Name;
+  return Body;
+}
+
+void checkEquivalence(const LoopBody &Body, long Iterations = 24) {
+  const DepGraph Graph(Body, machine());
+  const Schedule Sched = scheduleLoop(Graph);
+  ASSERT_TRUE(Sched.Success) << Body.Name;
+  ASSERT_EQ(validateSchedule(Graph, Sched), "") << Body.Name;
+  const ExecutionResult Ref = runReference(Body, Iterations);
+  ASSERT_EQ(Ref.Error, "") << Body.Name;
+  const ExecutionResult Pipe = runPipelined(Body, Sched, Iterations);
+  ASSERT_EQ(compareExecutions(Ref, Pipe), "") << Body.Name;
+}
+
+int countLoads(const LoopBody &Body) {
+  int N = 0;
+  for (const Operation &Op : Body.Ops)
+    N += Op.Opc == Opcode::Load ? 1 : 0;
+  return N;
+}
+
+} // namespace
+
+TEST(Strided, ParserAcceptsAffineSubscripts) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  x[2*i] = y[2*i+1] * 2\nend\n", "affine");
+  bool SawStride2 = false;
+  for (const Operation &Op : Body.Ops)
+    if (isMemoryOp(Op.Opc)) {
+      EXPECT_EQ(Op.ElemStride, 2);
+      SawStride2 = true;
+    }
+  EXPECT_TRUE(SawStride2);
+}
+
+TEST(Strided, ParserRejectsBadStrides) {
+  LoopBody B;
+  EXPECT_NE(compileLoop("loop i = 1, n\n x[0*i] = 1\nend\n", "bad", B), "");
+  LoopBody B2;
+  EXPECT_NE(compileLoop("loop i = 1, n\n x[2.5*i] = 1\nend\n", "bad2", B2),
+            "");
+}
+
+TEST(Strided, StridedReferencesExecuteCorrectly) {
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  x[2*i] = i\nend\n", "evens");
+  const ExecutionResult R = runReference(Body, 5);
+  ASSERT_EQ(R.Error, "");
+  for (long I = 1; I <= 5; ++I) {
+    EXPECT_DOUBLE_EQ(R.Arrays[0].at(2 * I), I);
+    EXPECT_EQ(R.Arrays[0].count(2 * I + 1), 0u);
+  }
+}
+
+TEST(Strided, EliminationThroughStridedStore) {
+  // x[2*i] = x[2*i - 2] + 1: distance exactly one iteration at stride 2.
+  const LoopBody Body = compileOrDie(
+      "loop i = 2, n\n  x[2*i] = x[2*i-2] + 1\nend\n", "evenchain");
+  EXPECT_EQ(countLoads(Body), 0) << "read should flow through a register";
+  checkEquivalence(Body);
+}
+
+TEST(Strided, GcdProvesIndependenceOfRedBlack) {
+  // Writes to even elements never alias reads of odd elements:
+  // no memory arcs at all.
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  x[2*i] = x[2*i+1] * 0.5\nend\n", "redblack");
+  EXPECT_EQ(Body.MemDeps.size(), 0u);
+  EXPECT_EQ(countLoads(Body), 1); // the odd read stays a load
+  checkEquivalence(Body);
+}
+
+TEST(Strided, MixedStridesSerializeConservatively) {
+  // A stride-1 write may alias a stride-2 read (gcd 1 divides anything):
+  // conservative omega-0/omega-1 serialization arcs must appear.
+  const LoopBody Body = compileOrDie(
+      "loop i = 1, n\n  y[i] = x[2*i]\n  x[i] = y[i] + 1\nend\n", "mixed");
+  bool SawOmega1 = false;
+  for (const MemDep &D : Body.MemDeps)
+    SawOmega1 |= D.Omega == 1;
+  EXPECT_TRUE(SawOmega1);
+  checkEquivalence(Body);
+}
+
+TEST(Strided, ExactDistanceAcrossEqualStrides) {
+  // Write x[3*i], read x[3*i-6]: omega exactly 2.
+  const LoopBody Body = compileOrDie(
+      "loop i = 3, n\n  x[3*i] = x[3*i-6] * 0.5 + 1\nend\n", "stride3");
+  EXPECT_EQ(countLoads(Body), 0);
+  int MaxOmega = 0;
+  for (const Operation &Op : Body.Ops)
+    for (const Use &U : Op.Operands)
+      MaxOmega = std::max(MaxOmega, U.Omega);
+  EXPECT_EQ(MaxOmega, 2);
+  checkEquivalence(Body);
+}
+
+TEST(Strided, NonDivisibleOffsetNeverAliases) {
+  // Write x[2*i], read x[2*i-3]: same stride, odd distance — provably
+  // disjoint, read stays a load with no arcs.
+  const LoopBody Body = compileOrDie(
+      "loop i = 2, n\n  x[2*i] = x[2*i-3] + 1\nend\n", "odd-even");
+  EXPECT_EQ(countLoads(Body), 1);
+  EXPECT_EQ(Body.MemDeps.size(), 0u);
+  checkEquivalence(Body);
+}
+
+TEST(Strided, InterleavedComplexKernel) {
+  // De-interleave: split a packed array into two halves.
+  const LoopBody Body = compileOrDie("loop i = 1, n\n"
+                                     "  re[i] = packed[2*i]\n"
+                                     "  im[i] = packed[2*i+1]\n"
+                                     "end\n",
+                                     "deinterleave");
+  checkEquivalence(Body, 30);
+  const ExecutionResult R = runReference(Body, 4);
+  int Packed = -1, Re = -1;
+  for (size_t A = 0; A < Body.ArrayNames.size(); ++A) {
+    if (Body.ArrayNames[A] == "packed")
+      Packed = static_cast<int>(A);
+    if (Body.ArrayNames[A] == "re")
+      Re = static_cast<int>(A);
+  }
+  ASSERT_GE(Packed, 0);
+  ASSERT_GE(Re, 0);
+  for (long I = 1; I <= 4; ++I)
+    EXPECT_DOUBLE_EQ(R.Arrays[static_cast<size_t>(Re)].at(I),
+                     defaultMemoryInit(Packed, 2 * I));
+}
+
+TEST(Strided, MachineSimHandlesStrides) {
+  // End-to-end through codegen + rotating-file machine simulation.
+  const LoopBody Body = compileOrDie(
+      "loop i = 2, n\n  x[2*i] = x[2*i-2] * 0.5 + y[i]\nend\n", "mach");
+  const Schedule Sched = scheduleLoop(Body, machine());
+  ASSERT_TRUE(Sched.Success);
+  KernelCode Code;
+  ASSERT_EQ(generateKernelCode(Body, Sched, Code), "");
+  const ExecutionResult Ref = runReference(Body, 20);
+  const ExecutionResult Mach = runKernelCode(Body, Code, 20);
+  ASSERT_EQ(Mach.Error, "");
+  EXPECT_EQ(compareExecutions(Ref, Mach), "");
+}
+
+TEST(Strided, UnrollComposesWithStrides) {
+  // Unrolling a stride-2 loop by 2 yields stride-4 subscripts; memory
+  // image must be unchanged.
+  const LoopBody Body = compileOrDie(
+      "loop i = 2, n\n  x[2*i] = x[2*i-2] + 1\nend\n", "us");
+  const LoopBody U2 = unrollLoop(Body, 2);
+  ASSERT_EQ(U2.verify(), "");
+  bool SawStride4 = false;
+  for (const Operation &Op : U2.Ops)
+    if (isMemoryOp(Op.Opc))
+      SawStride4 |= Op.ElemStride == 4;
+  EXPECT_TRUE(SawStride4);
+
+  const ExecutionResult A = runReference(Body, 12);
+  ExecutionResult B = runReference(U2, 6);
+  ASSERT_EQ(B.Error, "");
+  ExecutionResult AA = A;
+  AA.LiveOuts.clear();
+  B.LiveOuts.clear();
+  EXPECT_EQ(compareExecutions(AA, B), "");
+}

@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+/// \file Unit tests for the support utilities.
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace lsms;
+
+TEST(Statistics, EmptySampleIsAllZero) {
+  const QuantileSummary S = summarize(std::vector<double>{});
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Min, 0);
+  EXPECT_EQ(S.Max, 0);
+}
+
+TEST(Statistics, SingleSample) {
+  const QuantileSummary S = summarize(std::vector<double>{7});
+  EXPECT_EQ(S.Min, 7);
+  EXPECT_EQ(S.Median, 7);
+  EXPECT_EQ(S.Pct90, 7);
+  EXPECT_EQ(S.Max, 7);
+  EXPECT_EQ(S.Mean, 7);
+}
+
+TEST(Statistics, QuantilesUseNearestRank) {
+  std::vector<double> V;
+  for (int I = 1; I <= 10; ++I)
+    V.push_back(I);
+  const QuantileSummary S = summarize(V);
+  EXPECT_EQ(S.Min, 1);
+  EXPECT_EQ(S.Median, 5);
+  EXPECT_EQ(S.Pct90, 9);
+  EXPECT_EQ(S.Max, 10);
+  EXPECT_DOUBLE_EQ(S.Mean, 5.5);
+}
+
+TEST(Statistics, IntegerOverloadMatchesDouble) {
+  const std::vector<int64_t> V = {3, 1, 2};
+  const QuantileSummary S = summarize(V);
+  EXPECT_EQ(S.Min, 1);
+  EXPECT_EQ(S.Median, 2);
+  EXPECT_EQ(S.Max, 3);
+}
+
+TEST(Statistics, FormatNumberTrimsZeros) {
+  EXPECT_EQ(formatNumber(3.0), "3");
+  EXPECT_EQ(formatNumber(2.50), "2.5");
+  EXPECT_EQ(formatNumber(0.04), "0.04");
+  EXPECT_EQ(formatNumber(-1.20), "-1.2");
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    const int64_t V = R.nextInRange(-3, 4);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 4);
+    Seen.insert(V);
+  }
+  // All 8 values should appear in 1000 draws.
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    const double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram H(10, 50);
+  H.add(0);
+  H.add(9);
+  H.add(10);
+  H.add(49);
+  H.add(500); // overflow bucket
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_DOUBLE_EQ(H.fractionAtOrBelow(9), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(H.fractionAtOrBelow(49), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(H.fractionAtOrBelow(1000), 1.0);
+}
+
+TEST(Histogram, NegativeSamplesClampToZero) {
+  Histogram H(1, 4);
+  H.add(-5);
+  EXPECT_DOUBLE_EQ(H.fractionAtOrBelow(0), 1.0);
+}
+
+TEST(Histogram, PrintsBucketRows) {
+  Histogram H(16, 64);
+  for (int I = 0; I < 32; ++I)
+    H.add(I);
+  std::ostringstream OS;
+  H.print(OS, "registers");
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("registers"), std::string::npos);
+  EXPECT_NE(Out.find("[0,16)"), std::string::npos);
+  EXPECT_NE(Out.find("50"), std::string::npos);
+}
+
+TEST(Table, AlignsAndUnderlinesHeader) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "23"});
+  std::ostringstream OS;
+  T.print(OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+}
+
+TEST(Table, SeparatorRow) {
+  TextTable T;
+  T.setHeader({"a"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y"});
+  std::ostringstream OS;
+  T.print(OS);
+  // Two separator lines: one under the header, one explicit.
+  const std::string Out = OS.str();
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Out.find("-\n", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 2;
+  }
+  EXPECT_EQ(Count, 2u);
+}
