@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bidirectional.dir/ablation_bidirectional.cpp.o"
+  "CMakeFiles/ablation_bidirectional.dir/ablation_bidirectional.cpp.o.d"
+  "ablation_bidirectional"
+  "ablation_bidirectional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bidirectional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

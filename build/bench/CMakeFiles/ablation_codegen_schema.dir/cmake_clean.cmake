@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codegen_schema.dir/ablation_codegen_schema.cpp.o"
+  "CMakeFiles/ablation_codegen_schema.dir/ablation_codegen_schema.cpp.o.d"
+  "ablation_codegen_schema"
+  "ablation_codegen_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codegen_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ii_increment.dir/ablation_ii_increment.cpp.o"
+  "CMakeFiles/ablation_ii_increment.dir/ablation_ii_increment.cpp.o.d"
+  "ablation_ii_increment"
+  "ablation_ii_increment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ii_increment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_ii_increment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_straightline.dir/ablation_straightline.cpp.o"
+  "CMakeFiles/ablation_straightline.dir/ablation_straightline.cpp.o.d"
+  "ablation_straightline"
+  "ablation_straightline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_straightline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_straightline.
+# This may be replaced when dependencies are built.

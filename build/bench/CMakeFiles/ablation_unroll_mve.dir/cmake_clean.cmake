@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unroll_mve.dir/ablation_unroll_mve.cpp.o"
+  "CMakeFiles/ablation_unroll_mve.dir/ablation_unroll_mve.cpp.o.d"
+  "ablation_unroll_mve"
+  "ablation_unroll_mve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unroll_mve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

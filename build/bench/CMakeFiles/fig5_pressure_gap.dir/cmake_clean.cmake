@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pressure_gap.dir/fig5_pressure_gap.cpp.o"
+  "CMakeFiles/fig5_pressure_gap.dir/fig5_pressure_gap.cpp.o.d"
+  "fig5_pressure_gap"
+  "fig5_pressure_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pressure_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

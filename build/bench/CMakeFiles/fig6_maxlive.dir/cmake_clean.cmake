@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_maxlive.dir/fig6_maxlive.cpp.o"
+  "CMakeFiles/fig6_maxlive.dir/fig6_maxlive.cpp.o.d"
+  "fig6_maxlive"
+  "fig6_maxlive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_maxlive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

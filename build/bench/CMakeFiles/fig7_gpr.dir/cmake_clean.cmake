@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gpr.dir/fig7_gpr.cpp.o"
+  "CMakeFiles/fig7_gpr.dir/fig7_gpr.cpp.o.d"
+  "fig7_gpr"
+  "fig7_gpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

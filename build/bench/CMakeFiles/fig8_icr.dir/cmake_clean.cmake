@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_icr.dir/fig8_icr.cpp.o"
+  "CMakeFiles/fig8_icr.dir/fig8_icr.cpp.o.d"
+  "fig8_icr"
+  "fig8_icr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_icr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_bench_common.dir/SuiteMetrics.cpp.o"
+  "CMakeFiles/lsms_bench_common.dir/SuiteMetrics.cpp.o.d"
+  "liblsms_bench_common.a"
+  "liblsms_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

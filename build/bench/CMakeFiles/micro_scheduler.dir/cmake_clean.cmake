@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scheduler.dir/micro_scheduler.cpp.o"
+  "CMakeFiles/micro_scheduler.dir/micro_scheduler.cpp.o.d"
+  "micro_scheduler"
+  "micro_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regalloc_quality.dir/regalloc_quality.cpp.o"
+  "CMakeFiles/regalloc_quality.dir/regalloc_quality.cpp.o.d"
+  "regalloc_quality"
+  "regalloc_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regalloc_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

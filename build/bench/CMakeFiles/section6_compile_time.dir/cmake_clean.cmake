@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section6_compile_time.dir/section6_compile_time.cpp.o"
+  "CMakeFiles/section6_compile_time.dir/section6_compile_time.cpp.o.d"
+  "section6_compile_time"
+  "section6_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section6_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

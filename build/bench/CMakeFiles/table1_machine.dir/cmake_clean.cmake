@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_machine.dir/table1_machine.cpp.o"
+  "CMakeFiles/table1_machine.dir/table1_machine.cpp.o.d"
+  "table1_machine"
+  "table1_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

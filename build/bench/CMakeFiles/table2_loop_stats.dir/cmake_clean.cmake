@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_loop_stats.dir/table2_loop_stats.cpp.o"
+  "CMakeFiles/table2_loop_stats.dir/table2_loop_stats.cpp.o.d"
+  "table2_loop_stats"
+  "table2_loop_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_loop_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

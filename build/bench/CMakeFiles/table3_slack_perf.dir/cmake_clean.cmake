@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_slack_perf.dir/table3_slack_perf.cpp.o"
+  "CMakeFiles/table3_slack_perf.dir/table3_slack_perf.cpp.o.d"
+  "table3_slack_perf"
+  "table3_slack_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_slack_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_run.dir/compile_and_run.cpp.o"
+  "CMakeFiles/compile_and_run.dir/compile_and_run.cpp.o.d"
+  "compile_and_run"
+  "compile_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

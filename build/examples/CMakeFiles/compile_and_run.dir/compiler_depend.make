@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compile_and_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsmsc.dir/lsmsc.cpp.o"
+  "CMakeFiles/lsmsc.dir/lsmsc.cpp.o.d"
+  "lsmsc"
+  "lsmsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsmsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

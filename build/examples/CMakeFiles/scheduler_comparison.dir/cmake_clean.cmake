@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_comparison.dir/scheduler_comparison.cpp.o"
+  "CMakeFiles/scheduler_comparison.dir/scheduler_comparison.cpp.o.d"
+  "scheduler_comparison"
+  "scheduler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

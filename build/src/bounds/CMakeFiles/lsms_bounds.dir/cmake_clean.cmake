@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_bounds.dir/Bounds.cpp.o"
+  "CMakeFiles/lsms_bounds.dir/Bounds.cpp.o.d"
+  "CMakeFiles/lsms_bounds.dir/Lifetimes.cpp.o"
+  "CMakeFiles/lsms_bounds.dir/Lifetimes.cpp.o.d"
+  "liblsms_bounds.a"
+  "liblsms_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

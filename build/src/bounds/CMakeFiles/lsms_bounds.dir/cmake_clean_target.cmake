@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsms_bounds.a"
+)

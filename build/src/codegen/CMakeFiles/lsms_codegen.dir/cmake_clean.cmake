@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_codegen.dir/KernelCodeGen.cpp.o"
+  "CMakeFiles/lsms_codegen.dir/KernelCodeGen.cpp.o.d"
+  "CMakeFiles/lsms_codegen.dir/ModuloVariableExpansion.cpp.o"
+  "CMakeFiles/lsms_codegen.dir/ModuloVariableExpansion.cpp.o.d"
+  "CMakeFiles/lsms_codegen.dir/Schema.cpp.o"
+  "CMakeFiles/lsms_codegen.dir/Schema.cpp.o.d"
+  "liblsms_codegen.a"
+  "liblsms_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AcyclicScheduler.cpp" "src/core/CMakeFiles/lsms_core.dir/AcyclicScheduler.cpp.o" "gcc" "src/core/CMakeFiles/lsms_core.dir/AcyclicScheduler.cpp.o.d"
+  "/root/repo/src/core/FuAssignment.cpp" "src/core/CMakeFiles/lsms_core.dir/FuAssignment.cpp.o" "gcc" "src/core/CMakeFiles/lsms_core.dir/FuAssignment.cpp.o.d"
+  "/root/repo/src/core/ModuloScheduler.cpp" "src/core/CMakeFiles/lsms_core.dir/ModuloScheduler.cpp.o" "gcc" "src/core/CMakeFiles/lsms_core.dir/ModuloScheduler.cpp.o.d"
+  "/root/repo/src/core/SchedulePrinter.cpp" "src/core/CMakeFiles/lsms_core.dir/SchedulePrinter.cpp.o" "gcc" "src/core/CMakeFiles/lsms_core.dir/SchedulePrinter.cpp.o.d"
+  "/root/repo/src/core/Validate.cpp" "src/core/CMakeFiles/lsms_core.dir/Validate.cpp.o" "gcc" "src/core/CMakeFiles/lsms_core.dir/Validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bounds/CMakeFiles/lsms_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lsms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lsms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lsms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lsms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_core.dir/AcyclicScheduler.cpp.o"
+  "CMakeFiles/lsms_core.dir/AcyclicScheduler.cpp.o.d"
+  "CMakeFiles/lsms_core.dir/FuAssignment.cpp.o"
+  "CMakeFiles/lsms_core.dir/FuAssignment.cpp.o.d"
+  "CMakeFiles/lsms_core.dir/ModuloScheduler.cpp.o"
+  "CMakeFiles/lsms_core.dir/ModuloScheduler.cpp.o.d"
+  "CMakeFiles/lsms_core.dir/SchedulePrinter.cpp.o"
+  "CMakeFiles/lsms_core.dir/SchedulePrinter.cpp.o.d"
+  "CMakeFiles/lsms_core.dir/Validate.cpp.o"
+  "CMakeFiles/lsms_core.dir/Validate.cpp.o.d"
+  "liblsms_core.a"
+  "liblsms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

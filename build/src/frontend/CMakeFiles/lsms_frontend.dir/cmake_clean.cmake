@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/lsms_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/lsms_frontend.dir/LoopCompiler.cpp.o"
+  "CMakeFiles/lsms_frontend.dir/LoopCompiler.cpp.o.d"
+  "CMakeFiles/lsms_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/lsms_frontend.dir/Parser.cpp.o.d"
+  "liblsms_frontend.a"
+  "liblsms_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

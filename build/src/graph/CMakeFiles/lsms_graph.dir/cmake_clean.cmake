@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_graph.dir/Circuits.cpp.o"
+  "CMakeFiles/lsms_graph.dir/Circuits.cpp.o.d"
+  "CMakeFiles/lsms_graph.dir/MinDist.cpp.o"
+  "CMakeFiles/lsms_graph.dir/MinDist.cpp.o.d"
+  "CMakeFiles/lsms_graph.dir/MinRatioCycle.cpp.o"
+  "CMakeFiles/lsms_graph.dir/MinRatioCycle.cpp.o.d"
+  "CMakeFiles/lsms_graph.dir/Scc.cpp.o"
+  "CMakeFiles/lsms_graph.dir/Scc.cpp.o.d"
+  "liblsms_graph.a"
+  "liblsms_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

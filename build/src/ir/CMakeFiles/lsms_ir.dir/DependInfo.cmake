@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/DepGraph.cpp" "src/ir/CMakeFiles/lsms_ir.dir/DepGraph.cpp.o" "gcc" "src/ir/CMakeFiles/lsms_ir.dir/DepGraph.cpp.o.d"
+  "/root/repo/src/ir/GraphViz.cpp" "src/ir/CMakeFiles/lsms_ir.dir/GraphViz.cpp.o" "gcc" "src/ir/CMakeFiles/lsms_ir.dir/GraphViz.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/ir/CMakeFiles/lsms_ir.dir/IRBuilder.cpp.o" "gcc" "src/ir/CMakeFiles/lsms_ir.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/LoopBody.cpp" "src/ir/CMakeFiles/lsms_ir.dir/LoopBody.cpp.o" "gcc" "src/ir/CMakeFiles/lsms_ir.dir/LoopBody.cpp.o.d"
+  "/root/repo/src/ir/Unroll.cpp" "src/ir/CMakeFiles/lsms_ir.dir/Unroll.cpp.o" "gcc" "src/ir/CMakeFiles/lsms_ir.dir/Unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/lsms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lsms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_ir.dir/DepGraph.cpp.o"
+  "CMakeFiles/lsms_ir.dir/DepGraph.cpp.o.d"
+  "CMakeFiles/lsms_ir.dir/GraphViz.cpp.o"
+  "CMakeFiles/lsms_ir.dir/GraphViz.cpp.o.d"
+  "CMakeFiles/lsms_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/lsms_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/lsms_ir.dir/LoopBody.cpp.o"
+  "CMakeFiles/lsms_ir.dir/LoopBody.cpp.o.d"
+  "CMakeFiles/lsms_ir.dir/Unroll.cpp.o"
+  "CMakeFiles/lsms_ir.dir/Unroll.cpp.o.d"
+  "liblsms_ir.a"
+  "liblsms_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/MachineModel.cpp" "src/machine/CMakeFiles/lsms_machine.dir/MachineModel.cpp.o" "gcc" "src/machine/CMakeFiles/lsms_machine.dir/MachineModel.cpp.o.d"
+  "/root/repo/src/machine/ModuloResourceTable.cpp" "src/machine/CMakeFiles/lsms_machine.dir/ModuloResourceTable.cpp.o" "gcc" "src/machine/CMakeFiles/lsms_machine.dir/ModuloResourceTable.cpp.o.d"
+  "/root/repo/src/machine/Opcode.cpp" "src/machine/CMakeFiles/lsms_machine.dir/Opcode.cpp.o" "gcc" "src/machine/CMakeFiles/lsms_machine.dir/Opcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lsms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_machine.dir/MachineModel.cpp.o"
+  "CMakeFiles/lsms_machine.dir/MachineModel.cpp.o.d"
+  "CMakeFiles/lsms_machine.dir/ModuloResourceTable.cpp.o"
+  "CMakeFiles/lsms_machine.dir/ModuloResourceTable.cpp.o.d"
+  "CMakeFiles/lsms_machine.dir/Opcode.cpp.o"
+  "CMakeFiles/lsms_machine.dir/Opcode.cpp.o.d"
+  "liblsms_machine.a"
+  "liblsms_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_regalloc.dir/RotatingAllocator.cpp.o"
+  "CMakeFiles/lsms_regalloc.dir/RotatingAllocator.cpp.o.d"
+  "liblsms_regalloc.a"
+  "liblsms_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_support.dir/Histogram.cpp.o"
+  "CMakeFiles/lsms_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/lsms_support.dir/Statistics.cpp.o"
+  "CMakeFiles/lsms_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/lsms_support.dir/Table.cpp.o"
+  "CMakeFiles/lsms_support.dir/Table.cpp.o.d"
+  "liblsms_support.a"
+  "liblsms_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_vliwsim.dir/Execution.cpp.o"
+  "CMakeFiles/lsms_vliwsim.dir/Execution.cpp.o.d"
+  "CMakeFiles/lsms_vliwsim.dir/MachineSim.cpp.o"
+  "CMakeFiles/lsms_vliwsim.dir/MachineSim.cpp.o.d"
+  "liblsms_vliwsim.a"
+  "liblsms_vliwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_vliwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Kernels.cpp" "src/workloads/CMakeFiles/lsms_workloads.dir/Kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/lsms_workloads.dir/Kernels.cpp.o.d"
+  "/root/repo/src/workloads/RandomLoop.cpp" "src/workloads/CMakeFiles/lsms_workloads.dir/RandomLoop.cpp.o" "gcc" "src/workloads/CMakeFiles/lsms_workloads.dir/RandomLoop.cpp.o.d"
+  "/root/repo/src/workloads/Suite.cpp" "src/workloads/CMakeFiles/lsms_workloads.dir/Suite.cpp.o" "gcc" "src/workloads/CMakeFiles/lsms_workloads.dir/Suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/lsms_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lsms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lsms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lsms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsms_workloads.dir/Kernels.cpp.o"
+  "CMakeFiles/lsms_workloads.dir/Kernels.cpp.o.d"
+  "CMakeFiles/lsms_workloads.dir/RandomLoop.cpp.o"
+  "CMakeFiles/lsms_workloads.dir/RandomLoop.cpp.o.d"
+  "CMakeFiles/lsms_workloads.dir/Suite.cpp.o"
+  "CMakeFiles/lsms_workloads.dir/Suite.cpp.o.d"
+  "liblsms_workloads.a"
+  "liblsms_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsms_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

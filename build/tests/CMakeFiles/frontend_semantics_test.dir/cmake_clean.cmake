@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_semantics_test.dir/frontend_semantics_test.cpp.o"
+  "CMakeFiles/frontend_semantics_test.dir/frontend_semantics_test.cpp.o.d"
+  "frontend_semantics_test"
+  "frontend_semantics_test.pdb"
+  "frontend_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mve_test.dir/mve_test.cpp.o"
+  "CMakeFiles/mve_test.dir/mve_test.cpp.o.d"
+  "mve_test"
+  "mve_test.pdb"
+  "mve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strided_test.dir/strided_test.cpp.o"
+  "CMakeFiles/strided_test.dir/strided_test.cpp.o.d"
+  "strided_test"
+  "strided_test.pdb"
+  "strided_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

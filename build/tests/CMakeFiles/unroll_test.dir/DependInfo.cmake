@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/unroll_test.cpp" "tests/CMakeFiles/unroll_test.dir/unroll_test.cpp.o" "gcc" "tests/CMakeFiles/unroll_test.dir/unroll_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/lsms_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/lsms_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliwsim/CMakeFiles/lsms_vliwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lsms_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/lsms_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lsms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/lsms_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lsms_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lsms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lsms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lsms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
