@@ -501,6 +501,8 @@ Schedule lsms::scheduleLoop(const DepGraph &Graph,
   MinDistMatrix MinDist;
   for (;;) {
     Result.II = II;
+    ++Result.Stats.AttemptsTried;
+    const long EjectionsBefore = Result.Stats.Ejections;
     {
       const auto T0 = Clock::now();
       const bool Valid = MinDist.compute(Graph, II);
@@ -514,6 +516,8 @@ Schedule lsms::scheduleLoop(const DepGraph &Graph,
                              StopPad);
     if (Attempt.run(Result.Times)) {
       Result.Success = true;
+      Result.Stats.EjectionsLastAttempt =
+          Result.Stats.Ejections - EjectionsBefore;
       break;
     }
 

@@ -21,6 +21,8 @@ struct ScheduleStats {
   long ForcedPlacements = 0;      ///< step-3 invocations (no free issue slot)
   long Ejections = 0;             ///< operations ejected from the schedule
   long IIRestarts = 0;            ///< step-6 invocations (II incremented)
+  long AttemptsTried = 0;         ///< scheduling attempts (II or pad values)
+  long EjectionsLastAttempt = 0;  ///< ejections during the final attempt
   bool Backtracked = false;       ///< any ejection happened
   double SecondsTotal = 0;
   double SecondsMinDist = 0;
@@ -33,6 +35,8 @@ struct ScheduleStats {
     ForcedPlacements += Other.ForcedPlacements;
     Ejections += Other.Ejections;
     IIRestarts += Other.IIRestarts;
+    AttemptsTried += Other.AttemptsTried;
+    EjectionsLastAttempt += Other.EjectionsLastAttempt;
     Backtracked = Backtracked || Other.Backtracked;
     SecondsTotal += Other.SecondsTotal;
     SecondsMinDist += Other.SecondsMinDist;

@@ -1,0 +1,471 @@
+#include "exact/ExactScheduler.h"
+
+#include "bounds/Bounds.h"
+#include "bounds/Lifetimes.h"
+#include "core/FuAssignment.h"
+#include "graph/MinDist.h"
+#include "machine/ModuloResourceTable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <tuple>
+
+using namespace lsms;
+
+namespace {
+
+constexpr long NoPath = MinDistMatrix::NoPath;
+
+bool isPath(long W) { return W > NoPath / 2; }
+
+/// Smallest value >= C congruent to D modulo II. This is the tightening
+/// step: once both endpoints' residues are fixed, a dependence constraint
+/// t_y - t_x >= C can only be met at values congruent to
+/// rho_y - rho_x (mod II), so it sharpens to tighten(C, rho_y - rho_x).
+long tighten(long C, long D, long II) {
+  return C + (((D - C) % II + II) % II);
+}
+
+/// Branch-and-bound search over issue-cycle residues at a fixed II.
+///
+/// State per search node: residues of the placed prefix, the modulo
+/// resource table, and the matrix T of longest tightened-constraint paths
+/// between placed operations (time-valued; transitively closed). Placing
+/// an operation is feasible iff its residue finds a free resource slot and
+/// the tightened constraint graph stays free of positive cycles — the
+/// exact condition for integer issue times with those residues to exist.
+/// Start participates as a pre-placed operation at residue 0, so T(Start,x)
+/// is the canonical earliest issue time of x, used both for candidate
+/// ordering and to materialize the schedule at leaves.
+class ExactSolver {
+public:
+  ExactSolver(const DepGraph &Graph, const MinDistMatrix &MinDist,
+              const std::vector<int> &FuInstance, long NodeBudget)
+      : Graph(Graph), Body(Graph.body()), Machine(Graph.machine()),
+        MinDist(MinDist), FuInstance(FuInstance), NodeBudget(NodeBudget),
+        II(MinDist.initiationInterval()), N(Body.numOps()),
+        Mrt(Machine, II) {}
+
+  /// Decides schedulability; fills \p TimesOut on success.
+  ExactStatus solve(std::vector<int> &TimesOut, long &Nodes);
+
+  /// Minimizes MaxLive at this II, seeded with the legal schedule in
+  /// \p TimesInOut. Returns Optimal when the search space was exhausted
+  /// (or the MinAvg bound was met), Timeout when the node budget ran out
+  /// first; \p TimesInOut and \p MaxLiveInOut hold the best found either
+  /// way.
+  ExactStatus minimize(std::vector<int> &TimesInOut, long &MaxLiveInOut,
+                       long &Nodes);
+
+private:
+  enum class Mode : uint8_t { Feasibility, Pressure };
+
+  void buildOrder(Mode M);
+  bool dfs(size_t Depth);
+  bool tryPlace(int V, int Rho, size_t Depth);
+  void leafTimes(const std::vector<long> &T, std::vector<int> &TimesOut) const;
+  long pressureLowerBound(const std::vector<long> &T) const;
+
+  const DepGraph &Graph;
+  const LoopBody &Body;
+  const MachineModel &Machine;
+  const MinDistMatrix &MinDist;
+  const std::vector<int> &FuInstance;
+  const long NodeBudget;
+  const int II;
+  const int N;
+
+  ModuloResourceTable Mrt;
+  Mode SearchMode = Mode::Feasibility;
+  std::vector<int> Order;     ///< real operations, in branch order
+  std::vector<int> Rho;       ///< residue per op; -1 unplaced
+  std::vector<int> Placed;    ///< Start + placed prefix
+  std::vector<std::vector<long>> TStack; ///< T matrix per depth
+  long NodesUsed = 0;
+  bool TimedOut = false;
+
+  // Pressure mode state.
+  bool StopSearch = false;
+  long BestMaxLive = LONG_MAX;
+  long GlobalMinAvg = 0;
+  std::vector<int> BestTimes;
+  std::vector<int> FoundTimes; ///< feasibility-mode result
+  /// Flow-arc indices per RR value, for the MinAvg-style bound.
+  std::vector<std::vector<int>> FlowArcsOf;
+};
+
+void ExactSolver::buildOrder(Mode M) {
+  SearchMode = M;
+  Order.clear();
+  for (int X = 0; X < N; ++X)
+    if (Machine.unitFor(Body.op(X).Opc) != FuKind::None)
+      Order.push_back(X);
+
+  // Static windows at this II: slack against the critical path. Most
+  // constrained first keeps the tree narrow near the root.
+  const int Start = Body.startOp(), Stop = Body.stopOp();
+  const std::vector<long> Estart = MinDist.estarts(Start);
+  const std::vector<long> Lstart =
+      MinDist.lstarts(Stop, MinDist.at(Start, Stop));
+  std::vector<long> Slack(static_cast<size_t>(N), 0);
+  std::vector<long> LifeLB(static_cast<size_t>(N), 0);
+  for (int X : Order) {
+    Slack[static_cast<size_t>(X)] =
+        Lstart[static_cast<size_t>(X)] - Estart[static_cast<size_t>(X)];
+    const int Result = Body.op(X).Result;
+    if (M == Mode::Pressure && Result >= 0 &&
+        Body.value(Result).Class == RegClass::RR)
+      LifeLB[static_cast<size_t>(X)] = computeMinLT(Graph, MinDist, Result);
+  }
+  std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+    // Pressure mode branches in order of lifetime contribution so the
+    // MinAvg-style bound bites early; feasibility mode by tightness alone.
+    return std::make_tuple(-LifeLB[static_cast<size_t>(A)],
+                           Slack[static_cast<size_t>(A)], A) <
+           std::make_tuple(-LifeLB[static_cast<size_t>(B)],
+                           Slack[static_cast<size_t>(B)], B);
+  });
+
+  Rho.assign(static_cast<size_t>(N), -1);
+  Rho[static_cast<size_t>(Start)] = 0;
+  Placed.assign(1, Start);
+  Mrt.clear();
+  TStack.assign(Order.size() + 1,
+                std::vector<long>(static_cast<size_t>(N) *
+                                      static_cast<size_t>(N),
+                                  NoPath));
+  TStack[0][static_cast<size_t>(Start) * N + Start] = 0;
+  NodesUsed = 0;
+  TimedOut = false;
+  StopSearch = false;
+
+  if (M == Mode::Pressure) {
+    FlowArcsOf.assign(static_cast<size_t>(Body.numValues()), {});
+    const auto &Arcs = Graph.arcs();
+    for (int I = 0; I < static_cast<int>(Arcs.size()); ++I) {
+      const DepArc &Arc = Arcs[static_cast<size_t>(I)];
+      if (Arc.Kind == DepKind::Flow && Arc.Value >= 0 &&
+          Body.value(Arc.Value).Class == RegClass::RR)
+        FlowArcsOf[static_cast<size_t>(Arc.Value)].push_back(I);
+    }
+    GlobalMinAvg = computeMinAvg(Graph, MinDist);
+  }
+}
+
+/// Canonical earliest issue times of a complete residue assignment:
+/// placed operations at their longest tightened path from Start; the
+/// pseudo-operations (Stop) at the earliest cycle consistent with every
+/// placed operation, which MinDist maximality shows always satisfies the
+/// remaining constraints.
+void ExactSolver::leafTimes(const std::vector<long> &T,
+                            std::vector<int> &TimesOut) const {
+  const int Start = Body.startOp();
+  TimesOut.assign(static_cast<size_t>(N), 0);
+  for (int X = 0; X < N; ++X) {
+    if (X == Start)
+      continue;
+    if (Rho[static_cast<size_t>(X)] >= 0) {
+      const long TX = T[static_cast<size_t>(Start) * N + X];
+      assert(isPath(TX) && TX >= 0 && "placed op unreachable from Start");
+      TimesOut[static_cast<size_t>(X)] = static_cast<int>(TX);
+    }
+  }
+  for (int X = 0; X < N; ++X) {
+    if (X == Start || Rho[static_cast<size_t>(X)] >= 0)
+      continue;
+    long TX = std::max(0L, MinDist.at(Start, X));
+    for (int Y : Placed) {
+      if (!MinDist.connected(Y, X))
+        continue;
+      TX = std::max(TX, static_cast<long>(
+                            TimesOut[static_cast<size_t>(Y)]) +
+                            MinDist.at(Y, X));
+    }
+    TimesOut[static_cast<size_t>(X)] = static_cast<int>(TX);
+  }
+}
+
+/// ceil(sum of per-value lifetime lower bounds / II) — the paper's MinAvg
+/// bound, sharpened for placed def/use pairs by the tightened path matrix.
+long ExactSolver::pressureLowerBound(const std::vector<long> &T) const {
+  long Sum = 0;
+  for (const Value &V : Body.Values) {
+    if (V.Class != RegClass::RR ||
+        FlowArcsOf[static_cast<size_t>(V.Id)].empty())
+      continue;
+    long LT = 0;
+    for (int ArcIdx : FlowArcsOf[static_cast<size_t>(V.Id)]) {
+      const DepArc &Arc = Graph.arc(ArcIdx);
+      long Dist = MinDist.at(Arc.Src, Arc.Dst);
+      if (Rho[static_cast<size_t>(Arc.Src)] >= 0 &&
+          Rho[static_cast<size_t>(Arc.Dst)] >= 0) {
+        const long Closed = T[static_cast<size_t>(Arc.Src) * N + Arc.Dst];
+        if (isPath(Closed))
+          Dist = std::max(Dist, Closed);
+      }
+      LT = std::max(LT, static_cast<long>(Arc.Omega) * II + Dist);
+    }
+    Sum += LT;
+  }
+  return (Sum + II - 1) / II;
+}
+
+bool ExactSolver::tryPlace(int V, int Rho_, size_t Depth) {
+  const std::vector<long> &T = TStack[Depth];
+  std::vector<long> &TN = TStack[Depth + 1];
+
+  // Incremental feasibility: direct tightened constraints between V and
+  // every placed op, closed through the existing matrix. A positive cycle
+  // (necessarily a multiple of II) means no integer times realize these
+  // residues.
+  std::vector<long> In(static_cast<size_t>(N), NoPath);
+  std::vector<long> Out(static_cast<size_t>(N), NoPath);
+  std::vector<long> A(static_cast<size_t>(N), NoPath);
+  std::vector<long> B(static_cast<size_t>(N), NoPath);
+  for (int X : Placed) {
+    if (MinDist.connected(X, V))
+      A[static_cast<size_t>(X)] =
+          tighten(MinDist.at(X, V),
+                  Rho_ - Rho[static_cast<size_t>(X)], II);
+    if (MinDist.connected(V, X))
+      B[static_cast<size_t>(X)] =
+          tighten(MinDist.at(V, X),
+                  Rho[static_cast<size_t>(X)] - Rho_, II);
+  }
+  for (int X : Placed) {
+    long InX = A[static_cast<size_t>(X)];
+    long OutX = B[static_cast<size_t>(X)];
+    for (int W : Placed) {
+      const long XW = T[static_cast<size_t>(X) * N + W];
+      const long WX = T[static_cast<size_t>(W) * N + X];
+      if (isPath(XW) && isPath(A[static_cast<size_t>(W)]))
+        InX = std::max(InX, XW + A[static_cast<size_t>(W)]);
+      if (isPath(WX) && isPath(B[static_cast<size_t>(W)]))
+        OutX = std::max(OutX, B[static_cast<size_t>(W)] + WX);
+    }
+    In[static_cast<size_t>(X)] = InX;
+    Out[static_cast<size_t>(X)] = OutX;
+    if (isPath(InX) && isPath(OutX) && InX + OutX > 0)
+      return false; // positive cycle through V
+  }
+
+  // Commit: vertex-incremental transitive closure.
+  TN = T;
+  for (int X : Placed) {
+    const long InX = In[static_cast<size_t>(X)];
+    TN[static_cast<size_t>(X) * N + V] = InX;
+    TN[static_cast<size_t>(V) * N + X] = Out[static_cast<size_t>(X)];
+    if (!isPath(InX))
+      continue;
+    for (int Y : Placed) {
+      const long OutY = Out[static_cast<size_t>(Y)];
+      if (!isPath(OutY))
+        continue;
+      long &Cell = TN[static_cast<size_t>(X) * N + Y];
+      Cell = std::max(Cell, InX + OutY);
+    }
+  }
+  TN[static_cast<size_t>(V) * N + V] = 0;
+
+  const Operation &Op = Body.op(V);
+  Mrt.place(Op.Opc, Machine.unitFor(Op.Opc), FuInstance[static_cast<size_t>(V)],
+            Rho_);
+  Rho[static_cast<size_t>(V)] = Rho_;
+  Placed.push_back(V);
+
+  bool Found = false;
+  if (SearchMode != Mode::Pressure ||
+      pressureLowerBound(TN) < BestMaxLive)
+    Found = dfs(Depth + 1);
+
+  Placed.pop_back();
+  Rho[static_cast<size_t>(V)] = -1;
+  Mrt.remove(Op.Opc, Machine.unitFor(Op.Opc),
+             FuInstance[static_cast<size_t>(V)], Rho_);
+  return Found;
+}
+
+bool ExactSolver::dfs(size_t Depth) {
+  if (TimedOut || StopSearch)
+    return false;
+
+  if (Depth == Order.size()) {
+    if (SearchMode == Mode::Feasibility) {
+      leafTimes(TStack[Depth], FoundTimes);
+      return true;
+    }
+    std::vector<int> Times;
+    leafTimes(TStack[Depth], Times);
+    const long MaxLive =
+        computePressure(Body, Times, II, RegClass::RR).MaxLive;
+    if (MaxLive < BestMaxLive) {
+      BestMaxLive = MaxLive;
+      BestTimes = Times;
+      if (BestMaxLive <= GlobalMinAvg)
+        StopSearch = true; // met the paper's lower bound: proven optimal
+    }
+    return false;
+  }
+
+  const int V = Order[Depth];
+  const Operation &Op = Body.op(V);
+  const FuKind Kind = Machine.unitFor(Op.Opc);
+  const int Instance = FuInstance[static_cast<size_t>(V)];
+  const std::vector<long> &T = TStack[Depth];
+  const int Start = Body.startOp();
+
+  // Candidate residues, scanned from the dynamic earliest start so the
+  // first solutions found resemble earliest-issue schedules.
+  long Estart = std::max(0L, MinDist.at(Start, V));
+  for (int X : Placed) {
+    if (!MinDist.connected(X, V))
+      continue;
+    const long TX = T[static_cast<size_t>(Start) * N + X];
+    if (isPath(TX))
+      Estart = std::max(Estart, TX + MinDist.at(X, V));
+  }
+
+  for (int J = 0; J < II; ++J) {
+    if (TimedOut || StopSearch)
+      return false;
+    if (++NodesUsed > NodeBudget) {
+      TimedOut = true;
+      return false;
+    }
+    const int Rho_ = static_cast<int>((Estart + J) % II);
+    if (!Mrt.canPlace(Op.Opc, Kind, Instance, Rho_))
+      continue;
+    if (tryPlace(V, Rho_, Depth) && SearchMode == Mode::Feasibility)
+      return true;
+  }
+  return false;
+}
+
+ExactStatus ExactSolver::solve(std::vector<int> &TimesOut, long &Nodes) {
+  buildOrder(Mode::Feasibility);
+  const bool Found = dfs(0);
+  Nodes += NodesUsed;
+  if (Found) {
+    TimesOut = FoundTimes;
+    return ExactStatus::Optimal;
+  }
+  return TimedOut ? ExactStatus::Timeout : ExactStatus::Infeasible;
+}
+
+ExactStatus ExactSolver::minimize(std::vector<int> &TimesInOut,
+                                  long &MaxLiveInOut, long &Nodes) {
+  buildOrder(Mode::Pressure);
+  BestTimes = TimesInOut;
+  BestMaxLive = MaxLiveInOut;
+  if (BestMaxLive <= GlobalMinAvg) {
+    Nodes += NodesUsed;
+    return ExactStatus::Optimal; // incumbent already meets the bound
+  }
+  dfs(0);
+  Nodes += NodesUsed;
+  TimesInOut = BestTimes;
+  MaxLiveInOut = BestMaxLive;
+  return TimedOut ? ExactStatus::Timeout : ExactStatus::Optimal;
+}
+
+} // namespace
+
+const char *lsms::exactStatusName(ExactStatus Status) {
+  switch (Status) {
+  case ExactStatus::Optimal:
+    return "optimal";
+  case ExactStatus::Feasible:
+    return "feasible";
+  case ExactStatus::Infeasible:
+    return "infeasible";
+  case ExactStatus::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
+                            const ExactOptions &Options,
+                            std::vector<int> &TimesOut,
+                            long &NodesExplored) {
+  if (II <= 0)
+    return ExactStatus::Infeasible;
+  MinDistMatrix MinDist;
+  if (!MinDist.compute(Graph, II))
+    return ExactStatus::Infeasible; // II below RecMII: positive cycle
+  const LoopBody &Body = Graph.body();
+  const MachineModel &Machine = Graph.machine();
+  for (const Operation &Op : Body.Ops)
+    if (Machine.reservationCycles(Op.Opc) > II)
+      return ExactStatus::Infeasible; // non-pipelined op cannot fit
+  const std::vector<int> FuInstance = assignFunctionalUnits(Body, Machine);
+  ExactSolver Solver(Graph, MinDist, FuInstance, Options.NodeBudget);
+  return Solver.solve(TimesOut, NodesExplored);
+}
+
+ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
+                                    const ExactOptions &Options) {
+  ExactResult Result;
+  Schedule &Sched = Result.Sched;
+  Sched.ResMII = computeResMII(Graph.body(), Graph.machine());
+  Sched.RecMII = computeRecMII(Graph);
+  Sched.MII = std::max(Sched.ResMII, Sched.RecMII);
+
+  const int MaxII = Sched.MII * Options.MaxIIFactor + Options.MaxIISlack;
+  bool LowerProven = true;
+  bool AnyTimeout = false;
+  bool Found = false;
+  for (int II = Sched.MII; II <= MaxII; ++II) {
+    ++Result.IIAttempts;
+    Sched.II = II;
+    const ExactStatus St =
+        solveAtII(Graph, II, Options, Sched.Times, Result.NodesExplored);
+    if (St == ExactStatus::Optimal) {
+      Found = true;
+      break;
+    }
+    if (St == ExactStatus::Timeout) {
+      LowerProven = false;
+      AnyTimeout = true;
+    }
+  }
+
+  if (!Found) {
+    Result.Status =
+        AnyTimeout ? ExactStatus::Timeout : ExactStatus::Infeasible;
+    return Result;
+  }
+
+  Sched.Success = true;
+  Result.Status = LowerProven ? ExactStatus::Optimal : ExactStatus::Feasible;
+  Result.MaxLive =
+      computePressure(Graph.body(), Sched.Times, Sched.II, RegClass::RR)
+          .MaxLive;
+
+  MinDistMatrix MinDist;
+  const bool Valid = MinDist.compute(Graph, Sched.II);
+  assert(Valid && "feasible II lost its MinDist matrix");
+  (void)Valid;
+  Result.MinAvgAtII = computeMinAvg(Graph, MinDist);
+
+  if (Options.MinimizeMaxLive) {
+    const std::vector<int> FuInstance =
+        assignFunctionalUnits(Graph.body(), Graph.machine());
+    ExactSolver Solver(Graph, MinDist, FuInstance,
+                       Options.MaxLiveNodeBudget);
+    Solver.minimize(Sched.Times, Result.MaxLive, Result.NodesExplored);
+    // Exhausting the residue search only proves minimality over schedules
+    // issued at canonical earliest times; meeting the MinAvg lower bound is
+    // what certifies a globally minimal MaxLive at this II.
+    Result.MaxLiveProven = Result.MaxLive <= Result.MinAvgAtII;
+  }
+  return Result;
+}
+
+ExactResult lsms::scheduleLoopExact(const LoopBody &Body,
+                                    const MachineModel &Machine,
+                                    const ExactOptions &Options) {
+  const DepGraph Graph(Body, Machine);
+  return scheduleLoopExact(Graph, Options);
+}

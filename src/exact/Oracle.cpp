@@ -1,0 +1,148 @@
+#include "exact/Oracle.h"
+
+#include "bounds/Lifetimes.h"
+#include "core/ModuloScheduler.h"
+#include "core/Validate.h"
+#include "support/Histogram.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+#include "workloads/Suite.h"
+
+#include <ostream>
+
+using namespace lsms;
+
+OracleReport lsms::runOracle(const OracleOptions &Options) {
+  OracleReport Report;
+  Report.Config = Options;
+
+  const std::vector<LoopBody> Suite = buildOracleSuite(
+      Options.NumLoops, Options.MinOps, Options.MaxOps, Options.Seed);
+
+  ExactOptions Exact = Options.Exact;
+  Exact.MinimizeMaxLive = Options.MinimizeMaxLive;
+
+  // DepGraph keeps a reference to the machine, so it must outlive the loop.
+  const MachineModel Machine = MachineModel::cydra5();
+
+  for (const LoopBody &Body : Suite) {
+    const DepGraph Graph(Body, Machine);
+    OracleCase Case;
+    Case.Seed = Options.Seed;
+    Case.Name = Body.Name;
+    Case.Ops = Body.numMachineOps();
+
+    const Schedule Heur = scheduleLoop(Graph, Options.Heuristic);
+    Case.MII = Heur.MII;
+    Case.ResMII = Heur.ResMII;
+    Case.RecMII = Heur.RecMII;
+    Case.HeurSuccess = Heur.Success;
+    Case.HeurEjections = Heur.Stats.Ejections;
+    Case.HeurAttempts = Heur.Stats.AttemptsTried;
+    if (Heur.Success) {
+      ++Report.HeurScheduled;
+      Case.HeurII = Heur.II;
+      Case.HeurMaxLive =
+          computePressure(Body, Heur.Times, Heur.II, RegClass::RR).MaxLive;
+      Case.HeurError = validateSchedule(Graph, Heur);
+      if (Heur.II == Heur.MII)
+        ++Report.HeurAtMII;
+    }
+
+    const ExactResult Ex = scheduleLoopExact(Graph, Exact);
+    Case.Status = Ex.Status;
+    Case.Nodes = Ex.NodesExplored;
+    if (Ex.Sched.Success) {
+      ++Report.ExactScheduled;
+      Case.ExactII = Ex.Sched.II;
+      Case.ExactMaxLive = Ex.MaxLive;
+      Case.MaxLiveProven = Ex.MaxLiveProven;
+      Case.MinAvg = Ex.MinAvgAtII;
+      Case.ExactError = validateSchedule(Graph, Ex.Sched);
+      if (Ex.Status == ExactStatus::Optimal)
+        ++Report.ProvenOptimalII;
+      if (Ex.Sched.II == Ex.Sched.MII)
+        ++Report.ExactAtMII;
+    } else if (Ex.Status == ExactStatus::Timeout) {
+      ++Report.Timeouts;
+    }
+
+    if (Heur.Success && Ex.Sched.Success) {
+      Case.IIGapValid = true;
+      Case.IIGap = Heur.II - Ex.Sched.II;
+      if (Case.IIGap == 0)
+        ++Report.HeurAtExactII;
+      if (Heur.II == Ex.Sched.II) {
+        Case.MaxLiveGapValid = true;
+        Case.MaxLiveGap = Case.HeurMaxLive - Case.ExactMaxLive;
+      }
+    }
+
+    if (!Case.HeurError.empty() || !Case.ExactError.empty())
+      ++Report.ValidationFailures;
+    Report.Cases.push_back(std::move(Case));
+  }
+  return Report;
+}
+
+void lsms::printOracleReport(std::ostream &OS, const OracleReport &Report) {
+  TextTable T;
+  T.setHeader({"loop", "ops", "MII", "II slk", "II ex", "status", "dII",
+               "ML slk", "ML ex", "MinAvg", "dML", "ej", "nodes"});
+  Histogram IIGaps(1, 4), MaxLiveGaps(1, 16);
+  std::vector<double> IIGapSamples, MaxLiveGapSamples;
+  for (const OracleCase &Case : Report.Cases) {
+    T.addRow({Case.Name, std::to_string(Case.Ops), std::to_string(Case.MII),
+              Case.HeurSuccess ? std::to_string(Case.HeurII) : "-",
+              Case.Status == ExactStatus::Optimal ||
+                      Case.Status == ExactStatus::Feasible
+                  ? std::to_string(Case.ExactII)
+                  : "-",
+              exactStatusName(Case.Status),
+              Case.IIGapValid ? std::to_string(Case.IIGap) : "-",
+              Case.HeurMaxLive >= 0 ? std::to_string(Case.HeurMaxLive) : "-",
+              Case.ExactMaxLive >= 0 ? std::to_string(Case.ExactMaxLive)
+                                     : "-",
+              std::to_string(Case.MinAvg),
+              Case.MaxLiveGapValid ? std::to_string(Case.MaxLiveGap) : "-",
+              std::to_string(Case.HeurEjections),
+              std::to_string(Case.Nodes)});
+    if (Case.IIGapValid) {
+      IIGaps.add(Case.IIGap);
+      IIGapSamples.push_back(Case.IIGap);
+    }
+    if (Case.MaxLiveGapValid) {
+      MaxLiveGaps.add(Case.MaxLiveGap);
+      MaxLiveGapSamples.push_back(static_cast<double>(Case.MaxLiveGap));
+    }
+  }
+  T.print(OS);
+
+  OS << "\nSummary over " << Report.Cases.size() << " loops (seed "
+     << Report.Config.Seed << ", " << Report.Config.MinOps << "-"
+     << Report.Config.MaxOps << " ops):\n"
+     << "  heuristic scheduled:   " << Report.HeurScheduled << "\n"
+     << "  exact scheduled:       " << Report.ExactScheduled << " ("
+     << Report.ProvenOptimalII << " with proven-minimal II, "
+     << Report.Timeouts << " timeouts)\n"
+     << "  heuristic at MII:      " << Report.HeurAtMII << "\n"
+     << "  exact minimum at MII:  " << Report.ExactAtMII
+     << " (the remainder is bound slack, not heuristic slack)\n"
+     << "  heuristic at exact II: " << Report.HeurAtExactII << "\n"
+     << "  validation failures:   " << Report.ValidationFailures << "\n";
+
+  if (!IIGapSamples.empty()) {
+    const QuantileSummary S = summarize(IIGapSamples);
+    OS << "\nII gap (heuristic - exact): mean " << formatNumber(S.Mean)
+       << ", median " << formatNumber(S.Median) << ", max "
+       << formatNumber(S.Max) << "\n";
+    IIGaps.print(OS, "II gap");
+  }
+  if (!MaxLiveGapSamples.empty()) {
+    const QuantileSummary S = summarize(MaxLiveGapSamples);
+    OS << "\nMaxLive gap at equal II (heuristic - exact): mean "
+       << formatNumber(S.Mean) << ", median " << formatNumber(S.Median)
+       << ", max " << formatNumber(S.Max) << "\n";
+    MaxLiveGaps.print(OS, "MaxLive gap");
+  }
+}

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential-testing oracle for the slack heuristic: runs the paper's
+/// bidirectional slack scheduler and the exact branch-and-bound scheduler
+/// side by side on Table 2-calibrated random loops (seeded, deterministic),
+/// validates every returned schedule with validateSchedule, and aggregates
+/// the II and MaxLive gaps. This separates heuristic slack (heuristic vs
+/// exact optimum) from bound slack (exact optimum vs MII / MinAvg), which
+/// the schedule-independent bounds alone cannot do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_EXACT_ORACLE_H
+#define LSMS_EXACT_ORACLE_H
+
+#include "core/SchedulerOptions.h"
+#include "exact/ExactScheduler.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// Configuration of one oracle sweep.
+struct OracleOptions {
+  uint64_t Seed = 0x19930601;
+  int NumLoops = 50;
+  /// Loop-body size range in machine operations; exact scheduling is
+  /// tractable well beyond 20 ops but the sweep defaults stay small so the
+  /// suite runs as a test tier.
+  int MinOps = 3;
+  int MaxOps = 20;
+  SchedulerOptions Heuristic = SchedulerOptions::slack();
+  ExactOptions Exact;
+  /// Run the exact MaxLive-minimization pass at the optimal II so the
+  /// pressure gap can be reported next to the II gap.
+  bool MinimizeMaxLive = true;
+};
+
+/// One loop's differential result.
+struct OracleCase {
+  uint64_t Seed = 0;        ///< generator seed of this loop
+  std::string Name;
+  int Ops = 0;              ///< machine operations
+  int MII = 0, ResMII = 0, RecMII = 0;
+
+  bool HeurSuccess = false;
+  int HeurII = 0;
+  long HeurMaxLive = -1;
+  long HeurEjections = 0;   ///< total ejections across attempts
+  long HeurAttempts = 0;    ///< II values the heuristic tried
+
+  ExactStatus Status = ExactStatus::Timeout;
+  int ExactII = 0;          ///< valid when Status is Optimal/Feasible
+  long ExactMaxLive = -1;
+  bool MaxLiveProven = false;
+  long MinAvg = 0;          ///< the paper's bound at ExactII
+  long Nodes = 0;           ///< branch-and-bound nodes consumed
+
+  bool IIGapValid = false;      ///< both schedulers produced a schedule
+  int IIGap = 0;                ///< HeurII - ExactII
+  bool MaxLiveGapValid = false; ///< additionally, at the same II
+  long MaxLiveGap = 0;          ///< HeurMaxLive - ExactMaxLive
+
+  std::string HeurError;  ///< validateSchedule output (empty = legal)
+  std::string ExactError; ///< validateSchedule output (empty = legal)
+};
+
+/// Aggregated sweep results.
+struct OracleReport {
+  OracleOptions Config;
+  std::vector<OracleCase> Cases;
+
+  int HeurScheduled = 0;
+  int ExactScheduled = 0;
+  int ProvenOptimalII = 0;  ///< exact status Optimal
+  int HeurAtExactII = 0;    ///< heuristic matched the proven/best exact II
+  int HeurAtMII = 0;
+  int ExactAtMII = 0;
+  int Timeouts = 0;
+  int ValidationFailures = 0;
+};
+
+/// Runs the sweep. Deterministic: depends only on \p Options.
+OracleReport runOracle(const OracleOptions &Options = OracleOptions());
+
+/// Prints the per-loop table, the II-gap and MaxLive-gap histograms, and
+/// the summary counters. Deterministic (no timings).
+void printOracleReport(std::ostream &OS, const OracleReport &Report);
+
+} // namespace lsms
+
+#endif // LSMS_EXACT_ORACLE_H

@@ -46,3 +46,19 @@ bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
       return false;
   return true;
 }
+
+std::vector<long> MinDistMatrix::estarts(int StartOp) const {
+  std::vector<long> E(static_cast<size_t>(N), 0);
+  for (int X = 0; X < N; ++X)
+    if (connected(StartOp, X))
+      E[static_cast<size_t>(X)] = std::max(0L, at(StartOp, X));
+  return E;
+}
+
+std::vector<long> MinDistMatrix::lstarts(int StopOp, long Cap) const {
+  std::vector<long> L(static_cast<size_t>(N), Cap);
+  for (int X = 0; X < N; ++X)
+    if (connected(X, StopOp))
+      L[static_cast<size_t>(X)] = Cap - at(X, StopOp);
+  return L;
+}

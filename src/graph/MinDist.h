@@ -42,6 +42,15 @@ public:
   /// True when a dependence path leads from x to y.
   bool connected(int X, int Y) const { return at(X, Y) != NoPath; }
 
+  /// Static Estart of every operation in the empty schedule:
+  /// MinDist(\p StartOp, x), clamped at 0 (Section 4.1).
+  std::vector<long> estarts(int StartOp) const;
+
+  /// Static Lstart of every operation when \p StopOp must issue no later
+  /// than \p Cap: Cap - MinDist(x, StopOp); operations with no path to
+  /// Stop get Cap itself.
+  std::vector<long> lstarts(int StopOp, long Cap) const;
+
 private:
   int N = 0;
   int II = 0;

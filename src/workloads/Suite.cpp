@@ -287,3 +287,30 @@ std::vector<LoopBody> lsms::buildFullSuite(int TotalLoops, uint64_t Seed) {
   }
   return Suite;
 }
+
+std::vector<LoopBody> lsms::buildOracleSuite(int Count, int MinOps,
+                                             int MaxOps, uint64_t Seed) {
+  assert(MinOps <= MaxOps && "empty size range");
+  std::vector<LoopBody> Suite;
+  Suite.reserve(static_cast<size_t>(Count));
+  Rng R(Seed);
+  int Attempt = 0;
+  const int MaxAttempts = Count * 64;
+  while (static_cast<int>(Suite.size()) < Count && Attempt < MaxAttempts) {
+    // Small targets: address arithmetic and brtop inflate the body beyond
+    // TargetOps, so aim below the cap and filter on the realized size.
+    RandomLoopConfig Config;
+    Config.TargetOps = static_cast<int>(
+        R.nextInRange(2, std::max(2, MaxOps * 2 / 3)));
+    Config.MaxOmega = 3;
+    LoopBody Body =
+        generateRandomLoop(Seed + 1000003ULL * ++Attempt, Config);
+    const int Ops = Body.numMachineOps();
+    if (Ops < MinOps || Ops > MaxOps)
+      continue;
+    Suite.push_back(std::move(Body));
+  }
+  assert(static_cast<int>(Suite.size()) == Count &&
+         "oracle suite generation exhausted its attempt budget");
+  return Suite;
+}

@@ -35,6 +35,12 @@ std::vector<LoopBody> buildKernelSuite();
 std::vector<LoopBody> buildFullSuite(int TotalLoops = 1525,
                                      uint64_t Seed = 19930601);
 
+/// Small random loops for the exact-scheduling oracle: \p Count bodies
+/// with MinOps <= machine operations <= MaxOps, drawn deterministically
+/// from \p Seed (oversized draws are discarded and redrawn).
+std::vector<LoopBody> buildOracleSuite(int Count, int MinOps, int MaxOps,
+                                       uint64_t Seed);
+
 } // namespace lsms
 
 #endif // LSMS_WORKLOADS_SUITE_H

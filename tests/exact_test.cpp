@@ -1,0 +1,207 @@
+//===----------------------------------------------------------------------===//
+/// \file Unit tests for the exact branch-and-bound modulo scheduler and the
+/// slack-vs-exact differential-testing oracle.
+//===----------------------------------------------------------------------===//
+
+#include "bounds/Lifetimes.h"
+#include "core/ModuloScheduler.h"
+#include "core/Validate.h"
+#include "exact/ExactScheduler.h"
+#include "exact/Oracle.h"
+#include "workloads/Kernels.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+std::vector<LoopBody> allKernels() {
+  std::vector<LoopBody> Kernels;
+  Kernels.push_back(buildSampleLoop());
+  Kernels.push_back(buildDaxpyLoop());
+  Kernels.push_back(buildDotLoop());
+  Kernels.push_back(buildLinearRecurrenceLoop());
+  Kernels.push_back(buildPredicatedAbsLoop());
+  Kernels.push_back(buildDivideLoop());
+  return Kernels;
+}
+
+} // namespace
+
+TEST(ExactScheduler, SampleLoopProvenAtMII) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  const ExactResult Ex = scheduleLoopExact(Graph);
+  EXPECT_EQ(Ex.Status, ExactStatus::Optimal);
+  ASSERT_TRUE(Ex.Sched.Success);
+  EXPECT_EQ(Ex.Sched.II, 2) << "paper's sample loop is schedulable at MII=2";
+  EXPECT_EQ(Ex.Sched.II, Ex.Sched.MII);
+  EXPECT_EQ(validateSchedule(Graph, Ex.Sched), "");
+}
+
+TEST(ExactScheduler, KernelsProvenOptimalAndNeverWorseThanHeuristic) {
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    const ExactResult Ex = scheduleLoopExact(Graph);
+    EXPECT_EQ(Ex.Status, ExactStatus::Optimal) << Body.Name;
+    ASSERT_TRUE(Ex.Sched.Success) << Body.Name;
+    EXPECT_EQ(validateSchedule(Graph, Ex.Sched), "") << Body.Name;
+
+    const Schedule Heur = scheduleLoop(Graph);
+    ASSERT_TRUE(Heur.Success) << Body.Name;
+    EXPECT_LE(Ex.Sched.II, Heur.II) << Body.Name;
+    EXPECT_GE(Ex.Sched.II, Ex.Sched.MII) << Body.Name;
+  }
+}
+
+TEST(ExactScheduler, SolveAtIIProducesValidatableSchedule) {
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Heur = scheduleLoop(Graph);
+  ASSERT_TRUE(Heur.Success);
+
+  Schedule Sched;
+  long Nodes = 0;
+  const ExactStatus St =
+      solveAtII(Graph, Heur.II, ExactOptions(), Sched.Times, Nodes);
+  ASSERT_EQ(St, ExactStatus::Optimal);
+  Sched.Success = true;
+  Sched.II = Heur.II;
+  EXPECT_EQ(validateSchedule(Graph, Sched), "");
+  EXPECT_GT(Nodes, 0);
+}
+
+TEST(ExactScheduler, InfeasibleBelowRecMII) {
+  const LoopBody Body = buildLinearRecurrenceLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Heur = scheduleLoop(Graph);
+  ASSERT_GT(Heur.RecMII, 1);
+  std::vector<int> Times;
+  long Nodes = 0;
+  EXPECT_EQ(solveAtII(Graph, Heur.RecMII - 1, ExactOptions(), Times, Nodes),
+            ExactStatus::Infeasible);
+}
+
+TEST(ExactScheduler, ProvesResourceInfeasibilityBelowResMII) {
+  // Daxpy has three memory operations on two ports (ResMII = 2) and only
+  // trivial recurrences, so II = 1 is resource-infeasible: the search must
+  // prove it by exhaustion, not via a MinDist positive cycle.
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Heur = scheduleLoop(Graph);
+  ASSERT_EQ(Heur.RecMII, 1);
+  ASSERT_GT(Heur.ResMII, 1);
+  std::vector<int> Times;
+  long Nodes = 0;
+  EXPECT_EQ(solveAtII(Graph, 1, ExactOptions(), Times, Nodes),
+            ExactStatus::Infeasible);
+  EXPECT_GT(Nodes, 0);
+}
+
+TEST(ExactScheduler, ZeroNodeBudgetReportsTimeout) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  ExactOptions Options;
+  Options.NodeBudget = 0;
+  const ExactResult Ex = scheduleLoopExact(Graph, Options);
+  EXPECT_EQ(Ex.Status, ExactStatus::Timeout);
+  EXPECT_FALSE(Ex.Sched.Success);
+}
+
+TEST(ExactScheduler, MaxLivePassStaysLegalAndRespectsBounds) {
+  for (const LoopBody &Body : allKernels()) {
+    const DepGraph Graph(Body, machine());
+    ExactOptions Plain;
+    const ExactResult A = scheduleLoopExact(Graph, Plain);
+    ExactOptions Minimizing;
+    Minimizing.MinimizeMaxLive = true;
+    Minimizing.MaxLiveNodeBudget = 1L << 14;
+    const ExactResult B = scheduleLoopExact(Graph, Minimizing);
+    ASSERT_TRUE(A.Sched.Success && B.Sched.Success) << Body.Name;
+    EXPECT_EQ(A.Sched.II, B.Sched.II) << Body.Name;
+    EXPECT_EQ(validateSchedule(Graph, B.Sched), "") << Body.Name;
+    EXPECT_LE(B.MaxLive, A.MaxLive) << Body.Name;
+    EXPECT_GE(B.MaxLive, B.MinAvgAtII)
+        << Body.Name << ": MinAvg must lower-bound MaxLive";
+  }
+}
+
+TEST(ExactScheduler, Deterministic) {
+  const LoopBody Body = buildDaxpyLoop();
+  const DepGraph Graph(Body, machine());
+  const ExactResult A = scheduleLoopExact(Graph);
+  const ExactResult B = scheduleLoopExact(Graph);
+  ASSERT_TRUE(A.Sched.Success && B.Sched.Success);
+  EXPECT_EQ(A.Sched.II, B.Sched.II);
+  EXPECT_EQ(A.Sched.Times, B.Sched.Times);
+  EXPECT_EQ(A.NodesExplored, B.NodesExplored);
+}
+
+// The acceptance sweep: 50 seeded random loops of at most 20 machine
+// operations. The exact scheduler must prove the minimal II on every one,
+// and both schedulers' outputs must pass independent validation.
+TEST(Oracle, FiftyRandomLoopsProvenMinimal) {
+  OracleOptions Options;
+  Options.Exact.MaxLiveNodeBudget = 1L << 14; // keep the test tier fast
+  const OracleReport Report = runOracle(Options);
+  ASSERT_EQ(static_cast<int>(Report.Cases.size()), Options.NumLoops);
+  EXPECT_EQ(Report.ExactScheduled, Options.NumLoops);
+  EXPECT_EQ(Report.ProvenOptimalII, Options.NumLoops)
+      << "every loop's minimal II must be proven, not just found";
+  EXPECT_EQ(Report.ValidationFailures, 0);
+  for (const OracleCase &Case : Report.Cases) {
+    EXPECT_LE(Case.Ops, Options.MaxOps) << Case.Name;
+    EXPECT_GE(Case.ExactII, Case.MII) << Case.Name;
+    if (Case.HeurSuccess) {
+      EXPECT_TRUE(Case.IIGapValid) << Case.Name;
+      EXPECT_GE(Case.IIGap, 0)
+          << Case.Name << ": heuristic cannot beat a proven optimum";
+    }
+    if (Case.ExactMaxLive >= 0) {
+      EXPECT_GE(Case.ExactMaxLive, Case.MinAvg) << Case.Name;
+    }
+  }
+}
+
+TEST(Oracle, DeterministicAcrossRuns) {
+  OracleOptions Options;
+  Options.NumLoops = 6;
+  Options.Exact.MaxLiveNodeBudget = 1L << 12;
+  const OracleReport A = runOracle(Options);
+  const OracleReport B = runOracle(Options);
+  ASSERT_EQ(A.Cases.size(), B.Cases.size());
+  for (size_t I = 0; I < A.Cases.size(); ++I) {
+    EXPECT_EQ(A.Cases[I].Name, B.Cases[I].Name);
+    EXPECT_EQ(A.Cases[I].ExactII, B.Cases[I].ExactII);
+    EXPECT_EQ(A.Cases[I].ExactMaxLive, B.Cases[I].ExactMaxLive);
+    EXPECT_EQ(A.Cases[I].Nodes, B.Cases[I].Nodes);
+    EXPECT_EQ(A.Cases[I].HeurII, B.Cases[I].HeurII);
+  }
+}
+
+TEST(Oracle, SuiteRespectsSizeBounds) {
+  const std::vector<LoopBody> Suite = buildOracleSuite(12, 3, 20, 42);
+  ASSERT_EQ(Suite.size(), 12u);
+  for (const LoopBody &Body : Suite) {
+    EXPECT_GE(Body.numMachineOps(), 3);
+    EXPECT_LE(Body.numMachineOps(), 20);
+    EXPECT_EQ(Body.verify(), "");
+  }
+}
+
+TEST(ExactScheduler, HeuristicStatsExposedForHarness) {
+  const LoopBody Body = buildSampleLoop();
+  const DepGraph Graph(Body, machine());
+  const Schedule Heur = scheduleLoop(Graph);
+  ASSERT_TRUE(Heur.Success);
+  EXPECT_GE(Heur.Stats.AttemptsTried, 1);
+  EXPECT_GE(Heur.Stats.EjectionsLastAttempt, 0);
+  EXPECT_LE(Heur.Stats.EjectionsLastAttempt, Heur.Stats.Ejections);
+}

@@ -1,0 +1,193 @@
+//===----------------------------------------------------------------------===//
+/// \file Negative-case tests for validateSchedule: hand-crafted bodies with
+/// fully controlled times, mutated one constraint at a time so the validator
+/// must report exactly the injected defect (arc-latency violations,
+/// double-booked functional-unit slots mod II, and omega-carried arcs right
+/// at the II boundary).
+//===----------------------------------------------------------------------===//
+
+#include "core/FuAssignment.h"
+#include "core/ModuloScheduler.h"
+#include "core/Validate.h"
+#include "ir/DepGraph.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+const MachineModel &machine() {
+  static MachineModel M = MachineModel::cydra5();
+  return M;
+}
+
+/// v = fmul(x@1, c); x = fadd(v, c) — a two-operation recurrence whose
+/// omega-1 arc x -> v is exactly tight when scheduled at II = lat(fmul) +
+/// lat(fadd) with v at cycle 0 and x at cycle lat(fmul).
+struct RecurrenceLoop {
+  LoopBody Body;
+  int VOp = -1; ///< the fmul
+  int XOp = -1; ///< the fadd defining x
+
+  RecurrenceLoop() {
+    Body.Name = "validate-recurrence";
+    IRBuilder B(Body);
+    const int C = B.constant(1.0);
+    const int X = B.declareValue(RegClass::RR, "x");
+    const int V = B.emitValue(Opcode::FloatMul, {Use{X, 1}, Use{C, 0}}, "v");
+    B.defineValue(X, Opcode::FloatAdd, {Use{V, 0}, Use{C, 0}});
+    B.setSeeds(X, {1.0});
+    B.markLiveOut(X);
+    B.finish();
+    VOp = Body.value(V).Def;
+    XOp = Body.value(X).Def;
+  }
+
+  /// The tight hand schedule described above. Stop is placed at the maximum
+  /// completion time so every op -> Stop arc is satisfied.
+  Schedule tightSchedule(const DepGraph &Graph) const {
+    const int LM = machine().latency(Opcode::FloatMul);
+    Schedule Sched;
+    Sched.Success = true;
+    Sched.II = LM + machine().latency(Opcode::FloatAdd);
+    Sched.Times.assign(static_cast<size_t>(Body.numOps()), 0);
+    Sched.Times[static_cast<size_t>(VOp)] = 0;
+    Sched.Times[static_cast<size_t>(XOp)] = LM;
+    int StopTime = 0;
+    for (const Operation &Op : Body.Ops)
+      if (Op.Id != Body.stopOp())
+        StopTime = std::max(StopTime,
+                            Sched.Times[static_cast<size_t>(Op.Id)] +
+                                machine().latency(Op.Opc));
+    Sched.Times[static_cast<size_t>(Body.stopOp())] = StopTime;
+    EXPECT_EQ(validateSchedule(Graph, Sched), "")
+        << "the tight base schedule must be legal";
+    return Sched;
+  }
+};
+
+} // namespace
+
+TEST(Validate, TightOmegaCarriedArcAtBoundaryPasses) {
+  const RecurrenceLoop Loop;
+  const DepGraph Graph(Loop.Body, machine());
+  const Schedule Sched = Loop.tightSchedule(Graph);
+  // The carried arc x -> v holds with zero slack: t(v) == t(x) + lat(fadd)
+  // - 1*II exactly.
+  const int LA = machine().latency(Opcode::FloatAdd);
+  EXPECT_EQ(Sched.Times[static_cast<size_t>(Loop.VOp)],
+            Sched.Times[static_cast<size_t>(Loop.XOp)] + LA - Sched.II);
+}
+
+TEST(Validate, OmegaCarriedArcViolatedOnePastBoundary) {
+  const RecurrenceLoop Loop;
+  const DepGraph Graph(Loop.Body, machine());
+  Schedule Sched = Loop.tightSchedule(Graph);
+  // Pushing x one cycle later (and Stop with it, so omega-0 arcs stay
+  // satisfied) breaks only the carried arc x -> v.
+  Sched.Times[static_cast<size_t>(Loop.XOp)] += 1;
+  Sched.Times[static_cast<size_t>(Loop.Body.stopOp())] += 1;
+  const std::string Err = validateSchedule(Graph, Sched);
+  EXPECT_NE(Err, "");
+  EXPECT_NE(Err.find("violated"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("omega=1"), std::string::npos) << Err;
+}
+
+TEST(Validate, OmegaCarriedArcViolatedByShrunkII) {
+  const RecurrenceLoop Loop;
+  const DepGraph Graph(Loop.Body, machine());
+  Schedule Sched = Loop.tightSchedule(Graph);
+  // Claiming a smaller II tightens carried arcs by omega cycles each while
+  // leaving every omega-0 arc untouched; the tight recurrence must now fail.
+  Sched.II -= 1;
+  ASSERT_GT(Sched.II, 0);
+  const std::string Err = validateSchedule(Graph, Sched);
+  EXPECT_NE(Err, "");
+  EXPECT_NE(Err.find("omega=1"), std::string::npos) << Err;
+}
+
+TEST(Validate, ArcLatencyViolationReported) {
+  const RecurrenceLoop Loop;
+  const DepGraph Graph(Loop.Body, machine());
+  Schedule Sched = Loop.tightSchedule(Graph);
+  // x issued one cycle before its operand v finishes: violates v -> x
+  // (omega 0) and nothing else.
+  Sched.Times[static_cast<size_t>(Loop.XOp)] -= 1;
+  ASSERT_GE(Sched.Times[static_cast<size_t>(Loop.XOp)], 0);
+  const std::string Err = validateSchedule(Graph, Sched);
+  EXPECT_NE(Err, "");
+  EXPECT_NE(Err.find("violated"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("omega=0"), std::string::npos) << Err;
+}
+
+TEST(Validate, DoubleBookedFuSlotModII) {
+  // More loads than memory ports: two of them must share a port instance.
+  // Moving one onto the other's cycle double-books that instance's modulo
+  // slot without disturbing any dependence (all loads read the same address
+  // value, and Stop is bounded by the latest load already).
+  LoopBody Body;
+  Body.Name = "validate-ports";
+  IRBuilder B(Body);
+  const int Arr = B.newArray("arr");
+  const int Addr = B.addressStream("a", 0.0);
+  const int NumLoads = machine().unitCount(FuKind::MemoryPort) + 1;
+  std::vector<int> LoadOps;
+  for (int I = 0; I < NumLoads; ++I) {
+    const int L =
+        B.emitLoad(Arr, 0, Use{Addr, 0}, "l" + std::to_string(I));
+    B.markLiveOut(L);
+    LoadOps.push_back(Body.value(L).Def);
+  }
+  B.finish();
+
+  const DepGraph Graph(Body, machine());
+  Schedule Sched = scheduleLoop(Graph);
+  ASSERT_TRUE(Sched.Success);
+  ASSERT_EQ(validateSchedule(Graph, Sched), "");
+
+  const std::vector<int> FuInstance = assignFunctionalUnits(Body, machine());
+  int First = -1, Second = -1;
+  for (size_t I = 0; I < LoadOps.size() && Second < 0; ++I)
+    for (size_t J = I + 1; J < LoadOps.size() && Second < 0; ++J)
+      if (FuInstance[static_cast<size_t>(LoadOps[I])] ==
+          FuInstance[static_cast<size_t>(LoadOps[J])]) {
+        First = LoadOps[I];
+        Second = LoadOps[J];
+      }
+  ASSERT_GE(First, 0) << "pigeonhole: some pair must share a port";
+
+  Sched.Times[static_cast<size_t>(Second)] =
+      Sched.Times[static_cast<size_t>(First)];
+  const std::string Err = validateSchedule(Graph, Sched);
+  EXPECT_NE(Err, "");
+  EXPECT_NE(Err.find("resource conflict"), std::string::npos) << Err;
+}
+
+TEST(Validate, StructuralDefectsReported) {
+  const RecurrenceLoop Loop;
+  const DepGraph Graph(Loop.Body, machine());
+  const Schedule Base = Loop.tightSchedule(Graph);
+
+  Schedule Unsuccessful = Base;
+  Unsuccessful.Success = false;
+  EXPECT_NE(validateSchedule(Graph, Unsuccessful), "");
+
+  Schedule BadII = Base;
+  BadII.II = 0;
+  EXPECT_NE(validateSchedule(Graph, BadII), "");
+
+  Schedule Short = Base;
+  Short.Times.pop_back();
+  EXPECT_NE(validateSchedule(Graph, Short), "");
+
+  Schedule MovedStart = Base;
+  for (int &T : MovedStart.Times)
+    T += 1;
+  EXPECT_NE(validateSchedule(Graph, MovedStart), "");
+
+  Schedule Unplaced = Base;
+  Unplaced.Times[static_cast<size_t>(Loop.VOp)] = -1;
+  EXPECT_NE(validateSchedule(Graph, Unplaced), "");
+}
