@@ -8,6 +8,7 @@
 #include "support/Table.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <ostream>
 
 using namespace lsms;
@@ -81,12 +82,24 @@ SchedOutcome lsms::runScheduler(const LoopBody &Body,
 }
 
 int lsms::suiteSizeFromArgs(int Argc, char **Argv, int Default) {
-  if (Argc > 1) {
-    const int N = std::atoi(Argv[1]);
-    if (N > 0)
-      return N;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0) {
+      ++I; // skip the flag's value
+      continue;
+    }
+    const int N = std::atoi(Argv[I]);
+    return N > 0 ? N : Default;
   }
   return Default;
+}
+
+int lsms::jobsFromArgs(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--jobs") == 0) {
+      const int Jobs = std::atoi(Argv[I + 1]);
+      return Jobs > 0 ? Jobs : 0;
+    }
+  return 0;
 }
 
 void lsms::printPerformanceTable(std::ostream &OS, const std::string &Title,

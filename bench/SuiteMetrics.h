@@ -58,9 +58,14 @@ LoopAnalysis analyzeLoop(const LoopBody &Body, const MachineModel &Machine);
 SchedOutcome runScheduler(const LoopBody &Body, const MachineModel &Machine,
                           const SchedulerOptions &Options);
 
-/// Suite size from argv (argv[1] overrides the paper's 1,525 for quick
-/// runs).
+/// Suite size from argv: the first positional argument overrides the
+/// paper's 1,525 for quick runs ("--jobs N" pairs are skipped).
 int suiteSizeFromArgs(int Argc, char **Argv, int Default = 1525);
+
+/// Parses an optional "--jobs N" flag anywhere in argv. Returns the
+/// requested worker count, or 0 (= LSMS_JOBS / hardware default) when the
+/// flag is absent or malformed; feed the result to resolveJobs().
+int jobsFromArgs(int Argc, char **Argv);
 
 /// Prints a Table 3/4-style performance table: per-class optimality, total
 /// II vs total MII, and the II > MII tail distribution.

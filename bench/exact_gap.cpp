@@ -4,26 +4,40 @@
 /// on Table 2-calibrated random loops. Deterministic from a fixed seed, so
 /// the output can serve as a regression reference.
 ///
-/// Usage: exact_gap [num_loops] [max_ops] [seed]
+/// Usage: exact_gap [num_loops] [max_ops] [seed] [--jobs N]
+///
+/// The sweep fans out across worker threads (--jobs, or LSMS_JOBS, or the
+/// hardware by default) with results merged in loop order, so the report
+/// is byte-identical at every job count.
 //===----------------------------------------------------------------------===//
 
 #include "exact/Oracle.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 using namespace lsms;
 
 int main(int Argc, char **Argv) {
   OracleOptions Options;
-  if (Argc > 1)
-    Options.NumLoops = std::atoi(Argv[1]);
-  if (Argc > 2)
-    Options.MaxOps = std::atoi(Argv[2]);
-  if (Argc > 3)
-    Options.Seed = std::strtoull(Argv[3], nullptr, 0);
+  std::vector<const char *> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
+      Options.Jobs = std::atoi(Argv[++I]);
+      continue;
+    }
+    Positional.push_back(Argv[I]);
+  }
+  if (Positional.size() > 0)
+    Options.NumLoops = std::atoi(Positional[0]);
+  if (Positional.size() > 1)
+    Options.MaxOps = std::atoi(Positional[1]);
+  if (Positional.size() > 2)
+    Options.Seed = std::strtoull(Positional[2], nullptr, 0);
   if (Options.NumLoops <= 0 || Options.MaxOps < Options.MinOps) {
-    std::cerr << "usage: exact_gap [num_loops] [max_ops] [seed]\n";
+    std::cerr << "usage: exact_gap [num_loops] [max_ops] [seed] [--jobs N]\n";
     return 1;
   }
 

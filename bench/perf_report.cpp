@@ -1,0 +1,190 @@
+//===----------------------------------------------------------------------===//
+/// \file Scheduling-throughput record for the perf trajectory: times the
+/// heuristic suite sweep, the exact branch-and-bound sweep, and the full
+/// differential-oracle sweep at jobs=1 and jobs=hardware, and emits the
+/// numbers as JSON (checked in at the repo root as BENCH_schedule.json so
+/// later PRs have a baseline to regress against). Also cross-checks that
+/// the oracle report is byte-identical at both job counts.
+///
+/// Usage: perf_report [--smoke] [--jobs N] [--out FILE]
+///   --smoke   small sizes for the `perf` CTest tier (throughput numbers
+///             are then NOT representative; the JSON is tagged "smoke")
+///   --jobs N  the "parallel" job count to measure (default: hardware)
+///   --out F   write the JSON to F instead of stdout
+//===----------------------------------------------------------------------===//
+
+#include "SuiteMetrics.h"
+#include "exact/Oracle.h"
+#include "support/ParallelFor.h"
+#include "workloads/Suite.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace lsms;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+struct SectionResult {
+  int Loops = 0;
+  double Jobs1Seconds = 0;
+  double JobsNSeconds = 0;
+};
+
+std::string formatDouble(double V, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}
+
+void printSection(std::ostream &OS, const char *Name,
+                  const SectionResult &S, int JobsN, bool Last) {
+  const double Rate1 =
+      S.Jobs1Seconds > 0 ? S.Loops / S.Jobs1Seconds : 0;
+  const double RateN =
+      S.JobsNSeconds > 0 ? S.Loops / S.JobsNSeconds : 0;
+  const double Speedup =
+      S.JobsNSeconds > 0 ? S.Jobs1Seconds / S.JobsNSeconds : 0;
+  OS << "    \"" << Name << "\": {\n"
+     << "      \"loops\": " << S.Loops << ",\n"
+     << "      \"seq_seconds\": " << formatDouble(S.Jobs1Seconds, 3)
+     << ",\n"
+     << "      \"seq_loops_per_sec\": " << formatDouble(Rate1, 1) << ",\n"
+     << "      \"par_jobs\": " << JobsN << ",\n"
+     << "      \"par_seconds\": " << formatDouble(S.JobsNSeconds, 3)
+     << ",\n"
+     << "      \"par_loops_per_sec\": " << formatDouble(RateN, 1) << ",\n"
+     << "      \"speedup\": " << formatDouble(Speedup, 2) << "\n"
+     << "    }" << (Last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  int JobsN = 0;
+  const char *OutPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0) {
+      Smoke = true;
+    } else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc) {
+      JobsN = std::atoi(Argv[++I]);
+    } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
+      OutPath = Argv[++I];
+    } else {
+      std::cerr << "usage: perf_report [--smoke] [--jobs N] [--out FILE]\n";
+      return 1;
+    }
+  }
+  JobsN = resolveJobs(JobsN);
+
+  const int SuiteLoops = Smoke ? 40 : 300;
+  const int ExactLoops = Smoke ? 10 : 50;
+  const int OracleLoops = Smoke ? 8 : 50;
+  const uint64_t Seed = 0x19930601;
+  const MachineModel Machine = MachineModel::cydra5();
+
+  // -- Heuristic sweep: slack-schedule the Table 2-calibrated suite. ------
+  SectionResult Heur;
+  {
+    const std::vector<LoopBody> Suite = buildFullSuite(SuiteLoops);
+    Heur.Loops = static_cast<int>(Suite.size());
+    for (const int Jobs : {1, JobsN}) {
+      const auto T0 = Clock::now();
+      std::vector<SchedOutcome> Outcomes(Suite.size());
+      parallelFor(Jobs, static_cast<int>(Suite.size()), [&](int I) {
+        Outcomes[static_cast<size_t>(I)] =
+            runScheduler(Suite[static_cast<size_t>(I)], Machine,
+                         SchedulerOptions::slack());
+      });
+      (Jobs == 1 ? Heur.Jobs1Seconds : Heur.JobsNSeconds) =
+          secondsSince(T0);
+      if (JobsN == 1)
+        Heur.JobsNSeconds = Heur.Jobs1Seconds;
+    }
+  }
+
+  // -- Exact sweep: branch-and-bound to a proven-minimal II. --------------
+  SectionResult Exact;
+  {
+    const std::vector<LoopBody> Suite =
+        buildOracleSuite(ExactLoops, 3, 20, Seed);
+    Exact.Loops = static_cast<int>(Suite.size());
+    for (const int Jobs : {1, JobsN}) {
+      const auto T0 = Clock::now();
+      std::vector<int> II(Suite.size());
+      parallelFor(Jobs, static_cast<int>(Suite.size()), [&](int I) {
+        const DepGraph Graph(Suite[static_cast<size_t>(I)], Machine);
+        II[static_cast<size_t>(I)] =
+            scheduleLoopExact(Graph).Sched.II;
+      });
+      (Jobs == 1 ? Exact.Jobs1Seconds : Exact.JobsNSeconds) =
+          secondsSince(T0);
+      if (JobsN == 1)
+        Exact.JobsNSeconds = Exact.Jobs1Seconds;
+    }
+  }
+
+  // -- Oracle sweep: the full differential run (both schedulers + MaxLive
+  // minimization + validation), the exact_gap workload. -------------------
+  SectionResult Oracle;
+  bool ReportsIdentical = true;
+  {
+    OracleOptions Options;
+    Options.NumLoops = OracleLoops;
+    std::string Report1, ReportN;
+    for (const int Jobs : {1, JobsN}) {
+      Options.Jobs = Jobs;
+      const auto T0 = Clock::now();
+      const OracleReport Report = runOracle(Options);
+      (Jobs == 1 ? Oracle.Jobs1Seconds : Oracle.JobsNSeconds) =
+          secondsSince(T0);
+      if (JobsN == 1)
+        Oracle.JobsNSeconds = Oracle.Jobs1Seconds;
+      Oracle.Loops = static_cast<int>(Report.Cases.size());
+      std::ostringstream OS;
+      printOracleReport(OS, Report);
+      (Jobs == 1 ? Report1 : ReportN) = OS.str();
+      if (JobsN == 1)
+        ReportN = Report1;
+    }
+    ReportsIdentical = Report1 == ReportN;
+  }
+
+  std::ostringstream JSON;
+  JSON << "{\n"
+       << "  \"bench\": \"perf_report\",\n"
+       << "  \"mode\": \"" << (Smoke ? "smoke" : "full") << "\",\n"
+       << "  \"hardware_concurrency\": " << hardwareJobs() << ",\n"
+       << "  \"jobs\": " << JobsN << ",\n"
+       << "  \"oracle_report_byte_identical_across_jobs\": "
+       << (ReportsIdentical ? "true" : "false") << ",\n"
+       << "  \"sections\": {\n";
+  printSection(JSON, "heuristic_suite", Heur, JobsN, false);
+  printSection(JSON, "exact_suite", Exact, JobsN, false);
+  printSection(JSON, "oracle_sweep", Oracle, JobsN, true);
+  JSON << "  }\n"
+       << "}\n";
+
+  if (OutPath) {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::cerr << "perf_report: cannot write " << OutPath << "\n";
+      return 1;
+    }
+    Out << JSON.str();
+    std::cout << "wrote " << OutPath << "\n";
+  } else {
+    std::cout << JSON.str();
+  }
+  return ReportsIdentical ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "SuiteMetrics.h"
+#include "support/ParallelFor.h"
 #include "support/Statistics.h"
 #include "workloads/Suite.h"
 
@@ -15,17 +16,22 @@ using namespace lsms;
 
 int main(int Argc, char **Argv) {
   const int N = suiteSizeFromArgs(Argc, Argv);
+  const int Jobs = resolveJobs(jobsFromArgs(Argc, Argv));
   const MachineModel Machine = MachineModel::cydra5();
   const std::vector<LoopBody> Suite = buildFullSuite(N);
 
-  std::vector<LoopAnalysis> Analyses;
-  std::vector<SchedOutcome> Slack, Cydrome;
-  for (const LoopBody &Body : Suite) {
-    Analyses.push_back(analyzeLoop(Body, Machine));
-    Slack.push_back(runScheduler(Body, Machine, SchedulerOptions::slack()));
-    Cydrome.push_back(
-        runScheduler(Body, Machine, SchedulerOptions::cydrome()));
-  }
+  // Per-loop slots filled across workers; every table below reads them in
+  // suite order, so the report does not depend on the job count.
+  std::vector<LoopAnalysis> Analyses(Suite.size());
+  std::vector<SchedOutcome> Slack(Suite.size()), Cydrome(Suite.size());
+  parallelFor(Jobs, static_cast<int>(Suite.size()), [&](int I) {
+    const LoopBody &Body = Suite[static_cast<size_t>(I)];
+    Analyses[static_cast<size_t>(I)] = analyzeLoop(Body, Machine);
+    Slack[static_cast<size_t>(I)] =
+        runScheduler(Body, Machine, SchedulerOptions::slack());
+    Cydrome[static_cast<size_t>(I)] =
+        runScheduler(Body, Machine, SchedulerOptions::cydrome());
+  });
 
   printPerformanceTable(std::cout,
                         "Table 3: Slack Scheduling Performance (" +

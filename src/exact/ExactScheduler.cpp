@@ -78,6 +78,7 @@ private:
 
   ModuloResourceTable Mrt;
   Mode SearchMode = Mode::Feasibility;
+  std::vector<long> EstartBuf, LstartBuf; ///< static-window scratch
   std::vector<int> Order;     ///< real operations, in branch order
   std::vector<int> Rho;       ///< residue per op; -1 unplaced
   std::vector<int> Placed;    ///< Start + placed prefix
@@ -105,9 +106,10 @@ void ExactSolver::buildOrder(Mode M) {
   // Static windows at this II: slack against the critical path. Most
   // constrained first keeps the tree narrow near the root.
   const int Start = Body.startOp(), Stop = Body.stopOp();
-  const std::vector<long> Estart = MinDist.estarts(Start);
-  const std::vector<long> Lstart =
-      MinDist.lstarts(Stop, MinDist.at(Start, Stop));
+  MinDist.estarts(Start, EstartBuf);
+  MinDist.lstarts(Stop, MinDist.at(Start, Stop), LstartBuf);
+  const std::vector<long> &Estart = EstartBuf;
+  const std::vector<long> &Lstart = LstartBuf;
   std::vector<long> Slack(static_cast<size_t>(N), 0);
   std::vector<long> LifeLB(static_cast<size_t>(N), 0);
   for (int X : Order) {
@@ -389,9 +391,17 @@ ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
                             const ExactOptions &Options,
                             std::vector<int> &TimesOut,
                             long &NodesExplored) {
+  MinDistMatrix MinDist;
+  return solveAtII(Graph, II, Options, MinDist, TimesOut, NodesExplored);
+}
+
+ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
+                            const ExactOptions &Options,
+                            MinDistMatrix &MinDist,
+                            std::vector<int> &TimesOut,
+                            long &NodesExplored) {
   if (II <= 0)
     return ExactStatus::Infeasible;
-  MinDistMatrix MinDist;
   if (!MinDist.compute(Graph, II))
     return ExactStatus::Infeasible; // II below RecMII: positive cycle
   const LoopBody &Body = Graph.body();
@@ -416,11 +426,15 @@ ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
   bool LowerProven = true;
   bool AnyTimeout = false;
   bool Found = false;
+  // One matrix across the II ladder: the SCC condensation is II-independent
+  // and stays cached, so each attempt only refreshes omega-arc weights.
+  MinDistMatrix MinDist;
   for (int II = Sched.MII; II <= MaxII; ++II) {
     ++Result.IIAttempts;
     Sched.II = II;
     const ExactStatus St =
-        solveAtII(Graph, II, Options, Sched.Times, Result.NodesExplored);
+        solveAtII(Graph, II, Options, MinDist, Sched.Times,
+                  Result.NodesExplored);
     if (St == ExactStatus::Optimal) {
       Found = true;
       break;
@@ -443,10 +457,9 @@ ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
       computePressure(Graph.body(), Sched.Times, Sched.II, RegClass::RR)
           .MaxLive;
 
-  MinDistMatrix MinDist;
-  const bool Valid = MinDist.compute(Graph, Sched.II);
-  assert(Valid && "feasible II lost its MinDist matrix");
-  (void)Valid;
+  // The matrix still holds the relation at the II the search broke on.
+  assert(MinDist.initiationInterval() == Sched.II &&
+         "feasible II lost its MinDist matrix");
   Result.MinAvgAtII = computeMinAvg(Graph, MinDist);
 
   if (Options.MinimizeMaxLive) {

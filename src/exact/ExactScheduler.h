@@ -25,6 +25,7 @@
 #define LSMS_EXACT_EXACTSCHEDULER_H
 
 #include "core/Schedule.h"
+#include "graph/MinDist.h"
 #include "ir/DepGraph.h"
 
 #include <vector>
@@ -98,6 +99,16 @@ struct ExactResult {
 ExactStatus solveAtII(const DepGraph &Graph, int II,
                       const ExactOptions &Options, std::vector<int> &TimesOut,
                       long &NodesExplored);
+
+/// As above, but computes the MinDist relation into the caller-provided
+/// \p MinDist. Callers iterating II upward should pass the same matrix to
+/// every attempt so its cached SCC condensation is reused and only the
+/// omega-carrying arc weights are refreshed per candidate II; on return it
+/// holds the relation at \p II whenever the status is not Infeasible-by-
+/// positive-cycle.
+ExactStatus solveAtII(const DepGraph &Graph, int II,
+                      const ExactOptions &Options, MinDistMatrix &MinDist,
+                      std::vector<int> &TimesOut, long &NodesExplored);
 
 /// Finds the provably minimal initiation interval of \p Graph by iterating
 /// solveAtII upward from MII (in steps of 1 — unlike the heuristic's

@@ -4,6 +4,7 @@
 #include "core/ModuloScheduler.h"
 #include "core/Validate.h"
 #include "support/Histogram.h"
+#include "support/ParallelFor.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 #include "workloads/Suite.h"
@@ -11,6 +12,58 @@
 #include <ostream>
 
 using namespace lsms;
+
+namespace {
+
+/// Runs both schedulers on one loop. Pure: touches nothing but its
+/// arguments, so the sweep can fan out across workers.
+OracleCase runOracleCase(const LoopBody &Body, const MachineModel &Machine,
+                         const OracleOptions &Options,
+                         const ExactOptions &Exact) {
+  const DepGraph Graph(Body, Machine);
+  OracleCase Case;
+  Case.Seed = Options.Seed;
+  Case.Name = Body.Name;
+  Case.Ops = Body.numMachineOps();
+
+  const Schedule Heur = scheduleLoop(Graph, Options.Heuristic);
+  Case.MII = Heur.MII;
+  Case.ResMII = Heur.ResMII;
+  Case.RecMII = Heur.RecMII;
+  Case.HeurSuccess = Heur.Success;
+  Case.HeurEjections = Heur.Stats.Ejections;
+  Case.HeurAttempts = Heur.Stats.AttemptsTried;
+  if (Heur.Success) {
+    Case.HeurII = Heur.II;
+    Case.HeurMaxLive =
+        computePressure(Body, Heur.Times, Heur.II, RegClass::RR).MaxLive;
+    Case.HeurError = validateSchedule(Graph, Heur);
+  }
+
+  const ExactResult Ex = scheduleLoopExact(Graph, Exact);
+  Case.Status = Ex.Status;
+  Case.Nodes = Ex.NodesExplored;
+  const bool ExactSuccess = Ex.Sched.Success;
+  if (ExactSuccess) {
+    Case.ExactII = Ex.Sched.II;
+    Case.ExactMaxLive = Ex.MaxLive;
+    Case.MaxLiveProven = Ex.MaxLiveProven;
+    Case.MinAvg = Ex.MinAvgAtII;
+    Case.ExactError = validateSchedule(Graph, Ex.Sched);
+  }
+
+  if (Heur.Success && ExactSuccess) {
+    Case.IIGapValid = true;
+    Case.IIGap = Heur.II - Ex.Sched.II;
+    if (Heur.II == Ex.Sched.II) {
+      Case.MaxLiveGapValid = true;
+      Case.MaxLiveGap = Case.HeurMaxLive - Case.ExactMaxLive;
+    }
+  }
+  return Case;
+}
+
+} // namespace
 
 OracleReport lsms::runOracle(const OracleOptions &Options) {
   OracleReport Report;
@@ -25,62 +78,37 @@ OracleReport lsms::runOracle(const OracleOptions &Options) {
   // DepGraph keeps a reference to the machine, so it must outlive the loop.
   const MachineModel Machine = MachineModel::cydra5();
 
-  for (const LoopBody &Body : Suite) {
-    const DepGraph Graph(Body, Machine);
-    OracleCase Case;
-    Case.Seed = Options.Seed;
-    Case.Name = Body.Name;
-    Case.Ops = Body.numMachineOps();
+  // Per-loop results land in disjoint slots; the index-ordered sharding
+  // plus the sequential aggregation below keep the report byte-identical
+  // for every job count.
+  Report.Cases.resize(Suite.size());
+  parallelFor(resolveJobs(Options.Jobs), static_cast<int>(Suite.size()),
+              [&](int I) {
+                Report.Cases[static_cast<size_t>(I)] = runOracleCase(
+                    Suite[static_cast<size_t>(I)], Machine, Options, Exact);
+              });
 
-    const Schedule Heur = scheduleLoop(Graph, Options.Heuristic);
-    Case.MII = Heur.MII;
-    Case.ResMII = Heur.ResMII;
-    Case.RecMII = Heur.RecMII;
-    Case.HeurSuccess = Heur.Success;
-    Case.HeurEjections = Heur.Stats.Ejections;
-    Case.HeurAttempts = Heur.Stats.AttemptsTried;
-    if (Heur.Success) {
+  for (const OracleCase &Case : Report.Cases) {
+    const bool ExactSuccess = Case.Status == ExactStatus::Optimal ||
+                              Case.Status == ExactStatus::Feasible;
+    if (Case.HeurSuccess) {
       ++Report.HeurScheduled;
-      Case.HeurII = Heur.II;
-      Case.HeurMaxLive =
-          computePressure(Body, Heur.Times, Heur.II, RegClass::RR).MaxLive;
-      Case.HeurError = validateSchedule(Graph, Heur);
-      if (Heur.II == Heur.MII)
+      if (Case.HeurII == Case.MII)
         ++Report.HeurAtMII;
     }
-
-    const ExactResult Ex = scheduleLoopExact(Graph, Exact);
-    Case.Status = Ex.Status;
-    Case.Nodes = Ex.NodesExplored;
-    if (Ex.Sched.Success) {
+    if (ExactSuccess) {
       ++Report.ExactScheduled;
-      Case.ExactII = Ex.Sched.II;
-      Case.ExactMaxLive = Ex.MaxLive;
-      Case.MaxLiveProven = Ex.MaxLiveProven;
-      Case.MinAvg = Ex.MinAvgAtII;
-      Case.ExactError = validateSchedule(Graph, Ex.Sched);
-      if (Ex.Status == ExactStatus::Optimal)
+      if (Case.Status == ExactStatus::Optimal)
         ++Report.ProvenOptimalII;
-      if (Ex.Sched.II == Ex.Sched.MII)
+      if (Case.ExactII == Case.MII)
         ++Report.ExactAtMII;
-    } else if (Ex.Status == ExactStatus::Timeout) {
+    } else if (Case.Status == ExactStatus::Timeout) {
       ++Report.Timeouts;
     }
-
-    if (Heur.Success && Ex.Sched.Success) {
-      Case.IIGapValid = true;
-      Case.IIGap = Heur.II - Ex.Sched.II;
-      if (Case.IIGap == 0)
-        ++Report.HeurAtExactII;
-      if (Heur.II == Ex.Sched.II) {
-        Case.MaxLiveGapValid = true;
-        Case.MaxLiveGap = Case.HeurMaxLive - Case.ExactMaxLive;
-      }
-    }
-
+    if (Case.IIGapValid && Case.IIGap == 0)
+      ++Report.HeurAtExactII;
     if (!Case.HeurError.empty() || !Case.ExactError.empty())
       ++Report.ValidationFailures;
-    Report.Cases.push_back(std::move(Case));
   }
   return Report;
 }

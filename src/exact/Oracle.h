@@ -38,6 +38,11 @@ struct OracleOptions {
   /// Run the exact MaxLive-minimization pass at the optimal II so the
   /// pressure gap can be reported next to the II gap.
   bool MinimizeMaxLive = true;
+  /// Worker threads for the per-loop sweep. Positive = that many; 0 (the
+  /// default) defers to LSMS_JOBS, else the hardware. Results are merged
+  /// in loop-index order, so the report is byte-identical for every job
+  /// count; 1 runs the plain sequential path.
+  int Jobs = 0;
 };
 
 /// One loop's differential result.

@@ -1,15 +1,21 @@
 #include "graph/MinDist.h"
 
+#include "graph/Scc.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace lsms;
 
-bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
+bool MinDistMatrix::computeDense(const DepGraph &Graph, int NewII) {
   II = NewII;
   N = Graph.numOps();
   const size_t NN = static_cast<size_t>(N);
   Matrix.assign(NN * NN, NoPath);
+  // The dense path leaves the SCC cache untouched; invalidate it so a later
+  // compute() on another graph does not reuse stale buckets.
+  CachedGraph = nullptr;
+  WeightsII = -1;
 
   auto At = [this, NN](int X, int Y) -> long & {
     return Matrix[static_cast<size_t>(X) * NN + static_cast<size_t>(Y)];
@@ -47,18 +53,252 @@ bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
   return true;
 }
 
+void MinDistMatrix::buildStructure(const DepGraph &Graph) {
+  N = Graph.numOps();
+  const SccInfo Sccs = computeSccs(Graph);
+  NumComps = Sccs.NumComponents;
+  Comp = Sccs.Component;
+
+  // Members per component, ascending op ids (counting sort keeps the
+  // within-component order deterministic).
+  MemberStart.assign(static_cast<size_t>(NumComps) + 1, 0);
+  for (int Op = 0; Op < N; ++Op)
+    ++MemberStart[static_cast<size_t>(Comp[static_cast<size_t>(Op)]) + 1];
+  for (int C = 0; C < NumComps; ++C)
+    MemberStart[static_cast<size_t>(C) + 1] +=
+        MemberStart[static_cast<size_t>(C)];
+  MemberList.assign(static_cast<size_t>(N), 0);
+  LocalIndex.assign(static_cast<size_t>(N), 0);
+  {
+    std::vector<int> Fill(MemberStart.begin(), MemberStart.end() - 1);
+    for (int Op = 0; Op < N; ++Op) {
+      const int C = Comp[static_cast<size_t>(Op)];
+      const int Pos = Fill[static_cast<size_t>(C)]++;
+      MemberList[static_cast<size_t>(Pos)] = Op;
+      LocalIndex[static_cast<size_t>(Op)] =
+          Pos - MemberStart[static_cast<size_t>(C)];
+    }
+  }
+
+  // Arc buckets: intra arcs by component, cross arcs by destination
+  // component, each in arc-id order.
+  const std::vector<DepArc> &Arcs = Graph.arcs();
+  const int M = static_cast<int>(Arcs.size());
+  IntraStart.assign(static_cast<size_t>(NumComps) + 1, 0);
+  CrossStart.assign(static_cast<size_t>(NumComps) + 1, 0);
+  OmegaArcs.clear();
+  for (int I = 0; I < M; ++I) {
+    const DepArc &Arc = Arcs[static_cast<size_t>(I)];
+    const int CS = Comp[static_cast<size_t>(Arc.Src)];
+    const int CD = Comp[static_cast<size_t>(Arc.Dst)];
+    if (CS == CD)
+      ++IntraStart[static_cast<size_t>(CD) + 1];
+    else
+      ++CrossStart[static_cast<size_t>(CD) + 1];
+    if (Arc.Omega > 0)
+      OmegaArcs.push_back(I);
+  }
+  for (int C = 0; C < NumComps; ++C) {
+    IntraStart[static_cast<size_t>(C) + 1] +=
+        IntraStart[static_cast<size_t>(C)];
+    CrossStart[static_cast<size_t>(C) + 1] +=
+        CrossStart[static_cast<size_t>(C)];
+  }
+  IntraArcs.assign(IntraStart.back(), 0);
+  CrossArcs.assign(CrossStart.back(), 0);
+  {
+    std::vector<int> IntraFill(IntraStart.begin(), IntraStart.end() - 1);
+    std::vector<int> CrossFill(CrossStart.begin(), CrossStart.end() - 1);
+    for (int I = 0; I < M; ++I) {
+      const DepArc &Arc = Arcs[static_cast<size_t>(I)];
+      const int CS = Comp[static_cast<size_t>(Arc.Src)];
+      const int CD = Comp[static_cast<size_t>(Arc.Dst)];
+      if (CS == CD)
+        IntraArcs[static_cast<size_t>(IntraFill[static_cast<size_t>(CD)]++)] =
+            I;
+      else
+        CrossArcs[static_cast<size_t>(CrossFill[static_cast<size_t>(CD)]++)] =
+            I;
+    }
+  }
+
+  CachedGraph = &Graph;
+  CachedNumArcs = Arcs.size();
+  WeightsII = -1; // weights belong to the old graph
+}
+
+void MinDistMatrix::refreshWeights(const DepGraph &Graph, int NewII) {
+  const std::vector<DepArc> &Arcs = Graph.arcs();
+  if (WeightsII < 0) {
+    ArcW.assign(Arcs.size(), 0);
+    for (size_t I = 0; I < Arcs.size(); ++I)
+      ArcW[I] = static_cast<long>(Arcs[I].Latency) -
+                static_cast<long>(NewII) * static_cast<long>(Arcs[I].Omega);
+  } else if (WeightsII != NewII) {
+    // Only omega-carrying arcs depend on II.
+    for (int I : OmegaArcs) {
+      const DepArc &Arc = Arcs[static_cast<size_t>(I)];
+      ArcW[static_cast<size_t>(I)] =
+          static_cast<long>(Arc.Latency) -
+          static_cast<long>(NewII) * static_cast<long>(Arc.Omega);
+    }
+  }
+  WeightsII = NewII;
+}
+
+bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
+  if (CachedGraph != &Graph || N != Graph.numOps() ||
+      CachedNumArcs != Graph.arcs().size())
+    buildStructure(Graph);
+  refreshWeights(Graph, NewII);
+  II = NewII;
+
+  const size_t NN = static_cast<size_t>(N);
+  Matrix.assign(NN * NN, NoPath);
+
+  // Phase 1: close every component. A path between two operations of one
+  // SCC can never leave the SCC (each intermediate both reaches and is
+  // reached by the endpoints), so max-plus Floyd-Warshall over the members
+  // alone is the full intra-component closure. Positive cycles are
+  // intra-SCC by definition, so this phase also owns the II < RecMII
+  // rejection.
+  for (int C = 0; C < NumComps; ++C) {
+    const int Lo = MemberStart[static_cast<size_t>(C)];
+    const int S = MemberStart[static_cast<size_t>(C) + 1] - Lo;
+    if (S == 1) {
+      const int V = MemberList[static_cast<size_t>(Lo)];
+      for (int I = IntraStart[static_cast<size_t>(C)];
+           I < IntraStart[static_cast<size_t>(C) + 1]; ++I)
+        if (ArcW[static_cast<size_t>(IntraArcs[static_cast<size_t>(I)])] > 0)
+          return false; // positive self-arc cycle
+      Matrix[static_cast<size_t>(V) * NN + static_cast<size_t>(V)] = 0;
+      continue;
+    }
+
+    const size_t SS = static_cast<size_t>(S);
+    Local.assign(SS * SS, NoPath);
+    for (int I = IntraStart[static_cast<size_t>(C)];
+         I < IntraStart[static_cast<size_t>(C) + 1]; ++I) {
+      const int ArcIdx = IntraArcs[static_cast<size_t>(I)];
+      const DepArc &Arc = CachedGraph->arc(ArcIdx);
+      long &Cell = Local[static_cast<size_t>(
+                             LocalIndex[static_cast<size_t>(Arc.Src)]) *
+                             SS +
+                         static_cast<size_t>(
+                             LocalIndex[static_cast<size_t>(Arc.Dst)])];
+      Cell = std::max(Cell, ArcW[static_cast<size_t>(ArcIdx)]);
+    }
+    for (size_t X = 0; X < SS; ++X)
+      Local[X * SS + X] = std::max(Local[X * SS + X], 0L);
+    for (size_t K = 0; K < SS; ++K) {
+      for (size_t X = 0; X < SS; ++X) {
+        const long XK = Local[X * SS + K];
+        if (XK == NoPath)
+          continue;
+        const long *RowK = &Local[K * SS];
+        long *RowX = &Local[X * SS];
+        for (size_t Y = 0; Y < SS; ++Y) {
+          if (RowK[Y] == NoPath)
+            continue;
+          RowX[Y] = std::max(RowX[Y], XK + RowK[Y]);
+        }
+      }
+    }
+    for (size_t X = 0; X < SS; ++X)
+      if (Local[X * SS + X] > 0)
+        return false; // positive recurrence cycle: II < RecMII
+    for (size_t X = 0; X < SS; ++X) {
+      const int GX = MemberList[static_cast<size_t>(Lo) + X];
+      long *Row = &Matrix[static_cast<size_t>(GX) * NN];
+      for (size_t Y = 0; Y < SS; ++Y)
+        Row[MemberList[static_cast<size_t>(Lo) + Y]] = Local[X * SS + Y];
+    }
+  }
+
+  // Phase 2: cross-component distances, one row at a time. Components are
+  // numbered in reverse topological order (an arc between components goes
+  // from the higher id to the lower), so scanning ids downward from the
+  // source's component is one topological DAG pass: by the time component
+  // C is reached, every row entry a cross arc into C can extend is final.
+  // A path into C enters it exactly once, so "best entry value per member,
+  // then close through the intra-component matrix" is exact.
+  for (int X = 0; X < N; ++X) {
+    long *Row = &Matrix[static_cast<size_t>(X) * NN];
+    for (int C = Comp[static_cast<size_t>(X)] - 1; C >= 0; --C) {
+      const int Lo = MemberStart[static_cast<size_t>(C)];
+      const int S = MemberStart[static_cast<size_t>(C) + 1] - Lo;
+      const size_t SS = static_cast<size_t>(S);
+      Gather.assign(SS, NoPath);
+      bool Any = false;
+      for (int I = CrossStart[static_cast<size_t>(C)];
+           I < CrossStart[static_cast<size_t>(C) + 1]; ++I) {
+        const int ArcIdx = CrossArcs[static_cast<size_t>(I)];
+        const DepArc &Arc = CachedGraph->arc(ArcIdx);
+        const long DX = Row[Arc.Src];
+        if (DX == NoPath)
+          continue;
+        long &Cell =
+            Gather[static_cast<size_t>(LocalIndex[static_cast<size_t>(Arc.Dst)])];
+        Cell = std::max(Cell, DX + ArcW[static_cast<size_t>(ArcIdx)]);
+        Any = true;
+      }
+      if (!Any)
+        continue;
+      if (S == 1) {
+        Row[MemberList[static_cast<size_t>(Lo)]] = Gather[0];
+        continue;
+      }
+      for (size_t E = 0; E < SS; ++E) {
+        const long Entry = Gather[E];
+        if (Entry == NoPath)
+          continue;
+        const long *Intra =
+            &Matrix[static_cast<size_t>(
+                        MemberList[static_cast<size_t>(Lo) + E]) *
+                    NN];
+        for (size_t Y = 0; Y < SS; ++Y) {
+          const int GY = MemberList[static_cast<size_t>(Lo) + Y];
+          const long Closed = Intra[GY];
+          if (Closed == NoPath)
+            continue;
+          Row[GY] = std::max(Row[GY], Entry + Closed);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void MinDistMatrix::estarts(int StartOp, std::vector<long> &Out) const {
+  Out.assign(static_cast<size_t>(N), 0);
+  const long *Row = &Matrix[static_cast<size_t>(StartOp) *
+                            static_cast<size_t>(N)];
+  for (int X = 0; X < N; ++X) {
+    const long D = Row[X];
+    if (D != NoPath && D > 0)
+      Out[static_cast<size_t>(X)] = D;
+  }
+}
+
 std::vector<long> MinDistMatrix::estarts(int StartOp) const {
-  std::vector<long> E(static_cast<size_t>(N), 0);
-  for (int X = 0; X < N; ++X)
-    if (connected(StartOp, X))
-      E[static_cast<size_t>(X)] = std::max(0L, at(StartOp, X));
+  std::vector<long> E;
+  estarts(StartOp, E);
   return E;
 }
 
+void MinDistMatrix::lstarts(int StopOp, long Cap,
+                            std::vector<long> &Out) const {
+  Out.assign(static_cast<size_t>(N), Cap);
+  for (int X = 0; X < N; ++X) {
+    const long D = Matrix[static_cast<size_t>(X) * static_cast<size_t>(N) +
+                          static_cast<size_t>(StopOp)];
+    if (D != NoPath)
+      Out[static_cast<size_t>(X)] = Cap - D;
+  }
+}
+
 std::vector<long> MinDistMatrix::lstarts(int StopOp, long Cap) const {
-  std::vector<long> L(static_cast<size_t>(N), Cap);
-  for (int X = 0; X < N; ++X)
-    if (connected(X, StopOp))
-      L[static_cast<size_t>(X)] = Cap - at(X, StopOp);
+  std::vector<long> L;
+  lstarts(StopOp, Cap, L);
   return L;
 }

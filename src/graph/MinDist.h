@@ -4,9 +4,19 @@
 /// The minimum distance relation of Section 4.1: MinDist(x,y) is the
 /// minimum number of cycles (possibly negative) by which x must precede y
 /// in any feasible schedule at a given II, or -infinity when no dependence
-/// path connects them. Computed as an all-pairs longest-paths problem over
-/// arc weights latency - omega*II (all cycles non-positive once
-/// II >= RecMII).
+/// path connects them. An all-pairs longest-paths problem over arc weights
+/// latency - omega*II (all cycles non-positive once II >= RecMII).
+///
+/// compute() exploits the structure of dependence graphs: cycles live
+/// entirely inside strongly connected components, so max-plus
+/// Floyd-Warshall only runs inside each recurrence component and
+/// cross-component distances propagate with a single topological-order
+/// pass over the condensation DAG. The SCC structure and arc buckets are
+/// II-independent and cached across calls on the same graph, so the
+/// II=MII, MII+1, ... retry loops of the schedulers only refresh the
+/// omega-carrying arc weights per candidate II. computeDense() keeps the
+/// original dense Floyd-Warshall as a differential-testing reference; the
+/// max-plus closure is unique, so the two agree entry for entry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,8 +37,14 @@ public:
   static constexpr long NoPath = LONG_MIN / 4;
 
   /// Computes the relation; returns false (leaving the matrix unusable)
-  /// when II admits a positive cycle, i.e. II < RecMII.
+  /// when II admits a positive cycle, i.e. II < RecMII. SCC-decomposed;
+  /// reuses the cached condensation when \p Graph is the one from the
+  /// previous call.
   bool compute(const DepGraph &Graph, int II);
+
+  /// Reference implementation: dense Floyd-Warshall over all operations.
+  /// Kept for differential testing; equals compute() entry for entry.
+  bool computeDense(const DepGraph &Graph, int II);
 
   int initiationInterval() const { return II; }
   int numOps() const { return N; }
@@ -43,18 +59,47 @@ public:
   bool connected(int X, int Y) const { return at(X, Y) != NoPath; }
 
   /// Static Estart of every operation in the empty schedule:
-  /// MinDist(\p StartOp, x), clamped at 0 (Section 4.1).
+  /// MinDist(\p StartOp, x), clamped at 0 (Section 4.1). The out-parameter
+  /// form reuses \p Out's storage; hot callers should hold one buffer and
+  /// pass it to every query.
+  void estarts(int StartOp, std::vector<long> &Out) const;
   std::vector<long> estarts(int StartOp) const;
 
   /// Static Lstart of every operation when \p StopOp must issue no later
   /// than \p Cap: Cap - MinDist(x, StopOp); operations with no path to
   /// Stop get Cap itself.
+  void lstarts(int StopOp, long Cap, std::vector<long> &Out) const;
   std::vector<long> lstarts(int StopOp, long Cap) const;
 
 private:
+  void buildStructure(const DepGraph &Graph);
+  void refreshWeights(const DepGraph &Graph, int NewII);
+
   int N = 0;
   int II = 0;
   std::vector<long> Matrix;
+
+  // II-independent condensation structure, cached per graph. The cache key
+  // is (graph address, numOps, arc count); dependence graphs are immutable
+  // so a match means the buckets below are still valid.
+  const DepGraph *CachedGraph = nullptr;
+  size_t CachedNumArcs = 0;
+  int NumComps = 0;
+  std::vector<int> Comp;        ///< component id per op (reverse topo order)
+  std::vector<int> LocalIndex;  ///< position of each op within its component
+  std::vector<int> MemberStart; ///< CSR offsets into MemberList, per component
+  std::vector<int> MemberList;  ///< ops grouped by component, ascending ids
+  std::vector<int> IntraStart;  ///< CSR offsets into IntraArcs, per component
+  std::vector<int> IntraArcs;   ///< arc ids with both endpoints in the comp
+  std::vector<int> CrossStart;  ///< CSR offsets into CrossArcs, per dst comp
+  std::vector<int> CrossArcs;   ///< arc ids entering the comp from outside
+  std::vector<int> OmegaArcs;   ///< arc ids with omega > 0 (II-dependent)
+
+  // Per-II state.
+  int WeightsII = -1;           ///< II the arc weights were refreshed for
+  std::vector<long> ArcW;       ///< latency - II*omega, per arc id
+  std::vector<long> Local;      ///< per-component Floyd-Warshall scratch
+  std::vector<long> Gather;     ///< per-component entry-value scratch
 };
 
 } // namespace lsms

@@ -1,8 +1,10 @@
 #include "workloads/Suite.h"
 
 #include "frontend/LoopCompiler.h"
+#include "support/ParallelFor.h"
 #include "workloads/RandomLoop.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -289,26 +291,46 @@ std::vector<LoopBody> lsms::buildFullSuite(int TotalLoops, uint64_t Seed) {
 }
 
 std::vector<LoopBody> lsms::buildOracleSuite(int Count, int MinOps,
-                                             int MaxOps, uint64_t Seed) {
+                                             int MaxOps, uint64_t Seed,
+                                             int Jobs) {
   assert(MinOps <= MaxOps && "empty size range");
   std::vector<LoopBody> Suite;
   Suite.reserve(static_cast<size_t>(Count));
+  // Attempt k is a pure function of (Seed, k): its config comes from the
+  // k-th draw of the config stream and its body from a per-attempt seed.
+  // Workers therefore generate speculative blocks of attempts in parallel
+  // while acceptance scans strictly in attempt order, reproducing the
+  // sequential suite byte for byte at every job count (over-generated
+  // attempts past the stopping point are simply discarded).
   Rng R(Seed);
   int Attempt = 0;
   const int MaxAttempts = Count * 64;
+  const int BlockSize = std::max(Count, 32);
   while (static_cast<int>(Suite.size()) < Count && Attempt < MaxAttempts) {
-    // Small targets: address arithmetic and brtop inflate the body beyond
-    // TargetOps, so aim below the cap and filter on the realized size.
-    RandomLoopConfig Config;
-    Config.TargetOps = static_cast<int>(
-        R.nextInRange(2, std::max(2, MaxOps * 2 / 3)));
-    Config.MaxOmega = 3;
-    LoopBody Body =
-        generateRandomLoop(Seed + 1000003ULL * ++Attempt, Config);
-    const int Ops = Body.numMachineOps();
-    if (Ops < MinOps || Ops > MaxOps)
-      continue;
-    Suite.push_back(std::move(Body));
+    const int Block = std::min(BlockSize, MaxAttempts - Attempt);
+    std::vector<RandomLoopConfig> Configs(static_cast<size_t>(Block));
+    for (RandomLoopConfig &Config : Configs) {
+      // Small targets: address arithmetic and brtop inflate the body
+      // beyond TargetOps, so aim below the cap and filter on the realized
+      // size.
+      Config.TargetOps = static_cast<int>(
+          R.nextInRange(2, std::max(2, MaxOps * 2 / 3)));
+      Config.MaxOmega = 3;
+    }
+    std::vector<LoopBody> Bodies(static_cast<size_t>(Block));
+    parallelFor(resolveJobs(Jobs), Block, [&](int I) {
+      Bodies[static_cast<size_t>(I)] = generateRandomLoop(
+          Seed + 1000003ULL * static_cast<uint64_t>(Attempt + I + 1),
+          Configs[static_cast<size_t>(I)]);
+    });
+    for (int I = 0;
+         I < Block && static_cast<int>(Suite.size()) < Count; ++I) {
+      const int Ops = Bodies[static_cast<size_t>(I)].numMachineOps();
+      if (Ops < MinOps || Ops > MaxOps)
+        continue;
+      Suite.push_back(std::move(Bodies[static_cast<size_t>(I)]));
+    }
+    Attempt += Block;
   }
   assert(static_cast<int>(Suite.size()) == Count &&
          "oracle suite generation exhausted its attempt budget");

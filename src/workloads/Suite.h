@@ -37,9 +37,12 @@ std::vector<LoopBody> buildFullSuite(int TotalLoops = 1525,
 
 /// Small random loops for the exact-scheduling oracle: \p Count bodies
 /// with MinOps <= machine operations <= MaxOps, drawn deterministically
-/// from \p Seed (oversized draws are discarded and redrawn).
+/// from \p Seed (oversized draws are discarded and redrawn). Generation
+/// fans out across \p Jobs workers (0 = LSMS_JOBS / hardware default);
+/// each attempt is seeded by its index and accepted in index order, so the
+/// suite is byte-identical for every job count.
 std::vector<LoopBody> buildOracleSuite(int Count, int MinOps, int MaxOps,
-                                       uint64_t Seed);
+                                       uint64_t Seed, int Jobs = 0);
 
 } // namespace lsms
 

@@ -1,0 +1,29 @@
+# Runs the fixed-seed exact_gap sweep and fails if the report drifted from
+# the checked-in golden. The sweep is deterministic (seeded RNG, index-
+# ordered merge), so any diff is a real behavior change — most importantly
+# a loop moving off II-gap 0, i.e. the heuristic losing optimality it had.
+# Regenerate intentionally with: ./build/bench/exact_gap > tests/golden/exact_gap.txt
+
+if(NOT EXACT_GAP_BIN OR NOT GOLDEN_FILE OR NOT WORK_DIR)
+  message(FATAL_ERROR "check_exact_gap.cmake needs EXACT_GAP_BIN, GOLDEN_FILE, WORK_DIR")
+endif()
+
+set(ACTUAL "${WORK_DIR}/exact_gap_actual.txt")
+execute_process(
+  COMMAND ${EXACT_GAP_BIN}
+  OUTPUT_FILE ${ACTUAL}
+  RESULT_VARIABLE RUN_RC)
+if(NOT RUN_RC EQUAL 0)
+  message(FATAL_ERROR "exact_gap exited with ${RUN_RC} (validation failure?)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN_FILE} ${ACTUAL}
+  RESULT_VARIABLE DIFF_RC)
+if(NOT DIFF_RC EQUAL 0)
+  execute_process(COMMAND diff -u ${GOLDEN_FILE} ${ACTUAL})
+  message(FATAL_ERROR
+    "exact_gap report drifted from tests/golden/exact_gap.txt -- if the "
+    "change is intended (e.g. a scheduler improvement), regenerate the "
+    "golden and justify the diff in the PR")
+endif()

@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+/// \file Differential tests for the SCC-decomposed MinDist closure against
+/// the dense Floyd-Warshall reference. The max-plus transitive closure is
+/// unique, so compute() and computeDense() must agree entry for entry on
+/// every graph and II — including below RecMII, where both must reject the
+/// positive cycle. The sweeps deliberately reuse one matrix object across
+/// ascending IIs per graph to exercise the cached-condensation refresh path
+/// the schedulers' II retry loops rely on.
+//===----------------------------------------------------------------------===//
+
+#include "bounds/Bounds.h"
+#include "graph/MinDist.h"
+#include "ir/DepGraph.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+namespace lsms {
+namespace {
+
+/// Compares the cached-path closure against the dense reference for every
+/// II in [max(1, MII-1), MII+3]. Starting below MII exercises return-value
+/// parity on positive-cycle rejection; the shared \p Fast matrix across the
+/// ascending IIs exercises the omega-only weight refresh.
+void expectMatchesDense(const LoopBody &Body, const MachineModel &Machine) {
+  const DepGraph Graph(Body, Machine);
+  const MIIBounds Bounds = computeMII(Graph);
+  MinDistMatrix Fast;
+  for (int II = std::max(1, Bounds.MII - 1); II <= Bounds.MII + 3; ++II) {
+    MinDistMatrix Dense;
+    const bool FastOk = Fast.compute(Graph, II);
+    const bool DenseOk = Dense.computeDense(Graph, II);
+    ASSERT_EQ(FastOk, DenseOk)
+        << Body.Name << " II=" << II << ": feasibility verdicts differ";
+    if (!FastOk)
+      continue;
+    ASSERT_EQ(Fast.numOps(), Dense.numOps()) << Body.Name;
+    for (int X = 0; X < Dense.numOps(); ++X)
+      for (int Y = 0; Y < Dense.numOps(); ++Y)
+        ASSERT_EQ(Fast.at(X, Y), Dense.at(X, Y))
+            << Body.Name << " II=" << II << " MinDist(" << X << "," << Y
+            << ")";
+  }
+}
+
+TEST(MinDistSccTest, KernelSuiteMatchesDense) {
+  const MachineModel Machine = MachineModel::cydra5();
+  for (const LoopBody &Body : buildKernelSuite())
+    expectMatchesDense(Body, Machine);
+}
+
+TEST(MinDistSccTest, RandomLoopsMatchDense) {
+  const MachineModel Machine = MachineModel::cydra5();
+  const std::vector<LoopBody> Suite =
+      buildOracleSuite(/*Count=*/200, /*MinOps=*/3, /*MaxOps=*/20,
+                       /*Seed=*/0xD1FF, /*Jobs=*/1);
+  ASSERT_EQ(Suite.size(), 200u);
+  for (const LoopBody &Body : Suite)
+    expectMatchesDense(Body, Machine);
+}
+
+TEST(MinDistSccTest, CacheSurvivesGraphSwitch) {
+  // One matrix alternating between two different graphs must re-condense
+  // rather than serve the stale structure.
+  const MachineModel Machine = MachineModel::cydra5();
+  const std::vector<LoopBody> Suite =
+      buildOracleSuite(/*Count=*/4, /*MinOps=*/4, /*MaxOps=*/16,
+                       /*Seed=*/0xCAFE, /*Jobs=*/1);
+  ASSERT_EQ(Suite.size(), 4u);
+  std::vector<DepGraph> Graphs;
+  Graphs.reserve(Suite.size());
+  for (const LoopBody &Body : Suite)
+    Graphs.emplace_back(Body, Machine);
+
+  MinDistMatrix Fast;
+  for (int Round = 0; Round < 2; ++Round) {
+    for (const DepGraph &Graph : Graphs) {
+      const int MII = computeMII(Graph).MII;
+      MinDistMatrix Dense;
+      const bool FastOk = Fast.compute(Graph, MII + Round);
+      ASSERT_EQ(FastOk, Dense.computeDense(Graph, MII + Round));
+      if (!FastOk)
+        continue;
+      for (int X = 0; X < Dense.numOps(); ++X)
+        for (int Y = 0; Y < Dense.numOps(); ++Y)
+          ASSERT_EQ(Fast.at(X, Y), Dense.at(X, Y));
+    }
+  }
+}
+
+TEST(MinDistSccTest, EstartLstartBuffersMatchByValueForms) {
+  const MachineModel Machine = MachineModel::cydra5();
+  const std::vector<LoopBody> Kernels = buildKernelSuite();
+  ASSERT_FALSE(Kernels.empty());
+  const DepGraph Graph(Kernels.front(), Machine);
+  const int MII = computeMII(Graph).MII;
+  MinDistMatrix MinDist;
+  ASSERT_TRUE(MinDist.compute(Graph, MII));
+
+  std::vector<long> Buf;
+  for (int Op = 0; Op < MinDist.numOps(); ++Op) {
+    MinDist.estarts(Op, Buf);
+    EXPECT_EQ(Buf, MinDist.estarts(Op));
+    MinDist.lstarts(Op, /*Cap=*/3 * MII, Buf);
+    EXPECT_EQ(Buf, MinDist.lstarts(Op, 3 * MII));
+  }
+}
+
+} // namespace
+} // namespace lsms
