@@ -1,16 +1,20 @@
 //===----------------------------------------------------------------------===//
 /// \file Scheduling-throughput record for the perf trajectory: times the
-/// heuristic suite sweep, the exact branch-and-bound sweep, and the full
+/// heuristic suite sweep, the exact sweeps (branch-and-bound and the SAT
+/// engine), and the full
 /// differential-oracle sweep at jobs=1 and jobs=hardware, and emits the
 /// numbers as JSON (checked in at the repo root as BENCH_schedule.json so
 /// later PRs have a baseline to regress against). Also cross-checks that
 /// the oracle report is byte-identical at both job counts.
 ///
-/// Usage: perf_report [--smoke] [--jobs N] [--out FILE]
-///   --smoke   small sizes for the `perf` CTest tier (throughput numbers
-///             are then NOT representative; the JSON is tagged "smoke")
-///   --jobs N  the "parallel" job count to measure (default: hardware)
-///   --out F   write the JSON to F instead of stdout
+/// Usage: perf_report [--smoke] [--jobs N] [--out FILE] [--engine E]
+///   --smoke     small sizes for the `perf` CTest tier (throughput numbers
+///               are then NOT representative; the JSON is tagged "smoke")
+///   --jobs N    the "parallel" job count to measure (default: hardware)
+///   --out F     write the JSON to F instead of stdout
+///   --engine E  exact engines to time: bnb, sat, or both (default both —
+///               the JSON then also records that the engines' minimal IIs
+///               agree loop for loop)
 //===----------------------------------------------------------------------===//
 
 #include "SuiteMetrics.h"
@@ -73,6 +77,7 @@ int main(int Argc, char **Argv) {
   bool Smoke = false;
   int JobsN = 0;
   const char *OutPath = nullptr;
+  bool RunBnb = true, RunSat = true;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Smoke = true;
@@ -80,8 +85,22 @@ int main(int Argc, char **Argv) {
       JobsN = std::atoi(Argv[++I]);
     } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
       OutPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--engine") == 0 && I + 1 < Argc) {
+      const char *Name = Argv[++I];
+      ExactEngineKind Engine;
+      if (std::strcmp(Name, "both") == 0) {
+        RunBnb = RunSat = true;
+      } else if (parseExactEngine(Name, Engine)) {
+        RunBnb = Engine == ExactEngineKind::BranchAndBound;
+        RunSat = Engine == ExactEngineKind::Sat;
+      } else {
+        std::cerr << "perf_report: unknown engine '" << Name
+                  << "' (expected bnb, sat, or both)\n";
+        return 1;
+      }
     } else {
-      std::cerr << "usage: perf_report [--smoke] [--jobs N] [--out FILE]\n";
+      std::cerr << "usage: perf_report [--smoke] [--jobs N] [--out FILE] "
+                   "[--engine bnb|sat|both]\n";
       return 1;
     }
   }
@@ -113,26 +132,39 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // -- Exact sweep: branch-and-bound to a proven-minimal II. --------------
-  SectionResult Exact;
+  // -- Exact sweeps: each selected engine to a proven-minimal II. ---------
+  SectionResult ExactBnb, ExactSat;
+  std::vector<int> BnbII, SatII;
   {
     const std::vector<LoopBody> Suite =
         buildOracleSuite(ExactLoops, 3, 20, Seed);
-    Exact.Loops = static_cast<int>(Suite.size());
-    for (const int Jobs : {1, JobsN}) {
-      const auto T0 = Clock::now();
-      std::vector<int> II(Suite.size());
-      parallelFor(Jobs, static_cast<int>(Suite.size()), [&](int I) {
-        const DepGraph Graph(Suite[static_cast<size_t>(I)], Machine);
-        II[static_cast<size_t>(I)] =
-            scheduleLoopExact(Graph).Sched.II;
-      });
-      (Jobs == 1 ? Exact.Jobs1Seconds : Exact.JobsNSeconds) =
-          secondsSince(T0);
-      if (JobsN == 1)
-        Exact.JobsNSeconds = Exact.Jobs1Seconds;
-    }
+    auto sweep = [&](ExactEngineKind Engine, SectionResult &Section,
+                     std::vector<int> &IIOut) {
+      ExactOptions Options;
+      Options.Engine = Engine;
+      Section.Loops = static_cast<int>(Suite.size());
+      for (const int Jobs : {1, JobsN}) {
+        const auto T0 = Clock::now();
+        std::vector<int> II(Suite.size());
+        parallelFor(Jobs, static_cast<int>(Suite.size()), [&](int I) {
+          const DepGraph Graph(Suite[static_cast<size_t>(I)], Machine);
+          II[static_cast<size_t>(I)] =
+              scheduleLoopExact(Graph, Options).Sched.II;
+        });
+        (Jobs == 1 ? Section.Jobs1Seconds : Section.JobsNSeconds) =
+            secondsSince(T0);
+        if (JobsN == 1)
+          Section.JobsNSeconds = Section.Jobs1Seconds;
+        IIOut = II;
+      }
+    };
+    if (RunBnb)
+      sweep(ExactEngineKind::BranchAndBound, ExactBnb, BnbII);
+    if (RunSat)
+      sweep(ExactEngineKind::Sat, ExactSat, SatII);
   }
+  const bool EnginesCompared = RunBnb && RunSat;
+  const bool EnginesAgree = !EnginesCompared || BnbII == SatII;
 
   // -- Oracle sweep: the full differential run (both schedulers + MaxLive
   // minimization + validation), the exact_gap workload. -------------------
@@ -167,10 +199,16 @@ int main(int Argc, char **Argv) {
        << "  \"hardware_concurrency\": " << hardwareJobs() << ",\n"
        << "  \"jobs\": " << JobsN << ",\n"
        << "  \"oracle_report_byte_identical_across_jobs\": "
-       << (ReportsIdentical ? "true" : "false") << ",\n"
-       << "  \"sections\": {\n";
+       << (ReportsIdentical ? "true" : "false") << ",\n";
+  if (EnginesCompared)
+    JSON << "  \"exact_engines_agree\": " << (EnginesAgree ? "true" : "false")
+         << ",\n";
+  JSON << "  \"sections\": {\n";
   printSection(JSON, "heuristic_suite", Heur, JobsN, false);
-  printSection(JSON, "exact_suite", Exact, JobsN, false);
+  if (RunBnb)
+    printSection(JSON, "exact_suite", ExactBnb, JobsN, false);
+  if (RunSat)
+    printSection(JSON, "exact_suite_sat", ExactSat, JobsN, false);
   printSection(JSON, "oracle_sweep", Oracle, JobsN, true);
   JSON << "  }\n"
        << "}\n";
@@ -186,5 +224,5 @@ int main(int Argc, char **Argv) {
   } else {
     std::cout << JSON.str();
   }
-  return ReportsIdentical ? 0 : 1;
+  return ReportsIdentical && EnginesAgree ? 0 : 1;
 }

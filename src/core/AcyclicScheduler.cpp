@@ -80,7 +80,7 @@ lsms::scheduleStraightLine(const DepGraph &Graph,
     BigII += Machine.reservationCycles(Op.Opc) + Machine.latency(Op.Opc);
 
   SchedulerOptions Acyclic = Options;
-  Acyclic.MaxIIFactor = 4;
+  Acyclic.IICap.MaxIIFactor = 4;
   // Straight-line mode: keep Lstart(Stop) near the critical path and relax
   // it additively when resource contention forces a longer block.
   Acyclic.AcyclicPadStep =

@@ -1,0 +1,28 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The II-retry-ladder cap shared by every scheduler in the repo: the
+/// heuristic's geometric escalation, the exact engines' linear ladder, and
+/// the oracle sweeps all abandon a loop once the candidate II exceeds
+/// MaxIIFactor * MII + MaxIISlack (the paper reports such failures — 14
+/// loops under Cydrome's scheduler). One policy object keeps the knobs
+/// from drifting apart between SchedulerOptions and ExactOptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_CORE_IICAPPOLICY_H
+#define LSMS_CORE_IICAPPOLICY_H
+
+namespace lsms {
+
+struct IICapPolicy {
+  int MaxIIFactor = 2;
+  int MaxIISlack = 64;
+
+  /// Largest II worth attempting for a loop with the given MII.
+  int maxII(int MII) const { return MII * MaxIIFactor + MaxIISlack; }
+};
+
+} // namespace lsms
+
+#endif // LSMS_CORE_IICAPPOLICY_H

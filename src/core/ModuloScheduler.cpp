@@ -493,8 +493,7 @@ Schedule lsms::scheduleLoop(const DepGraph &Graph,
       assignFunctionalUnits(Graph.body(), Graph.machine());
   const SccInfo Sccs = computeSccs(Graph);
 
-  const int MaxII =
-      Result.MII * Options.MaxIIFactor + Options.MaxIISlack;
+  const int MaxII = Options.IICap.maxII(Result.MII);
 
   int II = Result.MII;
   long StopPad = Options.AcyclicPadStep > 0 ? 0 : -1;

@@ -11,6 +11,8 @@
 #ifndef LSMS_CORE_SCHEDULEROPTIONS_H
 #define LSMS_CORE_SCHEDULEROPTIONS_H
 
+#include "core/IICapPolicy.h"
+
 namespace lsms {
 
 struct SchedulerOptions {
@@ -43,9 +45,9 @@ struct SchedulerOptions {
 
   /// Hard cap on II attempts beyond which the loop is reported unschedul-
   /// able (the paper's Cydrome scheduler failed on 14 loops): II is allowed
-  /// to grow to MaxIIFactor*MII + MaxIISlack before giving up.
-  int MaxIIFactor = 2;
-  int MaxIISlack = 64;
+  /// to grow to IICap.maxII(MII) before giving up. Shared policy type with
+  /// ExactOptions so the heuristic, exact, and oracle paths cap alike.
+  IICapPolicy IICap;
 
   /// Straight-line mode (used by scheduleStraightLine): when positive,
   /// Lstart(Stop) is pinned to Estart(Stop) plus an additive pad instead

@@ -1,9 +1,7 @@
-#include "exact/ExactScheduler.h"
+#include "exact/BranchAndBound.h"
 
 #include "bounds/Bounds.h"
 #include "bounds/Lifetimes.h"
-#include "core/FuAssignment.h"
-#include "graph/MinDist.h"
 #include "machine/ModuloResourceTable.h"
 
 #include <algorithm>
@@ -373,112 +371,23 @@ ExactStatus ExactSolver::minimize(std::vector<int> &TimesInOut,
 
 } // namespace
 
-const char *lsms::exactStatusName(ExactStatus Status) {
-  switch (Status) {
-  case ExactStatus::Optimal:
-    return "optimal";
-  case ExactStatus::Feasible:
-    return "feasible";
-  case ExactStatus::Infeasible:
-    return "infeasible";
-  case ExactStatus::Timeout:
-    return "timeout";
-  }
-  return "?";
+ExactStatus lsms::solveAtIIBranchAndBound(const DepGraph &Graph,
+                                          const MinDistMatrix &MinDist,
+                                          const std::vector<int> &FuInstance,
+                                          long NodeBudget,
+                                          std::vector<int> &TimesOut,
+                                          long &Nodes) {
+  assert(MinDist.initiationInterval() > 0 &&
+         MinDist.numOps() == Graph.numOps() &&
+         "MinDist must hold the relation at the candidate II");
+  ExactSolver Solver(Graph, MinDist, FuInstance, NodeBudget);
+  return Solver.solve(TimesOut, Nodes);
 }
 
-ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
-                            const ExactOptions &Options,
-                            std::vector<int> &TimesOut,
-                            long &NodesExplored) {
-  MinDistMatrix MinDist;
-  return solveAtII(Graph, II, Options, MinDist, TimesOut, NodesExplored);
-}
-
-ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
-                            const ExactOptions &Options,
-                            MinDistMatrix &MinDist,
-                            std::vector<int> &TimesOut,
-                            long &NodesExplored) {
-  if (II <= 0)
-    return ExactStatus::Infeasible;
-  if (!MinDist.compute(Graph, II))
-    return ExactStatus::Infeasible; // II below RecMII: positive cycle
-  const LoopBody &Body = Graph.body();
-  const MachineModel &Machine = Graph.machine();
-  for (const Operation &Op : Body.Ops)
-    if (Machine.reservationCycles(Op.Opc) > II)
-      return ExactStatus::Infeasible; // non-pipelined op cannot fit
-  const std::vector<int> FuInstance = assignFunctionalUnits(Body, Machine);
-  ExactSolver Solver(Graph, MinDist, FuInstance, Options.NodeBudget);
-  return Solver.solve(TimesOut, NodesExplored);
-}
-
-ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
-                                    const ExactOptions &Options) {
-  ExactResult Result;
-  Schedule &Sched = Result.Sched;
-  Sched.ResMII = computeResMII(Graph.body(), Graph.machine());
-  Sched.RecMII = computeRecMII(Graph);
-  Sched.MII = std::max(Sched.ResMII, Sched.RecMII);
-
-  const int MaxII = Sched.MII * Options.MaxIIFactor + Options.MaxIISlack;
-  bool LowerProven = true;
-  bool AnyTimeout = false;
-  bool Found = false;
-  // One matrix across the II ladder: the SCC condensation is II-independent
-  // and stays cached, so each attempt only refreshes omega-arc weights.
-  MinDistMatrix MinDist;
-  for (int II = Sched.MII; II <= MaxII; ++II) {
-    ++Result.IIAttempts;
-    Sched.II = II;
-    const ExactStatus St =
-        solveAtII(Graph, II, Options, MinDist, Sched.Times,
-                  Result.NodesExplored);
-    if (St == ExactStatus::Optimal) {
-      Found = true;
-      break;
-    }
-    if (St == ExactStatus::Timeout) {
-      LowerProven = false;
-      AnyTimeout = true;
-    }
-  }
-
-  if (!Found) {
-    Result.Status =
-        AnyTimeout ? ExactStatus::Timeout : ExactStatus::Infeasible;
-    return Result;
-  }
-
-  Sched.Success = true;
-  Result.Status = LowerProven ? ExactStatus::Optimal : ExactStatus::Feasible;
-  Result.MaxLive =
-      computePressure(Graph.body(), Sched.Times, Sched.II, RegClass::RR)
-          .MaxLive;
-
-  // The matrix still holds the relation at the II the search broke on.
-  assert(MinDist.initiationInterval() == Sched.II &&
-         "feasible II lost its MinDist matrix");
-  Result.MinAvgAtII = computeMinAvg(Graph, MinDist);
-
-  if (Options.MinimizeMaxLive) {
-    const std::vector<int> FuInstance =
-        assignFunctionalUnits(Graph.body(), Graph.machine());
-    ExactSolver Solver(Graph, MinDist, FuInstance,
-                       Options.MaxLiveNodeBudget);
-    Solver.minimize(Sched.Times, Result.MaxLive, Result.NodesExplored);
-    // Exhausting the residue search only proves minimality over schedules
-    // issued at canonical earliest times; meeting the MinAvg lower bound is
-    // what certifies a globally minimal MaxLive at this II.
-    Result.MaxLiveProven = Result.MaxLive <= Result.MinAvgAtII;
-  }
-  return Result;
-}
-
-ExactResult lsms::scheduleLoopExact(const LoopBody &Body,
-                                    const MachineModel &Machine,
-                                    const ExactOptions &Options) {
-  const DepGraph Graph(Body, Machine);
-  return scheduleLoopExact(Graph, Options);
+ExactStatus lsms::minimizeMaxLiveBranchAndBound(
+    const DepGraph &Graph, const MinDistMatrix &MinDist,
+    const std::vector<int> &FuInstance, long NodeBudget,
+    std::vector<int> &TimesInOut, long &MaxLiveInOut, long &Nodes) {
+  ExactSolver Solver(Graph, MinDist, FuInstance, NodeBudget);
+  return Solver.minimize(TimesInOut, MaxLiveInOut, Nodes);
 }

@@ -1,0 +1,190 @@
+#include "exact/ExactEngine.h"
+
+#include "bounds/Bounds.h"
+#include "bounds/Lifetimes.h"
+#include "core/FuAssignment.h"
+#include "exact/BranchAndBound.h"
+#include "sat/SatScheduler.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace lsms;
+
+const char *lsms::exactStatusName(ExactStatus Status) {
+  switch (Status) {
+  case ExactStatus::Optimal:
+    return "optimal";
+  case ExactStatus::Feasible:
+    return "feasible";
+  case ExactStatus::Infeasible:
+    return "infeasible";
+  case ExactStatus::Timeout:
+    return "timeout";
+  }
+  return "?";
+}
+
+const char *lsms::exactEngineName(ExactEngineKind Engine) {
+  switch (Engine) {
+  case ExactEngineKind::BranchAndBound:
+    return "bnb";
+  case ExactEngineKind::Sat:
+    return "sat";
+  }
+  return "?";
+}
+
+bool lsms::parseExactEngine(const char *Name, ExactEngineKind &Engine) {
+  if (std::strcmp(Name, "bnb") == 0) {
+    Engine = ExactEngineKind::BranchAndBound;
+    return true;
+  }
+  if (std::strcmp(Name, "sat") == 0) {
+    Engine = ExactEngineKind::Sat;
+    return true;
+  }
+  return false;
+}
+
+ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
+                            const ExactOptions &Options,
+                            std::vector<int> &TimesOut,
+                            long &NodesExplored) {
+  MinDistMatrix MinDist;
+  return solveAtII(Graph, II, Options, MinDist, TimesOut, NodesExplored);
+}
+
+ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
+                            const ExactOptions &Options,
+                            MinDistMatrix &MinDist,
+                            std::vector<int> &TimesOut,
+                            long &NodesExplored) {
+  ExactEngineStats Stats;
+  const ExactStatus St =
+      solveAtII(Graph, II, Options, MinDist, TimesOut, Stats);
+  NodesExplored += Stats.primary(Options.Engine);
+  return St;
+}
+
+ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
+                            const ExactOptions &Options,
+                            MinDistMatrix &MinDist,
+                            std::vector<int> &TimesOut,
+                            ExactEngineStats &Stats) {
+  // Shared pre-checks: both engines assume a positive-cycle-free MinDist
+  // relation and a reservation that fits, so verdicts can only differ if
+  // one of the complete decision procedures is wrong.
+  if (II <= 0)
+    return ExactStatus::Infeasible;
+  if (!MinDist.compute(Graph, II))
+    return ExactStatus::Infeasible; // II below RecMII: positive cycle
+  const LoopBody &Body = Graph.body();
+  const MachineModel &Machine = Graph.machine();
+  for (const Operation &Op : Body.Ops)
+    if (Machine.reservationCycles(Op.Opc) > II)
+      return ExactStatus::Infeasible; // non-pipelined op cannot fit
+  const std::vector<int> FuInstance = assignFunctionalUnits(Body, Machine);
+
+  if (Options.Engine == ExactEngineKind::BranchAndBound)
+    return solveAtIIBranchAndBound(Graph, MinDist, FuInstance,
+                                   Options.NodeBudget, TimesOut, Stats.Nodes);
+
+  SatEngineStats Sat;
+  const SatScheduleStatus St = scheduleAtIISat(
+      Graph, MinDist, FuInstance, Options.SatConflictBudget, TimesOut, Sat);
+  Stats.Conflicts += Sat.Conflicts;
+  Stats.Propagations += Sat.Propagations;
+  Stats.Decisions += Sat.Decisions;
+  Stats.Restarts += Sat.Restarts;
+  Stats.LearnedClauses += Sat.Learned;
+  Stats.Refinements += Sat.Refinements;
+  Stats.SatVariables = Sat.Variables;
+  Stats.SatClauses = Sat.Clauses;
+  switch (St) {
+  case SatScheduleStatus::Scheduled:
+    return ExactStatus::Optimal;
+  case SatScheduleStatus::Infeasible:
+    return ExactStatus::Infeasible;
+  case SatScheduleStatus::Budget:
+    return ExactStatus::Timeout;
+  }
+  return ExactStatus::Timeout;
+}
+
+ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
+                                    const ExactOptions &Options) {
+  ExactResult Result;
+  Result.Engine = Options.Engine;
+  Schedule &Sched = Result.Sched;
+  Sched.ResMII = computeResMII(Graph.body(), Graph.machine());
+  Sched.RecMII = computeRecMII(Graph);
+  Sched.MII = std::max(Sched.ResMII, Sched.RecMII);
+
+  const int MaxII = Options.IICap.maxII(Sched.MII);
+  bool LowerProven = true;
+  bool AnyTimeout = false;
+  bool Found = false;
+  // One matrix across the II ladder: the SCC condensation is II-independent
+  // and stays cached, so each attempt only refreshes omega-arc weights.
+  MinDistMatrix MinDist;
+  for (int II = Sched.MII; II <= MaxII; ++II) {
+    ++Result.IIAttempts;
+    Sched.II = II;
+    const ExactStatus St =
+        solveAtII(Graph, II, Options, MinDist, Sched.Times,
+                  Result.EngineStats);
+    if (St == ExactStatus::Optimal) {
+      Found = true;
+      break;
+    }
+    if (St == ExactStatus::Timeout) {
+      LowerProven = false;
+      AnyTimeout = true;
+    }
+  }
+  Result.NodesExplored = Result.EngineStats.primary(Options.Engine);
+
+  if (!Found) {
+    Result.Status =
+        AnyTimeout ? ExactStatus::Timeout : ExactStatus::Infeasible;
+    return Result;
+  }
+
+  Sched.Success = true;
+  Result.Status = LowerProven ? ExactStatus::Optimal : ExactStatus::Feasible;
+  Result.MaxLive =
+      computePressure(Graph.body(), Sched.Times, Sched.II, RegClass::RR)
+          .MaxLive;
+
+  // The matrix still holds the relation at the II the search broke on.
+  assert(MinDist.initiationInterval() == Sched.II &&
+         "feasible II lost its MinDist matrix");
+  Result.MinAvgAtII = computeMinAvg(Graph, MinDist);
+
+  if (Options.MinimizeMaxLive) {
+    // The pressure-minimization pass is branch-and-bound regardless of
+    // which engine decided feasibility: it needs incumbent-driven pruning,
+    // which the CNF encoding has no incremental handle on.
+    const std::vector<int> FuInstance =
+        assignFunctionalUnits(Graph.body(), Graph.machine());
+    minimizeMaxLiveBranchAndBound(Graph, MinDist, FuInstance,
+                                  Options.MaxLiveNodeBudget, Sched.Times,
+                                  Result.MaxLive, Result.EngineStats.Nodes);
+    Result.NodesExplored = Result.EngineStats.primary(Options.Engine);
+    if (Options.Engine != ExactEngineKind::BranchAndBound)
+      Result.NodesExplored += Result.EngineStats.Nodes;
+    // Exhausting the residue search only proves minimality over schedules
+    // issued at canonical earliest times; meeting the MinAvg lower bound is
+    // what certifies a globally minimal MaxLive at this II.
+    Result.MaxLiveProven = Result.MaxLive <= Result.MinAvgAtII;
+  }
+  return Result;
+}
+
+ExactResult lsms::scheduleLoopExact(const LoopBody &Body,
+                                    const MachineModel &Machine,
+                                    const ExactOptions &Options) {
+  const DepGraph Graph(Body, Machine);
+  return scheduleLoopExact(Graph, Options);
+}

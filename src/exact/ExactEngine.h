@@ -1,0 +1,193 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-neutral exact-scheduling API. Two complete decision
+/// procedures answer the fixed-II schedulability question behind it:
+///
+///  - BranchAndBound (exact/BranchAndBound.h): residue-space search with
+///    an incremental positive-cycle test (the original engine);
+///  - Sat (sat/SatScheduler.h): a CNF encoding over (operation, residue)
+///    Booleans decided by the embedded CDCL solver with lazy
+///    positive-cycle refinement.
+///
+/// Both engines share the same pre-checks (MinDist positive-cycle
+/// rejection, non-pipelined reservation fit) and the same deterministic
+/// pre-scheduling functional-unit assignment, so they must agree verdict
+/// for verdict — the differential oracle and the cross-engine tests hold
+/// them to that. solveAtII dispatches on ExactOptions::Engine;
+/// scheduleLoopExact iterates the II ladder (in steps of 1 — exactness
+/// requires visiting every II) with whichever engine is selected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_EXACT_EXACTENGINE_H
+#define LSMS_EXACT_EXACTENGINE_H
+
+#include "core/IICapPolicy.h"
+#include "core/Schedule.h"
+#include "graph/MinDist.h"
+#include "ir/DepGraph.h"
+
+#include <vector>
+
+namespace lsms {
+
+/// Outcome of an exact scheduling run.
+enum class ExactStatus : uint8_t {
+  Optimal,    ///< schedule found and every smaller II proven infeasible
+  Feasible,   ///< schedule found; some smaller II attempt hit the budget
+  Infeasible, ///< no schedule exists for any II up to the cap
+  Timeout,    ///< budget exhausted before a schedule was found
+};
+
+/// Returns "optimal", "feasible", "infeasible", or "timeout".
+const char *exactStatusName(ExactStatus Status);
+
+/// The exact decision procedures available behind solveAtII.
+enum class ExactEngineKind : uint8_t {
+  BranchAndBound, ///< residue-space branch-and-bound (the default)
+  Sat,            ///< CDCL SAT over (operation, residue) Booleans
+};
+
+/// Returns "bnb" or "sat" (the --engine spellings).
+const char *exactEngineName(ExactEngineKind Engine);
+
+/// Parses an --engine spelling ("bnb" or "sat"). Returns false on an
+/// unknown name, leaving \p Engine untouched.
+bool parseExactEngine(const char *Name, ExactEngineKind &Engine);
+
+/// Knobs for the exact scheduler, engine selection included.
+struct ExactOptions {
+  /// Which decision procedure solveAtII dispatches to.
+  ExactEngineKind Engine = ExactEngineKind::BranchAndBound;
+
+  /// Branch-and-bound node budget per II attempt (a node is one candidate
+  /// residue evaluated). Exhausting it turns the attempt into Timeout
+  /// instead of hanging on large loop bodies.
+  long NodeBudget = 1L << 18;
+
+  /// CDCL conflict budget per II attempt for the SAT engine, counted
+  /// across lazy refinement rounds; <= 0 gives up immediately.
+  long SatConflictBudget = 1L << 18;
+
+  /// Node budget for the secondary MaxLive-minimization pass (always the
+  /// branch-and-bound search, whichever engine decided feasibility).
+  long MaxLiveNodeBudget = 1L << 18;
+
+  /// II cap shared with SchedulerOptions: the ladder gives up beyond
+  /// IICap.maxII(MII).
+  IICapPolicy IICap;
+
+  /// After the minimal II is found, re-run the search at that II to
+  /// minimize MaxLive (RR register pressure).
+  bool MinimizeMaxLive = false;
+};
+
+/// Per-engine search statistics, unified so callers can report effort
+/// without knowing which engine ran. Branch-and-bound fills Nodes; the
+/// SAT engine fills the CDCL counters.
+struct ExactEngineStats {
+  long Nodes = 0;         ///< B&B candidate residues evaluated
+  long Conflicts = 0;     ///< SAT: CDCL conflicts
+  long Propagations = 0;  ///< SAT: literals enqueued by unit propagation
+  long Decisions = 0;     ///< SAT: CDCL decisions
+  long Restarts = 0;      ///< SAT: CDCL restarts
+  long LearnedClauses = 0;///< SAT: clauses learned
+  long Refinements = 0;   ///< SAT: lazy positive-cycle cuts added
+  long SatVariables = 0;  ///< SAT: Booleans in the last encoding
+  long SatClauses = 0;    ///< SAT: problem clauses in the last encoding
+
+  /// The engine's primary effort metric: nodes for branch-and-bound,
+  /// conflicts for SAT.
+  long primary(ExactEngineKind Engine) const {
+    return Engine == ExactEngineKind::BranchAndBound ? Nodes : Conflicts;
+  }
+
+  void accumulate(const ExactEngineStats &Other) {
+    Nodes += Other.Nodes;
+    Conflicts += Other.Conflicts;
+    Propagations += Other.Propagations;
+    Decisions += Other.Decisions;
+    Restarts += Other.Restarts;
+    LearnedClauses += Other.LearnedClauses;
+    Refinements += Other.Refinements;
+    SatVariables = Other.SatVariables;
+    SatClauses = Other.SatClauses;
+  }
+};
+
+/// Result of scheduleLoopExact.
+struct ExactResult {
+  ExactStatus Status = ExactStatus::Timeout;
+
+  /// The engine that produced this result.
+  ExactEngineKind Engine = ExactEngineKind::BranchAndBound;
+
+  /// On Optimal/Feasible: a legal schedule (passes validateSchedule) at
+  /// the best II found. On failure: Success=false, II = last II attempted.
+  Schedule Sched;
+
+  /// Primary search effort over all II attempts: branch-and-bound nodes,
+  /// or CDCL conflicts for the SAT engine (plus the MaxLive pass's nodes
+  /// when enabled — that pass is always branch-and-bound).
+  long NodesExplored = 0;
+
+  /// Detailed per-engine counters behind NodesExplored.
+  ExactEngineStats EngineStats;
+
+  /// Number of II values attempted.
+  int IIAttempts = 0;
+
+  /// MaxLive (RR pressure) of Sched; -1 when no schedule was found. With
+  /// MinimizeMaxLive set, the best pressure the search found at Sched.II.
+  long MaxLive = -1;
+
+  /// True when MaxLive meets the MinAvg lower bound, certifying a globally
+  /// minimal register pressure at Sched.II. (An exhausted search without
+  /// this certificate only proves minimality over earliest-issue schedules,
+  /// so it is reported unproven.)
+  bool MaxLiveProven = false;
+
+  /// The paper's MinAvg lower bound at Sched.II (0 when unscheduled).
+  long MinAvgAtII = 0;
+};
+
+/// Decides schedulability of \p Graph at the fixed \p II with the engine
+/// selected by \p Options. Returns Optimal (schedulable; \p TimesOut
+/// filled with a legal schedule), Infeasible (proven unschedulable at this
+/// II), or Timeout. \p NodesExplored is incremented by the engine's
+/// primary effort metric. Deterministic for either engine.
+ExactStatus solveAtII(const DepGraph &Graph, int II,
+                      const ExactOptions &Options, std::vector<int> &TimesOut,
+                      long &NodesExplored);
+
+/// As above, but computes the MinDist relation into the caller-provided
+/// \p MinDist. Callers iterating II upward should pass the same matrix to
+/// every attempt so its cached SCC condensation is reused and only the
+/// omega-carrying arc weights are refreshed per candidate II; on return it
+/// holds the relation at \p II whenever the status is not Infeasible-by-
+/// positive-cycle.
+ExactStatus solveAtII(const DepGraph &Graph, int II,
+                      const ExactOptions &Options, MinDistMatrix &MinDist,
+                      std::vector<int> &TimesOut, long &NodesExplored);
+
+/// Full-detail form: accumulates every engine counter into \p Stats.
+ExactStatus solveAtII(const DepGraph &Graph, int II,
+                      const ExactOptions &Options, MinDistMatrix &MinDist,
+                      std::vector<int> &TimesOut, ExactEngineStats &Stats);
+
+/// Finds the provably minimal initiation interval of \p Graph by iterating
+/// solveAtII upward from MII (in steps of 1 — unlike the heuristic's
+/// geometric escalation, exactness requires visiting every II).
+/// Deterministic: the same input always yields the same result.
+ExactResult scheduleLoopExact(const DepGraph &Graph,
+                              const ExactOptions &Options = ExactOptions());
+
+/// Convenience overload building the dependence graph internally.
+ExactResult scheduleLoopExact(const LoopBody &Body,
+                              const MachineModel &Machine,
+                              const ExactOptions &Options = ExactOptions());
+
+} // namespace lsms
+
+#endif // LSMS_EXACT_EXACTENGINE_H

@@ -1,127 +1,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An exact (branch-and-bound) modulo scheduler used as a ground-truth
-/// oracle for the slack heuristic. For a fixed II the solver branches over
-/// issue-cycle residues modulo II — the only part of an issue time the
-/// modulo resource table can see — and checks dependence feasibility with
-/// an incremental positive-cycle test on the MinDist relation tightened to
-/// the chosen residues. The residue space is finite, so the search is
-/// complete: at a fixed II it either produces a legal schedule, proves that
-/// none exists (for the deterministic pre-scheduling functional-unit
-/// assignment shared with the heuristic and the validator), or gives up
-/// when a node budget is exhausted. Iterating II upward from MII yields the
-/// provably minimal initiation interval.
-///
-/// A secondary objective mode re-runs the search at the optimal II to
-/// minimize MaxLive, branching in order of lifetime contribution and
-/// bounding with the paper's MinAvg machinery (Section 3.2). Leaves are
-/// evaluated at canonical earliest issue times; when the best pressure
-/// found meets the MinAvg lower bound it is proven globally optimal.
+/// Compatibility forwarding header. The exact-scheduling API used to live
+/// here as a single branch-and-bound scheduler; it is now split into the
+/// engine-neutral interface (ExactEngine.h: ExactStatus, ExactOptions,
+/// ExactResult, solveAtII, scheduleLoopExact) and the individual engines
+/// (exact/BranchAndBound.h, sat/SatScheduler.h). Existing includes keep
+/// compiling; new code should include exact/ExactEngine.h directly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSMS_EXACT_EXACTSCHEDULER_H
 #define LSMS_EXACT_EXACTSCHEDULER_H
 
-#include "core/Schedule.h"
-#include "graph/MinDist.h"
-#include "ir/DepGraph.h"
-
-#include <vector>
-
-namespace lsms {
-
-/// Outcome of an exact scheduling run.
-enum class ExactStatus : uint8_t {
-  Optimal,    ///< schedule found and every smaller II proven infeasible
-  Feasible,   ///< schedule found; some smaller II attempt hit the budget
-  Infeasible, ///< no schedule exists for any II up to the cap
-  Timeout,    ///< budget exhausted before a schedule was found
-};
-
-/// Returns "optimal", "feasible", "infeasible", or "timeout".
-const char *exactStatusName(ExactStatus Status);
-
-/// Knobs for the exact scheduler.
-struct ExactOptions {
-  /// Branch-and-bound node budget per II attempt (a node is one candidate
-  /// residue evaluated). Exhausting it turns the attempt into Timeout
-  /// instead of hanging on large loop bodies.
-  long NodeBudget = 1L << 18;
-
-  /// Node budget for the secondary MaxLive-minimization pass.
-  long MaxLiveNodeBudget = 1L << 18;
-
-  /// II cap, mirroring SchedulerOptions: the search gives up beyond
-  /// MaxIIFactor*MII + MaxIISlack.
-  int MaxIIFactor = 2;
-  int MaxIISlack = 64;
-
-  /// After the minimal II is found, re-run the search at that II to
-  /// minimize MaxLive (RR register pressure).
-  bool MinimizeMaxLive = false;
-};
-
-/// Result of scheduleLoopExact.
-struct ExactResult {
-  ExactStatus Status = ExactStatus::Timeout;
-
-  /// On Optimal/Feasible: a legal schedule (passes validateSchedule) at
-  /// the best II found. On failure: Success=false, II = last II attempted.
-  Schedule Sched;
-
-  /// Total branch-and-bound nodes over all II attempts (and the MaxLive
-  /// pass when enabled).
-  long NodesExplored = 0;
-
-  /// Number of II values attempted.
-  int IIAttempts = 0;
-
-  /// MaxLive (RR pressure) of Sched; -1 when no schedule was found. With
-  /// MinimizeMaxLive set, the best pressure the search found at Sched.II.
-  long MaxLive = -1;
-
-  /// True when MaxLive meets the MinAvg lower bound, certifying a globally
-  /// minimal register pressure at Sched.II. (An exhausted search without
-  /// this certificate only proves minimality over earliest-issue schedules,
-  /// so it is reported unproven.)
-  bool MaxLiveProven = false;
-
-  /// The paper's MinAvg lower bound at Sched.II (0 when unscheduled).
-  long MinAvgAtII = 0;
-};
-
-/// Decides schedulability of \p Graph at the fixed \p II. Returns Optimal
-/// (schedulable; \p TimesOut filled with a legal schedule), Infeasible
-/// (proven unschedulable at this II), or Timeout. \p NodesExplored is
-/// incremented by the nodes the attempt consumed. Deterministic.
-ExactStatus solveAtII(const DepGraph &Graph, int II,
-                      const ExactOptions &Options, std::vector<int> &TimesOut,
-                      long &NodesExplored);
-
-/// As above, but computes the MinDist relation into the caller-provided
-/// \p MinDist. Callers iterating II upward should pass the same matrix to
-/// every attempt so its cached SCC condensation is reused and only the
-/// omega-carrying arc weights are refreshed per candidate II; on return it
-/// holds the relation at \p II whenever the status is not Infeasible-by-
-/// positive-cycle.
-ExactStatus solveAtII(const DepGraph &Graph, int II,
-                      const ExactOptions &Options, MinDistMatrix &MinDist,
-                      std::vector<int> &TimesOut, long &NodesExplored);
-
-/// Finds the provably minimal initiation interval of \p Graph by iterating
-/// solveAtII upward from MII (in steps of 1 — unlike the heuristic's
-/// geometric escalation, exactness requires visiting every II).
-/// Deterministic: the same input always yields the same result.
-ExactResult scheduleLoopExact(const DepGraph &Graph,
-                              const ExactOptions &Options = ExactOptions());
-
-/// Convenience overload building the dependence graph internally.
-ExactResult scheduleLoopExact(const LoopBody &Body,
-                              const MachineModel &Machine,
-                              const ExactOptions &Options = ExactOptions());
-
-} // namespace lsms
+#include "exact/BranchAndBound.h"
+#include "exact/ExactEngine.h"
 
 #endif // LSMS_EXACT_EXACTSCHEDULER_H

@@ -1,0 +1,330 @@
+#include "sat/SatScheduler.h"
+
+#include "machine/ModuloResourceTable.h"
+#include "sat/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+using namespace lsms;
+
+namespace {
+
+constexpr long NoPath = MinDistMatrix::NoPath;
+
+bool isPath(long W) { return W > NoPath / 2; }
+
+/// Smallest value >= C congruent to D modulo II (the same tightening step
+/// the branch-and-bound engine applies once both residues are fixed).
+long tighten(long C, long D, long II) {
+  return C + (((D - C) % II + II) % II);
+}
+
+/// Saturating max-plus addition: closure entries can grow while a positive
+/// cycle is being detected, and any weight beyond every simple path's
+/// reach already implies such a cycle, so clamping is sound.
+long satAdd(long A, long B) {
+  constexpr long Cap = LONG_MAX / 4;
+  const long S = A + B;
+  return S > Cap ? Cap : S;
+}
+
+/// Builds the CNF, runs the CDCL solver with lazy positive-cycle
+/// refinement, and decodes the model.
+class SatEncoder {
+public:
+  SatEncoder(const DepGraph &Graph, const MinDistMatrix &MinDist,
+             const std::vector<int> &FuInstance)
+      : Graph(Graph), Body(Graph.body()), Machine(Graph.machine()),
+        MinDist(MinDist), FuInstance(FuInstance),
+        II(MinDist.initiationInterval()), N(Body.numOps()) {}
+
+  SatScheduleStatus run(long ConflictBudget, std::vector<int> &TimesOut,
+                        SatEngineStats &Stats);
+
+private:
+  Lit placedAt(int Slot, int Rho) const {
+    return mkLit(Slot * II + Rho);
+  }
+  void encodeExactlyOne();
+  void encodeResources();
+  void encodeDependences();
+  void decodeResidues();
+  bool closeTightened(); ///< false when a positive cycle was found
+  std::vector<Lit> cycleCut() const;
+  void materializeTimes(std::vector<int> &TimesOut) const;
+
+  const DepGraph &Graph;
+  const LoopBody &Body;
+  const MachineModel &Machine;
+  const MinDistMatrix &MinDist;
+  const std::vector<int> &FuInstance;
+  const int II;
+  const int N;
+
+  SatSolver Solver;
+  std::vector<int> Real;   ///< op ids with a functional unit, ascending
+  std::vector<int> Slot;   ///< op id -> index in Real, -1 for pseudo-ops
+  std::vector<int> Rho;    ///< decoded residue per real slot
+  std::vector<long> T;     ///< tightened closure over real slots
+  int CycleSlot = -1;      ///< diagonal violator when closure failed
+};
+
+void SatEncoder::encodeExactlyOne() {
+  for (size_t S = 0; S < Real.size(); ++S) {
+    std::vector<Lit> AtLeastOne;
+    AtLeastOne.reserve(static_cast<size_t>(II));
+    for (int R = 0; R < II; ++R)
+      AtLeastOne.push_back(placedAt(static_cast<int>(S), R));
+    Solver.addClause(AtLeastOne);
+    for (int A = 0; A < II; ++A)
+      for (int B = A + 1; B < II; ++B)
+        Solver.addClause({~placedAt(static_cast<int>(S), A),
+                          ~placedAt(static_cast<int>(S), B)});
+  }
+}
+
+void SatEncoder::encodeResources() {
+  // Modulo-resource conflicts are pairwise over operations sharing a
+  // functional-unit instance; the reservation table itself is the single
+  // source of truth for what conflicts (multi-cycle reservations on the
+  // non-pipelined divider included).
+  ModuloResourceTable Mrt(Machine, II);
+  for (size_t SU = 0; SU < Real.size(); ++SU) {
+    const Operation &U = Body.op(Real[SU]);
+    const FuKind KindU = Machine.unitFor(U.Opc);
+    const int InstU = FuInstance[static_cast<size_t>(Real[SU])];
+    // Residues an operation cannot occupy even alone (a non-pipelined
+    // reservation wrapping onto itself) become unit clauses.
+    for (int A = 0; A < II; ++A)
+      if (!Mrt.canPlace(U.Opc, KindU, InstU, A))
+        Solver.addClause({~placedAt(static_cast<int>(SU), A)});
+    for (size_t SV = SU + 1; SV < Real.size(); ++SV) {
+      const Operation &V = Body.op(Real[SV]);
+      const FuKind KindV = Machine.unitFor(V.Opc);
+      const int InstV = FuInstance[static_cast<size_t>(Real[SV])];
+      if (KindU != KindV || InstU != InstV)
+        continue;
+      for (int A = 0; A < II; ++A) {
+        if (!Mrt.canPlace(U.Opc, KindU, InstU, A))
+          continue;
+        Mrt.place(U.Opc, KindU, InstU, A);
+        for (int B = 0; B < II; ++B)
+          if (!Mrt.canPlace(V.Opc, KindV, InstV, B))
+            Solver.addClause({~placedAt(static_cast<int>(SU), A),
+                              ~placedAt(static_cast<int>(SV), B)});
+        Mrt.remove(U.Opc, KindU, InstU, A);
+      }
+    }
+  }
+}
+
+void SatEncoder::encodeDependences() {
+  // Pairwise dependence legality. Only mutually connected pairs (the same
+  // MinDist recurrence component) constrain residues: for a one-directional
+  // bound the later operation can always slide by whole IIs, so every
+  // residue pair admits integer times. For a mutual pair the two tightened
+  // bounds must not form a positive two-cycle; that condition depends only
+  // on the residue difference, so each infeasible difference yields II
+  // binary clauses. Positive cycles longer than two are handled lazily.
+  for (size_t SU = 0; SU < Real.size(); ++SU) {
+    const int U = Real[SU];
+    for (size_t SV = SU + 1; SV < Real.size(); ++SV) {
+      const int V = Real[SV];
+      if (!MinDist.connected(U, V) || !MinDist.connected(V, U))
+        continue;
+      const long CUV = MinDist.at(U, V);
+      const long CVU = MinDist.at(V, U);
+      for (int D = 0; D < II; ++D) {
+        if (tighten(CUV, D, II) + tighten(CVU, -D, II) <= 0)
+          continue;
+        for (int A = 0; A < II; ++A)
+          Solver.addClause({~placedAt(static_cast<int>(SU), A),
+                            ~placedAt(static_cast<int>(SV), (A + D) % II)});
+      }
+    }
+  }
+}
+
+void SatEncoder::decodeResidues() {
+  Rho.assign(Real.size(), -1);
+  for (size_t S = 0; S < Real.size(); ++S) {
+    for (int R = 0; R < II; ++R) {
+      if (Solver.modelValue(static_cast<int>(S) * II + R)) {
+        assert(Rho[S] < 0 && "exactly-one constraint violated");
+        Rho[S] = R;
+      }
+    }
+    assert(Rho[S] >= 0 && "operation left unplaced by the model");
+  }
+}
+
+/// Max-plus Floyd-Warshall over the tightened constraint graph of the
+/// decoded residues. Returns false (setting CycleSlot) when some diagonal
+/// goes positive, i.e. no integer issue times realize these residues.
+bool SatEncoder::closeTightened() {
+  const size_t R = Real.size();
+  T.assign(R * R, NoPath);
+  for (size_t I = 0; I < R; ++I) {
+    for (size_t J = 0; J < R; ++J) {
+      if (I == J) {
+        T[I * R + J] = 0;
+        continue;
+      }
+      if (MinDist.connected(Real[I], Real[J]))
+        T[I * R + J] = tighten(MinDist.at(Real[I], Real[J]),
+                               Rho[J] - Rho[I], II);
+    }
+  }
+  for (size_t K = 0; K < R; ++K) {
+    for (size_t I = 0; I < R; ++I) {
+      const long IK = T[I * R + K];
+      if (!isPath(IK))
+        continue;
+      for (size_t J = 0; J < R; ++J) {
+        const long KJ = T[K * R + J];
+        if (!isPath(KJ))
+          continue;
+        long &Cell = T[I * R + J];
+        const long Via = satAdd(IK, KJ);
+        if (Via > Cell)
+          Cell = Via;
+      }
+    }
+    for (size_t I = 0; I < R; ++I) {
+      if (T[I * R + I] > 0) {
+        CycleSlot = static_cast<int>(I);
+        return false;
+      }
+    }
+  }
+  CycleSlot = -1;
+  return true;
+}
+
+/// Blocking clause for the positive cycle through CycleSlot: every
+/// operation mutually connected with it in the tightened graph keeps its
+/// current residue only if at least one of them moves. The cycle's arcs
+/// run entirely inside that strongly connected set and their weights
+/// depend only on those residues, so the cut is sound; it excludes the
+/// current model, so each refinement shrinks the finite residue space.
+std::vector<Lit> SatEncoder::cycleCut() const {
+  const size_t R = Real.size();
+  const size_t V = static_cast<size_t>(CycleSlot);
+  std::vector<Lit> Cut;
+  for (size_t U = 0; U < R; ++U)
+    if (U == V || (isPath(T[V * R + U]) && isPath(T[U * R + V])))
+      Cut.push_back(~placedAt(static_cast<int>(U), Rho[U]));
+  return Cut;
+}
+
+/// Canonical earliest issue times from the positive-cycle-free closure:
+/// real operations at their longest tightened path from Start (whose
+/// outgoing bounds are clamped at zero, pinning t(Start) = 0 and every
+/// time non-negative), pseudo-operations at the earliest cycle consistent
+/// with every real operation — the same rule as the branch-and-bound
+/// engine's leaf materialization, justified by MinDist maximality.
+void SatEncoder::materializeTimes(std::vector<int> &TimesOut) const {
+  const int Start = Body.startOp();
+  const size_t R = Real.size();
+  std::vector<long> Base(R, 0);
+  for (size_t I = 0; I < R; ++I) {
+    const long FromStart =
+        MinDist.connected(Start, Real[I]) ? MinDist.at(Start, Real[I]) : 0;
+    Base[I] = tighten(std::max(0L, FromStart), Rho[I], II);
+  }
+  std::vector<long> Time(R, 0);
+  for (size_t J = 0; J < R; ++J) {
+    long TJ = Base[J];
+    for (size_t I = 0; I < R; ++I)
+      if (isPath(T[I * R + J]))
+        TJ = std::max(TJ, Base[I] + T[I * R + J]);
+    Time[J] = TJ;
+  }
+
+  TimesOut.assign(static_cast<size_t>(N), 0);
+  for (size_t I = 0; I < R; ++I) {
+    assert(Time[I] % II == Rho[I] && "decoded time lost its residue");
+    TimesOut[static_cast<size_t>(Real[I])] = static_cast<int>(Time[I]);
+  }
+  for (int X = 0; X < N; ++X) {
+    if (X == Start || Slot[static_cast<size_t>(X)] >= 0)
+      continue;
+    long TX = std::max(0L, MinDist.connected(Start, X)
+                               ? MinDist.at(Start, X)
+                               : 0L);
+    for (size_t I = 0; I < R; ++I)
+      if (MinDist.connected(Real[I], X))
+        TX = std::max(TX, Time[I] + MinDist.at(Real[I], X));
+    TimesOut[static_cast<size_t>(X)] = static_cast<int>(TX);
+  }
+  TimesOut[static_cast<size_t>(Start)] = 0;
+}
+
+SatScheduleStatus SatEncoder::run(long ConflictBudget,
+                                  std::vector<int> &TimesOut,
+                                  SatEngineStats &Stats) {
+  Slot.assign(static_cast<size_t>(N), -1);
+  for (int X = 0; X < N; ++X) {
+    if (Machine.unitFor(Body.op(X).Opc) == FuKind::None)
+      continue;
+    Slot[static_cast<size_t>(X)] = static_cast<int>(Real.size());
+    Real.push_back(X);
+  }
+
+  for (size_t V = 0; V < Real.size() * static_cast<size_t>(II); ++V)
+    Solver.newVar();
+  encodeExactlyOne();
+  encodeResources();
+  encodeDependences();
+
+  SatScheduleStatus Status = SatScheduleStatus::Budget;
+  for (;;) {
+    if (ConflictBudget >= 0 && Solver.stats().Conflicts >= ConflictBudget)
+      break;
+    const long Remaining =
+        ConflictBudget < 0 ? -1 : ConflictBudget - Solver.stats().Conflicts;
+    const SatResult R = Solver.solve(Remaining);
+    if (R == SatResult::Unknown)
+      break;
+    if (R == SatResult::Unsat) {
+      Status = SatScheduleStatus::Infeasible;
+      break;
+    }
+    decodeResidues();
+    if (closeTightened()) {
+      materializeTimes(TimesOut);
+      Status = SatScheduleStatus::Scheduled;
+      break;
+    }
+    Solver.addClause(cycleCut());
+    ++Stats.Refinements;
+  }
+
+  Stats.Variables = Solver.numVars();
+  Stats.Clauses = Solver.numClauses();
+  Stats.Decisions = Solver.stats().Decisions;
+  Stats.Propagations = Solver.stats().Propagations;
+  Stats.Conflicts = Solver.stats().Conflicts;
+  Stats.Restarts = Solver.stats().Restarts;
+  Stats.Learned = Solver.stats().Learned;
+  return Status;
+}
+
+} // namespace
+
+SatScheduleStatus lsms::scheduleAtIISat(const DepGraph &Graph,
+                                        const MinDistMatrix &MinDist,
+                                        const std::vector<int> &FuInstance,
+                                        long ConflictBudget,
+                                        std::vector<int> &TimesOut,
+                                        SatEngineStats &Stats) {
+  assert(MinDist.initiationInterval() > 0 &&
+         MinDist.numOps() == Graph.numOps() &&
+         "MinDist must hold the relation at the candidate II");
+  if (ConflictBudget == 0)
+    return SatScheduleStatus::Budget; // mirror NodeBudget = 0 semantics
+  SatEncoder Encoder(Graph, MinDist, FuInstance);
+  return Encoder.run(ConflictBudget, TimesOut, Stats);
+}

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SAT backend for exact modulo scheduling: encodes the fixed-II
+/// schedulability question the branch-and-bound engine answers by search
+/// as a Boolean satisfiability problem and decides it with the embedded
+/// CDCL solver (SatSolver.h), giving an independent decision procedure the
+/// two engines can be cross-checked on.
+///
+/// The encoding follows the residue-space theorem the branch-and-bound
+/// solver is built on: at a fixed II, a schedule exists iff there is an
+/// assignment of issue-cycle residues rho(op) in [0, II) such that (a) the
+/// modulo reservation table accepts every residue under the pre-scheduling
+/// functional-unit assignment and (b) the dependence-constraint graph,
+/// with each placed-pair bound MinDist(x,y) tightened to the smallest
+/// congruent value, has no positive cycle. One Boolean per (operation,
+/// residue) with exactly-one constraints captures the assignment; resource
+/// conflicts and pairwise two-cycle dependence violations become binary
+/// clauses up front; longer positive cycles (which pairwise clauses cannot
+/// express) are excluded by lazy refinement — each candidate model is
+/// checked with a max-plus closure, and any positive cycle found is
+/// returned to the solver as a blocking clause over the participating
+/// (operation, residue) pairs. The loop terminates because each cut
+/// removes at least one point of the finite residue space, so the verdict
+/// is exact: Scheduled models decode to validator-clean schedules and
+/// Infeasible proves no schedule exists at this II.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SAT_SATSCHEDULER_H
+#define LSMS_SAT_SATSCHEDULER_H
+
+#include "graph/MinDist.h"
+#include "ir/DepGraph.h"
+
+#include <vector>
+
+namespace lsms {
+
+/// Engine-level verdict for one fixed-II SAT attempt. The engine-neutral
+/// dispatch (exact/ExactEngine.h) maps these onto ExactStatus.
+enum class SatScheduleStatus : uint8_t {
+  Scheduled,  ///< model found and decoded; TimesOut passes validateSchedule
+  Infeasible, ///< formula (plus sound cuts) proven unsatisfiable
+  Budget,     ///< conflict budget exhausted first
+};
+
+/// CDCL + encoder statistics for one fixed-II attempt.
+struct SatEngineStats {
+  long Variables = 0;
+  long Clauses = 0; ///< problem clauses after encoding (incl. cuts)
+  long Decisions = 0;
+  long Propagations = 0;
+  long Conflicts = 0;
+  long Restarts = 0;
+  long Learned = 0;
+  long Refinements = 0; ///< lazy positive-cycle cuts added
+};
+
+/// Decides schedulability of \p Graph at the fixed II of \p MinDist (which
+/// must already hold the relation at that II) for the pre-scheduling
+/// functional-unit assignment \p FuInstance. On Scheduled, \p TimesOut
+/// holds canonical earliest issue times consistent with the model's
+/// residues. \p ConflictBudget bounds total CDCL conflicts across
+/// refinement rounds; <= 0 gives up immediately (mirroring the
+/// branch-and-bound node budget). Deterministic.
+SatScheduleStatus scheduleAtIISat(const DepGraph &Graph,
+                                  const MinDistMatrix &MinDist,
+                                  const std::vector<int> &FuInstance,
+                                  long ConflictBudget,
+                                  std::vector<int> &TimesOut,
+                                  SatEngineStats &Stats);
+
+} // namespace lsms
+
+#endif // LSMS_SAT_SATSCHEDULER_H

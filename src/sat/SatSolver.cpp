@@ -1,0 +1,476 @@
+#include "sat/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lsms;
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+long luby(long I) {
+  // Find the finite subsequence containing index I (the smallest full
+  // sequence of length 2^Seq - 1 covering it), then recurse into it.
+  long Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I %= Size;
+  }
+  return 1L << Seq;
+}
+
+constexpr long RestartBase = 64;
+constexpr double VarDecay = 1.0 / 0.95;
+constexpr double ClauseDecay = 1.0 / 0.999;
+constexpr double RescaleLimit = 1e100;
+
+} // namespace
+
+const char *lsms::satResultName(SatResult Result) {
+  switch (Result) {
+  case SatResult::Sat:
+    return "sat";
+  case SatResult::Unsat:
+    return "unsat";
+  case SatResult::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+SatSolver::SatSolver() = default;
+
+int SatSolver::newVar() {
+  const int V = numVars();
+  Watches.emplace_back();
+  Watches.emplace_back();
+  Assigns.push_back(0);
+  VarReason.push_back(NoReason);
+  VarLevel.push_back(0);
+  Activity.push_back(0);
+  Polarity.push_back(0);
+  HeapIndex.push_back(-1);
+  Seen.push_back(0);
+  heapInsert(V);
+  return V;
+}
+
+// -- order heap -------------------------------------------------------------
+
+bool SatSolver::heapLess(int A, int B) const {
+  const double ActA = Activity[static_cast<size_t>(A)];
+  const double ActB = Activity[static_cast<size_t>(B)];
+  if (ActA != ActB)
+    return ActA > ActB;
+  return A < B; // deterministic tie-break
+}
+
+void SatSolver::heapPercolateUp(int Pos) {
+  const int V = Heap[static_cast<size_t>(Pos)];
+  while (Pos > 0) {
+    const int Parent = (Pos - 1) / 2;
+    if (!heapLess(V, Heap[static_cast<size_t>(Parent)]))
+      break;
+    Heap[static_cast<size_t>(Pos)] = Heap[static_cast<size_t>(Parent)];
+    HeapIndex[static_cast<size_t>(Heap[static_cast<size_t>(Pos)])] = Pos;
+    Pos = Parent;
+  }
+  Heap[static_cast<size_t>(Pos)] = V;
+  HeapIndex[static_cast<size_t>(V)] = Pos;
+}
+
+void SatSolver::heapPercolateDown(int Pos) {
+  const int V = Heap[static_cast<size_t>(Pos)];
+  const int Size = static_cast<int>(Heap.size());
+  for (;;) {
+    int Child = 2 * Pos + 1;
+    if (Child >= Size)
+      break;
+    if (Child + 1 < Size &&
+        heapLess(Heap[static_cast<size_t>(Child + 1)],
+                 Heap[static_cast<size_t>(Child)]))
+      ++Child;
+    if (!heapLess(Heap[static_cast<size_t>(Child)], V))
+      break;
+    Heap[static_cast<size_t>(Pos)] = Heap[static_cast<size_t>(Child)];
+    HeapIndex[static_cast<size_t>(Heap[static_cast<size_t>(Pos)])] = Pos;
+    Pos = Child;
+  }
+  Heap[static_cast<size_t>(Pos)] = V;
+  HeapIndex[static_cast<size_t>(V)] = Pos;
+}
+
+void SatSolver::heapInsert(int Var) {
+  if (heapInHeap(Var))
+    return;
+  Heap.push_back(Var);
+  HeapIndex[static_cast<size_t>(Var)] = static_cast<int>(Heap.size()) - 1;
+  heapPercolateUp(static_cast<int>(Heap.size()) - 1);
+}
+
+int SatSolver::heapPopMax() {
+  const int V = Heap[0];
+  HeapIndex[static_cast<size_t>(V)] = -1;
+  const int Last = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    Heap[0] = Last;
+    HeapIndex[static_cast<size_t>(Last)] = 0;
+    heapPercolateDown(0);
+  }
+  return V;
+}
+
+// -- activities -------------------------------------------------------------
+
+void SatSolver::bumpVar(int Var) {
+  double &Act = Activity[static_cast<size_t>(Var)];
+  Act += VarInc;
+  if (Act > RescaleLimit) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (heapInHeap(Var))
+    heapPercolateUp(HeapIndex[static_cast<size_t>(Var)]);
+}
+
+void SatSolver::decayVarActivity() { VarInc *= VarDecay; }
+
+void SatSolver::bumpClause(Clause &C) {
+  C.Act += ClaInc;
+  if (C.Act > RescaleLimit) {
+    for (int Id : LearntIds)
+      Clauses[static_cast<size_t>(Id)].Act *= 1e-100;
+    ClaInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayClauseActivity() { ClaInc *= ClauseDecay; }
+
+// -- trail ------------------------------------------------------------------
+
+void SatSolver::uncheckedEnqueue(Lit P, int Reason) {
+  const int V = litVar(P);
+  assert(value(V) == 0 && "enqueue of an assigned variable");
+  Assigns[static_cast<size_t>(V)] = litSign(P) ? -1 : 1;
+  // Root-level facts need no reason; recording none keeps reduceDB free to
+  // delete any learned clause while the solver sits at level 0.
+  VarReason[static_cast<size_t>(V)] =
+      decisionLevel() == 0 ? NoReason : Reason;
+  VarLevel[static_cast<size_t>(V)] = decisionLevel();
+  Trail.push_back(P);
+}
+
+void SatSolver::cancelUntil(int Level) {
+  if (decisionLevel() <= Level)
+    return;
+  const size_t Bound =
+      static_cast<size_t>(TrailLim[static_cast<size_t>(Level)]);
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    const Lit P = Trail[I - 1];
+    const int V = litVar(P);
+    Polarity[static_cast<size_t>(V)] = litSign(P) ? 1 : 0; // phase saving
+    Assigns[static_cast<size_t>(V)] = 0;
+    VarReason[static_cast<size_t>(V)] = NoReason;
+    heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(static_cast<size_t>(Level));
+  QHead = Trail.size();
+}
+
+// -- clause management ------------------------------------------------------
+
+void SatSolver::attachClause(int Id) {
+  const Clause &C = Clauses[static_cast<size_t>(Id)];
+  assert(C.Lits.size() >= 2 && "attach of a short clause");
+  Watches[static_cast<size_t>(C.Lits[0].Code)].push_back(Id);
+  Watches[static_cast<size_t>(C.Lits[1].Code)].push_back(Id);
+}
+
+int SatSolver::addClauseRecord(std::vector<Lit> Lits, bool Learnt) {
+  const int Id = static_cast<int>(Clauses.size());
+  Clauses.push_back(Clause{std::move(Lits), 0, Learnt, false});
+  attachClause(Id);
+  if (Learnt)
+    LearntIds.push_back(Id);
+  else
+    ++NumProblemClauses;
+  return Id;
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  if (!Ok)
+    return false;
+  assert(decisionLevel() == 0 && "clauses are added at the root level");
+
+  // Normalize: sort, merge duplicates, detect tautologies, drop literals
+  // already false at the root, succeed early on literals already true.
+  std::sort(Lits.begin(), Lits.end());
+  std::vector<Lit> Out;
+  Out.reserve(Lits.size());
+  for (const Lit L : Lits) {
+    assert(litVar(L) >= 0 && litVar(L) < numVars() && "unknown variable");
+    if (!Out.empty() && Out.back() == L)
+      continue;
+    if (!Out.empty() && Out.back() == ~L)
+      return true; // tautology
+    if (value(L) > 0 && VarLevel[static_cast<size_t>(litVar(L))] == 0)
+      return true; // already satisfied
+    if (value(L) < 0 && VarLevel[static_cast<size_t>(litVar(L))] == 0)
+      continue; // already falsified
+    Out.push_back(L);
+  }
+
+  if (Out.empty()) {
+    Ok = false;
+    return false;
+  }
+  if (Out.size() == 1) {
+    if (value(Out[0]) < 0) {
+      Ok = false;
+      return false;
+    }
+    if (value(Out[0]) == 0)
+      uncheckedEnqueue(Out[0], NoReason);
+    if (propagate() != NoReason)
+      Ok = false;
+    return Ok;
+  }
+  addClauseRecord(std::move(Out), /*Learnt=*/false);
+  return true;
+}
+
+void SatSolver::rebuildWatches() {
+  for (auto &W : Watches)
+    W.clear();
+  for (int Id = 0; Id < static_cast<int>(Clauses.size()); ++Id)
+    if (!Clauses[static_cast<size_t>(Id)].Dead)
+      attachClause(Id);
+}
+
+void SatSolver::reduceDB() {
+  assert(decisionLevel() == 0 && "reduceDB runs between restarts");
+  // Keep binary clauses unconditionally; drop the low-activity half of the
+  // rest (ties to the older clause id, keeping the run deterministic).
+  std::vector<int> Candidates;
+  Candidates.reserve(LearntIds.size());
+  for (int Id : LearntIds)
+    if (Clauses[static_cast<size_t>(Id)].Lits.size() > 2)
+      Candidates.push_back(Id);
+  if (Candidates.empty())
+    return;
+  std::sort(Candidates.begin(), Candidates.end(), [&](int A, int B) {
+    const Clause &CA = Clauses[static_cast<size_t>(A)];
+    const Clause &CB = Clauses[static_cast<size_t>(B)];
+    if (CA.Act != CB.Act)
+      return CA.Act < CB.Act;
+    return A < B;
+  });
+  const size_t Drop = Candidates.size() / 2;
+  for (size_t I = 0; I < Drop; ++I) {
+    Clause &C = Clauses[static_cast<size_t>(Candidates[I])];
+    C.Dead = true;
+    C.Lits.clear();
+    C.Lits.shrink_to_fit(); // release learned-clause memory eagerly
+    ++Stats.Deleted;
+  }
+  LearntIds.erase(std::remove_if(LearntIds.begin(), LearntIds.end(),
+                                 [&](int Id) {
+                                   return Clauses[static_cast<size_t>(Id)]
+                                       .Dead;
+                                 }),
+                  LearntIds.end());
+  rebuildWatches();
+}
+
+// -- propagation ------------------------------------------------------------
+
+int SatSolver::propagate() {
+  while (QHead < Trail.size()) {
+    const Lit P = Trail[QHead++]; // P just became true; ~P is false
+    std::vector<int> &WL = Watches[static_cast<size_t>((~P).Code)];
+    size_t Keep = 0;
+    for (size_t I = 0; I < WL.size(); ++I) {
+      const int Id = WL[I];
+      Clause &C = Clauses[static_cast<size_t>(Id)];
+      // Move the false watch to slot 1.
+      if (C.Lits[0] == ~P)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == ~P && "watch list out of sync");
+      if (value(C.Lits[0]) > 0) {
+        WL[Keep++] = Id; // clause already satisfied by the other watch
+        continue;
+      }
+      bool Moved = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) >= 0) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[static_cast<size_t>(C.Lits[1].Code)].push_back(Id);
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Unit or conflicting.
+      WL[Keep++] = Id;
+      if (value(C.Lits[0]) < 0) {
+        for (size_t J = I + 1; J < WL.size(); ++J)
+          WL[Keep++] = WL[J];
+        WL.resize(Keep);
+        QHead = Trail.size();
+        return Id;
+      }
+      uncheckedEnqueue(C.Lits[0], Id);
+      ++Stats.Propagations;
+    }
+    WL.resize(Keep);
+  }
+  return NoReason;
+}
+
+// -- conflict analysis ------------------------------------------------------
+
+void SatSolver::analyze(int Confl, std::vector<Lit> &Learnt, int &BtLevel) {
+  Learnt.assign(1, Lit{}); // slot 0 is the asserting literal
+  int PathCount = 0;
+  Lit P{};
+  int Index = static_cast<int>(Trail.size()) - 1;
+  std::vector<int> ToClear;
+
+  do {
+    assert(Confl != NoReason && "no reason on the conflict path");
+    Clause &C = Clauses[static_cast<size_t>(Confl)];
+    if (C.Learnt)
+      bumpClause(C);
+    for (size_t J = (P.Code < 0 ? 0 : 1); J < C.Lits.size(); ++J) {
+      const Lit Q = C.Lits[J];
+      const int V = litVar(Q);
+      if (Seen[static_cast<size_t>(V)] ||
+          VarLevel[static_cast<size_t>(V)] == 0)
+        continue;
+      bumpVar(V);
+      Seen[static_cast<size_t>(V)] = 1;
+      ToClear.push_back(V);
+      if (VarLevel[static_cast<size_t>(V)] >= decisionLevel())
+        ++PathCount;
+      else
+        Learnt.push_back(Q);
+    }
+    while (!Seen[static_cast<size_t>(litVar(Trail[static_cast<size_t>(
+        Index)]))])
+      --Index;
+    P = Trail[static_cast<size_t>(Index)];
+    --Index;
+    Confl = VarReason[static_cast<size_t>(litVar(P))];
+    Seen[static_cast<size_t>(litVar(P))] = 0;
+    --PathCount;
+  } while (PathCount > 0);
+  Learnt[0] = ~P;
+
+  // Backjump to the second-highest decision level in the learned clause,
+  // moving that literal into the other watch slot.
+  BtLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIdx = 1;
+    for (size_t J = 2; J < Learnt.size(); ++J)
+      if (VarLevel[static_cast<size_t>(litVar(Learnt[J]))] >
+          VarLevel[static_cast<size_t>(litVar(Learnt[MaxIdx]))])
+        MaxIdx = J;
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+    BtLevel = VarLevel[static_cast<size_t>(litVar(Learnt[1]))];
+  }
+
+  for (int V : ToClear)
+    Seen[static_cast<size_t>(V)] = 0;
+}
+
+Lit SatSolver::pickBranchLit() {
+  while (!Heap.empty()) {
+    const int V = heapPopMax();
+    if (value(V) == 0)
+      return mkLit(V, Polarity[static_cast<size_t>(V)] == 0);
+  }
+  return Lit{};
+}
+
+// -- main search ------------------------------------------------------------
+
+SatResult SatSolver::solve(long ConflictBudget) {
+  if (!Ok)
+    return SatResult::Unsat;
+  cancelUntil(0);
+  if (propagate() != NoReason) {
+    Ok = false;
+    return SatResult::Unsat;
+  }
+
+  const long BudgetStart = Stats.Conflicts;
+  long RestartIndex = 0;
+  long RestartLimit = RestartBase * luby(RestartIndex);
+  long ConflictsThisRestart = 0;
+  std::vector<Lit> Learnt;
+
+  for (;;) {
+    const int Confl = propagate();
+    if (Confl != NoReason) {
+      ++Stats.Conflicts;
+      ++ConflictsThisRestart;
+      if (decisionLevel() == 0) {
+        Ok = false;
+        return SatResult::Unsat;
+      }
+      int BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      cancelUntil(BtLevel);
+      ++Stats.Learned;
+      Stats.LearnedLiterals += static_cast<long>(Learnt.size());
+      if (Learnt.size() == 1) {
+        uncheckedEnqueue(Learnt[0], NoReason);
+      } else {
+        const int Id = addClauseRecord(Learnt, /*Learnt=*/true);
+        bumpClause(Clauses[static_cast<size_t>(Id)]);
+        uncheckedEnqueue(Learnt[0], Id);
+      }
+      decayVarActivity();
+      decayClauseActivity();
+      if (ConflictBudget >= 0 &&
+          Stats.Conflicts - BudgetStart >= ConflictBudget) {
+        cancelUntil(0);
+        return SatResult::Unknown;
+      }
+      continue;
+    }
+
+    if (ConflictsThisRestart >= RestartLimit) {
+      ++Stats.Restarts;
+      ++RestartIndex;
+      RestartLimit = RestartBase * luby(RestartIndex);
+      ConflictsThisRestart = 0;
+      cancelUntil(0);
+      if (LearntIds.size() > MaxLearnts) {
+        reduceDB();
+        MaxLearnts += MaxLearnts / 2;
+      }
+      continue;
+    }
+
+    const Lit Next = pickBranchLit();
+    if (Next.Code < 0) {
+      // Every variable is assigned: a model.
+      Model.assign(Assigns.begin(), Assigns.end());
+      cancelUntil(0);
+      return SatResult::Sat;
+    }
+    ++Stats.Decisions;
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    uncheckedEnqueue(Next, NoReason);
+  }
+}

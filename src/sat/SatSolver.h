@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained CDCL SAT solver in the MiniSat lineage: two
+/// watched literals per clause, first-UIP conflict-clause learning,
+/// VSIDS-style variable activities with a deterministic order heap, Luby
+/// restarts, phase saving, and activity-driven learned-clause deletion.
+///
+/// The solver exists to serve as the decision core of the SAT modulo-
+/// scheduling engine (SatScheduler.h), so it is deliberately deterministic:
+/// no randomness anywhere, all ties broken by variable/clause index, and
+/// the same clause stream always yields the same model, the same conflict
+/// count, and the same learned clauses. Clauses may be added between
+/// solve() calls (the scheduling encoder adds lazy positive-cycle cuts and
+/// re-solves); learned clauses persist across calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SAT_SATSOLVER_H
+#define LSMS_SAT_SATSOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lsms {
+
+/// A propositional literal: variable index plus sign, encoded as
+/// 2*var + (negated ? 1 : 0). Invalid literals have Code < 0.
+struct Lit {
+  int Code = -1;
+
+  friend bool operator==(Lit A, Lit B) { return A.Code == B.Code; }
+  friend bool operator!=(Lit A, Lit B) { return A.Code != B.Code; }
+  friend bool operator<(Lit A, Lit B) { return A.Code < B.Code; }
+};
+
+/// Builds the literal for \p Var (non-negative), negated when \p Neg.
+inline Lit mkLit(int Var, bool Neg = false) {
+  return Lit{2 * Var + (Neg ? 1 : 0)};
+}
+
+/// Negation.
+inline Lit operator~(Lit L) { return Lit{L.Code ^ 1}; }
+
+inline int litVar(Lit L) { return L.Code >> 1; }
+inline bool litSign(Lit L) { return (L.Code & 1) != 0; }
+
+/// Outcome of a solve() call.
+enum class SatResult : uint8_t {
+  Sat,     ///< a model was found (query it with modelValue)
+  Unsat,   ///< the clause set is unsatisfiable
+  Unknown, ///< the conflict budget ran out first
+};
+
+/// Returns "sat", "unsat", or "unknown".
+const char *satResultName(SatResult Result);
+
+/// Search statistics, cumulative over the solver's lifetime.
+struct SatSolverStats {
+  long Decisions = 0;
+  long Propagations = 0; ///< literals enqueued by unit propagation
+  long Conflicts = 0;
+  long Restarts = 0;
+  long Learned = 0;        ///< learned clauses (incl. learned units)
+  long LearnedLiterals = 0;
+  long Deleted = 0;        ///< learned clauses removed by reduceDB
+};
+
+class SatSolver {
+public:
+  SatSolver();
+
+  /// Creates a fresh variable and returns its index.
+  int newVar();
+  int numVars() const { return static_cast<int>(Activity.size()); }
+
+  /// Adds a clause over existing variables. Returns false when the clause
+  /// set is already unsatisfiable at the root level (further addClause /
+  /// solve calls then keep reporting failure). Duplicate literals are
+  /// merged and tautologies are dropped.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Number of problem (non-learned) clauses currently alive.
+  int numClauses() const { return NumProblemClauses; }
+
+  /// True until a root-level contradiction has been derived.
+  bool okay() const { return Ok; }
+
+  /// Decides satisfiability. \p ConflictBudget < 0 means unlimited;
+  /// otherwise the call gives up with Unknown once it has spent that many
+  /// conflicts. Deterministic: depends only on the clause stream and the
+  /// budgets of prior calls.
+  SatResult solve(long ConflictBudget = -1);
+
+  /// Value of \p Var in the last model (valid only after solve() == Sat).
+  bool modelValue(int Var) const {
+    return Model[static_cast<size_t>(Var)] > 0;
+  }
+
+  const SatSolverStats &stats() const { return Stats; }
+
+private:
+  /// One clause; watched literals are Lits[0] and Lits[1].
+  struct Clause {
+    std::vector<Lit> Lits;
+    double Act = 0;
+    bool Learnt = false;
+    bool Dead = false;
+  };
+
+  static constexpr int NoReason = -1;
+
+  // -- assignment / trail ---------------------------------------------------
+  int8_t value(int Var) const { return Assigns[static_cast<size_t>(Var)]; }
+  int8_t value(Lit L) const {
+    const int8_t V = Assigns[static_cast<size_t>(litVar(L))];
+    return litSign(L) ? static_cast<int8_t>(-V) : V;
+  }
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+  void uncheckedEnqueue(Lit P, int Reason);
+  void cancelUntil(int Level);
+
+  // -- search ---------------------------------------------------------------
+  int propagate(); ///< returns conflicting clause id or NoReason
+  void analyze(int Confl, std::vector<Lit> &Learnt, int &BtLevel);
+  Lit pickBranchLit();
+  void attachClause(int Id);
+  int addClauseRecord(std::vector<Lit> Lits, bool Learnt);
+  void reduceDB();
+  void rebuildWatches();
+
+  // -- activities -----------------------------------------------------------
+  void bumpVar(int Var);
+  void decayVarActivity();
+  void bumpClause(Clause &C);
+  void decayClauseActivity();
+
+  // -- order heap (max-heap on activity, ties to the smaller index) --------
+  bool heapLess(int A, int B) const;
+  void heapPercolateUp(int Pos);
+  void heapPercolateDown(int Pos);
+  void heapInsert(int Var);
+  int heapPopMax();
+  bool heapInHeap(int Var) const {
+    return HeapIndex[static_cast<size_t>(Var)] >= 0;
+  }
+
+  bool Ok = true;
+  std::vector<Clause> Clauses;
+  std::vector<int> LearntIds;
+  int NumProblemClauses = 0;
+  std::vector<std::vector<int>> Watches; ///< per literal code
+
+  std::vector<int8_t> Assigns; ///< per var: 1 true, -1 false, 0 unassigned
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t QHead = 0;
+  std::vector<int> VarReason;
+  std::vector<int> VarLevel;
+
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  double ClaInc = 1.0;
+  std::vector<char> Polarity; ///< saved phase; initial false
+
+  std::vector<int> Heap;      ///< variable indices, heap-ordered
+  std::vector<int> HeapIndex; ///< position in Heap, -1 when absent
+
+  std::vector<char> Seen; ///< analyze scratch
+  std::vector<int8_t> Model;
+
+  size_t MaxLearnts = 4096; ///< reduceDB threshold, grows geometrically
+
+  SatSolverStats Stats;
+};
+
+} // namespace lsms
+
+#endif // LSMS_SAT_SATSOLVER_H
