@@ -17,6 +17,7 @@
 ///               agree loop for loop)
 //===----------------------------------------------------------------------===//
 
+#include "ServiceBenchCommon.h"
 #include "SuiteMetrics.h"
 #include "exact/Oracle.h"
 #include "support/ParallelFor.h"
@@ -192,6 +193,24 @@ int main(int Argc, char **Argv) {
     ReportsIdentical = Report1 == ReportN;
   }
 
+  // -- Scheduling service: cold vs warm (cache-hit) throughput over the
+  // deterministic corpus, plus the byte-identity check across workers. ----
+  ServiceBenchResult Service;
+  bool ServiceByteIdentical = true;
+  {
+    const std::vector<std::string> Corpus =
+        serviceBenchCorpus(Smoke ? 8 : 75, Seed);
+    ServiceConfig Config;
+    Config.Jobs = JobsN;
+    Service = runServiceBench(Corpus, ServiceEngine::Slack, Smoke ? 3 : 10,
+                              Config);
+    const std::vector<std::string> Streams =
+        serviceResponsesAtJobs(Corpus, ServiceEngine::Slack, {1, 2, JobsN});
+    for (size_t I = 1; I < Streams.size(); ++I)
+      ServiceByteIdentical = ServiceByteIdentical && Streams[I] == Streams[0];
+  }
+  const bool ServiceWarmFastEnough = Service.warmSpeedup() >= 10.0;
+
   std::ostringstream JSON;
   JSON << "{\n"
        << "  \"bench\": \"perf_report\",\n"
@@ -203,14 +222,35 @@ int main(int Argc, char **Argv) {
   if (EnginesCompared)
     JSON << "  \"exact_engines_agree\": " << (EnginesAgree ? "true" : "false")
          << ",\n";
-  JSON << "  \"sections\": {\n";
+  JSON << "  \"service_responses_byte_identical_across_jobs\": "
+       << (ServiceByteIdentical ? "true" : "false") << ",\n"
+       << "  \"sections\": {\n";
   printSection(JSON, "heuristic_suite", Heur, JobsN, false);
   if (RunBnb)
     printSection(JSON, "exact_suite", ExactBnb, JobsN, false);
   if (RunSat)
     printSection(JSON, "exact_suite_sat", ExactSat, JobsN, false);
-  printSection(JSON, "oracle_sweep", Oracle, JobsN, true);
-  JSON << "  }\n"
+  printSection(JSON, "oracle_sweep", Oracle, JobsN, false);
+  JSON << "    \"service\": {\n"
+       << "      \"loops\": " << Service.CorpusLoops << ",\n"
+       << "      \"warm_passes\": " << Service.WarmPasses << ",\n"
+       << "      \"cold_seconds\": " << formatDouble(Service.ColdSeconds, 4)
+       << ",\n"
+       << "      \"cold_loops_per_sec\": "
+       << formatDouble(Service.coldLoopsPerSec(), 1) << ",\n"
+       << "      \"warm_seconds\": " << formatDouble(Service.WarmSeconds, 4)
+       << ",\n"
+       << "      \"warm_loops_per_sec\": "
+       << formatDouble(Service.warmLoopsPerSec(), 1) << ",\n"
+       << "      \"warm_speedup\": "
+       << formatDouble(Service.warmSpeedup(), 1) << ",\n"
+       << "      \"cache_hit_rate\": " << formatDouble(Service.HitRate, 4)
+       << ",\n"
+       << "      \"request_p50_us\": " << Service.P50Us << ",\n"
+       << "      \"request_p99_us\": " << Service.P99Us << ",\n"
+       << "      \"errors\": " << Service.Errors << "\n"
+       << "    }\n"
+       << "  }\n"
        << "}\n";
 
   if (OutPath) {
@@ -224,5 +264,13 @@ int main(int Argc, char **Argv) {
   } else {
     std::cout << JSON.str();
   }
-  return ReportsIdentical && EnginesAgree ? 0 : 1;
+  if (!ServiceByteIdentical)
+    std::cerr << "perf_report: FAIL service responses differ across jobs\n";
+  if (!ServiceWarmFastEnough)
+    std::cerr << "perf_report: FAIL service warm speedup "
+              << formatDouble(Service.warmSpeedup(), 1) << "x < 10x\n";
+  return ReportsIdentical && EnginesAgree && ServiceByteIdentical &&
+                 ServiceWarmFastEnough && Service.Errors == 0
+             ? 0
+             : 1;
 }

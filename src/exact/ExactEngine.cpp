@@ -129,6 +129,12 @@ ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
   // and stays cached, so each attempt only refreshes omega-arc weights.
   MinDistMatrix MinDist;
   for (int II = Sched.MII; II <= MaxII; ++II) {
+    if (Options.hasDeadline() &&
+        std::chrono::steady_clock::now() >= Options.Deadline) {
+      LowerProven = false;
+      AnyTimeout = true;
+      break;
+    }
     ++Result.IIAttempts;
     Sched.II = II;
     const ExactStatus St =

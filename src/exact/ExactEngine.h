@@ -28,6 +28,7 @@
 #include "graph/MinDist.h"
 #include "ir/DepGraph.h"
 
+#include <chrono>
 #include <vector>
 
 namespace lsms {
@@ -81,6 +82,21 @@ struct ExactOptions {
   /// After the minimal II is found, re-run the search at that II to
   /// minimize MaxLive (RR register pressure).
   bool MinimizeMaxLive = false;
+
+  /// Optional wall-clock deadline for the II ladder (used by the scheduling
+  /// service): when set to a non-default time point, scheduleLoopExact
+  /// checks it before every II attempt and reports Timeout once it has
+  /// passed. The check happens only between attempts, so one attempt may
+  /// overrun the deadline by its node/conflict-budgeted search time. The
+  /// default (epoch) time point means "no deadline". Note that a deadline
+  /// makes the result wall-clock dependent; callers that rely on the
+  /// repo's byte-identical-reports guarantee must leave it unset.
+  std::chrono::steady_clock::time_point Deadline{};
+
+  /// True when a deadline is armed.
+  bool hasDeadline() const {
+    return Deadline != std::chrono::steady_clock::time_point{};
+  }
 };
 
 /// Per-engine search statistics, unified so callers can report effort

@@ -1,0 +1,233 @@
+#include "frontend/AstPrinter.h"
+
+#include <bit>
+#include <cassert>
+#include <charconv>
+#include <sstream>
+
+using namespace lsms;
+
+namespace {
+
+/// Shortest decimal form that strtod parses back to the same double (the
+/// lexer accepts 'e'-exponents, so scientific output is fine).
+std::string formatNumber(double D) {
+  char Buf[64];
+  const auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), D);
+  assert(Ec == std::errc());
+  (void)Ec;
+  return std::string(Buf, End);
+}
+
+/// Expression precedence: additive = 1, multiplicative = 2, atoms and
+/// unary forms = 3. A child is parenthesized when its precedence is below
+/// what its position requires; every binary right operand requires one
+/// level more than its parent (left associativity).
+int precedenceOf(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Binary:
+    return E.Op == BinaryOp::Add || E.Op == BinaryOp::Sub ? 1 : 2;
+  case ExprKind::Number:
+  case ExprKind::Scalar:
+  case ExprKind::ArrayRef:
+  case ExprKind::Unary:
+  case ExprKind::Sqrt:
+    return 3;
+  }
+  return 3;
+}
+
+void printSubscript(std::ostringstream &OS, const std::string &Counter,
+                    int Offset, int Stride) {
+  OS << '[';
+  if (Stride != 1)
+    OS << Stride << '*';
+  OS << Counter;
+  if (Offset > 0)
+    OS << '+' << Offset;
+  else if (Offset < 0)
+    OS << '-' << -Offset;
+  OS << ']';
+}
+
+void printExprInto(std::ostringstream &OS, const std::string &Counter,
+                   const Expr &E, int MinPrec) {
+  const int Prec = precedenceOf(E);
+  const bool Parens = Prec < MinPrec;
+  if (Parens)
+    OS << '(';
+  switch (E.Kind) {
+  case ExprKind::Number:
+    OS << formatNumber(E.Number);
+    break;
+  case ExprKind::Scalar:
+    OS << E.Name;
+    break;
+  case ExprKind::ArrayRef:
+    OS << E.Name;
+    printSubscript(OS, Counter, E.Offset, E.Stride);
+    break;
+  case ExprKind::Unary:
+    OS << '-';
+    printExprInto(OS, Counter, *E.Lhs, 3);
+    break;
+  case ExprKind::Sqrt:
+    OS << "sqrt(";
+    printExprInto(OS, Counter, *E.Lhs, 1);
+    OS << ')';
+    break;
+  case ExprKind::Binary: {
+    const char Op = E.Op == BinaryOp::Add   ? '+'
+                    : E.Op == BinaryOp::Sub ? '-'
+                    : E.Op == BinaryOp::Mul ? '*'
+                                            : '/';
+    printExprInto(OS, Counter, *E.Lhs, Prec);
+    OS << ' ' << Op << ' ';
+    // The grammar is left-associative, so a same-precedence RIGHT child
+    // always needs parens to keep its shape — for every operator, not
+    // just - and /: "a + (b - c)" reparsed without them would become
+    // "(a + b) - c", a different tree (and a different rounding order).
+    printExprInto(OS, Counter, *E.Rhs, Prec + 1);
+    break;
+  }
+  }
+  if (Parens)
+    OS << ')';
+}
+
+const char *cmpSpelling(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Eq:
+    return "==";
+  case CmpOp::Ne:
+    return "!=";
+  case CmpOp::Lt:
+    return "<";
+  case CmpOp::Le:
+    return "<=";
+  case CmpOp::Gt:
+    return ">";
+  case CmpOp::Ge:
+    return ">=";
+  }
+  return "<";
+}
+
+void printStmtList(std::ostringstream &OS, const std::string &Counter,
+                   const std::vector<std::unique_ptr<Stmt>> &Stmts,
+                   int Indent);
+
+void printStmt(std::ostringstream &OS, const std::string &Counter,
+               const Stmt &S, int Indent) {
+  OS << std::string(static_cast<size_t>(Indent), ' ');
+  if (S.Kind == StmtKind::Assign) {
+    OS << S.Assign.Name;
+    if (S.Assign.IsArray)
+      printSubscript(OS, Counter, S.Assign.Offset, S.Assign.Stride);
+    OS << " = ";
+    printExprInto(OS, Counter, *S.Assign.Value, 1);
+    OS << '\n';
+    return;
+  }
+  OS << "if (";
+  printExprInto(OS, Counter, *S.If.Cond.Lhs, 1);
+  OS << ' ' << cmpSpelling(S.If.Cond.Op) << ' ';
+  printExprInto(OS, Counter, *S.If.Cond.Rhs, 1);
+  OS << ") then\n";
+  printStmtList(OS, Counter, S.If.Then, Indent + 2);
+  if (!S.If.Else.empty()) {
+    OS << std::string(static_cast<size_t>(Indent), ' ') << "else\n";
+    printStmtList(OS, Counter, S.If.Else, Indent + 2);
+  }
+  OS << std::string(static_cast<size_t>(Indent), ' ') << "end\n";
+}
+
+void printStmtList(std::ostringstream &OS, const std::string &Counter,
+                   const std::vector<std::unique_ptr<Stmt>> &Stmts,
+                   int Indent) {
+  for (const auto &S : Stmts)
+    printStmt(OS, Counter, *S, Indent);
+}
+
+bool sameBits(double A, double B) {
+  return std::bit_cast<uint64_t>(A) == std::bit_cast<uint64_t>(B);
+}
+
+bool exprsEqual(const Expr *A, const Expr *B) {
+  if (!A || !B)
+    return A == B;
+  if (A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case ExprKind::Number:
+    return sameBits(A->Number, B->Number);
+  case ExprKind::Scalar:
+    return A->Name == B->Name;
+  case ExprKind::ArrayRef:
+    return A->Name == B->Name && A->Offset == B->Offset &&
+           A->Stride == B->Stride;
+  case ExprKind::Unary:
+  case ExprKind::Sqrt:
+    return exprsEqual(A->Lhs.get(), B->Lhs.get());
+  case ExprKind::Binary:
+    return A->Op == B->Op && exprsEqual(A->Lhs.get(), B->Lhs.get()) &&
+           exprsEqual(A->Rhs.get(), B->Rhs.get());
+  }
+  return false;
+}
+
+bool stmtsEqual(const std::vector<std::unique_ptr<Stmt>> &A,
+                const std::vector<std::unique_ptr<Stmt>> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const Stmt &SA = *A[I], &SB = *B[I];
+    if (SA.Kind != SB.Kind)
+      return false;
+    if (SA.Kind == StmtKind::Assign) {
+      if (SA.Assign.IsArray != SB.Assign.IsArray ||
+          SA.Assign.Name != SB.Assign.Name ||
+          SA.Assign.Offset != SB.Assign.Offset ||
+          SA.Assign.Stride != SB.Assign.Stride ||
+          !exprsEqual(SA.Assign.Value.get(), SB.Assign.Value.get()))
+        return false;
+    } else {
+      if (SA.If.Cond.Op != SB.If.Cond.Op ||
+          !exprsEqual(SA.If.Cond.Lhs.get(), SB.If.Cond.Lhs.get()) ||
+          !exprsEqual(SA.If.Cond.Rhs.get(), SB.If.Cond.Rhs.get()) ||
+          !stmtsEqual(SA.If.Then, SB.If.Then) ||
+          !stmtsEqual(SA.If.Else, SB.If.Else))
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::string lsms::printExpr(const Expr &E) {
+  std::ostringstream OS;
+  printExprInto(OS, "i", E, 1);
+  return OS.str();
+}
+
+std::string lsms::printProgram(const Program &Prog) {
+  std::ostringstream OS;
+  for (const auto &[Name, Value] : Prog.Params)
+    OS << "param " << Name << " = " << formatNumber(Value) << '\n';
+  OS << "loop " << Prog.Counter << " = " << Prog.First << ", n\n";
+  printStmtList(OS, Prog.Counter, Prog.Body, 2);
+  OS << "end\n";
+  return OS.str();
+}
+
+bool lsms::programsEqual(const Program &A, const Program &B) {
+  if (A.Counter != B.Counter || A.First != B.First ||
+      A.Params.size() != B.Params.size())
+    return false;
+  for (size_t I = 0; I < A.Params.size(); ++I)
+    if (A.Params[I].first != B.Params[I].first ||
+        !sameBits(A.Params[I].second, B.Params[I].second))
+      return false;
+  return stmtsEqual(A.Body, B.Body);
+}

@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printer emitting parseable loop-DSL source from a parsed AST.
+/// The output round-trips: parseProgram(printProgram(P)) yields a Program
+/// structurally equal to P (numbers are printed in shortest round-trip
+/// form, parentheses are inserted only where precedence demands them).
+/// Used by tools that normalize or re-emit DSL programs and by the
+/// parse -> print -> parse frontend test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_FRONTEND_ASTPRINTER_H
+#define LSMS_FRONTEND_ASTPRINTER_H
+
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace lsms {
+
+/// Renders \p Prog as loop-DSL source text ending in a newline.
+std::string printProgram(const Program &Prog);
+
+/// Renders one expression (no trailing newline). Exposed for diagnostics.
+std::string printExpr(const Expr &E);
+
+/// Structural equality of two programs: same parameters, loop header, and
+/// statement trees (numbers compared bitwise, so -0.0 != 0.0). Names,
+/// source lines, and the program Name field are compared/ignored exactly
+/// as the round-trip guarantee requires (Line fields are ignored, Name is
+/// ignored — it comes from the caller, not the source text).
+bool programsEqual(const Program &A, const Program &B);
+
+} // namespace lsms
+
+#endif // LSMS_FRONTEND_ASTPRINTER_H

@@ -1,0 +1,245 @@
+#include "service/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lsms;
+
+namespace {
+
+class Cursor {
+public:
+  explicit Cursor(const std::string &S) : S(S) {}
+
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool done() const { return Pos >= S.size(); }
+  char peek() const { return Pos < S.size() ? S[Pos] : '\0'; }
+  bool accept(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool literal(const char *Word) {
+    size_t P = Pos;
+    for (const char *W = Word; *W; ++W, ++P)
+      if (P >= S.size() || S[P] != *W)
+        return false;
+    Pos = P;
+    return true;
+  }
+
+  bool parseString(std::string &Out, std::string &Err) {
+    if (!accept('"')) {
+      Err = "expected '\"'";
+      return false;
+    }
+    Out.clear();
+    while (true) {
+      if (done()) {
+        Err = "unterminated string";
+        return false;
+      }
+      const char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (done()) {
+        Err = "unterminated escape";
+        return false;
+      }
+      const char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size()) {
+          Err = "truncated \\u escape";
+          return false;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          const char H = S[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            Err = "bad \\u escape";
+            return false;
+          }
+        }
+        // The DSL is ASCII; encode BMP code points as UTF-8 for
+        // completeness.
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        Err = "unknown escape";
+        return false;
+      }
+    }
+  }
+
+  bool parseNumber(double &Out, std::string &Err) {
+    const char *Begin = S.c_str() + Pos;
+    char *End = nullptr;
+    Out = std::strtod(Begin, &End);
+    if (End == Begin) {
+      Err = "expected a number";
+      return false;
+    }
+    Pos += static_cast<size_t>(End - Begin);
+    return true;
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool lsms::parseFlatJsonObject(const std::string &Line,
+                               std::map<std::string, JsonScalar> &Out,
+                               std::string &Err) {
+  Out.clear();
+  Cursor C(Line);
+  C.skipWs();
+  if (!C.accept('{')) {
+    Err = "expected '{'";
+    return false;
+  }
+  C.skipWs();
+  if (C.accept('}')) {
+    C.skipWs();
+    if (!C.done()) {
+      Err = "trailing input after object";
+      return false;
+    }
+    return true;
+  }
+  while (true) {
+    C.skipWs();
+    std::string Key;
+    if (!C.parseString(Key, Err))
+      return false;
+    C.skipWs();
+    if (!C.accept(':')) {
+      Err = "expected ':' after key \"" + Key + "\"";
+      return false;
+    }
+    C.skipWs();
+    JsonScalar V;
+    if (C.peek() == '"') {
+      V.K = JsonScalar::String;
+      if (!C.parseString(V.S, Err))
+        return false;
+    } else if (C.literal("true")) {
+      V.K = JsonScalar::Bool;
+      V.B = true;
+    } else if (C.literal("false")) {
+      V.K = JsonScalar::Bool;
+      V.B = false;
+    } else if (C.literal("null")) {
+      V.K = JsonScalar::Null;
+    } else if (C.peek() == '{' || C.peek() == '[') {
+      Err = "nested values are not supported in request objects";
+      return false;
+    } else {
+      V.K = JsonScalar::Number;
+      if (!C.parseNumber(V.N, Err))
+        return false;
+    }
+    if (!Out.emplace(Key, std::move(V)).second) {
+      Err = "duplicate key \"" + Key + "\"";
+      return false;
+    }
+    C.skipWs();
+    if (C.accept(','))
+      continue;
+    if (C.accept('}'))
+      break;
+    Err = "expected ',' or '}'";
+    return false;
+  }
+  C.skipWs();
+  if (!C.done()) {
+    Err = "trailing input after object";
+    return false;
+  }
+  return true;
+}
+
+std::string lsms::jsonQuote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('"');
+  for (const char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+      break;
+    }
+  }
+  Out.push_back('"');
+  return Out;
+}

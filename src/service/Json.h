@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal JSON support for the scheduling service's JSONL request and
+/// response lines. Requests are flat objects (string/number/bool/null
+/// values only — no nesting), which keeps the parser a few dozen lines and
+/// the wire format trivially diffable. Escaping follows RFC 8259 for the
+/// characters the DSL can produce (quotes, backslashes, control chars).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SERVICE_JSON_H
+#define LSMS_SERVICE_JSON_H
+
+#include <map>
+#include <string>
+
+namespace lsms {
+
+/// One scalar value of a flat JSON object.
+struct JsonScalar {
+  enum Kind : uint8_t { Null, Bool, Number, String } K = Null;
+  bool B = false;
+  double N = 0;
+  std::string S;
+};
+
+/// Parses \p Line as a flat JSON object into \p Out (cleared first).
+/// Returns false with a diagnostic in \p Err on malformed input, nested
+/// arrays/objects, or duplicate keys.
+bool parseFlatJsonObject(const std::string &Line,
+                         std::map<std::string, JsonScalar> &Out,
+                         std::string &Err);
+
+/// Returns \p S as a double-quoted JSON string with escapes applied.
+std::string jsonQuote(const std::string &S);
+
+} // namespace lsms
+
+#endif // LSMS_SERVICE_JSON_H

@@ -1,0 +1,436 @@
+#include "service/LoopKey.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <tuple>
+
+using namespace lsms;
+
+namespace {
+
+/// SplitMix64 finalizer: the bijective mixer behind every hash here.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t combine(uint64_t Seed, uint64_t V) {
+  return mix64(Seed ^ (V * 0xff51afd7ed558ccdULL + 0x2545f4914f6cdd1dULL));
+}
+
+uint64_t bitsOf(double D) { return std::bit_cast<uint64_t>(D); }
+uint64_t asWord(long long V) { return static_cast<uint64_t>(V); }
+
+// Arc-label tags, so a use in operand position 0 can never collide with a
+// predicate read or a def link.
+constexpr uint64_t TagDef = 0x11;
+constexpr uint64_t TagUse = 0x22;
+constexpr uint64_t TagPred = 0x33;
+constexpr uint64_t TagMem = 0x44;
+constexpr uint64_t TagIndividualize = 0x55;
+
+/// One labeled arc endpoint as seen from a node.
+struct LabeledNeighbor {
+  uint64_t Label;
+  int Node;
+};
+
+/// Canonical labeling of one loop body via color refinement plus bounded
+/// individualization-refinement. Nodes 0..NO-1 are operations, NO..NO+NV-1
+/// are values.
+class Canonicalizer {
+public:
+  explicit Canonicalizer(const LoopBody &Body)
+      : Body(Body), NO(Body.numOps()), NV(Body.numValues()), N(NO + NV),
+        Out(static_cast<size_t>(N)), In(static_cast<size_t>(N)) {
+    buildGraph();
+    seedColors();
+  }
+
+  /// Serialization under the identity permutations (the body's own
+  /// numbering), folded like the canonical fingerprint but with distinct
+  /// seeds so a raw print can never equal a canonical one.
+  uint64_t rawFingerprint() const {
+    std::vector<int> OpId(static_cast<size_t>(NO)), ValueId(
+                                                       static_cast<size_t>(NV));
+    for (int I = 0; I < NO; ++I)
+      OpId[static_cast<size_t>(I)] = I;
+    for (int I = 0; I < NV; ++I)
+      ValueId[static_cast<size_t>(I)] = I;
+    uint64_t H = 0x6c736d735f726177ULL; // "lsms_raw"
+    for (uint64_t W : serialize(OpId, ValueId))
+      H = combine(H, W);
+    return H;
+  }
+
+  LoopKey run() {
+    search(InitialColors);
+    assert(HasBest && "canonical search produced no leaf");
+    LoopKey Key;
+    Key.OpPerm = std::move(BestOpPerm);
+    Key.ValuePerm = std::move(BestValuePerm);
+    uint64_t Hi = 0x6c736d735f686921ULL; // "lsms_hi!"
+    uint64_t Lo = 0x6c736d735f6c6f21ULL; // "lsms_lo!"
+    for (uint64_t W : BestSerial) {
+      Hi = combine(Hi, W);
+      Lo = combine(Lo, ~W);
+    }
+    Key.Hi = Hi;
+    Key.Lo = Lo;
+    return Key;
+  }
+
+private:
+  void addArc(int From, int To, uint64_t Label) {
+    Out[static_cast<size_t>(From)].push_back({Label, To});
+    In[static_cast<size_t>(To)].push_back({Label, From});
+  }
+
+  int valueNode(int ValueId) const { return NO + ValueId; }
+
+  void buildGraph() {
+    for (const Operation &Op : Body.Ops) {
+      if (Op.Result >= 0)
+        addArc(Op.Id, valueNode(Op.Result), combine(TagDef, 0));
+      for (size_t K = 0; K < Op.Operands.size(); ++K) {
+        const Use &U = Op.Operands[K];
+        addArc(valueNode(U.Value), Op.Id,
+               combine(combine(TagUse, K), asWord(U.Omega)));
+      }
+      if (Op.PredValue >= 0)
+        addArc(valueNode(Op.PredValue), Op.Id,
+               combine(TagPred, asWord(Op.PredOmega)));
+    }
+    // Start also "defines" its values (loop inputs): Value::Def is the
+    // Start op even though Operation::Result is -1 there.
+    for (const Value &V : Body.Values)
+      if (V.Def == Body.startOp())
+        addArc(Body.startOp(), valueNode(V.Id), combine(TagDef, 0));
+    for (const MemDep &D : Body.MemDeps) {
+      uint64_t L = combine(TagMem, static_cast<uint64_t>(D.Kind));
+      L = combine(L, asWord(D.Latency));
+      L = combine(L, asWord(D.Omega));
+      addArc(D.Src, D.Dst, L);
+    }
+  }
+
+  void seedColors() {
+    InitialColors.assign(static_cast<size_t>(N), 0);
+    for (const Operation &Op : Body.Ops) {
+      uint64_t C = combine(0xA0, static_cast<uint64_t>(Op.Opc));
+      C = combine(C, asWord(Op.ArrayId));
+      C = combine(C, asWord(Op.ElemOffset));
+      C = combine(C, asWord(Op.ElemStride));
+      C = combine(C, static_cast<uint64_t>(Op.Operands.size()));
+      C = combine(C, Op.Result >= 0 ? 1 : 0);
+      C = combine(C, Op.PredValue >= 0 ? 1 : 0);
+      InitialColors[static_cast<size_t>(Op.Id)] = C;
+    }
+    for (const Value &V : Body.Values) {
+      uint64_t C = combine(0xB0, static_cast<uint64_t>(V.Class));
+      C = combine(C, V.LiveOut ? 1 : 0);
+      C = combine(C, V.Def == Body.startOp() ? 1 : 0);
+      C = combine(C, bitsOf(V.Init));
+      C = combine(C, V.Seeds.size());
+      for (double S : V.Seeds)
+        C = combine(C, bitsOf(S));
+      C = combine(C, asWord(V.SeedArrayId));
+      C = combine(C, asWord(V.SeedElemOffset));
+      C = combine(C, asWord(V.SeedElemStride));
+      InitialColors[static_cast<size_t>(valueNode(V.Id))] = C;
+    }
+  }
+
+  static size_t countDistinct(std::vector<uint64_t> Colors) {
+    std::sort(Colors.begin(), Colors.end());
+    return static_cast<size_t>(
+        std::unique(Colors.begin(), Colors.end()) - Colors.begin());
+  }
+
+  /// 1-WL refinement to a fixed partition. Each round folds the sorted
+  /// multiset of (arc label, neighbor color) pairs — separately for out-
+  /// and in-arcs — into every node's color, so the result is invariant
+  /// under node renumbering and arc reordering.
+  void refine(std::vector<uint64_t> &Colors) const {
+    size_t Distinct = countDistinct(Colors);
+    std::vector<uint64_t> Next(Colors.size());
+    std::vector<uint64_t> Scratch;
+    for (int Round = 0; Round < N; ++Round) {
+      for (int V = 0; V < N; ++V) {
+        uint64_t C = combine(0xC0, Colors[static_cast<size_t>(V)]);
+        for (const bool IsOut : {true, false}) {
+          const auto &Arcs =
+              IsOut ? Out[static_cast<size_t>(V)] : In[static_cast<size_t>(V)];
+          Scratch.clear();
+          for (const LabeledNeighbor &A : Arcs)
+            Scratch.push_back(
+                combine(A.Label, Colors[static_cast<size_t>(A.Node)]));
+          std::sort(Scratch.begin(), Scratch.end());
+          C = combine(C, IsOut ? 0xD1 : 0xD2);
+          for (uint64_t W : Scratch)
+            C = combine(C, W);
+        }
+        Next[static_cast<size_t>(V)] = C;
+      }
+      const size_t NextDistinct = countDistinct(Next);
+      Colors.swap(Next);
+      if (NextDistinct == Distinct)
+        return; // partition stable (refinement is monotone)
+      Distinct = NextDistinct;
+    }
+  }
+
+  /// First ambiguous cell: the smallest color value shared by >= 2 nodes,
+  /// or an empty vector when the coloring is discrete.
+  std::vector<int> targetCell(const std::vector<uint64_t> &Colors) const {
+    std::vector<int> Order(static_cast<size_t>(N));
+    for (int V = 0; V < N; ++V)
+      Order[static_cast<size_t>(V)] = V;
+    std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+      return Colors[static_cast<size_t>(A)] < Colors[static_cast<size_t>(B)];
+    });
+    for (size_t I = 0; I + 1 < Order.size(); ++I) {
+      if (Colors[static_cast<size_t>(Order[I])] !=
+          Colors[static_cast<size_t>(Order[I + 1])])
+        continue;
+      const uint64_t C = Colors[static_cast<size_t>(Order[I])];
+      std::vector<int> Cell;
+      for (size_t J = I; J < Order.size() &&
+                         Colors[static_cast<size_t>(Order[J])] == C;
+           ++J)
+        Cell.push_back(Order[J]);
+      std::sort(Cell.begin(), Cell.end());
+      return Cell;
+    }
+    return {};
+  }
+
+  void search(std::vector<uint64_t> Colors) {
+    refine(Colors);
+    const std::vector<int> Cell = targetCell(Colors);
+    if (Cell.empty()) {
+      leaf(Colors);
+      return;
+    }
+    for (const int V : Cell) {
+      if (Leaves >= LoopKeyLeafBudget)
+        return;
+      std::vector<uint64_t> Branch = Colors;
+      Branch[static_cast<size_t>(V)] =
+          combine(TagIndividualize, Branch[static_cast<size_t>(V)]);
+      search(std::move(Branch));
+    }
+  }
+
+  void leaf(const std::vector<uint64_t> &Colors) {
+    ++Leaves;
+    // Canonical operation order: Start, Stop, then color order. Canonical
+    // value order: color order. The discrete coloring makes both total.
+    std::vector<int> OpOrder, ValueOrder;
+    for (int I = 2; I < NO; ++I)
+      OpOrder.push_back(I);
+    std::sort(OpOrder.begin(), OpOrder.end(), [&](int A, int B) {
+      return Colors[static_cast<size_t>(A)] < Colors[static_cast<size_t>(B)];
+    });
+    for (int I = 0; I < NV; ++I)
+      ValueOrder.push_back(I);
+    std::sort(ValueOrder.begin(), ValueOrder.end(), [&](int A, int B) {
+      return Colors[static_cast<size_t>(valueNode(A))] <
+             Colors[static_cast<size_t>(valueNode(B))];
+    });
+
+    std::vector<int> OpPerm(static_cast<size_t>(NO), -1);
+    OpPerm[0] = 0;
+    OpPerm[1] = 1;
+    for (size_t K = 0; K < OpOrder.size(); ++K)
+      OpPerm[static_cast<size_t>(OpOrder[K])] = static_cast<int>(K) + 2;
+    std::vector<int> ValuePerm(static_cast<size_t>(NV), -1);
+    for (size_t K = 0; K < ValueOrder.size(); ++K)
+      ValuePerm[static_cast<size_t>(ValueOrder[K])] = static_cast<int>(K);
+
+    const std::vector<uint64_t> Serial = serialize(OpPerm, ValuePerm);
+    if (!HasBest || Serial < BestSerial) {
+      HasBest = true;
+      BestSerial = Serial;
+      BestOpPerm = std::move(OpPerm);
+      BestValuePerm = std::move(ValuePerm);
+    }
+  }
+
+  /// Complete, order-normalized encoding of the loop body under the given
+  /// canonical permutations. Lexicographic comparison of two encodings
+  /// decides the minimal leaf, and the fingerprint hashes this verbatim.
+  std::vector<uint64_t> serialize(const std::vector<int> &OpPerm,
+                                  const std::vector<int> &ValuePerm) const {
+    std::vector<uint64_t> S;
+    S.reserve(static_cast<size_t>(8 * N));
+    S.push_back(asWord(Body.First));
+    S.push_back(asWord(Body.NumArrays));
+    S.push_back(Body.HasConditional ? 1 : 0);
+    S.push_back(asWord(Body.SourceBasicBlocks));
+    S.push_back(asWord(NO));
+    S.push_back(asWord(NV));
+    S.push_back(Body.MemDeps.size());
+
+    std::vector<int> InvOp(static_cast<size_t>(NO));
+    for (int I = 0; I < NO; ++I)
+      InvOp[static_cast<size_t>(OpPerm[static_cast<size_t>(I)])] = I;
+    for (int K = 0; K < NO; ++K) {
+      const Operation &Op = Body.op(InvOp[static_cast<size_t>(K)]);
+      S.push_back(static_cast<uint64_t>(Op.Opc));
+      S.push_back(asWord(Op.ArrayId));
+      S.push_back(asWord(Op.ElemOffset));
+      S.push_back(asWord(Op.ElemStride));
+      S.push_back(Op.Result < 0
+                      ? ~0ULL
+                      : asWord(ValuePerm[static_cast<size_t>(Op.Result)]));
+      S.push_back(Op.PredValue < 0
+                      ? ~0ULL
+                      : asWord(ValuePerm[static_cast<size_t>(Op.PredValue)]));
+      S.push_back(asWord(Op.PredOmega));
+      S.push_back(Op.Operands.size());
+      for (const Use &U : Op.Operands) {
+        S.push_back(asWord(ValuePerm[static_cast<size_t>(U.Value)]));
+        S.push_back(asWord(U.Omega));
+      }
+    }
+
+    std::vector<int> InvValue(static_cast<size_t>(NV));
+    for (int I = 0; I < NV; ++I)
+      InvValue[static_cast<size_t>(ValuePerm[static_cast<size_t>(I)])] = I;
+    for (int K = 0; K < NV; ++K) {
+      const Value &V = Body.value(InvValue[static_cast<size_t>(K)]);
+      S.push_back(static_cast<uint64_t>(V.Class));
+      S.push_back(asWord(OpPerm[static_cast<size_t>(V.Def)]));
+      S.push_back(V.LiveOut ? 1 : 0);
+      S.push_back(bitsOf(V.Init));
+      S.push_back(V.Seeds.size());
+      for (double Seed : V.Seeds)
+        S.push_back(bitsOf(Seed));
+      S.push_back(asWord(V.SeedArrayId));
+      S.push_back(asWord(V.SeedElemOffset));
+      S.push_back(asWord(V.SeedElemStride));
+    }
+
+    std::vector<std::tuple<int, int, int, int, int>> Deps;
+    for (const MemDep &D : Body.MemDeps)
+      Deps.emplace_back(OpPerm[static_cast<size_t>(D.Src)],
+                        OpPerm[static_cast<size_t>(D.Dst)],
+                        static_cast<int>(D.Kind), D.Latency, D.Omega);
+    std::sort(Deps.begin(), Deps.end());
+    for (const auto &[Src, Dst, Kind, Latency, Omega] : Deps) {
+      S.push_back(asWord(Src));
+      S.push_back(asWord(Dst));
+      S.push_back(asWord(Kind));
+      S.push_back(asWord(Latency));
+      S.push_back(asWord(Omega));
+    }
+    return S;
+  }
+
+  const LoopBody &Body;
+  const int NO, NV, N;
+  std::vector<std::vector<LabeledNeighbor>> Out, In;
+  std::vector<uint64_t> InitialColors;
+
+  int Leaves = 0;
+  bool HasBest = false;
+  std::vector<uint64_t> BestSerial;
+  std::vector<int> BestOpPerm, BestValuePerm;
+};
+
+} // namespace
+
+LoopKey lsms::canonicalLoopKey(const LoopBody &Body) {
+  return Canonicalizer(Body).run();
+}
+
+LoopBody lsms::canonicalLoopBody(const LoopBody &Body, const LoopKey &Key) {
+  const int NO = Body.numOps();
+  const int NV = Body.numValues();
+  assert(static_cast<int>(Key.OpPerm.size()) == NO &&
+         static_cast<int>(Key.ValuePerm.size()) == NV && "stale key");
+
+  std::vector<int> InvOp(static_cast<size_t>(NO));
+  for (int I = 0; I < NO; ++I)
+    InvOp[static_cast<size_t>(Key.OpPerm[static_cast<size_t>(I)])] = I;
+  std::vector<int> InvValue(static_cast<size_t>(NV));
+  for (int I = 0; I < NV; ++I)
+    InvValue[static_cast<size_t>(Key.ValuePerm[static_cast<size_t>(I)])] = I;
+
+  LoopBody C; // constructor creates Start (0) and Stop (1)
+  C.Name = Body.Name;
+  C.First = Body.First;
+  C.NumArrays = Body.NumArrays;
+  C.HasConditional = Body.HasConditional;
+  C.SourceBasicBlocks = Body.SourceBasicBlocks;
+
+  for (int K = 0; K < NV; ++K) {
+    const Value &V = Body.value(InvValue[static_cast<size_t>(K)]);
+    const int Id = C.addValue(
+        V.Class, Key.OpPerm[static_cast<size_t>(V.Def)], "v" + std::to_string(K));
+    Value &NewV = C.value(Id);
+    NewV.LiveOut = V.LiveOut;
+    NewV.Init = V.Init;
+    NewV.Seeds = V.Seeds;
+    NewV.SeedArrayId = V.SeedArrayId;
+    NewV.SeedElemOffset = V.SeedElemOffset;
+    NewV.SeedElemStride = V.SeedElemStride;
+  }
+
+  for (int K = 2; K < NO; ++K) {
+    const Operation &Op = Body.op(InvOp[static_cast<size_t>(K)]);
+    std::vector<Use> Operands;
+    Operands.reserve(Op.Operands.size());
+    for (const Use &U : Op.Operands)
+      Operands.push_back(
+          Use{Key.ValuePerm[static_cast<size_t>(U.Value)], U.Omega});
+    const int Id =
+        C.addOperation(Op.Opc, std::move(Operands), "o" + std::to_string(K));
+    Operation &NewOp = C.op(Id);
+    if (Op.Result >= 0)
+      NewOp.Result = Key.ValuePerm[static_cast<size_t>(Op.Result)];
+    if (Op.PredValue >= 0) {
+      NewOp.PredValue = Key.ValuePerm[static_cast<size_t>(Op.PredValue)];
+      NewOp.PredOmega = Op.PredOmega;
+    }
+    NewOp.ArrayId = Op.ArrayId;
+    NewOp.ElemOffset = Op.ElemOffset;
+    NewOp.ElemStride = Op.ElemStride;
+  }
+  if (Body.brTopOp() >= 0)
+    C.setBrTop(Key.OpPerm[static_cast<size_t>(Body.brTopOp())]);
+
+  for (const MemDep &D : Body.MemDeps) {
+    MemDep M = D;
+    M.Src = Key.OpPerm[static_cast<size_t>(D.Src)];
+    M.Dst = Key.OpPerm[static_cast<size_t>(D.Dst)];
+    C.MemDeps.push_back(M);
+  }
+  std::sort(C.MemDeps.begin(), C.MemDeps.end(),
+            [](const MemDep &A, const MemDep &B) {
+              return std::tie(A.Src, A.Dst, A.Kind, A.Latency, A.Omega) <
+                     std::tie(B.Src, B.Dst, B.Kind, B.Latency, B.Omega);
+            });
+  return C;
+}
+
+uint64_t lsms::rawLoopFingerprint(const LoopBody &Body) {
+  return Canonicalizer(Body).rawFingerprint();
+}
+
+uint64_t lsms::machineFingerprint(const MachineModel &Machine) {
+  uint64_t H = 0x6d616368696e6521ULL; // "machine!"
+  for (unsigned K = 0; K < NumFuKinds; ++K)
+    H = combine(H, asWord(Machine.unitCount(static_cast<FuKind>(K))));
+  for (unsigned O = 0; O < NumOpcodeValues; ++O) {
+    const Opcode Op = static_cast<Opcode>(O);
+    H = combine(H, static_cast<uint64_t>(Machine.unitFor(Op)));
+    H = combine(H, asWord(Machine.latency(Op)));
+    H = combine(H, asWord(Machine.reservationCycles(Op)));
+  }
+  return H;
+}

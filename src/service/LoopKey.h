@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical fingerprints for loop bodies, the cache key of the scheduling
+/// service. Two loop bodies that differ only in operation/value numbering,
+/// memory-dependence ordering, or names receive the same 128-bit
+/// fingerprint and isomorphic canonical forms, so the service can memoize
+/// one schedule and replay it for every renumbered resubmission.
+///
+/// The canonicalization is a color-refinement (1-WL) pass over a bipartite
+/// operation/value graph with labeled arcs (operand position, omega,
+/// predicate, memory-dependence kind/latency/omega), followed by
+/// individualization-refinement when refinement alone leaves symmetric
+/// nodes: each member of the first ambiguous color class is individualized
+/// in turn and the lexicographically smallest canonical serialization wins.
+/// The search is bounded (LoopKeyLeafBudget leaves); loops that exhaust it
+/// still get a deterministic key, it is just no longer guaranteed to match
+/// every isomorphic renumbering (a cache miss, never a wrong hit — the
+/// service validates remapped schedules against the request's own
+/// dependence graph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SERVICE_LOOPKEY_H
+#define LSMS_SERVICE_LOOPKEY_H
+
+#include "ir/LoopBody.h"
+#include "machine/MachineModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lsms {
+
+/// Individualization-refinement leaf budget. Loop bodies have rich local
+/// labels (opcode, array id, subscript, omegas), so refinement almost
+/// always splits every non-automorphic pair; genuinely automorphic nodes
+/// make all leaves serialize identically and the first one wins.
+inline constexpr int LoopKeyLeafBudget = 64;
+
+/// A canonical key for one loop body: the fingerprint of its canonical
+/// serialization plus the permutations into canonical numbering.
+struct LoopKey {
+  /// 128-bit fingerprint of the canonical serialization. Equal for
+  /// isomorphic (renumbered) loop bodies; unequal for structurally
+  /// distinct ones up to hash collision.
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  /// OpPerm[InputOpId] = canonical operation index. Start and Stop keep
+  /// indices 0 and 1 so the canonical body satisfies the IR invariants.
+  std::vector<int> OpPerm;
+
+  /// ValuePerm[InputValueId] = canonical value index.
+  std::vector<int> ValuePerm;
+
+  bool operator==(const LoopKey &O) const { return Hi == O.Hi && Lo == O.Lo; }
+};
+
+/// Computes the canonical key of \p Body. Deterministic; invariant under
+/// operation/value renumbering, memory-dependence reordering, and renaming
+/// (names, Source text, and ArrayNames never enter the key).
+LoopKey canonicalLoopKey(const LoopBody &Body);
+
+/// Rebuilds \p Body in canonical numbering (ops and values permuted by
+/// \p Key, names replaced by canonical placeholders, memory dependences
+/// sorted). The result passes LoopBody::verify() whenever \p Body does,
+/// and isomorphic inputs rebuild byte-identical canonical bodies. The
+/// service schedules this body — not the request's — so cache hits and
+/// misses produce bit-identical schedules.
+LoopBody canonicalLoopBody(const LoopBody &Body, const LoopKey &Key);
+
+/// Fingerprint of the scheduling-relevant machine description (unit
+/// counts, opcode->unit mapping, latencies). Folded into cache keys so a
+/// latency ablation can never replay a schedule computed for a different
+/// machine.
+uint64_t machineFingerprint(const MachineModel &Machine);
+
+/// Fingerprint of \p Body in its OWN numbering (the identity permutation
+/// through the same serialization as the canonical key). Unlike the
+/// canonical fingerprint this is sensitive to operation/value order. The
+/// service mixes it into the cache key for requests whose functional-unit
+/// assignment is not equivariant with the canonical body's, where a
+/// schedule is only replayable for byte-identical numberings.
+uint64_t rawLoopFingerprint(const LoopBody &Body);
+
+} // namespace lsms
+
+#endif // LSMS_SERVICE_LOOPKEY_H

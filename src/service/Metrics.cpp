@@ -1,0 +1,62 @@
+#include "service/Metrics.h"
+
+#include <sstream>
+
+using namespace lsms;
+
+void MetricsRegistry::inc(const std::string &Name, long By) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters[Name] += By;
+}
+
+long MetricsRegistry::counter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void MetricsRegistry::observe(const std::string &Name, int64_t Micros) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(Name, Histogram(LatencyBucketUs, LatencyMaxUs))
+             .first;
+  It->second.add(Micros);
+}
+
+size_t MetricsRegistry::observations(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto It = Histograms.find(Name);
+  return It == Histograms.end() ? 0 : It->second.count();
+}
+
+int64_t MetricsRegistry::percentile(const std::string &Name,
+                                    double Fraction) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto It = Histograms.find(Name);
+  return It == Histograms.end() ? 0 : It->second.percentile(Fraction);
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    OS << (First ? "\n" : ",\n") << "    \"" << Name << "\": " << Value;
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "},\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, Hist] : Histograms) {
+    OS << (First ? "\n" : ",\n") << "    \"" << Name << "\": {"
+       << "\"count\": " << Hist.count()
+       << ", \"p50_us\": " << Hist.percentile(0.50)
+       << ", \"p90_us\": " << Hist.percentile(0.90)
+       << ", \"p99_us\": " << Hist.percentile(0.99)
+       << ", \"max_us\": " << Hist.maxSample() << "}";
+    First = false;
+  }
+  OS << (First ? "" : "\n  ") << "}\n}\n";
+  return OS.str();
+}

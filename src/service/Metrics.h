@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for the scheduling service: named monotonic counters plus
+/// named latency histograms (reusing support/Histogram for bucketing and
+/// exact-sample percentiles), exported as deterministic-order JSON. The
+/// registry is thread-safe; workers record from the request pipeline
+/// concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SERVICE_METRICS_H
+#define LSMS_SERVICE_METRICS_H
+
+#include "support/Histogram.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace lsms {
+
+class MetricsRegistry {
+public:
+  /// Histogram geometry for latency observations: 100us buckets up to
+  /// 100ms, overflow above (percentiles use exact samples, so bucket
+  /// geometry only affects print()).
+  static constexpr int64_t LatencyBucketUs = 100;
+  static constexpr int64_t LatencyMaxUs = 100000;
+
+  /// Adds \p By to counter \p Name (created at zero on first use).
+  void inc(const std::string &Name, long By = 1);
+
+  /// Current value of counter \p Name (0 when never incremented).
+  long counter(const std::string &Name) const;
+
+  /// Records one latency sample, in microseconds, into histogram \p Name.
+  void observe(const std::string &Name, int64_t Micros);
+
+  /// Sample count of histogram \p Name (0 when absent).
+  size_t observations(const std::string &Name) const;
+
+  /// Exact \p Fraction-quantile of histogram \p Name (0 when absent).
+  int64_t percentile(const std::string &Name, double Fraction) const;
+
+  /// Exports every counter and histogram as a JSON object:
+  ///   {"counters": {...}, "histograms": {NAME: {"count": C, "p50_us": ...,
+  ///    "p90_us": ..., "p99_us": ..., "max_us": ...}, ...}}
+  /// Keys are emitted in sorted order so the export is deterministic for a
+  /// given set of recorded events.
+  std::string toJson() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, long> Counters;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace lsms
+
+#endif // LSMS_SERVICE_METRICS_H

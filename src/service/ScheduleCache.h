@@ -1,0 +1,191 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sharded LRU memoization caches for the scheduling service. Keys are
+/// 128-bit fingerprints combined with an auxiliary hash of everything else
+/// that determines the answer; payloads are either canonical-numbering
+/// schedules (ScheduleCache, shared across isomorphic resubmissions) or
+/// fully-rendered responses (the service's request-level front cache).
+/// Shards each have their own mutex and LRU list, so concurrent workers
+/// only contend when their keys land in the same shard. Hit/miss/eviction
+/// counters feed the metrics export.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SERVICE_SCHEDULECACHE_H
+#define LSMS_SERVICE_SCHEDULECACHE_H
+
+#include "exact/ExactEngine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace lsms {
+
+/// Full cache key: a 128-bit fingerprint of the loop (canonical or raw)
+/// plus an auxiliary hash of everything else that determines the answer
+/// (engine, budgets, II cap, machine fingerprint).
+struct CacheKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+  uint64_t Aux = 0;
+
+  bool operator==(const CacheKey &O) const {
+    return Hi == O.Hi && Lo == O.Lo && Aux == O.Aux;
+  }
+};
+
+/// Point-in-time aggregate statistics over a cache's shards.
+struct CacheStats {
+  long Hits = 0;
+  long Misses = 0;
+  long Evictions = 0;
+  long Insertions = 0;
+  size_t Entries = 0;
+
+  double hitRate() const {
+    const long Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// A bounded, sharded LRU map from CacheKey to \p Value.
+template <typename Value> class ShardedLruCache {
+public:
+  /// Creates a cache holding at most \p Capacity entries spread over
+  /// \p Shards independent LRU shards (both clamped to >= 1).
+  explicit ShardedLruCache(size_t Capacity, int Shards = 8) {
+    TotalCapacity = std::max<size_t>(1, Capacity);
+    const size_t NumShards = static_cast<size_t>(std::max(1, Shards));
+    // No point in more shards than capacity: a shard must hold >= 1 entry.
+    const size_t Usable = std::min(NumShards, TotalCapacity);
+    PerShardCapacity = (TotalCapacity + Usable - 1) / Usable;
+    ShardList.reserve(Usable);
+    for (size_t I = 0; I < Usable; ++I)
+      ShardList.push_back(std::make_unique<Shard>());
+  }
+
+  /// Looks up \p Key; on a hit copies the payload into \p Out, refreshes
+  /// recency, and counts a hit. Counts a miss otherwise.
+  bool lookup(const CacheKey &Key, Value &Out) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    const auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      S.Misses.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    Out = It->second->second;
+    S.Hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Inserts or refreshes \p Key, evicting the shard's least recently used
+  /// entry when the shard is full.
+  void insert(const CacheKey &Key, const Value &Payload) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    const auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      It->second->second = Payload;
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      return;
+    }
+    if (S.Lru.size() >= PerShardCapacity) {
+      S.Map.erase(S.Lru.back().first);
+      S.Lru.pop_back();
+      S.Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    S.Lru.emplace_front(Key, Payload);
+    S.Map.emplace(Key, S.Lru.begin());
+    S.Insertions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  using Stats = CacheStats;
+
+  Stats stats() const {
+    Stats Total;
+    for (const auto &S : ShardList) {
+      Total.Hits += S->Hits.load(std::memory_order_relaxed);
+      Total.Misses += S->Misses.load(std::memory_order_relaxed);
+      Total.Evictions += S->Evictions.load(std::memory_order_relaxed);
+      Total.Insertions += S->Insertions.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(S->Mu);
+      Total.Entries += S->Lru.size();
+    }
+    return Total;
+  }
+
+  size_t capacity() const { return TotalCapacity; }
+  int shards() const { return static_cast<int>(ShardList.size()); }
+
+  /// Drops every entry (counters survive).
+  void clear() {
+    for (const auto &S : ShardList) {
+      std::lock_guard<std::mutex> Lock(S->Mu);
+      S->Map.clear();
+      S->Lru.clear();
+    }
+  }
+
+private:
+  struct KeyHash {
+    size_t operator()(const CacheKey &K) const {
+      uint64_t H = K.Hi ^ (K.Lo * 0x9e3779b97f4a7c15ULL) ^
+                   (K.Aux * 0xff51afd7ed558ccdULL);
+      H ^= H >> 33;
+      return static_cast<size_t>(H);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    /// Front = most recently used.
+    std::list<std::pair<CacheKey, Value>> Lru;
+    std::unordered_map<CacheKey, typename std::list<std::pair<
+                                     CacheKey, Value>>::iterator,
+                       KeyHash>
+        Map;
+    std::atomic<long> Hits{0}, Misses{0}, Evictions{0}, Insertions{0};
+  };
+
+  Shard &shardFor(const CacheKey &Key) {
+    return *ShardList[KeyHash()(Key) % ShardList.size()];
+  }
+
+  size_t TotalCapacity;
+  size_t PerShardCapacity;
+  std::vector<std::unique_ptr<Shard>> ShardList;
+};
+
+/// A memoized scheduling result. Times are issue cycles in CANONICAL
+/// operation numbering; callers remap through their request's LoopKey.
+/// (Requests routed through the numbering-sensitive key store times in
+/// their own numbering and remap through the identity.)
+struct CachedSchedule {
+  bool Success = false;
+  int II = 0;
+  int MII = 0;
+  int ResMII = 0;
+  int RecMII = 0;
+  long MaxLive = -1;
+  /// Exact-engine verdict; Optimal also stands in for a successful slack
+  /// heuristic run (which has no notion of proof).
+  ExactStatus Status = ExactStatus::Timeout;
+  std::vector<int> Times;
+};
+
+/// The schedule-level memoization tier.
+using ScheduleCache = ShardedLruCache<CachedSchedule>;
+
+} // namespace lsms
+
+#endif // LSMS_SERVICE_SCHEDULECACHE_H

@@ -1,0 +1,177 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived scheduling service: a batched request pipeline over the
+/// slack heuristic and the exact engines, with canonical-loop memoization,
+/// per-request deadlines, and metrics.
+///
+/// Requests arrive as JSONL lines (inline DSL source or a named suite
+/// kernel, an engine selection, optional deadline and II cap) and are
+/// dispatched to a persistent worker pool. Every request is first
+/// canonicalized (service/LoopKey.h); the service schedules the CANONICAL
+/// body and remaps issue cycles back to the request's numbering, so a
+/// cache hit and a cache miss produce bit-identical responses and the
+/// whole response stream is byte-identical at every worker count.
+///
+/// Robustness: an exact request that misses its wall-clock deadline or
+/// exhausts its engine budget degrades to the slack heuristic and says so
+/// (degraded=true); the response is still validator-clean. Determinism
+/// caveat: the degradation decision for a request WITH a deadline depends
+/// on wall-clock time; requests without deadlines (the bench and the
+/// byte-identity tests) are fully deterministic, because budget-driven
+/// timeouts are part of the engines' deterministic contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SERVICE_SCHEDULINGSERVICE_H
+#define LSMS_SERVICE_SCHEDULINGSERVICE_H
+
+#include "core/SchedulerOptions.h"
+#include "exact/ExactEngine.h"
+#include "machine/MachineModel.h"
+#include "service/Metrics.h"
+#include "service/ScheduleCache.h"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// The scheduler a request selects.
+enum class ServiceEngine : uint8_t { Slack, BranchAndBound, Sat };
+
+/// Returns "slack", "bnb", or "sat" (the wire spellings).
+const char *serviceEngineName(ServiceEngine Engine);
+
+/// Parses a wire spelling; returns false on an unknown name.
+bool parseServiceEngine(const std::string &Name, ServiceEngine &Engine);
+
+/// One scheduling request. Exactly one of Kernel/Source must be set.
+struct ServiceRequest {
+  std::string Id;     ///< client tag, echoed back verbatim when non-empty
+  std::string Name;   ///< display name (defaults: kernel name / "inline")
+  std::string Kernel; ///< a named kernel from workloads/Suite.h, or
+  std::string Source; ///< inline loop-DSL source
+  ServiceEngine Engine = ServiceEngine::Slack;
+  /// Wall-clock deadline for exact engines, in milliseconds from request
+  /// start: < 0 means none; 0 means already expired (always degrades —
+  /// deterministically, which the degradation tests rely on).
+  long DeadlineMs = -1;
+  /// When > 0, an absolute II cap replacing the configured IICapPolicy.
+  int MaxII = 0;
+  /// Include per-operation issue cycles (request numbering) in the
+  /// response.
+  bool EmitTimes = false;
+};
+
+/// One response, serialized as a single JSONL line by toJsonl(). Contains
+/// no wall-clock or cache-state fields: for deadline-free requests the
+/// line is a pure function of the request, whatever the worker count and
+/// whatever the cache held.
+struct ServiceResponse {
+  int Index = -1; ///< position in the batch / request stream
+  std::string Id;
+  std::string Name;
+  bool Ok = false;
+  std::string Error;
+  ServiceEngine Engine = ServiceEngine::Slack; ///< engine requested
+  /// True when an exact request fell back to the slack heuristic
+  /// (deadline missed, engine budget exhausted, or exact-infeasible under
+  /// the II cap). The schedule below is then the slack schedule.
+  bool Degraded = false;
+  /// Exact-engine verdict (pre-degradation); Optimal for untroubled exact
+  /// runs, meaningless for Engine == Slack.
+  ExactStatus ExactVerdict = ExactStatus::Timeout;
+  int II = 0;
+  int MII = 0;
+  int ResMII = 0;
+  int RecMII = 0;
+  int Length = 0;    ///< schedule length (Stop issue time)
+  long MaxLive = -1; ///< RR register pressure of the returned schedule
+  std::vector<int> Times; ///< issue cycles, request numbering (EmitTimes)
+
+  std::string toJsonl() const;
+};
+
+/// Service-wide configuration.
+struct ServiceConfig {
+  /// Worker threads for handleBatch/processJsonl; 0 = LSMS_JOBS or the
+  /// hardware count, 1 = run requests inline on the caller.
+  int Jobs = 0;
+  size_t CacheCapacity = 4096;
+  int CacheShards = 8;
+  /// Capacity of the request-level front cache (fully-rendered responses
+  /// keyed by payload text + options; the fast path for byte-identical
+  /// resubmissions, skipping parse/canonicalize/validate entirely).
+  size_t FrontCacheCapacity = 4096;
+  MachineModel Machine = MachineModel::cydra5();
+  SchedulerOptions Slack;
+  /// Base exact options; Engine is overridden per request, Deadline per
+  /// request from DeadlineMs.
+  ExactOptions Exact;
+  /// Re-validate every remapped schedule against the request's own
+  /// dependence graph before responding (cheap; guards the cache's
+  /// canonical-isomorphism remap against fingerprint collisions).
+  bool ValidateResponses = true;
+};
+
+/// The service. Thread-safe: handle() may be called concurrently, and
+/// handleBatch/processJsonl fan out over the persistent worker pool.
+class SchedulingService {
+public:
+  explicit SchedulingService(ServiceConfig Config = ServiceConfig());
+  ~SchedulingService();
+  SchedulingService(const SchedulingService &) = delete;
+  SchedulingService &operator=(const SchedulingService &) = delete;
+
+  /// Handles one request synchronously on the calling thread.
+  ServiceResponse handle(const ServiceRequest &Request, int Index = 0);
+
+  /// Handles a batch on the worker pool; Responses[I] answers Requests[I].
+  std::vector<ServiceResponse>
+  handleBatch(const std::vector<ServiceRequest> &Requests);
+
+  /// Parses one JSONL request line. Returns false with a diagnostic on
+  /// malformed JSON, unknown fields, or a missing/ambiguous loop payload.
+  /// A request without an "engine" field gets \p DefaultEngine.
+  static bool
+  parseRequestLine(const std::string &Line, ServiceRequest &Out,
+                   std::string &Err,
+                   ServiceEngine DefaultEngine = ServiceEngine::Slack);
+
+  /// Reads JSONL requests from \p In (blank lines and '#' comments are
+  /// skipped), schedules them as one batch on the worker pool, and writes
+  /// one response line per request to \p Out in request order. Returns the
+  /// number of non-Ok responses.
+  int processJsonl(std::istream &In, std::ostream &Out,
+                   ServiceEngine DefaultEngine = ServiceEngine::Slack);
+
+  const ServiceConfig &config() const { return Config; }
+  int jobs() const { return Jobs; }
+  ScheduleCache::Stats cacheStats() const { return Cache.stats(); }
+  ScheduleCache::Stats frontCacheStats() const { return Front.stats(); }
+  MetricsRegistry &metrics() { return Metrics; }
+
+  /// Counters, latency histograms, and cache statistics as one JSON
+  /// document.
+  std::string metricsJson() const;
+
+private:
+  class Pool;
+
+  ServiceConfig Config;
+  int Jobs;
+  ScheduleCache Cache;
+  /// Request-level memo: rendered responses keyed by raw payload text.
+  /// Deadline-armed (DeadlineMs > 0) requests bypass it, so every entry is
+  /// a pure function of the request and replays are bit-exact.
+  ShardedLruCache<ServiceResponse> Front;
+  MetricsRegistry Metrics;
+  std::unique_ptr<Pool> Workers;
+};
+
+} // namespace lsms
+
+#endif // LSMS_SERVICE_SCHEDULINGSERVICE_H

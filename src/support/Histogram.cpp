@@ -38,6 +38,26 @@ double Histogram::fractionAtOrBelow(int64_t Value) const {
   return static_cast<double>(N) / static_cast<double>(Total);
 }
 
+int64_t Histogram::percentile(double Fraction) const {
+  if (Samples.empty())
+    return 0;
+  Fraction = std::min(1.0, std::max(0.0, Fraction));
+  size_t Rank = static_cast<size_t>(Fraction * static_cast<double>(Samples.size()) + 0.999999);
+  if (Rank > 0)
+    --Rank; // 1-based rank -> 0-based index
+  std::vector<int64_t> Sorted = Samples;
+  std::nth_element(Sorted.begin(),
+                   Sorted.begin() + static_cast<ptrdiff_t>(Rank),
+                   Sorted.end());
+  return Sorted[Rank];
+}
+
+int64_t Histogram::maxSample() const {
+  if (Samples.empty())
+    return 0;
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
 static std::string bucketLabel(size_t Index, int64_t Width, size_t NumBuckets,
                                int64_t MaxValue) {
   const int64_t Lo = static_cast<int64_t>(Index) * Width;

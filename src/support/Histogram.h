@@ -33,6 +33,15 @@ public:
   /// bucket boundaries.
   double fractionAtOrBelow(int64_t Value) const;
 
+  /// The \p Fraction-quantile over the exact samples (e.g. 0.5 for the
+  /// median, 0.99 for p99): the smallest sample S such that at least
+  /// ceil(Fraction * count) samples are <= S. Returns 0 on an empty
+  /// histogram. \p Fraction is clamped to [0,1].
+  int64_t percentile(double Fraction) const;
+
+  /// Largest sample added, or 0 on an empty histogram.
+  int64_t maxSample() const;
+
   /// Prints one line per bucket: range, count, percent, cumulative percent,
   /// and a proportional bar.
   void print(std::ostream &OS, const std::string &ValueLabel) const;

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+/// \file Round-trip tests for the DSL pretty-printer
+/// (frontend/AstPrinter.h): parse -> print -> parse must yield a
+/// structurally equal Program, and the printed source must compile to the
+/// same loop body fingerprint as the original. Exercised over every suite
+/// kernel, the seeded random benchmark corpus, and targeted precedence /
+/// number-formatting cases.
+//===----------------------------------------------------------------------===//
+
+#include "frontend/AstPrinter.h"
+
+#include "ServiceBenchCommon.h"
+#include "frontend/LoopCompiler.h"
+#include "frontend/Parser.h"
+#include "service/LoopKey.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace lsms;
+
+namespace {
+
+void expectRoundTrip(const std::string &Source, const std::string &Label) {
+  std::string Err;
+  const std::unique_ptr<Program> First = parseProgram(Source, Err);
+  ASSERT_NE(First, nullptr) << Label << ": " << Err;
+  const std::string Printed = printProgram(*First);
+  const std::unique_ptr<Program> Second = parseProgram(Printed, Err);
+  ASSERT_NE(Second, nullptr)
+      << Label << ": printed source failed to parse: " << Err
+      << "\n--- printed ---\n"
+      << Printed;
+  EXPECT_TRUE(programsEqual(*First, *Second))
+      << Label << "\n--- original ---\n"
+      << Source << "\n--- printed ---\n"
+      << Printed;
+  // Printing is a fixpoint after one normalization pass.
+  EXPECT_EQ(Printed, printProgram(*Second)) << Label;
+
+  // The printed program must also MEAN the same thing: both sources
+  // compile to loop bodies with identical canonical fingerprints.
+  LoopBody Original, Reprinted;
+  ASSERT_EQ(compileLoop(Source, Label, Original), "") << Label;
+  ASSERT_EQ(compileLoop(Printed, Label, Reprinted), "") << Label;
+  const LoopKey KeyA = canonicalLoopKey(Original);
+  const LoopKey KeyB = canonicalLoopKey(Reprinted);
+  EXPECT_EQ(KeyA.Hi, KeyB.Hi) << Label;
+  EXPECT_EQ(KeyA.Lo, KeyB.Lo) << Label;
+}
+
+TEST(DslRoundTripTest, SuiteKernels) {
+  for (const NamedKernel &K : kernelSources())
+    expectRoundTrip(K.Source, K.Name);
+}
+
+TEST(DslRoundTripTest, SeededRandomPrograms) {
+  for (uint64_t Seed = 0; Seed < 40; ++Seed)
+    expectRoundTrip(randomDslSource(0x5eed + Seed),
+                    "random" + std::to_string(Seed));
+}
+
+TEST(DslRoundTripTest, PrecedenceAndAssociativity) {
+  // Right operands of - and / need parentheses; left ones do not.
+  // Unary minus, nested conditionals, strided subscripts, and scientific
+  // notation all have to survive the trip.
+  expectRoundTrip("param a = 0.5\n"
+                  "param b = 1e3\n"
+                  "loop k = 2, n\n"
+                  "  x[k] = a - (b - x[k-1]) / (a / b / 2.0)\n"
+                  "  y[k] = -(x[k] + 1.0) * (a + b) * 2.5e-2\n"
+                  "  if (x[k] < y[k-1]) then\n"
+                  "    if (a <= b) then\n"
+                  "      z[2*k+1] = sqrt(x[k] * x[k] + 1.0)\n"
+                  "    else\n"
+                  "      z[2*k+1] = z[2*k-1]\n"
+                  "    end\n"
+                  "  else\n"
+                  "    z[2*k+1] = 0.125\n"
+                  "  end\n"
+                  "end\n",
+                  "precedence");
+}
+
+TEST(DslRoundTripTest, NumbersPrintInShortestRoundTripForm) {
+  std::string Err;
+  const std::unique_ptr<Program> Prog = parseProgram(
+      "param a = 0.1\nparam b = 1e100\nparam c = 3\n"
+      "loop i = 1, n\n  x[i] = a\nend\n",
+      Err);
+  ASSERT_NE(Prog, nullptr) << Err;
+  const std::string Printed = printProgram(*Prog);
+  EXPECT_NE(Printed.find("0.1"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("1e+100"), std::string::npos) << Printed;
+  const std::unique_ptr<Program> Again = parseProgram(Printed, Err);
+  ASSERT_NE(Again, nullptr) << Err << "\n" << Printed;
+  EXPECT_TRUE(programsEqual(*Prog, *Again)) << Printed;
+}
+
+} // namespace

@@ -1,0 +1,247 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for the canonical loop fingerprints behind the scheduling
+/// service's cache (service/LoopKey.h): isomorphic renumberings of a loop
+/// body must hash equal and rebuild byte-identical canonical bodies, while
+/// semantic mutations (omegas, dependence latencies, opcodes) must change
+/// the key. Exercised over every suite kernel and a seeded random corpus.
+//===----------------------------------------------------------------------===//
+
+#include "service/LoopKey.h"
+
+#include "frontend/LoopCompiler.h"
+#include "support/Rng.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+using namespace lsms;
+
+namespace {
+
+/// Randomly renumbers operations and values of \p Body (Start, Stop, and
+/// BrTop keep their ids — BrTop because LoopBody records it by id with no
+/// setter — everything else moves) and shuffles the memory-dependence
+/// list. The result is isomorphic to the input and passes verify().
+LoopBody permuteLoopBody(const LoopBody &Body, Rng &R) {
+  const int NumOps = Body.numOps();
+  std::vector<int> OpPerm(static_cast<size_t>(NumOps));
+  std::iota(OpPerm.begin(), OpPerm.end(), 0);
+  std::vector<int> Movable;
+  for (int I = 2; I < NumOps; ++I)
+    if (I != Body.brTopOp())
+      Movable.push_back(I);
+  std::vector<int> Shuffled = Movable;
+  for (size_t I = Shuffled.size(); I > 1; --I)
+    std::swap(Shuffled[I - 1], Shuffled[R.nextBelow(I)]);
+  for (size_t I = 0; I < Movable.size(); ++I)
+    OpPerm[static_cast<size_t>(Movable[I])] = Shuffled[I];
+
+  std::vector<int> ValuePerm(static_cast<size_t>(Body.numValues()));
+  std::iota(ValuePerm.begin(), ValuePerm.end(), 0);
+  for (size_t I = ValuePerm.size(); I > 1; --I)
+    std::swap(ValuePerm[I - 1], ValuePerm[R.nextBelow(I)]);
+
+  LoopBody Out = Body;
+  Out.Ops.assign(static_cast<size_t>(NumOps), Operation());
+  for (int I = 0; I < NumOps; ++I) {
+    Operation Op = Body.op(I);
+    Op.Id = OpPerm[static_cast<size_t>(I)];
+    for (Use &U : Op.Operands)
+      U.Value = ValuePerm[static_cast<size_t>(U.Value)];
+    if (Op.Result >= 0)
+      Op.Result = ValuePerm[static_cast<size_t>(Op.Result)];
+    if (Op.PredValue >= 0)
+      Op.PredValue = ValuePerm[static_cast<size_t>(Op.PredValue)];
+    Out.Ops[static_cast<size_t>(Op.Id)] = std::move(Op);
+  }
+  Out.Values.assign(static_cast<size_t>(Body.numValues()), Value());
+  for (int V = 0; V < Body.numValues(); ++V) {
+    Value Val = Body.value(V);
+    Val.Id = ValuePerm[static_cast<size_t>(V)];
+    Val.Def = OpPerm[static_cast<size_t>(Val.Def)];
+    Out.Values[static_cast<size_t>(Val.Id)] = std::move(Val);
+  }
+  for (MemDep &D : Out.MemDeps) {
+    D.Src = OpPerm[static_cast<size_t>(D.Src)];
+    D.Dst = OpPerm[static_cast<size_t>(D.Dst)];
+  }
+  for (size_t I = Out.MemDeps.size(); I > 1; --I)
+    std::swap(Out.MemDeps[I - 1], Out.MemDeps[R.nextBelow(I)]);
+  return Out;
+}
+
+std::string printed(const LoopBody &Body) {
+  std::ostringstream OS;
+  Body.print(OS);
+  return OS.str();
+}
+
+void expectInvariantUnderRenumbering(const LoopBody &Body, uint64_t Seed) {
+  const LoopKey Key = canonicalLoopKey(Body);
+  const std::string Canon = printed(canonicalLoopBody(Body, Key));
+  Rng R(Seed);
+  for (int Trial = 0; Trial < 3; ++Trial) {
+    const LoopBody Permuted = permuteLoopBody(Body, R);
+    ASSERT_EQ(Permuted.verify(), "") << Body.Name;
+    const LoopKey PermKey = canonicalLoopKey(Permuted);
+    EXPECT_EQ(Key.Hi, PermKey.Hi) << Body.Name;
+    EXPECT_EQ(Key.Lo, PermKey.Lo) << Body.Name;
+    // Isomorphic inputs must rebuild the SAME canonical body, not merely
+    // hash-equal ones: the service schedules this body and remaps.
+    EXPECT_EQ(Canon, printed(canonicalLoopBody(Permuted, PermKey)))
+        << Body.Name;
+  }
+}
+
+LoopBody compileKernel(const NamedKernel &K) {
+  LoopBody Body;
+  const std::string Err = compileLoop(K.Source, K.Name, Body);
+  EXPECT_EQ(Err, "") << K.Name;
+  return Body;
+}
+
+TEST(LoopKeyTest, SuiteKernelsInvariantUnderRenumbering) {
+  uint64_t Seed = 0x100f;
+  for (const NamedKernel &K : kernelSources())
+    expectInvariantUnderRenumbering(compileKernel(K), Seed++);
+}
+
+TEST(LoopKeyTest, RandomLoopsInvariantUnderRenumbering) {
+  const std::vector<LoopBody> Suite = buildOracleSuite(25, 3, 18, 0x100b);
+  uint64_t Seed = 0x200f;
+  for (const LoopBody &Body : Suite)
+    expectInvariantUnderRenumbering(Body, Seed++);
+}
+
+TEST(LoopKeyTest, KeyIsDeterministic) {
+  for (const NamedKernel &K : kernelSources()) {
+    const LoopBody Body = compileKernel(K);
+    const LoopKey A = canonicalLoopKey(Body);
+    const LoopKey B = canonicalLoopKey(Body);
+    EXPECT_EQ(A.Hi, B.Hi);
+    EXPECT_EQ(A.Lo, B.Lo);
+    EXPECT_EQ(A.OpPerm, B.OpPerm);
+    EXPECT_EQ(A.ValuePerm, B.ValuePerm);
+  }
+}
+
+TEST(LoopKeyTest, CanonicalBodyIsAFixpoint) {
+  for (const NamedKernel &K : kernelSources()) {
+    const LoopBody Body = compileKernel(K);
+    const LoopKey Key = canonicalLoopKey(Body);
+    const LoopBody Canon = canonicalLoopBody(Body, Key);
+    ASSERT_EQ(Canon.verify(), "") << K.Name;
+    const LoopKey CanonKey = canonicalLoopKey(Canon);
+    EXPECT_EQ(Key.Hi, CanonKey.Hi) << K.Name;
+    EXPECT_EQ(Key.Lo, CanonKey.Lo) << K.Name;
+    EXPECT_EQ(printed(Canon), printed(canonicalLoopBody(Canon, CanonKey)))
+        << K.Name;
+  }
+}
+
+/// Finds a kernel containing an operation of \p Opc; fails the test if the
+/// suite has none.
+LoopBody kernelWithOpcode(Opcode Opc, int &OpId) {
+  for (const NamedKernel &K : kernelSources()) {
+    LoopBody Body = compileKernel(K);
+    for (const Operation &Op : Body.Ops)
+      if (Op.Opc == Opc) {
+        OpId = Op.Id;
+        return Body;
+      }
+  }
+  ADD_FAILURE() << "no suite kernel contains the requested opcode";
+  return LoopBody();
+}
+
+TEST(LoopKeyTest, UseOmegaMutationChangesKey) {
+  // fig1_sample carries a genuine recurrence: bump one cross-iteration
+  // omega and the key must move.
+  LoopBody Body = compileKernel(kernelSources().front());
+  const LoopKey Before = canonicalLoopKey(Body);
+  bool Mutated = false;
+  for (Operation &Op : Body.Ops) {
+    for (Use &U : Op.Operands)
+      if (U.Omega > 0 && !Mutated) {
+        U.Omega += 1;
+        Mutated = true;
+      }
+  }
+  ASSERT_TRUE(Mutated) << "expected a cross-iteration use in "
+                       << Body.Name;
+  const LoopKey After = canonicalLoopKey(Body);
+  EXPECT_FALSE(Before == After);
+}
+
+TEST(LoopKeyTest, MemDepMutationsChangeKey) {
+  LoopBody Body;
+  for (const NamedKernel &K : kernelSources()) {
+    Body = compileKernel(K);
+    if (!Body.MemDeps.empty())
+      break;
+  }
+  ASSERT_FALSE(Body.MemDeps.empty())
+      << "no suite kernel has memory dependences";
+  const LoopKey Before = canonicalLoopKey(Body);
+
+  LoopBody OmegaMut = Body;
+  OmegaMut.MemDeps[0].Omega += 1;
+  EXPECT_FALSE(Before == canonicalLoopKey(OmegaMut));
+
+  LoopBody LatencyMut = Body;
+  LatencyMut.MemDeps[0].Latency += 1;
+  EXPECT_FALSE(Before == canonicalLoopKey(LatencyMut));
+}
+
+TEST(LoopKeyTest, OpcodeMutationChangesKey) {
+  int OpId = -1;
+  LoopBody Body = kernelWithOpcode(Opcode::FloatAdd, OpId);
+  ASSERT_GE(OpId, 0);
+  const LoopKey Before = canonicalLoopKey(Body);
+  // FloatSub has the same arity and register classes, so the mutated body
+  // is still well formed — only the opcode label differs.
+  Body.op(OpId).Opc = Opcode::FloatSub;
+  ASSERT_EQ(Body.verify(), "");
+  EXPECT_FALSE(Before == canonicalLoopKey(Body));
+}
+
+TEST(LoopKeyTest, NamesAndSourceDoNotEnterKey) {
+  LoopBody Body = compileKernel(kernelSources().front());
+  const LoopKey Before = canonicalLoopKey(Body);
+  Body.Name = "renamed";
+  Body.Source = "something else entirely";
+  for (Operation &Op : Body.Ops)
+    Op.Name = "op" + std::to_string(Op.Id);
+  for (Value &V : Body.Values)
+    V.Name = "v" + std::to_string(V.Id);
+  Body.ArrayNames.assign(static_cast<size_t>(Body.NumArrays), "arr");
+  const LoopKey After = canonicalLoopKey(Body);
+  EXPECT_EQ(Before.Hi, After.Hi);
+  EXPECT_EQ(Before.Lo, After.Lo);
+}
+
+TEST(LoopKeyTest, RawFingerprintIsOrderSensitive) {
+  // The order-bound cache tier keys on the raw fingerprint: renumbering
+  // must (with overwhelming probability) move it even though the canonical
+  // key stays put.
+  const LoopBody Body = compileKernel(kernelSources().front());
+  Rng R(0xabcd);
+  const LoopBody Permuted = permuteLoopBody(Body, R);
+  ASSERT_EQ(Permuted.verify(), "");
+  EXPECT_EQ(canonicalLoopKey(Body).Hi, canonicalLoopKey(Permuted).Hi);
+  EXPECT_NE(rawLoopFingerprint(Body), rawLoopFingerprint(Permuted));
+  EXPECT_EQ(rawLoopFingerprint(Body), rawLoopFingerprint(Body));
+}
+
+TEST(LoopKeyTest, MachineFingerprintSeparatesMachines) {
+  const MachineModel Cydra = MachineModel::cydra5();
+  EXPECT_EQ(machineFingerprint(Cydra), machineFingerprint(Cydra));
+  const MachineModel Slow =
+      MachineModel::withLoadLatency(Cydra.latency(Opcode::Load) + 1);
+  EXPECT_NE(machineFingerprint(Cydra), machineFingerprint(Slow));
+}
+
+} // namespace

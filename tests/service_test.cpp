@@ -1,0 +1,280 @@
+//===----------------------------------------------------------------------===//
+/// \file Tests for the scheduling service (service/SchedulingService.h):
+/// request parsing, cache behavior (hits, LRU eviction, hit-vs-miss
+/// response identity), deadline degradation, per-request II caps, and
+/// byte-identical JSONL streams across worker counts.
+//===----------------------------------------------------------------------===//
+
+#include "service/SchedulingService.h"
+
+#include "core/ModuloScheduler.h"
+#include "core/Validate.h"
+#include "frontend/LoopCompiler.h"
+#include "ir/DepGraph.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace lsms;
+
+namespace {
+
+ServiceRequest kernelRequest(const std::string &Kernel,
+                             ServiceEngine Engine = ServiceEngine::Slack) {
+  ServiceRequest Req;
+  Req.Kernel = Kernel;
+  Req.Engine = Engine;
+  return Req;
+}
+
+TEST(ServiceParseTest, AcceptsFullRequest) {
+  ServiceRequest Req;
+  std::string Err;
+  ASSERT_TRUE(SchedulingService::parseRequestLine(
+      "{\"id\": \"r1\", \"name\": \"n\", \"kernel\": \"daxpy\", "
+      "\"engine\": \"bnb\", \"deadline_ms\": 250, \"max_ii\": 7, "
+      "\"emit_times\": true}",
+      Req, Err))
+      << Err;
+  EXPECT_EQ(Req.Id, "r1");
+  EXPECT_EQ(Req.Name, "n");
+  EXPECT_EQ(Req.Kernel, "daxpy");
+  EXPECT_EQ(Req.Engine, ServiceEngine::BranchAndBound);
+  EXPECT_EQ(Req.DeadlineMs, 250);
+  EXPECT_EQ(Req.MaxII, 7);
+  EXPECT_TRUE(Req.EmitTimes);
+}
+
+TEST(ServiceParseTest, RejectsMalformedRequests) {
+  ServiceRequest Req;
+  std::string Err;
+  // Not JSON at all.
+  EXPECT_FALSE(SchedulingService::parseRequestLine("nope", Req, Err));
+  // Neither kernel nor source.
+  EXPECT_FALSE(
+      SchedulingService::parseRequestLine("{\"id\": \"x\"}", Req, Err));
+  // Both kernel and source.
+  EXPECT_FALSE(SchedulingService::parseRequestLine(
+      "{\"kernel\": \"daxpy\", \"source\": \"loop\"}", Req, Err));
+  // Unknown field.
+  EXPECT_FALSE(SchedulingService::parseRequestLine(
+      "{\"kernel\": \"daxpy\", \"bogus\": 1}", Req, Err));
+  // Unknown engine.
+  EXPECT_FALSE(SchedulingService::parseRequestLine(
+      "{\"kernel\": \"daxpy\", \"engine\": \"magic\"}", Req, Err));
+  // Negative II cap.
+  EXPECT_FALSE(SchedulingService::parseRequestLine(
+      "{\"kernel\": \"daxpy\", \"max_ii\": -1}", Req, Err));
+}
+
+TEST(ServiceParseTest, DefaultEngineApplies) {
+  ServiceRequest Req;
+  std::string Err;
+  ASSERT_TRUE(SchedulingService::parseRequestLine(
+      "{\"kernel\": \"daxpy\"}", Req, Err, ServiceEngine::Sat));
+  EXPECT_EQ(Req.Engine, ServiceEngine::Sat);
+  ASSERT_TRUE(SchedulingService::parseRequestLine(
+      "{\"kernel\": \"daxpy\", \"engine\": \"slack\"}", Req, Err,
+      ServiceEngine::Sat));
+  EXPECT_EQ(Req.Engine, ServiceEngine::Slack);
+}
+
+TEST(ServiceTest, AnswersMatchDirectScheduling) {
+  SchedulingService Service;
+  for (const NamedKernel &K : kernelSources()) {
+    const ServiceResponse Resp = Service.handle(kernelRequest(K.Name));
+    ASSERT_TRUE(Resp.Ok) << K.Name << ": " << Resp.Error;
+    LoopBody Body;
+    ASSERT_EQ(compileLoop(K.Source, K.Name, Body), "");
+    const MachineModel Machine = MachineModel::cydra5();
+    const DepGraph Graph(Body, Machine);
+    const Schedule Direct = scheduleLoop(Graph, SchedulerOptions());
+    ASSERT_TRUE(Direct.Success);
+    EXPECT_EQ(Resp.II, Direct.II) << K.Name;
+    EXPECT_EQ(Resp.MII, Direct.MII) << K.Name;
+  }
+}
+
+TEST(ServiceTest, EmittedTimesValidate) {
+  SchedulingService Service;
+  for (const char *Kernel : {"daxpy", "ll1_hydro", "ll5_tridiag"}) {
+    ServiceRequest Req = kernelRequest(Kernel);
+    Req.EmitTimes = true;
+    const ServiceResponse Resp = Service.handle(Req);
+    ASSERT_TRUE(Resp.Ok) << Resp.Error;
+    LoopBody Body;
+    for (const NamedKernel &K : kernelSources())
+      if (Req.Kernel == K.Name) {
+        ASSERT_EQ(compileLoop(K.Source, K.Name, Body), "");
+      }
+    ASSERT_EQ(Resp.Times.size(), static_cast<size_t>(Body.numOps()));
+    Schedule Check;
+    Check.Success = true;
+    Check.II = Resp.II;
+    Check.MII = Resp.MII;
+    Check.Times = Resp.Times;
+    const MachineModel Machine = MachineModel::cydra5();
+    const DepGraph Graph(Body, Machine);
+    EXPECT_EQ(validateSchedule(Graph, Check), "") << Kernel;
+  }
+}
+
+TEST(ServiceTest, RepeatedRequestsHitTheCacheAndMatch) {
+  SchedulingService Service;
+  ServiceRequest Req = kernelRequest("daxpy", ServiceEngine::BranchAndBound);
+  Req.EmitTimes = true;
+  const ServiceResponse First = Service.handle(Req);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  const ServiceResponse Second = Service.handle(Req);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  // Hit and miss must render the same bytes.
+  EXPECT_EQ(First.toJsonl(), Second.toJsonl());
+  EXPECT_GE(Service.frontCacheStats().Hits, 1);
+
+  // A fresh service (all misses) agrees too.
+  SchedulingService Fresh;
+  EXPECT_EQ(Fresh.handle(Req).toJsonl(), First.toJsonl());
+}
+
+TEST(ServiceTest, LruEvictionKeepsAnswering) {
+  ServiceConfig Config;
+  Config.CacheCapacity = 2;
+  Config.CacheShards = 1;
+  Config.FrontCacheCapacity = 2;
+  SchedulingService Service(Config);
+  const char *Kernels[] = {"daxpy", "ll1_hydro", "ll5_tridiag",
+                           "ll3_inner_product"};
+  for (int Round = 0; Round < 3; ++Round)
+    for (const char *Kernel : Kernels)
+      ASSERT_TRUE(Service.handle(kernelRequest(Kernel)).Ok) << Kernel;
+  const CacheStats Front = Service.frontCacheStats();
+  EXPECT_GE(Front.Evictions, 1);
+  EXPECT_LE(Front.Entries, 2u);
+  // Evicted entries are recomputed, not corrupted: answers still match a
+  // fresh service.
+  SchedulingService Fresh;
+  for (const char *Kernel : Kernels)
+    EXPECT_EQ(Service.handle(kernelRequest(Kernel)).toJsonl(),
+              Fresh.handle(kernelRequest(Kernel)).toJsonl())
+        << Kernel;
+}
+
+TEST(ServiceTest, ZeroDeadlineDegradesToValidSlackSchedule) {
+  SchedulingService Service;
+  for (const ServiceEngine Engine :
+       {ServiceEngine::BranchAndBound, ServiceEngine::Sat}) {
+    ServiceRequest Req = kernelRequest("ll1_hydro", Engine);
+    Req.DeadlineMs = 0; // expired before any exact work can start
+    Req.EmitTimes = true;
+    const ServiceResponse Resp = Service.handle(Req);
+    ASSERT_TRUE(Resp.Ok) << Resp.Error;
+    EXPECT_TRUE(Resp.Degraded);
+    EXPECT_EQ(Resp.ExactVerdict, ExactStatus::Timeout);
+
+    // The degraded response IS the slack answer, and it validates.
+    ServiceRequest SlackReq = Req;
+    SlackReq.Engine = ServiceEngine::Slack;
+    SlackReq.DeadlineMs = -1;
+    const ServiceResponse Slack = Service.handle(SlackReq);
+    ASSERT_TRUE(Slack.Ok);
+    EXPECT_FALSE(Slack.Degraded);
+    EXPECT_EQ(Resp.II, Slack.II);
+    EXPECT_EQ(Resp.Times, Slack.Times);
+
+    LoopBody Body;
+    for (const NamedKernel &K : kernelSources())
+      if (Req.Kernel == K.Name) {
+        ASSERT_EQ(compileLoop(K.Source, K.Name, Body), "");
+      }
+    Schedule Check;
+    Check.Success = true;
+    Check.II = Resp.II;
+    Check.MII = Resp.MII;
+    Check.Times = Resp.Times;
+    const MachineModel Machine = MachineModel::cydra5();
+    const DepGraph Graph(Body, Machine);
+    EXPECT_EQ(validateSchedule(Graph, Check), "");
+  }
+  EXPECT_GE(Service.metrics().counter("requests_degraded"), 2);
+}
+
+TEST(ServiceTest, ImpossibleMaxIiIsAnError) {
+  SchedulingService Service;
+  ServiceRequest Req = kernelRequest("ll5_tridiag");
+  Req.MaxII = 1; // tridiag has RecMII > 1: no schedule can exist
+  const ServiceResponse Resp = Service.handle(Req);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_FALSE(Resp.Error.empty());
+}
+
+TEST(ServiceTest, UnknownKernelIsAnError) {
+  SchedulingService Service;
+  const ServiceResponse Resp = Service.handle(kernelRequest("no_such"));
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Name, "no_such");
+  EXPECT_NE(Resp.Error.find("unknown kernel"), std::string::npos);
+}
+
+std::string runJsonl(SchedulingService &Service, const std::string &Input) {
+  std::istringstream In(Input);
+  std::ostringstream Out;
+  Service.processJsonl(In, Out);
+  return Out.str();
+}
+
+TEST(ServiceTest, JsonlStreamIsByteIdenticalAcrossJobs) {
+  std::ostringstream Input;
+  Input << "# comment lines and blanks are skipped\n\n";
+  int Id = 0;
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (const NamedKernel &K : kernelSources())
+      Input << "{\"id\": \"r" << Id++ << "\", \"kernel\": \"" << K.Name
+            << "\", \"engine\": \"" << (Pass ? "bnb" : "slack")
+            << "\", \"emit_times\": true}\n";
+  Input << "{\"broken\n";
+
+  std::vector<std::string> Streams;
+  for (const int Jobs : {1, 2, 4}) {
+    ServiceConfig Config;
+    Config.Jobs = Jobs;
+    SchedulingService Service(Config);
+    Streams.push_back(runJsonl(Service, Input.str()));
+  }
+  EXPECT_EQ(Streams[0], Streams[1]);
+  EXPECT_EQ(Streams[0], Streams[2]);
+  // Responses come back in request order whatever the scheduling order.
+  std::istringstream Check(Streams[0]);
+  std::string Line;
+  int Index = 0;
+  while (std::getline(Check, Line)) {
+    const std::string Expect = "{\"index\":" + std::to_string(Index++) + ",";
+    EXPECT_EQ(Line.substr(0, Expect.size()), Expect);
+  }
+  EXPECT_EQ(Index, 2 * static_cast<int>(kernelSources().size()) + 1);
+}
+
+TEST(ServiceTest, ParseErrorsBecomeErrorResponses) {
+  SchedulingService Service;
+  const std::string Out =
+      runJsonl(Service, "{\"kernel\": \"daxpy\"}\nnot json\n");
+  std::istringstream Lines(Out);
+  std::string First, Second;
+  ASSERT_TRUE(std::getline(Lines, First));
+  ASSERT_TRUE(std::getline(Lines, Second));
+  EXPECT_NE(First.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(Second.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_EQ(Service.metrics().counter("requests_parse_errors"), 1);
+}
+
+TEST(ServiceTest, MetricsJsonMentionsBothCaches) {
+  SchedulingService Service;
+  ASSERT_TRUE(Service.handle(kernelRequest("daxpy")).Ok);
+  const std::string Json = Service.metricsJson();
+  EXPECT_NE(Json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(Json.find("\"front_cache\""), std::string::npos);
+  EXPECT_NE(Json.find("requests_total"), std::string::npos);
+}
+
+} // namespace
