@@ -29,7 +29,12 @@ namespace {
 
 /// Compares the two engines' sweeps case by case; returns the number of
 /// disagreements printed. Timeout on either side proves nothing and is
-/// skipped (budgets, not verdicts, differ there).
+/// skipped (budgets, not verdicts, differ there). Beyond the feasibility
+/// verdict and the minimal II, certified MaxLive values must be mutually
+/// consistent: same-kind certificates name the same minimum (family or
+/// MinAvg), and a MinAvg-met global value can only sit at or below a
+/// certified family minimum, so any violation means one engine's proof
+/// is wrong.
 int reportDisagreements(std::ostream &OS, const OracleReport &Bnb,
                         const OracleReport &Sat) {
   int Disagreements = 0;
@@ -46,6 +51,19 @@ int reportDisagreements(std::ostream &OS, const OracleReport &Bnb,
       OS << "  " << B.Name << ": bnb " << exactStatusName(B.Status)
          << " II=" << B.ExactII << " vs sat " << exactStatusName(S.Status)
          << " II=" << S.ExactII << "\n";
+      ++Disagreements;
+      continue;
+    }
+    const bool SameKind =
+        maxLiveCertificatesAgree(B.Certificate, S.Certificate) &&
+        B.Certificate != MaxLiveCertificate::None;
+    if (!certifiedMaxLiveConsistent(B.ExactMaxLive, B.Certificate,
+                                    S.ExactMaxLive, S.Certificate) ||
+        (SameKind && B.ExactMaxLive != S.ExactMaxLive)) {
+      OS << "  " << B.Name << ": certified MaxLive inconsistent: bnb "
+         << B.ExactMaxLive << " (" << maxLiveCertificateName(B.Certificate)
+         << ") vs sat " << S.ExactMaxLive << " ("
+         << maxLiveCertificateName(S.Certificate) << ")\n";
       ++Disagreements;
     }
   }

@@ -171,6 +171,7 @@ int main(int Argc, char **Argv) {
   // minimization + validation), the exact_gap workload. -------------------
   SectionResult Oracle;
   bool ReportsIdentical = true;
+  int CertifiedLoops = 0, CertMinAvg = 0, CertFamily = 0;
   {
     OracleOptions Options;
     Options.NumLoops = OracleLoops;
@@ -184,6 +185,9 @@ int main(int Argc, char **Argv) {
       if (JobsN == 1)
         Oracle.JobsNSeconds = Oracle.Jobs1Seconds;
       Oracle.Loops = static_cast<int>(Report.Cases.size());
+      CertifiedLoops = Report.MaxLiveCertified;
+      CertMinAvg = Report.CertMinAvg;
+      CertFamily = Report.CertFamily;
       std::ostringstream OS;
       printOracleReport(OS, Report);
       (Jobs == 1 ? Report1 : ReportN) = OS.str();
@@ -218,7 +222,10 @@ int main(int Argc, char **Argv) {
        << "  \"hardware_concurrency\": " << hardwareJobs() << ",\n"
        << "  \"jobs\": " << JobsN << ",\n"
        << "  \"oracle_report_byte_identical_across_jobs\": "
-       << (ReportsIdentical ? "true" : "false") << ",\n";
+       << (ReportsIdentical ? "true" : "false") << ",\n"
+       << "  \"oracle_maxlive_certified\": " << CertifiedLoops << ",\n"
+       << "  \"oracle_maxlive_cert_minavg\": " << CertMinAvg << ",\n"
+       << "  \"oracle_maxlive_cert_family\": " << CertFamily << ",\n";
   if (EnginesCompared)
     JSON << "  \"exact_engines_agree\": " << (EnginesAgree ? "true" : "false")
          << ",\n";

@@ -103,6 +103,28 @@ long lsms::computeMinAvgPerValueCeil(const DepGraph &Graph,
   return MinAvg;
 }
 
+IssueWindows lsms::computeIssueWindows(const LoopBody &Body,
+                                       const MinDistMatrix &MinDist) {
+  assert(MinDist.initiationInterval() > 0 &&
+         MinDist.numOps() == Body.numOps() &&
+         "MinDist must hold the relation at the candidate II");
+  IssueWindows W;
+  const int Start = Body.startOp(), Stop = Body.stopOp();
+  W.Cap = std::max(0L, MinDist.at(Start, Stop));
+  MinDist.estarts(Start, W.Estart);
+  MinDist.lstarts(Stop, W.Cap, W.Lstart);
+  // Start is pinned at cycle 0, so a bound back into it caps the window
+  // directly. (The IR never produces such arcs today; kept for soundness.)
+  for (int X = 0; X < Body.numOps(); ++X)
+    if (X != Start && MinDist.connected(X, Start))
+      W.Lstart[static_cast<size_t>(X)] =
+          std::min(W.Lstart[static_cast<size_t>(X)], -MinDist.at(X, Start));
+  // Lstart >= Estart by the triangle inequality whenever a nonnegative-
+  // time schedule exists at this II; an empty window simply yields an
+  // empty family.
+  return W;
+}
+
 int lsms::countGprs(const LoopBody &Body) {
   int Count = 0;
   for (const Value &V : Body.Values)

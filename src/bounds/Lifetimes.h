@@ -65,6 +65,28 @@ long computeMinAvgPerValueCeil(const DepGraph &Graph,
 /// Number of loop-invariant (GPR) values, the paper's "# GPRs" metric.
 int countGprs(const LoopBody &Body);
 
+/// Static per-operation issue windows at the MinDist matrix's II, shared
+/// by both exact engines so they reason about the identical *issue-time
+/// family*: the set of schedules that keep every operation inside
+/// [Estart, Lstart] against the canonical makespan Cap = MinDist(Start,
+/// Stop). Holding Stop at Cap is equivalent to holding every operation at
+/// or before its Lstart, so the family is exactly the dependence- and
+/// resource-feasible placements of canonical schedule length.
+struct IssueWindows {
+  /// Canonical makespan: MinDist(Start, Stop).
+  long Cap = 0;
+  /// Earliest issue per op: max(0, MinDist(Start, x)).
+  std::vector<long> Estart;
+  /// Latest issue per op: Cap - MinDist(x, Stop); ops with no path to
+  /// Stop get Cap itself. Never below Estart (triangle inequality).
+  std::vector<long> Lstart;
+};
+
+/// Computes the shared issue windows from a MinDist relation that already
+/// holds at the candidate II.
+IssueWindows computeIssueWindows(const LoopBody &Body,
+                                 const MinDistMatrix &MinDist);
+
 } // namespace lsms
 
 #endif // LSMS_BOUNDS_LIFETIMES_H

@@ -52,9 +52,10 @@ public:
   /// \p TimesInOut. Returns Optimal when the search space was exhausted
   /// (or the MinAvg bound was met), Timeout when the node budget ran out
   /// first; \p TimesInOut and \p MaxLiveInOut hold the best found either
-  /// way.
+  /// way. \p FamilyCertified reports minimality over the issue-time
+  /// family (see minimizeMaxLiveBranchAndBound).
   ExactStatus minimize(std::vector<int> &TimesInOut, long &MaxLiveInOut,
-                       long &Nodes);
+                       long &Nodes, bool &FamilyCertified);
 
 private:
   enum class Mode : uint8_t { Feasibility, Pressure };
@@ -64,6 +65,8 @@ private:
   bool tryPlace(int V, int Rho, size_t Depth);
   void leafTimes(const std::vector<long> &T, std::vector<int> &TimesOut) const;
   long pressureLowerBound(const std::vector<long> &T) const;
+  void familyDfs(size_t Idx, const std::vector<long> &T);
+  void evaluateFamilyMember();
 
   const DepGraph &Graph;
   const LoopBody &Body;
@@ -92,6 +95,13 @@ private:
   std::vector<int> FoundTimes; ///< feasibility-mode result
   /// Flow-arc indices per RR value, for the MinAvg-style bound.
   std::vector<std::vector<int>> FlowArcsOf;
+  /// Best pressure over issue-time-family members (LONG_MAX when no
+  /// member was evaluated). BestMaxLive can beat it only through an
+  /// incumbent or canonical leaf issuing past the canonical makespan.
+  long FamilyBest = LONG_MAX;
+  std::vector<int> RealOps;    ///< real ops ascending, family branch order
+  std::vector<long> FamTime;   ///< per-op issue time of the member prefix
+  std::vector<int> MemberBuf;  ///< materialized member, pseudo-ops derived
 };
 
 void ExactSolver::buildOrder(Mode M) {
@@ -102,10 +112,13 @@ void ExactSolver::buildOrder(Mode M) {
       Order.push_back(X);
 
   // Static windows at this II: slack against the critical path. Most
-  // constrained first keeps the tree narrow near the root.
-  const int Start = Body.startOp(), Stop = Body.stopOp();
-  MinDist.estarts(Start, EstartBuf);
-  MinDist.lstarts(Stop, MinDist.at(Start, Stop), LstartBuf);
+  // constrained first keeps the tree narrow near the root. The shared
+  // computeIssueWindows definition is what makes the family evaluated
+  // here the same space the SAT certification path encodes.
+  const int Start = Body.startOp();
+  IssueWindows Windows = computeIssueWindows(Body, MinDist);
+  EstartBuf = std::move(Windows.Estart);
+  LstartBuf = std::move(Windows.Lstart);
   const std::vector<long> &Estart = EstartBuf;
   const std::vector<long> &Lstart = LstartBuf;
   std::vector<long> Slack(static_cast<size_t>(N), 0);
@@ -150,6 +163,12 @@ void ExactSolver::buildOrder(Mode M) {
         FlowArcsOf[static_cast<size_t>(Arc.Value)].push_back(I);
     }
     GlobalMinAvg = computeMinAvg(Graph, MinDist);
+    RealOps.clear();
+    for (int X = 0; X < N; ++X)
+      if (Machine.unitFor(Body.op(X).Opc) != FuKind::None)
+        RealOps.push_back(X);
+    FamTime.assign(static_cast<size_t>(N), 0);
+    FamilyBest = LONG_MAX;
   }
 }
 
@@ -209,6 +228,86 @@ long ExactSolver::pressureLowerBound(const std::vector<long> &T) const {
     Sum += LT;
   }
   return (Sum + II - 1) / II;
+}
+
+/// Enumerates the leaf family over RealOps[Idx..]: candidate times for an
+/// op are its canonical leaf time (pre-loaded in FamTime) plus multiples
+/// of II up to its static Lstart, checked pairwise against the assigned
+/// prefix through the closed tightened matrix \p T — which carries
+/// exactly the constraints this residue class implies, so no member is
+/// excluded and every complete assignment is dependence-feasible (shifts
+/// by II preserve residues, so the resource table stays satisfied too).
+/// Every candidate time costs one node from the shared budget.
+void ExactSolver::familyDfs(size_t Idx, const std::vector<long> &T) {
+  if (TimedOut || StopSearch)
+    return;
+  if (Idx == RealOps.size()) {
+    evaluateFamilyMember();
+    return;
+  }
+  const int X = RealOps[Idx];
+  const long Base = FamTime[static_cast<size_t>(X)];
+  for (long TX = Base; TX <= LstartBuf[static_cast<size_t>(X)]; TX += II) {
+    if (TimedOut || StopSearch)
+      break;
+    if (++NodesUsed > NodeBudget) {
+      TimedOut = true;
+      break;
+    }
+    // Pairwise screen against the assigned prefix. A "too late" violation
+    // (some earlier op forces X at or before an already-passed time) only
+    // worsens as TX grows, so it ends this level; a "too early" one is
+    // cured by a later candidate.
+    bool TooLate = false, TooEarly = false;
+    for (size_t J = 0; J < Idx && !TooLate && !TooEarly; ++J) {
+      const int Y = RealOps[J];
+      const long TY = FamTime[static_cast<size_t>(Y)];
+      const long XY = T[static_cast<size_t>(X) * N + Y];
+      const long YX = T[static_cast<size_t>(Y) * N + X];
+      if (isPath(XY) && TY - TX < XY)
+        TooLate = true;
+      else if (isPath(YX) && TX - TY < YX)
+        TooEarly = true;
+    }
+    if (TooLate)
+      break;
+    if (TooEarly)
+      continue;
+    FamTime[static_cast<size_t>(X)] = TX;
+    familyDfs(Idx + 1, T);
+  }
+  FamTime[static_cast<size_t>(X)] = Base; // restore for sibling branches
+}
+
+/// Scores one complete family member: pseudo-operations are re-derived at
+/// the earliest cycle consistent with the shifted real ops (they carry no
+/// operands, so they cannot change RR pressure), then the member competes
+/// for both the incumbent and the family minimum.
+void ExactSolver::evaluateFamilyMember() {
+  const int Start = Body.startOp();
+  MemberBuf.assign(static_cast<size_t>(N), 0);
+  for (int X : RealOps)
+    MemberBuf[static_cast<size_t>(X)] =
+        static_cast<int>(FamTime[static_cast<size_t>(X)]);
+  for (int X = 0; X < N; ++X) {
+    if (X == Start || Rho[static_cast<size_t>(X)] >= 0)
+      continue;
+    long TX = std::max(0L, MinDist.at(Start, X));
+    for (int Y : RealOps)
+      if (MinDist.connected(Y, X))
+        TX = std::max(TX, FamTime[static_cast<size_t>(Y)] +
+                              MinDist.at(Y, X));
+    MemberBuf[static_cast<size_t>(X)] = static_cast<int>(TX);
+  }
+  const long MaxLive =
+      computePressure(Body, MemberBuf, II, RegClass::RR).MaxLive;
+  FamilyBest = std::min(FamilyBest, MaxLive);
+  if (MaxLive < BestMaxLive) {
+    BestMaxLive = MaxLive;
+    BestTimes = MemberBuf;
+    if (BestMaxLive <= GlobalMinAvg)
+      StopSearch = true; // met the paper's lower bound: proven optimal
+  }
 }
 
 bool ExactSolver::tryPlace(int V, int Rho_, size_t Depth) {
@@ -295,16 +394,33 @@ bool ExactSolver::dfs(size_t Depth) {
       leafTimes(TStack[Depth], FoundTimes);
       return true;
     }
+    // A pressure-mode leaf is a whole issue-time family: every combination
+    // of per-op shifts by multiples of II from the canonical earliest times
+    // that stays inside the static windows and the leaf's closed tightened
+    // matrix. familyDfs enumerates it, canonical member first. A residue
+    // assignment whose canonical times overrun some Lstart has an empty
+    // family; its canonical leaf is still evaluated so the incumbent stays
+    // at least as good as the earliest-time search found.
     std::vector<int> Times;
     leafTimes(TStack[Depth], Times);
-    const long MaxLive =
-        computePressure(Body, Times, II, RegClass::RR).MaxLive;
-    if (MaxLive < BestMaxLive) {
-      BestMaxLive = MaxLive;
-      BestTimes = Times;
-      if (BestMaxLive <= GlobalMinAvg)
-        StopSearch = true; // met the paper's lower bound: proven optimal
+    bool InFamily = true;
+    for (int X : RealOps)
+      InFamily = InFamily && Times[static_cast<size_t>(X)] <=
+                                 LstartBuf[static_cast<size_t>(X)];
+    if (!InFamily) {
+      const long MaxLive =
+          computePressure(Body, Times, II, RegClass::RR).MaxLive;
+      if (MaxLive < BestMaxLive) {
+        BestMaxLive = MaxLive;
+        BestTimes = Times;
+        if (BestMaxLive <= GlobalMinAvg)
+          StopSearch = true; // met the paper's lower bound: proven optimal
+      }
+      return false;
     }
+    for (int X : RealOps)
+      FamTime[static_cast<size_t>(X)] = Times[static_cast<size_t>(X)];
+    familyDfs(0, TStack[Depth]);
     return false;
   }
 
@@ -354,19 +470,47 @@ ExactStatus ExactSolver::solve(std::vector<int> &TimesOut, long &Nodes) {
 }
 
 ExactStatus ExactSolver::minimize(std::vector<int> &TimesInOut,
-                                  long &MaxLiveInOut, long &Nodes) {
+                                  long &MaxLiveInOut, long &Nodes,
+                                  bool &FamilyCertified) {
   buildOrder(Mode::Pressure);
   BestTimes = TimesInOut;
   BestMaxLive = MaxLiveInOut;
+  FamilyCertified = false;
   if (BestMaxLive <= GlobalMinAvg) {
     Nodes += NodesUsed;
     return ExactStatus::Optimal; // incumbent already meets the bound
+  }
+  // A seed inside the issue windows is itself a family member achieving
+  // MaxLiveInOut: it is a legal schedule (dependence- and resource-
+  // feasible) and the window check adds canonical makespan. Record it so
+  // exhaustion can certify a tie with the seed, not just a strict
+  // improvement — without this, a search whose bound prunes every
+  // tying residue class would exhaust uncertified.
+  if (TimesInOut.size() == static_cast<size_t>(N) &&
+      TimesInOut[static_cast<size_t>(Body.startOp())] == 0) {
+    bool SeedInFamily = true;
+    for (int X : RealOps)
+      SeedInFamily = SeedInFamily &&
+                     TimesInOut[static_cast<size_t>(X)] >=
+                         EstartBuf[static_cast<size_t>(X)] &&
+                     TimesInOut[static_cast<size_t>(X)] <=
+                         LstartBuf[static_cast<size_t>(X)];
+    if (SeedInFamily)
+      FamilyBest = BestMaxLive;
   }
   dfs(0);
   Nodes += NodesUsed;
   TimesInOut = BestTimes;
   MaxLiveInOut = BestMaxLive;
-  return TimedOut ? ExactStatus::Timeout : ExactStatus::Optimal;
+  if (TimedOut)
+    return ExactStatus::Timeout;
+  // Exhaustion proves no family member beats BestMaxLive (pruned subtrees
+  // were bounded at or above it). When a member achieving it was found,
+  // BestMaxLive is therefore the family minimum; otherwise only the
+  // incumbent — possibly issuing past the canonical makespan — reached
+  // it, and the family minimum is merely known to be no smaller.
+  FamilyCertified = FamilyBest <= BestMaxLive;
+  return ExactStatus::Optimal;
 }
 
 } // namespace
@@ -387,7 +531,9 @@ ExactStatus lsms::solveAtIIBranchAndBound(const DepGraph &Graph,
 ExactStatus lsms::minimizeMaxLiveBranchAndBound(
     const DepGraph &Graph, const MinDistMatrix &MinDist,
     const std::vector<int> &FuInstance, long NodeBudget,
-    std::vector<int> &TimesInOut, long &MaxLiveInOut, long &Nodes) {
+    std::vector<int> &TimesInOut, long &MaxLiveInOut, long &Nodes,
+    bool &FamilyCertifiedOut) {
   ExactSolver Solver(Graph, MinDist, FuInstance, NodeBudget);
-  return Solver.minimize(TimesInOut, MaxLiveInOut, Nodes);
+  return Solver.minimize(TimesInOut, MaxLiveInOut, Nodes,
+                         FamilyCertifiedOut);
 }

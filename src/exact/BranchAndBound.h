@@ -14,11 +14,16 @@
 ///
 /// A secondary objective mode re-runs the search at the optimal II to
 /// minimize MaxLive, branching in order of lifetime contribution and
-/// bounding with the paper's MinAvg machinery (Section 3.2). Leaves are
-/// evaluated at canonical earliest issue times; when the best pressure
-/// found meets the MinAvg lower bound it is proven globally optimal.
-/// This pass serves both engines: whichever engine decided feasibility,
-/// pressure minimization always runs here.
+/// bounding with the paper's MinAvg machinery (Section 3.2). Each leaf is
+/// evaluated over its whole *issue-time family*: starting from the
+/// canonical earliest times of the residue assignment, every combination
+/// of per-op shifts by multiples of II that stays inside the static
+/// [Estart, Lstart] windows (computeIssueWindows) and the leaf's tightened
+/// constraint matrix is enumerated, so the leaf contributes the minimum
+/// MaxLive of its family rather than the earliest-time value. Exhausting
+/// the search therefore proves that no schedule of canonical makespan
+/// beats the best pressure found; meeting the MinAvg lower bound proves
+/// it globally optimal.
 ///
 /// These entry points assume the shared pre-checks already ran (the
 /// dispatch in ExactEngine.cpp rejects II < RecMII via MinDist and
@@ -50,13 +55,18 @@ ExactStatus solveAtIIBranchAndBound(const DepGraph &Graph,
 /// schedule in \p TimesInOut. Returns Optimal when the search space was
 /// exhausted (or the MinAvg bound was met), Timeout when the node budget
 /// ran out first; \p TimesInOut and \p MaxLiveInOut hold the best found
-/// either way.
+/// either way. On Optimal, \p FamilyCertifiedOut reports whether the best
+/// pressure is additionally the proven minimum over the issue-time family
+/// (a member achieving it was found and the exhausted search excluded
+/// anything smaller); it stays false when the incumbent — which may issue
+/// past the canonical makespan — beat every family member.
 ExactStatus minimizeMaxLiveBranchAndBound(const DepGraph &Graph,
                                           const MinDistMatrix &MinDist,
                                           const std::vector<int> &FuInstance,
                                           long NodeBudget,
                                           std::vector<int> &TimesInOut,
-                                          long &MaxLiveInOut, long &Nodes);
+                                          long &MaxLiveInOut, long &Nodes,
+                                          bool &FamilyCertifiedOut);
 
 } // namespace lsms
 

@@ -4,6 +4,7 @@
 #include "bounds/Lifetimes.h"
 #include "core/FuAssignment.h"
 #include "exact/BranchAndBound.h"
+#include "sat/MaxLiveSat.h"
 #include "sat/SatScheduler.h"
 
 #include <cassert>
@@ -46,6 +47,114 @@ bool lsms::parseExactEngine(const char *Name, ExactEngineKind &Engine) {
   }
   return false;
 }
+
+const char *lsms::maxLiveCertificateName(MaxLiveCertificate Certificate) {
+  switch (Certificate) {
+  case MaxLiveCertificate::None:
+    return "none";
+  case MaxLiveCertificate::MinAvgMet:
+    return "minavg";
+  case MaxLiveCertificate::BnBExhausted:
+    return "bnb-exhausted";
+  case MaxLiveCertificate::SatUnsatBelow:
+    return "sat-unsat-below";
+  }
+  return "?";
+}
+
+bool lsms::maxLiveCertificatesAgree(MaxLiveCertificate A,
+                                    MaxLiveCertificate B) {
+  if (A == B)
+    return true;
+  // The two family-minimality proofs are engine-specific spellings of the
+  // same claim.
+  auto IsFamily = [](MaxLiveCertificate C) {
+    return C == MaxLiveCertificate::BnBExhausted ||
+           C == MaxLiveCertificate::SatUnsatBelow;
+  };
+  return IsFamily(A) && IsFamily(B);
+}
+
+bool lsms::certifiedMaxLiveConsistent(long MaxLiveA, MaxLiveCertificate A,
+                                      long MaxLiveB, MaxLiveCertificate B) {
+  if (A == MaxLiveCertificate::None || B == MaxLiveCertificate::None)
+    return true; // no claim, nothing to contradict
+  const bool FamA = A != MaxLiveCertificate::MinAvgMet;
+  const bool FamB = B != MaxLiveCertificate::MinAvgMet;
+  if (FamA == FamB)
+    return MaxLiveA == MaxLiveB; // same space, same minimum
+  // Mixed: a MinAvg-met (global) value can only sit at or below the
+  // certified family minimum.
+  return FamA ? MaxLiveB <= MaxLiveA : MaxLiveA <= MaxLiveB;
+}
+
+namespace {
+
+/// Runs the engine-selected MaxLive-minimization pass at the II of
+/// \p MinDist, seeded with the legal schedule in \p Times (pressure
+/// \p MaxLive). Updates both in place with the best found and reports the
+/// certificate earned: MinAvgMet when the final value meets the paper's
+/// bound, a family certificate when the engine proved the family minimum,
+/// None when the budget ran out or only an out-of-family incumbent
+/// reached the value. Returns Optimal when the engine's search completed,
+/// Timeout otherwise.
+ExactStatus runMaxLivePass(const DepGraph &Graph, const MinDistMatrix &MinDist,
+                           const ExactOptions &Options,
+                           const std::vector<int> &FuInstance,
+                           std::vector<int> &Times, long &MaxLive, long MinAvg,
+                           ExactEngineStats &Stats,
+                           MaxLiveCertificate &Certificate) {
+  Certificate = MaxLiveCertificate::None;
+  if (MaxLive <= MinAvg) {
+    // The seed already meets the schedule-independent lower bound; no
+    // search can improve on it at this II.
+    Certificate = MaxLiveCertificate::MinAvgMet;
+    return ExactStatus::Optimal;
+  }
+
+  if (Options.Engine == ExactEngineKind::BranchAndBound) {
+    bool FamilyCertified = false;
+    const ExactStatus St = minimizeMaxLiveBranchAndBound(
+        Graph, MinDist, FuInstance, Options.MaxLiveNodeBudget, Times, MaxLive,
+        Stats.Nodes, FamilyCertified);
+    if (St != ExactStatus::Optimal)
+      return ExactStatus::Timeout;
+    if (MaxLive <= MinAvg)
+      Certificate = MaxLiveCertificate::MinAvgMet;
+    else if (FamilyCertified)
+      Certificate = MaxLiveCertificate::BnBExhausted;
+    return ExactStatus::Optimal;
+  }
+
+  const SatMaxLiveResult R =
+      minimizeMaxLiveSat(Graph, MinDist, FuInstance,
+                         Options.MaxLiveConflictBudget, MinAvg, MaxLive);
+  Stats.Conflicts += R.Stats.Conflicts;
+  Stats.Propagations += R.Stats.Propagations;
+  Stats.Decisions += R.Stats.Decisions;
+  Stats.Restarts += R.Stats.Restarts;
+  Stats.LearnedClauses += R.Stats.Learned;
+  Stats.Refinements += R.Stats.Refinements;
+  Stats.SatVariables = R.Stats.Variables;
+  Stats.SatClauses = R.Stats.Clauses;
+  if (R.FamilyMin >= 0 && R.FamilyMin < MaxLive) {
+    MaxLive = R.FamilyMin;
+    Times = R.Times;
+  }
+  if (!R.SearchComplete)
+    return ExactStatus::Timeout;
+  // Search complete: every family member with pressure below the seed was
+  // either found (and is now MaxLive) or refuted. Certify only when the
+  // reported value is itself achieved inside the family (FamilyMin ==
+  // MaxLive after the update above); a seed that no family member matches
+  // stays an uncertified best-effort value.
+  if (R.FamilyMin >= 0 && R.FamilyMin <= MaxLive)
+    Certificate = MaxLive <= MinAvg ? MaxLiveCertificate::MinAvgMet
+                                    : MaxLiveCertificate::SatUnsatBelow;
+  return ExactStatus::Optimal;
+}
+
+} // namespace
 
 ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
                             const ExactOptions &Options,
@@ -169,23 +278,50 @@ ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
   Result.MinAvgAtII = computeMinAvg(Graph, MinDist);
 
   if (Options.MinimizeMaxLive) {
-    // The pressure-minimization pass is branch-and-bound regardless of
-    // which engine decided feasibility: it needs incumbent-driven pruning,
-    // which the CNF encoding has no incremental handle on.
+    // The pressure-minimization pass runs on the same engine that decided
+    // feasibility: branch-and-bound enumerates the issue-time family under
+    // incumbent pruning, the SAT engine probes "MaxLive <= k" cardinality
+    // encodings downward. Either way the certificate claims the same
+    // family minimum.
     const std::vector<int> FuInstance =
         assignFunctionalUnits(Graph.body(), Graph.machine());
-    minimizeMaxLiveBranchAndBound(Graph, MinDist, FuInstance,
-                                  Options.MaxLiveNodeBudget, Sched.Times,
-                                  Result.MaxLive, Result.EngineStats.Nodes);
+    runMaxLivePass(Graph, MinDist, Options, FuInstance, Sched.Times,
+                   Result.MaxLive, Result.MinAvgAtII, Result.EngineStats,
+                   Result.Certificate);
     Result.NodesExplored = Result.EngineStats.primary(Options.Engine);
-    if (Options.Engine != ExactEngineKind::BranchAndBound)
-      Result.NodesExplored += Result.EngineStats.Nodes;
-    // Exhausting the residue search only proves minimality over schedules
-    // issued at canonical earliest times; meeting the MinAvg lower bound is
-    // what certifies a globally minimal MaxLive at this II.
-    Result.MaxLiveProven = Result.MaxLive <= Result.MinAvgAtII;
+    Result.MaxLiveProven = Result.Certificate != MaxLiveCertificate::None;
   }
   return Result;
+}
+
+MaxLiveOutcome lsms::minimizeMaxLiveAtII(const DepGraph &Graph, int II,
+                                         const ExactOptions &Options) {
+  MinDistMatrix MinDist;
+  return minimizeMaxLiveAtII(Graph, II, Options, MinDist);
+}
+
+MaxLiveOutcome lsms::minimizeMaxLiveAtII(const DepGraph &Graph, int II,
+                                         const ExactOptions &Options,
+                                         MinDistMatrix &MinDist) {
+  MaxLiveOutcome Out;
+  std::vector<int> Times;
+  const ExactStatus St =
+      solveAtII(Graph, II, Options, MinDist, Times, Out.Stats);
+  if (St != ExactStatus::Optimal) {
+    // At a fixed II the ladder statuses collapse to Infeasible/Timeout.
+    Out.Status = St;
+    return Out;
+  }
+  Out.MinAvg = computeMinAvg(Graph, MinDist);
+  Out.MaxLive =
+      computePressure(Graph.body(), Times, II, RegClass::RR).MaxLive;
+  const std::vector<int> FuInstance =
+      assignFunctionalUnits(Graph.body(), Graph.machine());
+  Out.Status = runMaxLivePass(Graph, MinDist, Options, FuInstance, Times,
+                              Out.MaxLive, Out.MinAvg, Out.Stats,
+                              Out.Certificate);
+  Out.Times = std::move(Times);
+  return Out;
 }
 
 ExactResult lsms::scheduleLoopExact(const LoopBody &Body,

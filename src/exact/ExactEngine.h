@@ -50,6 +50,45 @@ enum class ExactEngineKind : uint8_t {
   Sat,            ///< CDCL SAT over (operation, residue) Booleans
 };
 
+/// How a minimized MaxLive was proven. MinAvgMet certifies global
+/// optimality at the II (the paper's schedule-independent bound is met);
+/// the other two certify minimality over the *issue-time family* — every
+/// dependence- and resource-feasible placement inside the static
+/// [Estart, Lstart] windows of canonical makespan (computeIssueWindows) —
+/// via an exhausted branch-and-bound enumeration or a SAT cardinality
+/// proof that "MaxLive <= reported - 1" is unsatisfiable. The two family
+/// certificates are engine-specific spellings of the same fact, so
+/// cross-engine parity compares them as equivalent.
+enum class MaxLiveCertificate : uint8_t {
+  None,          ///< best-effort value only (budget ran out, or only an
+                 ///< out-of-family incumbent reached it)
+  MinAvgMet,     ///< MaxLive == MinAvg: globally minimal at this II
+  BnBExhausted,  ///< family minimum by exhausted branch-and-bound search
+  SatUnsatBelow, ///< family minimum by SAT UNSAT below the reported value
+};
+
+/// Returns "none", "minavg", "bnb-exhausted", or "sat-unsat-below".
+const char *maxLiveCertificateName(MaxLiveCertificate Certificate);
+
+/// True when two certificates make the same claim: equal, or the two
+/// engine-specific family-minimality spellings of each other. MinAvgMet
+/// and a family certificate are NOT the same claim (global vs family
+/// minimality) — use certifiedMaxLiveConsistent to cross-check those.
+bool maxLiveCertificatesAgree(MaxLiveCertificate A, MaxLiveCertificate B);
+
+/// Cross-engine consistency of two certified outcomes for the same loop
+/// and II. Two certificates of the same claim must name the same value
+/// (family certificates both name the family minimum; MinAvgMet on both
+/// sides names MinAvg). A MinAvgMet value may come from a schedule
+/// OUTSIDE the issue-time family — the branch-and-bound engine's
+/// incumbents can issue past the canonical makespan — so against a
+/// family certificate it is only bounded: global minimum <= family
+/// minimum. Outcomes without a certificate make no claim and are
+/// vacuously consistent. Returns false exactly when the two proofs
+/// contradict each other, i.e. at least one engine is wrong.
+bool certifiedMaxLiveConsistent(long MaxLiveA, MaxLiveCertificate A,
+                                long MaxLiveB, MaxLiveCertificate B);
+
 /// Returns "bnb" or "sat" (the --engine spellings).
 const char *exactEngineName(ExactEngineKind Engine);
 
@@ -71,9 +110,14 @@ struct ExactOptions {
   /// across lazy refinement rounds; <= 0 gives up immediately.
   long SatConflictBudget = 1L << 18;
 
-  /// Node budget for the secondary MaxLive-minimization pass (always the
-  /// branch-and-bound search, whichever engine decided feasibility).
+  /// Node budget for the secondary MaxLive-minimization pass when the
+  /// branch-and-bound engine runs it (a node is one candidate residue or
+  /// one family placement evaluated).
   long MaxLiveNodeBudget = 1L << 18;
+
+  /// CDCL conflict budget for the SAT MaxLive-certification pass, counted
+  /// across the downward cardinality probes; used when Engine is Sat.
+  long MaxLiveConflictBudget = 1L << 18;
 
   /// II cap shared with SchedulerOptions: the ladder gives up beyond
   /// IICap.maxII(MII).
@@ -158,15 +202,57 @@ struct ExactResult {
   /// MinimizeMaxLive set, the best pressure the search found at Sched.II.
   long MaxLive = -1;
 
-  /// True when MaxLive meets the MinAvg lower bound, certifying a globally
-  /// minimal register pressure at Sched.II. (An exhausted search without
-  /// this certificate only proves minimality over earliest-issue schedules,
-  /// so it is reported unproven.)
+  /// True when MaxLive carries a certificate: globally minimal at Sched.II
+  /// (MinAvg met) or minimal over the issue-time family (exhausted
+  /// branch-and-bound or SAT unsatisfiability below it). Always equal to
+  /// (Certificate != MaxLiveCertificate::None).
   bool MaxLiveProven = false;
+
+  /// Which proof backs MaxLiveProven.
+  MaxLiveCertificate Certificate = MaxLiveCertificate::None;
 
   /// The paper's MinAvg lower bound at Sched.II (0 when unscheduled).
   long MinAvgAtII = 0;
 };
+
+/// Result of one fixed-II MaxLive-minimization run (minimizeMaxLiveAtII).
+struct MaxLiveOutcome {
+  /// Feasibility verdict at the II: Optimal (schedule found, pressure pass
+  /// ran), Infeasible, or Timeout (either the feasibility search or the
+  /// minimization pass ran out of budget before finishing — MaxLive still
+  /// holds the best found when Times is non-empty).
+  ExactStatus Status = ExactStatus::Timeout;
+
+  /// Best MaxLive found; -1 when no schedule exists / was found.
+  long MaxLive = -1;
+
+  /// The paper's MinAvg lower bound at this II.
+  long MinAvg = 0;
+
+  /// Proof backing MaxLive (None when the budget ran out or only an
+  /// out-of-family incumbent achieved it).
+  MaxLiveCertificate Certificate = MaxLiveCertificate::None;
+
+  /// Schedule achieving MaxLive (validator-clean when non-empty).
+  std::vector<int> Times;
+
+  /// Engine counters accumulated over feasibility and minimization.
+  ExactEngineStats Stats;
+};
+
+/// Minimizes MaxLive at the fixed \p II with the engine selected by
+/// \p Options (branch-and-bound family search, or the SAT cardinality
+/// certification path), independent of the II ladder. Both engines reason
+/// over the same issue-time family, so on completion their minimized
+/// values and certificate claims must agree — the cross-engine tests hold
+/// them to that. Deterministic.
+MaxLiveOutcome minimizeMaxLiveAtII(const DepGraph &Graph, int II,
+                                   const ExactOptions &Options);
+
+/// As above with a caller-provided MinDist matrix (reused across IIs).
+MaxLiveOutcome minimizeMaxLiveAtII(const DepGraph &Graph, int II,
+                                   const ExactOptions &Options,
+                                   MinDistMatrix &MinDist);
 
 /// Decides schedulability of \p Graph at the fixed \p II with the engine
 /// selected by \p Options. Returns Optimal (schedulable; \p TimesOut

@@ -43,27 +43,50 @@ OracleCase runOracleCase(const LoopBody &Body, const MachineModel &Machine,
   const ExactResult Ex = scheduleLoopExact(Graph, Exact);
   Case.Status = Ex.Status;
   Case.Nodes = Ex.NodesExplored;
-  const bool ExactSuccess = Ex.Sched.Success;
-  if (ExactSuccess) {
+  if (Ex.Sched.Success) {
     Case.ExactII = Ex.Sched.II;
     Case.ExactMaxLive = Ex.MaxLive;
     Case.MaxLiveProven = Ex.MaxLiveProven;
+    Case.Certificate = Ex.Certificate;
     Case.MinAvg = Ex.MinAvgAtII;
     Case.ExactError = validateSchedule(Graph, Ex.Sched);
   }
 
-  if (Heur.Success && ExactSuccess) {
-    Case.IIGapValid = true;
-    Case.IIGap = Heur.II - Ex.Sched.II;
-    if (Heur.II == Ex.Sched.II) {
-      Case.MaxLiveGapValid = true;
-      Case.MaxLiveGap = Case.HeurMaxLive - Case.ExactMaxLive;
-    }
-  }
+  finalizeOracleGaps(Case);
   return Case;
 }
 
+/// Short certificate spelling for the per-loop table column.
+const char *certColumn(MaxLiveCertificate Certificate) {
+  switch (Certificate) {
+  case MaxLiveCertificate::None:
+    return "-";
+  case MaxLiveCertificate::MinAvgMet:
+    return "minavg";
+  case MaxLiveCertificate::BnBExhausted:
+    return "bnb";
+  case MaxLiveCertificate::SatUnsatBelow:
+    return "sat";
+  }
+  return "?";
+}
+
 } // namespace
+
+void lsms::finalizeOracleGaps(OracleCase &Case) {
+  const bool ExactSuccess = Case.Status == ExactStatus::Optimal ||
+                            Case.Status == ExactStatus::Feasible;
+  Case.IIGapValid = Case.HeurSuccess && ExactSuccess;
+  Case.IIGap = Case.IIGapValid ? Case.HeurII - Case.ExactII : 0;
+  // Pressure at different IIs is incomparable — MaxLive counts lifetimes
+  // folded over II columns, so a larger II changes the quantity itself,
+  // not just the schedule. Aggregate the gap only at equal II, and only
+  // when both sides actually computed a pressure.
+  Case.MaxLiveGapValid = Case.IIGapValid && Case.IIGap == 0 &&
+                         Case.HeurMaxLive >= 0 && Case.ExactMaxLive >= 0;
+  Case.MaxLiveGap =
+      Case.MaxLiveGapValid ? Case.HeurMaxLive - Case.ExactMaxLive : 0;
+}
 
 OracleReport lsms::runOracle(const OracleOptions &Options) {
   OracleReport Report;
@@ -107,6 +130,13 @@ OracleReport lsms::runOracle(const OracleOptions &Options) {
     }
     if (Case.IIGapValid && Case.IIGap == 0)
       ++Report.HeurAtExactII;
+    if (Case.Certificate != MaxLiveCertificate::None) {
+      ++Report.MaxLiveCertified;
+      if (Case.Certificate == MaxLiveCertificate::MinAvgMet)
+        ++Report.CertMinAvg;
+      else
+        ++Report.CertFamily;
+    }
     if (!Case.HeurError.empty() || !Case.ExactError.empty())
       ++Report.ValidationFailures;
   }
@@ -116,7 +146,7 @@ OracleReport lsms::runOracle(const OracleOptions &Options) {
 void lsms::printOracleReport(std::ostream &OS, const OracleReport &Report) {
   TextTable T;
   T.setHeader({"loop", "ops", "MII", "II slk", "II ex", "status", "dII",
-               "ML slk", "ML ex", "MinAvg", "dML", "ej", "nodes"});
+               "ML slk", "ML ex", "MinAvg", "cert", "dML", "ej", "nodes"});
   Histogram IIGaps(1, 4), MaxLiveGaps(1, 16);
   std::vector<double> IIGapSamples, MaxLiveGapSamples;
   for (const OracleCase &Case : Report.Cases) {
@@ -131,7 +161,7 @@ void lsms::printOracleReport(std::ostream &OS, const OracleReport &Report) {
               Case.HeurMaxLive >= 0 ? std::to_string(Case.HeurMaxLive) : "-",
               Case.ExactMaxLive >= 0 ? std::to_string(Case.ExactMaxLive)
                                      : "-",
-              std::to_string(Case.MinAvg),
+              std::to_string(Case.MinAvg), certColumn(Case.Certificate),
               Case.MaxLiveGapValid ? std::to_string(Case.MaxLiveGap) : "-",
               std::to_string(Case.HeurEjections),
               std::to_string(Case.Nodes)});
@@ -157,6 +187,9 @@ void lsms::printOracleReport(std::ostream &OS, const OracleReport &Report) {
      << "  exact minimum at MII:  " << Report.ExactAtMII
      << " (the remainder is bound slack, not heuristic slack)\n"
      << "  heuristic at exact II: " << Report.HeurAtExactII << "\n"
+     << "  MaxLive certified:     " << Report.MaxLiveCertified << " ("
+     << Report.CertMinAvg << " at the MinAvg bound, " << Report.CertFamily
+     << " family-minimal)\n"
      << "  validation failures:   " << Report.ValidationFailures << "\n";
 
   if (!IIGapSamples.empty()) {

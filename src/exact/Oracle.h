@@ -62,6 +62,8 @@ struct OracleCase {
   int ExactII = 0;          ///< valid when Status is Optimal/Feasible
   long ExactMaxLive = -1;
   bool MaxLiveProven = false;
+  /// Proof backing ExactMaxLive (None when only best-effort).
+  MaxLiveCertificate Certificate = MaxLiveCertificate::None;
   long MinAvg = 0;          ///< the paper's bound at ExactII
   long Nodes = 0;           ///< branch-and-bound nodes consumed
 
@@ -74,6 +76,14 @@ struct OracleCase {
   std::string ExactError; ///< validateSchedule output (empty = legal)
 };
 
+/// Derives the gap fields of \p Case from its scheduler outcomes. The
+/// MaxLive gap is only valid when both schedulers succeeded AND landed on
+/// the same II (pressure at different IIs is incomparable: a longer II
+/// stretches lifetimes over more columns) AND both pressures were
+/// computed; the II gap only needs both to have scheduled. Factored out
+/// of the sweep so the aggregation rule itself is unit-testable.
+void finalizeOracleGaps(OracleCase &Case);
+
 /// Aggregated sweep results.
 struct OracleReport {
   OracleOptions Config;
@@ -85,6 +95,9 @@ struct OracleReport {
   int HeurAtExactII = 0;    ///< heuristic matched the proven/best exact II
   int HeurAtMII = 0;
   int ExactAtMII = 0;
+  int MaxLiveCertified = 0; ///< cases whose ExactMaxLive carries a proof
+  int CertMinAvg = 0;       ///< ... via the MinAvg bound (globally minimal)
+  int CertFamily = 0;       ///< ... via a family-minimality proof
   int Timeouts = 0;
   int ValidationFailures = 0;
 };

@@ -1,0 +1,449 @@
+#include "sat/MaxLiveSat.h"
+
+#include "bounds/Lifetimes.h"
+#include "machine/ModuloResourceTable.h"
+#include "sat/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+using namespace lsms;
+
+namespace {
+
+/// Builds the time-indexed encoding once and drives the downward probe
+/// loop on a single incremental solver instance.
+class MaxLiveEncoder {
+public:
+  MaxLiveEncoder(const DepGraph &Graph, const MinDistMatrix &MinDist,
+                 const std::vector<int> &FuInstance)
+      : Graph(Graph), Body(Graph.body()), Machine(Graph.machine()),
+        MinDist(MinDist), FuInstance(FuInstance),
+        II(MinDist.initiationInterval()), N(Body.numOps()) {}
+
+  SatMaxLiveResult run(long ConflictBudget, long MinAvg, long UpperCap);
+
+private:
+  /// Order-literal lookup with window boundaries folded in: "t_x <= T" is
+  /// constant true at or above Lstart, constant false below Estart.
+  /// Returns +1/-1 for the constants, 0 with \p L set otherwise.
+  int orderLit(size_t S, long T, Lit &L) const {
+    const int X = Real[S];
+    if (T >= Lstart[static_cast<size_t>(X)])
+      return 1;
+    if (T < Estart[static_cast<size_t>(X)])
+      return -1;
+    L = mkLit(OBase[S] + static_cast<int>(T - Estart[static_cast<size_t>(X)]));
+    return 0;
+  }
+
+  /// Adds "if all of \p Pre hold then t_x <= T" with constant folding.
+  /// Returns false when the clause is constant-false (root conflict).
+  void addOrderClause(std::vector<Lit> Pre, size_t S, long T) {
+    Lit L;
+    const int C = orderLit(S, T, L);
+    if (C > 0)
+      return; // consequent constant true
+    if (C == 0)
+      Pre.push_back(L);
+    Solver.addClause(std::move(Pre)); // empty/unsat handled by the solver
+  }
+
+  void buildWindows();
+  void encodeChainsAndDirects();
+  void encodeDependences();
+  void encodeResources();
+  void collectLifetimes();
+  void encodeLiveness();
+  void encodeCounters(long Width);
+  void assertAtMost(long K);
+  long decode(std::vector<int> &TimesOut) const;
+
+  const DepGraph &Graph;
+  const LoopBody &Body;
+  const MachineModel &Machine;
+  const MinDistMatrix &MinDist;
+  const std::vector<int> &FuInstance;
+  const int II;
+  const int N;
+
+  SatSolver Solver;
+  std::vector<long> Estart, Lstart; ///< shared issue windows, per op id
+  std::vector<int> Real;            ///< op ids with a functional unit
+  std::vector<int> Slot;            ///< op id -> index in Real; -1 pseudo
+  std::vector<int> OBase;           ///< first order var per slot
+  std::vector<int> DBase;           ///< first direct (time) var per slot
+
+  /// One lifetime literal family per RR value with uses: live at absolute
+  /// cycles [DefEstart, End).
+  struct ValueSpan {
+    int ValueId = 0;
+    int Def = 0;       ///< defining op (real)
+    long Lo = 0;       ///< Estart of the def
+    long End = 0;      ///< exclusive upper bound on the lifetime end
+    int BBase = 0;     ///< first liveness var; one per cycle in [Lo, End)
+  };
+  std::vector<ValueSpan> Spans;
+  /// RR use sites per value id: (user op, omega).
+  std::vector<std::vector<std::pair<int, int>>> UsesOf;
+
+  /// Sequential-counter outputs per column: CapVar[c][j-1] is the var for
+  /// "at least j liveness literals of column c are true".
+  std::vector<std::vector<int>> CapVar;
+};
+
+void MaxLiveEncoder::buildWindows() {
+  const IssueWindows W = computeIssueWindows(Body, MinDist);
+  Estart = W.Estart;
+  Lstart = W.Lstart;
+  Real.clear();
+  Slot.assign(static_cast<size_t>(N), -1);
+  for (int X = 0; X < N; ++X) {
+    if (Machine.unitFor(Body.op(X).Opc) == FuKind::None)
+      continue;
+    Slot[static_cast<size_t>(X)] = static_cast<int>(Real.size());
+    Real.push_back(X);
+  }
+
+  OBase.resize(Real.size());
+  DBase.resize(Real.size());
+  for (size_t S = 0; S < Real.size(); ++S) {
+    const int X = Real[S];
+    const long E = Estart[static_cast<size_t>(X)];
+    const long L = Lstart[static_cast<size_t>(X)];
+    OBase[S] = Solver.numVars();
+    for (long T = E; T < L; ++T)
+      Solver.newVar();
+    DBase[S] = Solver.numVars();
+    for (long T = E; T <= L; ++T)
+      Solver.newVar();
+    if (L < E) {
+      // Empty window: the family is empty. Force a root conflict so every
+      // probe answers Unsat.
+      Solver.addClause({});
+    }
+  }
+}
+
+void MaxLiveEncoder::encodeChainsAndDirects() {
+  for (size_t S = 0; S < Real.size(); ++S) {
+    const int X = Real[S];
+    const long E = Estart[static_cast<size_t>(X)];
+    const long L = Lstart[static_cast<size_t>(X)];
+    // Monotone chain: t_x <= T implies t_x <= T+1.
+    for (long T = E; T + 1 < L; ++T)
+      Solver.addClause({~mkLit(OBase[S] + static_cast<int>(T - E)),
+                        mkLit(OBase[S] + static_cast<int>(T + 1 - E))});
+    // Channel the direct literal D(x,T) <-> (t_x <= T) & !(t_x <= T-1).
+    for (long T = E; T <= L; ++T) {
+      const Lit D = mkLit(DBase[S] + static_cast<int>(T - E));
+      Lit OT, OP;
+      const int CT = orderLit(S, T, OT);     // t_x <= T
+      const int CP = orderLit(S, T - 1, OP); // t_x <= T-1
+      assert(CT >= 0 && CP <= 0 && "window bounds violated");
+      std::vector<Lit> Def{D};
+      if (CT == 0) {
+        Solver.addClause({~D, OT});
+        Def.push_back(~OT);
+      }
+      if (CP == 0) {
+        Solver.addClause({~D, ~OP});
+        Def.push_back(OP);
+      }
+      Solver.addClause(std::move(Def)); // D | !(t<=T) | (t<=T-1)
+    }
+  }
+}
+
+void MaxLiveEncoder::encodeDependences() {
+  // Every connected ordered pair of real ops contributes t_y - t_x >=
+  // MinDist(x,y), as "t_y <= T implies t_x <= T - C" over the window of y.
+  // (Unlike the residue-space feasibility encoding, one-directional
+  // bounds matter here: the windows stop an op from sliding by whole IIs.)
+  for (size_t SX = 0; SX < Real.size(); ++SX) {
+    const int X = Real[SX];
+    for (size_t SY = 0; SY < Real.size(); ++SY) {
+      const int Y = Real[SY];
+      if (SX == SY || !MinDist.connected(X, Y))
+        continue;
+      const long C = MinDist.at(X, Y);
+      for (long T = Estart[static_cast<size_t>(Y)];
+           T <= Lstart[static_cast<size_t>(Y)]; ++T) {
+        Lit OY;
+        const int CY = orderLit(SY, T, OY);
+        if (CY < 0)
+          continue; // antecedent constant false
+        std::vector<Lit> Pre;
+        if (CY == 0)
+          Pre.push_back(~OY);
+        addOrderClause(std::move(Pre), SX, T - C);
+      }
+    }
+  }
+}
+
+void MaxLiveEncoder::encodeResources() {
+  // Modulo-resource conflicts depend only on residues; probe the
+  // reservation table pairwise (the single source of truth, non-pipelined
+  // multi-cycle reservations included) and forbid colliding time pairs on
+  // shared functional-unit instances via the direct literals.
+  ModuloResourceTable Mrt(Machine, II);
+  for (size_t SU = 0; SU < Real.size(); ++SU) {
+    const Operation &U = Body.op(Real[SU]);
+    const FuKind KindU = Machine.unitFor(U.Opc);
+    const int InstU = FuInstance[static_cast<size_t>(Real[SU])];
+    const long EU = Estart[static_cast<size_t>(Real[SU])];
+    const long LU = Lstart[static_cast<size_t>(Real[SU])];
+    for (long A = EU; A <= LU; ++A)
+      if (!Mrt.canPlace(U.Opc, KindU, InstU, static_cast<int>(A % II)))
+        Solver.addClause({~mkLit(DBase[SU] + static_cast<int>(A - EU))});
+    for (size_t SV = SU + 1; SV < Real.size(); ++SV) {
+      const Operation &V = Body.op(Real[SV]);
+      const FuKind KindV = Machine.unitFor(V.Opc);
+      const int InstV = FuInstance[static_cast<size_t>(Real[SV])];
+      if (KindU != KindV || InstU != InstV)
+        continue;
+      const long EV = Estart[static_cast<size_t>(Real[SV])];
+      const long LV = Lstart[static_cast<size_t>(Real[SV])];
+      // II x II conflict bitmap, then one binary clause per colliding
+      // absolute-time pair inside the windows.
+      std::vector<char> Conflict(static_cast<size_t>(II) * II, 0);
+      for (int RA = 0; RA < II; ++RA) {
+        if (!Mrt.canPlace(U.Opc, KindU, InstU, RA))
+          continue;
+        Mrt.place(U.Opc, KindU, InstU, RA);
+        for (int RB = 0; RB < II; ++RB)
+          if (!Mrt.canPlace(V.Opc, KindV, InstV, RB))
+            Conflict[static_cast<size_t>(RA) * II + RB] = 1;
+        Mrt.remove(U.Opc, KindU, InstU, RA);
+      }
+      for (long A = EU; A <= LU; ++A)
+        for (long B = EV; B <= LV; ++B)
+          if (Conflict[static_cast<size_t>(A % II) * II + (B % II)])
+            Solver.addClause({~mkLit(DBase[SU] + static_cast<int>(A - EU)),
+                              ~mkLit(DBase[SV] + static_cast<int>(B - EV))});
+    }
+  }
+}
+
+void MaxLiveEncoder::collectLifetimes() {
+  // Mirror computePressure's use collection exactly: operand uses plus
+  // predicate uses, filtered to the RR class.
+  UsesOf.assign(static_cast<size_t>(Body.numValues()), {});
+  auto Record = [&](int ValueId, int UserOp, int Omega) {
+    if (Body.value(ValueId).Class == RegClass::RR)
+      UsesOf[static_cast<size_t>(ValueId)].push_back({UserOp, Omega});
+  };
+  for (const Operation &Op : Body.Ops) {
+    for (const Use &U : Op.Operands)
+      Record(U.Value, Op.Id, U.Omega);
+    if (Op.PredValue >= 0)
+      Record(Op.PredValue, Op.Id, Op.PredOmega);
+  }
+
+  Spans.clear();
+  for (const Value &V : Body.Values) {
+    if (V.Class != RegClass::RR ||
+        UsesOf[static_cast<size_t>(V.Id)].empty())
+      continue;
+    assert(V.Def >= 0 && Slot[static_cast<size_t>(V.Def)] >= 0 &&
+           "RR values are defined by real operations");
+    ValueSpan Span;
+    Span.ValueId = V.Id;
+    Span.Def = V.Def;
+    Span.Lo = Estart[static_cast<size_t>(V.Def)];
+    Span.End = Span.Lo;
+    for (const auto &[User, Omega] : UsesOf[static_cast<size_t>(V.Id)]) {
+      assert(Slot[static_cast<size_t>(User)] >= 0 &&
+             "RR values are used by real operations");
+      Span.End = std::max(Span.End, Lstart[static_cast<size_t>(User)] +
+                                        static_cast<long>(Omega) * II);
+    }
+    Span.BBase = Solver.numVars();
+    for (long Tau = Span.Lo; Tau < Span.End; ++Tau)
+      Solver.newVar();
+    Spans.push_back(Span);
+  }
+}
+
+void MaxLiveEncoder::encodeLiveness() {
+  // B(v,tau) is forced true when the def has issued by tau and some use
+  // keeps the value alive past tau:
+  //   (t_def <= tau) & !(t_use <= tau - omega*II)  ->  B(v,tau).
+  // The literals are one-directional (never forced false), which is sound
+  // for an upper-bound cap: spurious liveness only over-counts.
+  for (const ValueSpan &Span : Spans) {
+    const size_t SD = static_cast<size_t>(Slot[static_cast<size_t>(Span.Def)]);
+    for (const auto &[User, Omega] : UsesOf[static_cast<size_t>(Span.ValueId)]) {
+      const size_t SU = static_cast<size_t>(Slot[static_cast<size_t>(User)]);
+      const long UseEndMax =
+          Lstart[static_cast<size_t>(User)] + static_cast<long>(Omega) * II;
+      for (long Tau = Span.Lo; Tau < UseEndMax; ++Tau) {
+        std::vector<Lit> Clause;
+        Lit OD, OU;
+        const int CD = orderLit(SD, Tau, OD); // def issued by tau
+        if (CD < 0)
+          continue; // def cannot have issued yet: not live through v's def
+        if (CD == 0)
+          Clause.push_back(~OD);
+        const int CU = orderLit(SU, Tau - static_cast<long>(Omega) * II, OU);
+        if (CU > 0)
+          continue; // use surely over by tau: clause satisfied
+        if (CU == 0)
+          Clause.push_back(OU);
+        Clause.push_back(mkLit(Span.BBase + static_cast<int>(Tau - Span.Lo)));
+        Solver.addClause(std::move(Clause));
+      }
+    }
+  }
+}
+
+void MaxLiveEncoder::encodeCounters(long Width) {
+  // Sequential counter per II column over that column's liveness
+  // literals, in (value, cycle) order. S(i,j) = "at least j of the first
+  // i+1 literals are true"; only the >= direction is clausified, which is
+  // all a monotone at-most-k cap needs.
+  CapVar.assign(static_cast<size_t>(II), {});
+  for (int Col = 0; Col < II; ++Col) {
+    std::vector<Lit> Ls;
+    for (const ValueSpan &Span : Spans)
+      for (long Tau = Span.Lo; Tau < Span.End; ++Tau)
+        if (((Tau % II) + II) % II == Col)
+          Ls.push_back(mkLit(Span.BBase + static_cast<int>(Tau - Span.Lo)));
+    const long M = static_cast<long>(Ls.size());
+    const long W = std::min(M, Width);
+    if (W <= 0)
+      continue;
+    std::vector<int> Prev, Cur;
+    for (long I = 0; I < M; ++I) {
+      const long JMax = std::min(I + 1, W);
+      Cur.assign(static_cast<size_t>(JMax), 0);
+      for (long J = 1; J <= JMax; ++J)
+        Cur[static_cast<size_t>(J - 1)] = Solver.newVar();
+      // L_i -> S(i,1)
+      Solver.addClause({~Ls[static_cast<size_t>(I)],
+                        mkLit(Cur[0])});
+      for (long J = 1; J <= JMax; ++J) {
+        if (I > 0 && J <= static_cast<long>(Prev.size()))
+          // S(i-1,j) -> S(i,j)
+          Solver.addClause({~mkLit(Prev[static_cast<size_t>(J - 1)]),
+                            mkLit(Cur[static_cast<size_t>(J - 1)])});
+        if (J >= 2)
+          // L_i & S(i-1,j-1) -> S(i,j)
+          Solver.addClause({~Ls[static_cast<size_t>(I)],
+                            ~mkLit(Prev[static_cast<size_t>(J - 2)]),
+                            mkLit(Cur[static_cast<size_t>(J - 1)])});
+      }
+      Prev = Cur;
+    }
+    CapVar[static_cast<size_t>(Col)] = Prev; // outputs of the last stage
+  }
+}
+
+void MaxLiveEncoder::assertAtMost(long K) {
+  for (int Col = 0; Col < II; ++Col) {
+    const std::vector<int> &Out = CapVar[static_cast<size_t>(Col)];
+    if (K + 1 <= static_cast<long>(Out.size()))
+      Solver.addClause({~mkLit(Out[static_cast<size_t>(K)])});
+  }
+}
+
+/// Reads issue times out of the model (smallest T whose order literal is
+/// true, Lstart when none), derives pseudo-ops at their earliest
+/// consistent cycles, and returns the schedule's true MaxLive.
+long MaxLiveEncoder::decode(std::vector<int> &TimesOut) const {
+  const int Start = Body.startOp();
+  TimesOut.assign(static_cast<size_t>(N), 0);
+  for (size_t S = 0; S < Real.size(); ++S) {
+    const int X = Real[S];
+    const long E = Estart[static_cast<size_t>(X)];
+    long T = Lstart[static_cast<size_t>(X)];
+    for (long U = E; U < Lstart[static_cast<size_t>(X)]; ++U)
+      if (Solver.modelValue(OBase[S] + static_cast<int>(U - E))) {
+        T = U;
+        break;
+      }
+    TimesOut[static_cast<size_t>(X)] = static_cast<int>(T);
+  }
+  for (int X = 0; X < N; ++X) {
+    if (X == Start || Slot[static_cast<size_t>(X)] >= 0)
+      continue;
+    long T = std::max(0L, MinDist.at(Start, X));
+    for (int Y : Real)
+      if (MinDist.connected(Y, X))
+        T = std::max(T, static_cast<long>(
+                            TimesOut[static_cast<size_t>(Y)]) +
+                            MinDist.at(Y, X));
+    TimesOut[static_cast<size_t>(X)] = static_cast<int>(T);
+  }
+  return computePressure(Body, TimesOut, II, RegClass::RR).MaxLive;
+}
+
+SatMaxLiveResult MaxLiveEncoder::run(long ConflictBudget, long MinAvg,
+                                     long UpperCap) {
+  SatMaxLiveResult Result;
+  buildWindows();
+  encodeChainsAndDirects();
+  encodeDependences();
+  encodeResources();
+  collectLifetimes();
+  encodeLiveness();
+  encodeCounters(/*Width=*/std::max(0L, UpperCap) + 1);
+
+  long BestVal = -1;
+  std::vector<int> BestTimes;
+  long K = UpperCap;
+  for (;;) {
+    if (K < MinAvg) {
+      // Nothing below the global MinAvg bound exists; the current witness
+      // (necessarily at MinAvg) is the family minimum.
+      Result.SearchComplete = true;
+      break;
+    }
+    assertAtMost(K);
+    const long Spent = Solver.stats().Conflicts;
+    const long Remaining = ConflictBudget - Spent;
+    if (Remaining <= 0)
+      break; // budget exhausted: report best-so-far, no claim
+    const SatResult R = Solver.solve(Remaining);
+    if (R == SatResult::Unknown)
+      break;
+    if (R == SatResult::Unsat) {
+      Result.SearchComplete = true;
+      break;
+    }
+    std::vector<int> Times;
+    const long Val = decode(Times);
+    assert(Val <= K && "cardinality cap admitted a hotter schedule");
+    BestVal = Val;
+    BestTimes = std::move(Times);
+    K = Val - 1;
+  }
+
+  Result.FamilyMin = BestVal;
+  Result.Times = std::move(BestTimes);
+  const SatSolverStats &S = Solver.stats();
+  Result.Stats.Variables = Solver.numVars();
+  Result.Stats.Clauses = Solver.numClauses();
+  Result.Stats.Decisions = S.Decisions;
+  Result.Stats.Propagations = S.Propagations;
+  Result.Stats.Conflicts = S.Conflicts;
+  Result.Stats.Restarts = S.Restarts;
+  Result.Stats.Learned = S.Learned;
+  return Result;
+}
+
+} // namespace
+
+SatMaxLiveResult lsms::minimizeMaxLiveSat(const DepGraph &Graph,
+                                          const MinDistMatrix &MinDist,
+                                          const std::vector<int> &FuInstance,
+                                          long ConflictBudget, long MinAvg,
+                                          long UpperCap) {
+  assert(MinDist.initiationInterval() > 0 &&
+         MinDist.numOps() == Graph.numOps() &&
+         "MinDist must hold the relation at the candidate II");
+  MaxLiveEncoder Encoder(Graph, MinDist, FuInstance);
+  return Encoder.run(ConflictBudget, MinAvg, UpperCap);
+}

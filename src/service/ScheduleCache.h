@@ -177,6 +177,11 @@ struct CachedSchedule {
   int ResMII = 0;
   int RecMII = 0;
   long MaxLive = -1;
+  /// True when MaxLive carries a minimality certificate (exact engines
+  /// with MinimizeMaxLive only; always false on the slack path).
+  bool MaxLiveProven = false;
+  /// The proof kind behind MaxLiveProven.
+  MaxLiveCertificate Certificate = MaxLiveCertificate::None;
   /// Exact-engine verdict; Optimal also stands in for a successful slack
   /// heuristic run (which has no notion of proof).
   ExactStatus Status = ExactStatus::Timeout;

@@ -71,6 +71,10 @@ std::string ServiceResponse::toJsonl() const {
   OS << ",\"ii\":" << II << ",\"mii\":" << MII << ",\"res_mii\":" << ResMII
      << ",\"rec_mii\":" << RecMII << ",\"length\":" << Length
      << ",\"maxlive\":" << MaxLive;
+  if (Engine != ServiceEngine::Slack)
+    OS << ",\"maxlive_proven\":" << (MaxLiveProven ? "true" : "false")
+       << ",\"maxlive_cert\":\"" << maxLiveCertificateName(Certificate)
+       << '"';
   if (!Times.empty()) {
     OS << ",\"times\":[";
     for (size_t I = 0; I < Times.size(); ++I)
@@ -206,6 +210,7 @@ uint64_t exactAux(const ServiceConfig &Config, const ExactOptions &O) {
   H = mixAux(H, static_cast<uint64_t>(O.NodeBudget));
   H = mixAux(H, static_cast<uint64_t>(O.SatConflictBudget));
   H = mixAux(H, static_cast<uint64_t>(O.MaxLiveNodeBudget));
+  H = mixAux(H, static_cast<uint64_t>(O.MaxLiveConflictBudget));
   H = mixAux(H, static_cast<uint64_t>(O.IICap.MaxIIFactor));
   H = mixAux(H, static_cast<uint64_t>(O.IICap.MaxIISlack));
   H = mixAux(H, O.MinimizeMaxLive);
@@ -413,6 +418,8 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
       C.ResMII = R.Sched.ResMII;
       C.RecMII = R.Sched.RecMII;
       C.MaxLive = R.MaxLive;
+      C.MaxLiveProven = R.MaxLiveProven;
+      C.Certificate = R.Certificate;
       C.Status = R.Status;
       if (R.Sched.Success)
         C.Times = R.Sched.Times;
@@ -497,6 +504,10 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
   Resp.RecMII = Result.RecMII;
   Resp.Length = Times[1]; // Stop is operation 1 in every numbering
   Resp.MaxLive = Result.MaxLive;
+  // Degraded responses carry the slack schedule, whose pressure is never
+  // certified (the slack cache entry always has Certificate None).
+  Resp.MaxLiveProven = Result.MaxLiveProven;
+  Resp.Certificate = Result.Certificate;
   if (Req.EmitTimes)
     Resp.Times = std::move(Times);
   return finish(Resp);

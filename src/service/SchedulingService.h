@@ -90,6 +90,12 @@ struct ServiceResponse {
   int RecMII = 0;
   int Length = 0;    ///< schedule length (Stop issue time)
   long MaxLive = -1; ///< RR register pressure of the returned schedule
+  /// True when MaxLive is certified minimal (MinAvg bound met or family
+  /// minimality proven); only exact engines with pressure minimization
+  /// configured ever set it, and degradation clears it.
+  bool MaxLiveProven = false;
+  /// The proof kind behind MaxLiveProven.
+  MaxLiveCertificate Certificate = MaxLiveCertificate::None;
   std::vector<int> Times; ///< issue cycles, request numbering (EmitTimes)
 
   std::string toJsonl() const;

@@ -66,6 +66,45 @@ void expectEnginesAgree(const LoopBody &Body) {
   }
 }
 
+/// Sweeps II over [MII, MII+2] and checks that whenever BOTH engines
+/// certify a minimized MaxLive, the two proofs are mutually consistent:
+/// certificates of the same claim (two family proofs, or MinAvg met on
+/// both sides) must name the same value, and a MinAvg-met global value —
+/// which may come from outside the family — can only sit at or below a
+/// certified family minimum. Any violation means one engine's proof is
+/// wrong. Uncertified outcomes (budget, or only an out-of-family
+/// incumbent) are skipped: they make no minimality claim.
+void expectCertifiedMaxLiveAgrees(const LoopBody &Body) {
+  const DepGraph Graph(Body, machine());
+  const MIIBounds Bounds = computeMII(Graph);
+  for (int II = Bounds.MII; II <= Bounds.MII + 2; ++II) {
+    ExactOptions Bnb;
+    ExactOptions Sat;
+    Sat.Engine = ExactEngineKind::Sat;
+    const MaxLiveOutcome B = minimizeMaxLiveAtII(Graph, II, Bnb);
+    const MaxLiveOutcome S = minimizeMaxLiveAtII(Graph, II, Sat);
+    if (B.Status == ExactStatus::Timeout || S.Status == ExactStatus::Timeout)
+      continue;
+    ASSERT_EQ(B.Status, S.Status)
+        << Body.Name << " II=" << II << ": bnb=" << exactStatusName(B.Status)
+        << " sat=" << exactStatusName(S.Status);
+    ASSERT_TRUE(certifiedMaxLiveConsistent(B.MaxLive, B.Certificate,
+                                           S.MaxLive, S.Certificate))
+        << Body.Name << " II=" << II << ": bnb " << B.MaxLive << " ("
+        << maxLiveCertificateName(B.Certificate) << ") vs sat " << S.MaxLive
+        << " (" << maxLiveCertificateName(S.Certificate) << ")";
+    // Same-kind certificates are the strongest case: both name the same
+    // minimum, so the values must be equal outright.
+    if (maxLiveCertificatesAgree(B.Certificate, S.Certificate) &&
+        B.Certificate != MaxLiveCertificate::None) {
+      ASSERT_EQ(B.MaxLive, S.MaxLive)
+          << Body.Name << " II=" << II << ": bnb "
+          << maxLiveCertificateName(B.Certificate) << " vs sat "
+          << maxLiveCertificateName(S.Certificate);
+    }
+  }
+}
+
 } // namespace
 
 TEST(CrossEngine, KernelSuiteVerdictParity) {
@@ -101,6 +140,22 @@ TEST(CrossEngine, LadderAgreesOnMinimalII) {
       EXPECT_EQ(RB.Sched.II, RS.Sched.II) << Body.Name;
     }
   }
+}
+
+TEST(CrossEngine, KernelSuiteCertifiedMaxLiveParity) {
+  for (const LoopBody &Body : buildKernelSuite())
+    expectCertifiedMaxLiveAgrees(Body);
+}
+
+TEST(CrossEngine, RandomLoopsCertifiedMaxLiveParity) {
+  // A smaller, smaller-bodied sweep than the verdict-parity one: each loop
+  // runs two full minimization passes per II here, not just feasibility.
+  const std::vector<LoopBody> Suite =
+      buildOracleSuite(/*Count=*/60, /*MinOps=*/3, /*MaxOps=*/12,
+                       /*Seed=*/0xCE27, /*Jobs=*/1);
+  ASSERT_EQ(Suite.size(), 60u);
+  for (const LoopBody &Body : Suite)
+    expectCertifiedMaxLiveAgrees(Body);
 }
 
 TEST(CrossEngine, SatEngineReportsCdclEffort) {

@@ -170,6 +170,71 @@ TEST(Oracle, FiftyRandomLoopsProvenMinimal) {
   }
 }
 
+// Pins the gap-aggregation rule: the MaxLive gap is only meaningful when
+// both schedulers landed on the SAME II — pressure counts lifetimes
+// folded over II columns, so values at different IIs measure different
+// quantities and must never enter the same histogram.
+TEST(Oracle, MaxLiveGapInvalidAtDifferentIIs) {
+  OracleCase Case;
+  Case.HeurSuccess = true;
+  Case.HeurII = 4;
+  Case.HeurMaxLive = 10;
+  Case.Status = ExactStatus::Optimal;
+  Case.ExactII = 3; // exact beat the heuristic by one II
+  Case.ExactMaxLive = 12;
+  finalizeOracleGaps(Case);
+  EXPECT_TRUE(Case.IIGapValid);
+  EXPECT_EQ(Case.IIGap, 1);
+  EXPECT_FALSE(Case.MaxLiveGapValid)
+      << "pressure at II=4 vs II=3 is incomparable";
+  EXPECT_EQ(Case.MaxLiveGap, 0) << "invalid gap must not carry a value";
+
+  // Same II: the gap becomes valid and carries the difference.
+  Case.ExactII = 4;
+  finalizeOracleGaps(Case);
+  EXPECT_TRUE(Case.IIGapValid);
+  EXPECT_EQ(Case.IIGap, 0);
+  EXPECT_TRUE(Case.MaxLiveGapValid);
+  EXPECT_EQ(Case.MaxLiveGap, -2);
+
+  // Same II but one side never computed a pressure: invalid again.
+  Case.ExactMaxLive = -1;
+  finalizeOracleGaps(Case);
+  EXPECT_FALSE(Case.MaxLiveGapValid);
+  EXPECT_EQ(Case.MaxLiveGap, 0);
+
+  // One scheduler failed outright: neither gap is valid.
+  Case.ExactMaxLive = 12;
+  Case.Status = ExactStatus::Timeout;
+  finalizeOracleGaps(Case);
+  EXPECT_FALSE(Case.IIGapValid);
+  EXPECT_FALSE(Case.MaxLiveGapValid);
+}
+
+TEST(Oracle, CertifiedCountsAggregateByKind) {
+  OracleOptions Options;
+  Options.NumLoops = 12;
+  Options.MaxOps = 14;
+  const OracleReport Report = runOracle(Options);
+  int MinAvgCount = 0, FamilyCount = 0;
+  for (const OracleCase &Case : Report.Cases) {
+    EXPECT_EQ(Case.MaxLiveProven,
+              Case.Certificate != MaxLiveCertificate::None)
+        << Case.Name;
+    if (Case.Certificate == MaxLiveCertificate::MinAvgMet) {
+      ++MinAvgCount;
+      EXPECT_EQ(Case.ExactMaxLive, Case.MinAvg) << Case.Name;
+    } else if (Case.Certificate != MaxLiveCertificate::None) {
+      ++FamilyCount;
+    }
+  }
+  EXPECT_EQ(Report.CertMinAvg, MinAvgCount);
+  EXPECT_EQ(Report.CertFamily, FamilyCount);
+  EXPECT_EQ(Report.MaxLiveCertified, MinAvgCount + FamilyCount);
+  EXPECT_GT(Report.MaxLiveCertified, 0)
+      << "the sweep must certify at least one loop";
+}
+
 TEST(Oracle, DeterministicAcrossRuns) {
   OracleOptions Options;
   Options.NumLoops = 6;

@@ -4,6 +4,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ModuloScheduler.h"
+#include "exact/ExactEngine.h"
 #include "ir/IRBuilder.h"
 #include "regalloc/RotatingAllocator.h"
 #include "workloads/Kernels.h"
@@ -56,6 +57,39 @@ TEST(RotatingAllocator, AllKernelsAllocateCloseToMaxLive) {
     // Rau et al. [18]: end-fit/best-fit strategies stay within MaxLive+1..5.
     EXPECT_LE(Alloc.FileSize, Alloc.MaxLive + 5) << Body.Name;
   }
+}
+
+// On a schedule whose MaxLive carries a minimality certificate, the
+// paper's buffer rule holds tight: the greedy rotating allocator needs at
+// most certified-MaxLive + 1 registers. One regression case per suite
+// kernel, so a future pressure or allocator change that loosens the bound
+// names the kernel it broke.
+TEST(RotatingAllocator, CertifiedKernelsWithinOneOfCertifiedMaxLive) {
+  int Certified = 0;
+  for (const LoopBody &Body : buildKernelSuite()) {
+    const DepGraph Graph(Body, machine());
+    ExactOptions Options;
+    Options.MinimizeMaxLive = true;
+    const ExactResult Ex = scheduleLoopExact(Graph, Options);
+    ASSERT_TRUE(Ex.Sched.Success) << Body.Name;
+    if (!Ex.MaxLiveProven)
+      continue; // only a certified value backs the buffer rule
+    ++Certified;
+    const AllocationResult Alloc =
+        allocateRotating(Body, Ex.Sched.Times, Ex.Sched.II, RegClass::RR);
+    ASSERT_TRUE(Alloc.Success) << Body.Name;
+    EXPECT_EQ(validateAllocation(Body, Ex.Sched.Times, Ex.Sched.II,
+                                 RegClass::RR, Alloc),
+              "")
+        << Body.Name;
+    EXPECT_EQ(Alloc.MaxLive, Ex.MaxLive) << Body.Name
+        << ": allocator and certifier disagree on the pressure itself";
+    EXPECT_LE(Alloc.FileSize, Ex.MaxLive + 1)
+        << Body.Name << " (certificate: "
+        << maxLiveCertificateName(Ex.Certificate) << ")";
+  }
+  EXPECT_GT(Certified, 0)
+      << "no kernel certified: the regression net is empty";
 }
 
 TEST(RotatingAllocator, IcrPredicatesAllocate) {
