@@ -1,0 +1,139 @@
+#include "NetBenchCommon.h"
+
+#include "net/JsonlClient.h"
+#include "service/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace lsms;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t nowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+struct ConnStats {
+  long Sent = 0, Received = 0, Errors = 0, Shed = 0;
+  std::vector<int64_t> LatenciesUs;
+  std::string Error;
+};
+
+void runConnection(const NetLoadConfig &Config, int ConnIndex,
+                   ConnStats &Stats) {
+  // This connection's request lines, built once up front so the timed
+  // loop is pure socket traffic.
+  std::vector<std::string> Slice;
+  for (size_t I = 0; I < Config.Corpus.size(); ++I)
+    if (!Config.DisjointSlices ||
+        static_cast<int>(I % static_cast<size_t>(Config.Connections)) ==
+            ConnIndex)
+      Slice.push_back("{\"source\":" + jsonQuote(Config.Corpus[I]) +
+                      ",\"engine\":\"" + Config.Engine + "\"}");
+  if (Slice.empty()) {
+    Stats.Error = "empty corpus slice";
+    return;
+  }
+
+  JsonlClient Client;
+  std::string Err;
+  if (!Client.connect(Config.Host, Config.Port, Err)) {
+    Stats.Error = Err;
+    return;
+  }
+
+  const int Total = Config.RequestsPerConnection;
+  const int Depth = std::max(1, Config.PipelineDepth);
+  std::deque<int64_t> SendTimes; // responses come back in request order
+  int SentCount = 0, RecvCount = 0;
+  Stats.LatenciesUs.reserve(static_cast<size_t>(Total));
+  while (RecvCount < Total) {
+    if (SentCount < Total &&
+        static_cast<int>(SendTimes.size()) < Depth) {
+      const std::string &Line =
+          Slice[static_cast<size_t>(SentCount) % Slice.size()];
+      SendTimes.push_back(nowUs());
+      if (!Client.sendLine(Line, Err)) {
+        Stats.Error = Err;
+        return;
+      }
+      ++SentCount;
+      ++Stats.Sent;
+      continue;
+    }
+    std::string Resp;
+    if (!Client.recvLine(Resp, Err)) {
+      Stats.Error = Err.empty() ? "server closed connection early" : Err;
+      return;
+    }
+    Stats.LatenciesUs.push_back(nowUs() - SendTimes.front());
+    SendTimes.pop_front();
+    ++RecvCount;
+    ++Stats.Received;
+    if (Resp.find("\"status\":\"shed\"") != std::string::npos)
+      ++Stats.Shed;
+    else if (Resp.find("\"status\":\"error\"") != std::string::npos)
+      ++Stats.Errors;
+  }
+  Client.shutdownWrite();
+  // The server answers everything in flight and closes; a clean EOF here
+  // proves the drain handshake.
+  std::string Tail;
+  if (Client.recvLine(Tail, Err))
+    Stats.Error = "unexpected response after final request";
+  else if (!Err.empty())
+    Stats.Error = Err;
+}
+
+} // namespace
+
+NetLoadResult lsms::runNetLoad(const NetLoadConfig &Config) {
+  NetLoadResult Result;
+  const int Conns = std::max(1, Config.Connections);
+  std::vector<ConnStats> Stats(static_cast<size_t>(Conns));
+  const auto T0 = Clock::now();
+  {
+    std::vector<std::thread> Threads;
+    Threads.reserve(static_cast<size_t>(Conns));
+    for (int I = 0; I < Conns; ++I)
+      Threads.emplace_back(
+          [&Config, I, &Stats] { runConnection(Config, I, Stats[I]); });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  Result.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+
+  std::vector<int64_t> All;
+  for (const ConnStats &S : Stats) {
+    Result.Sent += S.Sent;
+    Result.Received += S.Received;
+    Result.Errors += S.Errors;
+    Result.Shed += S.Shed;
+    if (!S.Error.empty() && Result.Error.empty())
+      Result.Error = S.Error;
+    All.insert(All.end(), S.LatenciesUs.begin(), S.LatenciesUs.end());
+  }
+  if (!All.empty()) {
+    std::sort(All.begin(), All.end());
+    const auto pct = [&](double F) {
+      const size_t N = All.size();
+      size_t Rank = static_cast<size_t>(F * static_cast<double>(N));
+      if (Rank >= N)
+        Rank = N - 1;
+      return All[Rank];
+    };
+    Result.P50Us = pct(0.50);
+    Result.P99Us = pct(0.99);
+    Result.P999Us = pct(0.999);
+    Result.MaxUs = All.back();
+  }
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared load-generation harness for the socket front end: N client
+/// connections drive a running EpollServer with pipelined JSONL requests
+/// built from a DSL corpus, and the run reports throughput and latency
+/// percentiles. Used by bench/load_gen (the CLI) and the server section
+/// of bench/perf_report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_BENCH_NETBENCHCOMMON_H
+#define LSMS_BENCH_NETBENCHCOMMON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+struct NetLoadConfig {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  int Connections = 4;
+  /// Request lines each connection sends (its corpus slice is cycled).
+  int RequestsPerConnection = 0;
+  /// Closed-loop window: lines in flight per connection before the client
+  /// waits for a response. 1 = strict request/response lockstep.
+  int PipelineDepth = 8;
+  /// Wire engine name stamped into every request ("slack", "bnb", "sat").
+  std::string Engine = "slack";
+  /// DSL sources requests are built from.
+  std::vector<std::string> Corpus;
+  /// When true, connection I only sends corpus[J] with J % Connections ==
+  /// I, so no two connections ever share a cache or store key — the cold
+  /// phase of the restart benchmark stays genuinely compute-bound.
+  bool DisjointSlices = false;
+};
+
+struct NetLoadResult {
+  long Sent = 0;
+  long Received = 0;
+  long Errors = 0; ///< responses with "status":"error"
+  long Shed = 0;   ///< responses with "status":"shed"
+  double Seconds = 0;
+  int64_t P50Us = 0, P99Us = 0, P999Us = 0, MaxUs = 0;
+  /// First connection-level failure ("" when the run was clean).
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+  double rps() const { return Seconds > 0 ? Received / Seconds : 0; }
+};
+
+/// Runs the configured load against a live server and blocks until every
+/// connection finished (or failed).
+NetLoadResult runNetLoad(const NetLoadConfig &Config);
+
+} // namespace lsms
+
+#endif // LSMS_BENCH_NETBENCHCOMMON_H

@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+/// \file load_gen — closed-loop load generator for a running
+/// schedule_server: N connections, each pipelining JSONL requests built
+/// from the deterministic bench corpus, reporting throughput and latency
+/// percentiles (and shed counts, which makes it double as an overload
+/// probe).
+///
+/// Usage:
+///   load_gen --port=P [--host=A] [--connections=N] [--requests=N]
+///            [--pipeline=N] [--engine=slack|bnb|sat] [--corpus=N]
+///            [--seed=S] [--passes=N] [--disjoint] [--json]
+///   --requests    total request lines across all connections (default:
+///                 one pass over the corpus per connection, times --passes)
+///   --pipeline    in-flight lines per connection (default 8)
+///   --corpus      random sources appended to the suite kernels (default 16)
+///   --disjoint    give each connection a disjoint corpus slice
+///   --json        machine-readable result on stdout
+//===----------------------------------------------------------------------===//
+
+#include "NetBenchCommon.h"
+#include "ServiceBenchCommon.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace lsms;
+
+int main(int Argc, char **Argv) {
+  NetLoadConfig Config;
+  int CorpusRandom = 16;
+  uint64_t Seed = 0x19930601;
+  int Passes = 1;
+  long TotalRequests = -1;
+  bool Json = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    const auto intArg = [&](const char *Prefix, auto &Dst) {
+      const size_t Len = std::strlen(Prefix);
+      if (Arg.rfind(Prefix, 0) != 0)
+        return false;
+      Dst = static_cast<std::remove_reference_t<decltype(Dst)>>(
+          std::strtol(Arg.c_str() + Len, nullptr, 10));
+      return true;
+    };
+    if (Arg.rfind("--host=", 0) == 0) {
+      Config.Host = Arg.substr(7);
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      Config.Engine = Arg.substr(9);
+    } else if (intArg("--port=", Config.Port) ||
+               intArg("--connections=", Config.Connections) ||
+               intArg("--requests=", TotalRequests) ||
+               intArg("--pipeline=", Config.PipelineDepth) ||
+               intArg("--corpus=", CorpusRandom) ||
+               intArg("--seed=", Seed) || intArg("--passes=", Passes)) {
+      // parsed
+    } else if (Arg == "--disjoint") {
+      Config.DisjointSlices = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else {
+      std::cerr << "usage: load_gen --port=P [--host=A] [--connections=N]\n"
+                   "                [--requests=N] [--pipeline=N]\n"
+                   "                [--engine=slack|bnb|sat] [--corpus=N]\n"
+                   "                [--seed=S] [--passes=N] [--disjoint]\n"
+                   "                [--json]\n";
+      return 2;
+    }
+  }
+  if (Config.Port == 0) {
+    std::cerr << "load_gen: --port is required\n";
+    return 2;
+  }
+
+  Config.Corpus = serviceBenchCorpus(CorpusRandom, Seed);
+  if (TotalRequests > 0) {
+    Config.RequestsPerConnection = static_cast<int>(
+        (TotalRequests + Config.Connections - 1) / Config.Connections);
+  } else {
+    const size_t SliceSize =
+        Config.DisjointSlices
+            ? (Config.Corpus.size() +
+               static_cast<size_t>(Config.Connections) - 1) /
+                  static_cast<size_t>(Config.Connections)
+            : Config.Corpus.size();
+    Config.RequestsPerConnection =
+        static_cast<int>(SliceSize) * std::max(1, Passes);
+  }
+
+  const NetLoadResult R = runNetLoad(Config);
+  if (!R.ok()) {
+    std::cerr << "load_gen: " << R.Error << "\n";
+    return 1;
+  }
+  char Rps[32], Secs[32];
+  std::snprintf(Rps, sizeof(Rps), "%.1f", R.rps());
+  std::snprintf(Secs, sizeof(Secs), "%.3f", R.Seconds);
+  if (Json) {
+    std::cout << "{\"connections\":" << Config.Connections
+              << ",\"sent\":" << R.Sent << ",\"received\":" << R.Received
+              << ",\"errors\":" << R.Errors << ",\"shed\":" << R.Shed
+              << ",\"seconds\":" << Secs << ",\"rps\":" << Rps
+              << ",\"p50_us\":" << R.P50Us << ",\"p99_us\":" << R.P99Us
+              << ",\"p999_us\":" << R.P999Us << ",\"max_us\":" << R.MaxUs
+              << "}\n";
+  } else {
+    std::cout << "load_gen: " << R.Received << " responses ("
+              << R.Errors << " errors, " << R.Shed << " shed) over "
+              << Config.Connections << " connections in " << Secs << "s  ["
+              << Rps << " req/s]\n"
+              << "latency: p50=" << R.P50Us << "us p99=" << R.P99Us
+              << "us p999=" << R.P999Us << "us max=" << R.MaxUs << "us\n";
+  }
+  return R.Errors == 0 ? 0 : 1;
+}

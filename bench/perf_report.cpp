@@ -17,17 +17,21 @@
 ///               agree loop for loop)
 //===----------------------------------------------------------------------===//
 
+#include "NetBenchCommon.h"
 #include "ServiceBenchCommon.h"
 #include "SuiteMetrics.h"
 #include "exact/Oracle.h"
+#include "net/EpollServer.h"
 #include "support/ParallelFor.h"
 #include "workloads/Suite.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 using namespace lsms;
 
@@ -215,6 +219,94 @@ int main(int Argc, char **Argv) {
   }
   const bool ServiceWarmFastEnough = Service.warmSpeedup() >= 10.0;
 
+  // -- Socket front end + persistent store: exact (bnb) cold compute over
+  // the wire into a fresh store, then a full restart — a new service on
+  // the same store path — answering the same corpus from the recovered
+  // index. The gate: the warm restart must serve >= 10x the cold
+  // request rate. ---------------------------------------------------------
+  struct ServerBenchNumbers {
+    double ColdSeconds = 0, WarmSeconds = 0;
+    long ColdRequests = 0, WarmRequests = 0;
+    long RecoveredRecords = 0;
+    int64_t WarmP50Us = 0, WarmP99Us = 0, WarmP999Us = 0;
+    long Errors = 0, Shed = 0;
+    int Connections = 0, WarmPasses = 0;
+    std::string Error;
+  } Server;
+  {
+    const std::vector<std::string> NetCorpus =
+        serviceBenchCorpus(Smoke ? 4 : 24, Seed + 1);
+    Server.Connections = Smoke ? 2 : 4;
+    Server.WarmPasses = 3;
+    const std::string StorePath = "perf_report_store.lsr";
+    std::remove(StorePath.c_str());
+
+    const auto phase = [&](int Passes, double &Seconds, long &Requests,
+                           bool WarmStats) {
+      ServiceConfig SC;
+      SC.Jobs = JobsN;
+      SC.StorePath = StorePath;
+      // Budget-bound the exact engine (instead of a wall deadline) so the
+      // cold phase is expensive but bounded AND deterministic — budget
+      // degradation is part of the engines' contract, so every response,
+      // degraded or not, is cache-eligible and store-persisted, and the
+      // warm restart never recomputes.
+      SC.Exact.NodeBudget = 1L << 14;
+      SC.Exact.MaxLiveNodeBudget = 1L << 14;
+      SchedulingService Svc(SC);
+      if (WarmStats)
+        Server.RecoveredRecords = Svc.storeStats().RecoveredRecords;
+      EpollServer Front(Svc);
+      std::string Err;
+      if (!Front.start(Err)) {
+        Server.Error = Err;
+        return false;
+      }
+      std::thread IO([&Front] { Front.serve(); });
+      NetLoadConfig LC;
+      LC.Port = Front.port();
+      LC.Connections = Server.Connections;
+      LC.Engine = "bnb";
+      LC.Corpus = NetCorpus;
+      LC.DisjointSlices = true;
+      LC.PipelineDepth = 16;
+      const size_t Slice =
+          (NetCorpus.size() + static_cast<size_t>(LC.Connections) - 1) /
+          static_cast<size_t>(LC.Connections);
+      LC.RequestsPerConnection = static_cast<int>(Slice) * Passes;
+      const NetLoadResult R = runNetLoad(LC);
+      Front.requestStop();
+      IO.join();
+      if (!R.ok()) {
+        Server.Error = R.Error;
+        return false;
+      }
+      Seconds = R.Seconds;
+      Requests = R.Received;
+      Server.Errors += R.Errors;
+      Server.Shed += R.Shed;
+      if (WarmStats) {
+        Server.WarmP50Us = R.P50Us;
+        Server.WarmP99Us = R.P99Us;
+        Server.WarmP999Us = R.P999Us;
+      }
+      return true;
+    };
+    if (phase(1, Server.ColdSeconds, Server.ColdRequests, false))
+      phase(Server.WarmPasses, Server.WarmSeconds, Server.WarmRequests,
+            true);
+    std::remove(StorePath.c_str());
+  }
+  const double ServerColdRps =
+      Server.ColdSeconds > 0 ? Server.ColdRequests / Server.ColdSeconds : 0;
+  const double ServerWarmRps =
+      Server.WarmSeconds > 0 ? Server.WarmRequests / Server.WarmSeconds : 0;
+  const double ServerRestartSpeedup =
+      ServerColdRps > 0 ? ServerWarmRps / ServerColdRps : 0;
+  const bool ServerWarmFastEnough =
+      Server.Error.empty() && Server.Errors == 0 && Server.Shed == 0 &&
+      Server.RecoveredRecords > 0 && ServerRestartSpeedup >= 10.0;
+
   std::ostringstream JSON;
   JSON << "{\n"
        << "  \"bench\": \"perf_report\",\n"
@@ -256,6 +348,28 @@ int main(int Argc, char **Argv) {
        << "      \"request_p50_us\": " << Service.P50Us << ",\n"
        << "      \"request_p99_us\": " << Service.P99Us << ",\n"
        << "      \"errors\": " << Service.Errors << "\n"
+       << "    },\n"
+       << "    \"server\": {\n"
+       << "      \"connections\": " << Server.Connections << ",\n"
+       << "      \"cold_requests\": " << Server.ColdRequests << ",\n"
+       << "      \"cold_seconds\": " << formatDouble(Server.ColdSeconds, 4)
+       << ",\n"
+       << "      \"cold_rps\": " << formatDouble(ServerColdRps, 1) << ",\n"
+       << "      \"warm_passes\": " << Server.WarmPasses << ",\n"
+       << "      \"warm_requests\": " << Server.WarmRequests << ",\n"
+       << "      \"warm_seconds\": " << formatDouble(Server.WarmSeconds, 4)
+       << ",\n"
+       << "      \"warm_rps\": " << formatDouble(ServerWarmRps, 1) << ",\n"
+       << "      \"restart_speedup\": "
+       << formatDouble(ServerRestartSpeedup, 1) << ",\n"
+       << "      \"recovered_records\": " << Server.RecoveredRecords << ",\n"
+       << "      \"warm_p50_us\": " << Server.WarmP50Us << ",\n"
+       << "      \"warm_p99_us\": " << Server.WarmP99Us << ",\n"
+       << "      \"warm_p999_us\": " << Server.WarmP999Us << ",\n"
+       << "      \"errors\": " << Server.Errors << ",\n"
+       << "      \"shed\": " << Server.Shed << ",\n"
+       << "      \"warm_store_10x\": "
+       << (ServerWarmFastEnough ? "true" : "false") << "\n"
        << "    }\n"
        << "  }\n"
        << "}\n";
@@ -276,8 +390,20 @@ int main(int Argc, char **Argv) {
   if (!ServiceWarmFastEnough)
     std::cerr << "perf_report: FAIL service warm speedup "
               << formatDouble(Service.warmSpeedup(), 1) << "x < 10x\n";
+  if (!ServerWarmFastEnough) {
+    if (!Server.Error.empty())
+      std::cerr << "perf_report: FAIL server bench: " << Server.Error
+                << "\n";
+    else
+      std::cerr << "perf_report: FAIL warm-store restart "
+                << formatDouble(ServerRestartSpeedup, 1)
+                << "x < 10x over cold exact (errors=" << Server.Errors
+                << " shed=" << Server.Shed
+                << " recovered=" << Server.RecoveredRecords << ")\n";
+  }
   return ReportsIdentical && EnginesAgree && ServiceByteIdentical &&
-                 ServiceWarmFastEnough && Service.Errors == 0
+                 ServiceWarmFastEnough && ServerWarmFastEnough &&
+                 Service.Errors == 0
              ? 0
              : 1;
 }

@@ -1,0 +1,147 @@
+//===----------------------------------------------------------------------===//
+/// \file schedule_server — the scheduling service behind a TCP socket:
+/// an epoll front end (net/EpollServer.h) multiplexing JSONL request
+/// connections onto the service's deterministic workers, with an
+/// optional persistent schedule store so warm state survives restarts.
+///
+/// The wire protocol is the JSONL pipe, verbatim: one request per line,
+/// one response line per request, in order, byte-identical to what
+/// `schedule_service` prints for the same lines. `{"cmd":"metrics"}`
+/// returns server + service metrics as one JSON line.
+///
+/// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight and
+/// already-connected work completes, then the process exits 0.
+///
+/// Usage:
+///   schedule_server [--port=N] [--bind=ADDR] [--jobs=N] [--workers=N]
+///                   [--store=PATH] [--engine=slack|bnb|sat]
+///                   [--max-queue=N] [--max-conns=N]
+///                   [--idle-timeout-ms=N] [--drain-timeout-ms=N]
+///                   [--enable-test-commands] [--print-port] [--metrics]
+///   --port=0 (default) binds an ephemeral port; --print-port writes the
+///   bound port as a single line on stdout so scripts can connect.
+//===----------------------------------------------------------------------===//
+
+#include "net/EpollServer.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace lsms;
+
+namespace {
+
+EpollServer *ActiveServer = nullptr;
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop(); // async-signal-safe
+}
+
+void usage() {
+  std::cerr
+      << "usage: schedule_server [--port=N] [--bind=ADDR] [--jobs=N]\n"
+         "                       [--workers=N] [--store=PATH]\n"
+         "                       [--engine=slack|bnb|sat] [--max-queue=N]\n"
+         "                       [--max-conns=N] [--idle-timeout-ms=N]\n"
+         "                       [--drain-timeout-ms=N]\n"
+         "                       [--enable-test-commands] [--print-port]\n"
+         "                       [--metrics]\n"
+         "Serves JSONL scheduling requests over TCP. SIGTERM drains\n"
+         "gracefully. --store persists schedules across restarts.\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServiceConfig Service;
+  ServerConfig Server;
+  std::string EngineName;
+  bool PrintPort = false;
+  bool PrintMetrics = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    const auto intOf = [&](size_t Prefix) {
+      return std::strtol(Arg.c_str() + Prefix, nullptr, 10);
+    };
+    if (Arg.rfind("--port=", 0) == 0) {
+      Server.Port = static_cast<uint16_t>(intOf(7));
+    } else if (Arg.rfind("--bind=", 0) == 0) {
+      Server.BindAddress = Arg.substr(7);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Service.Jobs = static_cast<int>(intOf(7));
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      Server.Workers = static_cast<int>(intOf(10));
+    } else if (Arg.rfind("--store=", 0) == 0) {
+      Service.StorePath = Arg.substr(8);
+    } else if (Arg.rfind("--engine=", 0) == 0) {
+      EngineName = Arg.substr(9);
+    } else if (Arg.rfind("--max-queue=", 0) == 0) {
+      Server.MaxQueueDepth = static_cast<size_t>(intOf(12));
+    } else if (Arg.rfind("--max-conns=", 0) == 0) {
+      Server.MaxConnections = static_cast<int>(intOf(12));
+    } else if (Arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      Server.IdleTimeoutMs = intOf(18);
+    } else if (Arg.rfind("--drain-timeout-ms=", 0) == 0) {
+      Server.DrainTimeoutMs = intOf(19);
+    } else if (Arg == "--enable-test-commands") {
+      Server.EnableTestCommands = true;
+    } else if (Arg == "--print-port") {
+      PrintPort = true;
+    } else if (Arg == "--metrics") {
+      PrintMetrics = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (!EngineName.empty() &&
+      !parseServiceEngine(EngineName, Server.DefaultEngine)) {
+    std::cerr << "schedule_server: unknown engine '" << EngineName << "'\n";
+    return 2;
+  }
+
+  SchedulingService Svc(Service);
+  if (!Service.StorePath.empty() && !Svc.storeOpen()) {
+    std::cerr << "schedule_server: store disabled: " << Svc.storeError()
+              << "\n";
+  } else if (Svc.storeOpen()) {
+    std::cerr << "schedule_server: store '" << Service.StorePath << "' ("
+              << Svc.storeStats().RecoveredRecords << " records recovered)\n";
+  }
+
+  EpollServer Srv(Svc, Server);
+  std::string Err;
+  if (!Srv.start(Err)) {
+    std::cerr << "schedule_server: " << Err << "\n";
+    return 1;
+  }
+  ActiveServer = &Srv;
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << "schedule_server: listening on " << Server.BindAddress << ":"
+            << Srv.port() << " (" << Svc.jobs() << " workers)\n";
+  if (PrintPort) {
+    std::cout << Srv.port() << std::endl; // endl: scripts read one line
+  }
+
+  Srv.serve(); // returns after a signal-initiated drain
+
+  // Every admitted request was answered before serve() returned; drain
+  // the service too so the store closes with all writes applied.
+  Svc.drain();
+  if (PrintMetrics)
+    std::cerr << Svc.metricsJson();
+  std::cerr << "schedule_server: drained cleanly ("
+            << Svc.metrics().counter("net_responses") << " responses, "
+            << Svc.metrics().counter("net_shed") << " shed)\n";
+  return 0;
+}

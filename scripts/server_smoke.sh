@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the socket front end + persistent store:
+#   1. boot schedule_server on an ephemeral port with a fresh store,
+#   2. drive it with the load generator over real sockets,
+#   3. SIGTERM and verify the graceful-drain handshake (exit 0),
+#   4. restart on the same store and verify the warm run recovers records
+#      and answers without errors or sheds.
+#
+# Usage: scripts/server_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+SERVER=$BUILD_DIR/examples/schedule_server
+LOADGEN=$BUILD_DIR/bench/load_gen
+[[ -x $SERVER && -x $LOADGEN ]] || {
+  echo "server_smoke: build schedule_server and load_gen first" >&2
+  exit 2
+}
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  [[ -n $SERVER_PID ]] && kill -KILL "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+STORE=$WORK/smoke_store.lsr
+
+start_server() {
+  "$SERVER" --port=0 --print-port --store="$STORE" \
+    >"$WORK/port.txt" 2>"$WORK/server.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s $WORK/port.txt ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "server_smoke: server died at startup" >&2
+      cat "$WORK/server.log" >&2
+      exit 1
+    }
+    sleep 0.05
+  done
+  PORT=$(cat "$WORK/port.txt")
+  [[ -n $PORT ]] || { echo "server_smoke: no port published" >&2; exit 1; }
+}
+
+stop_server() { # graceful: SIGTERM must drain and exit 0
+  kill -TERM "$SERVER_PID"
+  local rc=0
+  wait "$SERVER_PID" || rc=$?
+  SERVER_PID=
+  if [[ $rc -ne 0 ]]; then
+    echo "server_smoke: server exited $rc on SIGTERM" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  grep -q "drained cleanly" "$WORK/server.log" || {
+    echo "server_smoke: no drain confirmation in server log" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  }
+}
+
+run_load() {
+  # --corpus=0: the 43 suite kernels only, so the bnb ladder stays cheap.
+  "$LOADGEN" --port="$PORT" --connections=4 --pipeline=8 \
+    --engine=bnb --corpus=0 --json | tee "$WORK/load.json"
+  grep -q '"errors":0' "$WORK/load.json" || {
+    echo "server_smoke: load generator saw response errors" >&2
+    exit 1
+  }
+}
+
+echo "== cold pass =="
+start_server
+run_load
+stop_server
+
+echo "== warm restart =="
+start_server
+grep -q "records recovered" "$WORK/server.log" || {
+  echo "server_smoke: restart did not recover store records" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+if grep -q "(0 records recovered)" "$WORK/server.log"; then
+  echo "server_smoke: store recovered zero records on restart" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+fi
+run_load
+stop_server
+
+echo "server_smoke: OK"

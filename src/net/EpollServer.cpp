@@ -1,0 +1,571 @@
+#include "net/EpollServer.h"
+
+#include "service/Json.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace lsms;
+
+namespace {
+
+/// Longest request line the server will buffer before declaring the
+/// connection broken (a client that never sends '\n').
+constexpr size_t MaxLineBytes = 1u << 20;
+
+int64_t steadyMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t steadyUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string shedLine(uint64_t Seq) {
+  return "{\"index\":" + std::to_string(Seq) +
+         ",\"name\":\"shed\",\"status\":\"shed\",\"error\":\"server "
+         "overloaded: admission queue full\"}\n";
+}
+
+std::string controlError(uint64_t Seq, const std::string &Msg) {
+  return "{\"index\":" + std::to_string(Seq) +
+         ",\"name\":\"control\",\"status\":\"error\",\"error\":" +
+         jsonQuote(Msg) + "}\n";
+}
+
+void wakeEventFd(int Fd) {
+  const uint64_t One = 1;
+  ssize_t Unused = ::write(Fd, &One, sizeof(One));
+  (void)Unused;
+}
+
+} // namespace
+
+/// One accepted connection; owned by the IO thread. Gen guards worker
+/// completions against fd reuse after a close.
+struct EpollServer::Conn {
+  int Fd = -1;
+  uint64_t Gen = 0;
+  std::string In;   ///< bytes read, possibly ending mid-line
+  std::string Out;  ///< ordered response bytes not yet written
+  size_t OutOff = 0;
+  uint64_t NextSeq = 0;      ///< next request index to assign
+  uint64_t NextWriteSeq = 0; ///< next response index to flush into Out
+  std::map<uint64_t, std::string> Done; ///< completed, waiting for order
+  uint64_t InFlightJobs = 0;
+  bool PeerClosed = false; ///< read side saw EOF
+  bool WantWrite = false;  ///< EPOLLOUT currently armed
+  bool Doomed = false;     ///< close at the next safe point
+  int64_t LastActiveMs = 0;
+};
+
+struct EpollServer::Job {
+  int Fd = -1;
+  uint64_t Gen = 0;
+  uint64_t Seq = 0;
+  long SleepMs = -1; ///< >= 0: test command, sleep instead of schedule
+  std::string Line;
+  int64_t EnqueuedUs = 0;
+};
+
+struct EpollServer::Completion {
+  int Fd = -1;
+  uint64_t Gen = 0;
+  uint64_t Seq = 0;
+  std::string Bytes;
+};
+
+EpollServer::EpollServer(SchedulingService &Service, ServerConfig Config)
+    : Service(Service), Config(std::move(Config)) {}
+
+EpollServer::~EpollServer() {
+  requestStop();
+  stopWorkers();
+  closeAllConns();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+}
+
+bool EpollServer::start(std::string &Err) {
+  WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (WakeFd < 0) {
+    Err = std::string("eventfd: ") + std::strerror(errno);
+    return false;
+  }
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (EpollFd < 0) {
+    Err = std::string("epoll_create1: ") + std::strerror(errno);
+    return false;
+  }
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  if (::inet_pton(AF_INET, Config.BindAddress.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad bind address \"" + Config.BindAddress + "\"";
+    return false;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Err = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(ListenFd, Config.Backlog) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) <
+      0) {
+    Err = std::string("getsockname: ") + std::strerror(errno);
+    return false;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+
+  epoll_event E{};
+  E.events = EPOLLIN;
+  E.data.fd = ListenFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &E) < 0) {
+    Err = std::string("epoll_ctl(listen): ") + std::strerror(errno);
+    return false;
+  }
+  E.data.fd = WakeFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &E) < 0) {
+    Err = std::string("epoll_ctl(wake): ") + std::strerror(errno);
+    return false;
+  }
+
+  NumWorkers = Config.Workers > 0 ? Config.Workers : Service.jobs();
+  NumWorkers = std::max(1, NumWorkers);
+  Workers.reserve(static_cast<size_t>(NumWorkers));
+  for (int I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  Running.store(true, std::memory_order_release);
+  return true;
+}
+
+void EpollServer::requestStop() {
+  StopRequested.store(true, std::memory_order_release);
+  if (WakeFd >= 0)
+    wakeEventFd(WakeFd);
+}
+
+void EpollServer::serve() {
+  if (EpollFd < 0)
+    return;
+  epoll_event Events[64];
+  while (true) {
+    if (StopRequested.load(std::memory_order_acquire) && !Draining)
+      beginDrainIO();
+    if (Draining) {
+      if (Conns.empty())
+        break;
+      if (steadyMs() >= DrainDeadlineMs) {
+        Service.metrics().inc("net_drain_forced",
+                              static_cast<long>(Conns.size()));
+        closeAllConns();
+        break;
+      }
+    }
+
+    int TimeoutMs = -1;
+    if (Draining)
+      TimeoutMs = static_cast<int>(std::clamp<int64_t>(
+          DrainDeadlineMs - steadyMs(), 0, 100));
+    else if (Config.IdleTimeoutMs > 0)
+      TimeoutMs = 100;
+
+    const int N = ::epoll_wait(EpollFd, Events, 64, TimeoutMs);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    for (int I = 0; I < N; ++I) {
+      const epoll_event &E = Events[I];
+      const int Fd = E.data.fd;
+      if (Fd == WakeFd) {
+        uint64_t Buf;
+        while (::read(WakeFd, &Buf, sizeof(Buf)) > 0) {
+        }
+        deliverCompletions();
+        continue;
+      }
+      if (Fd == ListenFd) {
+        acceptPending();
+        continue;
+      }
+      const auto It = Conns.find(Fd);
+      if (It == Conns.end())
+        continue;
+      Conn &C = *It->second;
+      if (E.events & EPOLLERR) {
+        closeConn(Fd);
+        continue;
+      }
+      if (E.events & EPOLLIN)
+        readConn(C);
+      if (!C.Doomed && (E.events & EPOLLOUT)) {
+        writeConn(C);
+        updateEpoll(C);
+        maybeFinish(C);
+      }
+      if (!C.Doomed && (E.events & EPOLLHUP))
+        C.Doomed = true; // both directions gone; responses undeliverable
+      if (C.Doomed)
+        closeConn(Fd);
+    }
+    if (!Draining && Config.IdleTimeoutMs > 0)
+      scanIdle(steadyMs());
+  }
+  stopWorkers();
+  {
+    std::lock_guard<std::mutex> Lock(CompletionMu);
+    Completions.clear(); // their connections are gone
+  }
+  closeAllConns();
+  Running.store(false, std::memory_order_release);
+}
+
+void EpollServer::acceptPending() {
+  while (true) {
+    const int Fd =
+        ::accept4(ListenFd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // EAGAIN or a transient accept failure; epoll re-arms
+    }
+    if (Draining ||
+        static_cast<int>(Conns.size()) >= Config.MaxConnections) {
+      ::close(Fd);
+      Service.metrics().inc("net_rejected");
+      continue;
+    }
+    const int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    C->Gen = NextConnGen++;
+    C->LastActiveMs = steadyMs();
+    epoll_event E{};
+    E.events = EPOLLIN;
+    E.data.fd = Fd;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &E) < 0) {
+      ::close(Fd);
+      continue;
+    }
+    Conns.emplace(Fd, std::move(C));
+    Service.metrics().inc("net_accepted");
+    Service.metrics().set("net_active_connections",
+                          static_cast<long>(Conns.size()));
+  }
+}
+
+void EpollServer::readConn(Conn &C) {
+  char Buf[65536];
+  while (true) {
+    const ssize_t R = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (R > 0) {
+      C.In.append(Buf, static_cast<size_t>(R));
+      C.LastActiveMs = steadyMs();
+      if (static_cast<size_t>(R) < sizeof(Buf))
+        break; // short read: the socket is drained
+      continue;
+    }
+    if (R == 0) {
+      C.PeerClosed = true;
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    C.Doomed = true;
+    return;
+  }
+
+  size_t Start = 0;
+  for (size_t NL; (NL = C.In.find('\n', Start)) != std::string::npos;
+       Start = NL + 1) {
+    std::string Line = C.In.substr(Start, NL - Start);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    onLine(C, std::move(Line));
+  }
+  C.In.erase(0, Start);
+  if (C.In.size() > MaxLineBytes) {
+    Service.metrics().inc("net_overlong_lines");
+    C.Doomed = true;
+    return;
+  }
+  writeConn(C);
+  updateEpoll(C);
+  maybeFinish(C);
+}
+
+void EpollServer::onLine(Conn &C, std::string Line) {
+  const size_t FirstCh = Line.find_first_not_of(" \t\r");
+  if (FirstCh == std::string::npos || Line[FirstCh] == '#')
+    return; // same skip rule as processJsonl: no index, no response
+  const uint64_t Seq = C.NextSeq++;
+  ++C.InFlightJobs;
+  Service.metrics().inc("net_requests");
+
+  long SleepMs = -1;
+  if (Line.find("\"cmd\"") != std::string::npos) {
+    std::map<std::string, JsonScalar> Obj;
+    std::string Err;
+    if (parseFlatJsonObject(Line, Obj, Err)) {
+      const auto CmdIt = Obj.find("cmd");
+      if (CmdIt != Obj.end() && CmdIt->second.K == JsonScalar::String) {
+        const std::string &Cmd = CmdIt->second.S;
+        if (Cmd == "metrics") {
+          Service.metrics().inc("net_control");
+          completeLocal(C, Seq, Service.metricsJson(false) + "\n");
+          return;
+        }
+        if (Cmd == "sleep_ms" && Config.EnableTestCommands) {
+          Service.metrics().inc("net_control");
+          const auto MsIt = Obj.find("ms");
+          SleepMs = (MsIt != Obj.end() && MsIt->second.K == JsonScalar::Number)
+                        ? static_cast<long>(MsIt->second.N)
+                        : 0;
+          Line.clear(); // the worker only needs SleepMs
+        } else {
+          completeLocal(C, Seq,
+                        controlError(Seq, "unknown cmd \"" + Cmd + "\""));
+          return;
+        }
+      }
+      // No top-level "cmd": an ordinary request whose payload happens to
+      // contain the substring; dispatch it like any other line.
+    }
+    // Unparseable lines also fall through: handleLine() renders the same
+    // parse error the JSONL pipe would.
+  }
+
+  bool Shed = false;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    if (Queue.size() >= Config.MaxQueueDepth) {
+      Shed = true;
+    } else {
+      Job J;
+      J.Fd = C.Fd;
+      J.Gen = C.Gen;
+      J.Seq = Seq;
+      J.SleepMs = SleepMs;
+      J.Line = std::move(Line);
+      J.EnqueuedUs = steadyUs();
+      Queue.push_back(std::move(J));
+      Service.metrics().set("net_queue_depth",
+                            static_cast<long>(Queue.size()));
+    }
+  }
+  if (Shed) {
+    Service.metrics().inc("net_shed");
+    completeLocal(C, Seq, shedLine(Seq));
+  } else {
+    QueueCV.notify_one();
+  }
+}
+
+void EpollServer::completeLocal(Conn &C, uint64_t Seq, std::string Bytes) {
+  --C.InFlightJobs;
+  C.Done[Seq] = std::move(Bytes);
+  flushReady(C);
+  updateEpoll(C);
+}
+
+void EpollServer::flushReady(Conn &C) {
+  for (auto It = C.Done.find(C.NextWriteSeq); It != C.Done.end();
+       It = C.Done.find(C.NextWriteSeq)) {
+    C.Out += It->second;
+    C.Done.erase(It);
+    ++C.NextWriteSeq;
+    Service.metrics().inc("net_responses");
+  }
+  if (C.Out.size() - C.OutOff > Config.MaxWriteBufferBytes) {
+    Service.metrics().inc("net_write_overflow");
+    C.Doomed = true;
+  }
+}
+
+void EpollServer::deliverCompletions() {
+  std::vector<Completion> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(CompletionMu);
+    Batch.swap(Completions);
+  }
+  for (Completion &Done : Batch) {
+    const auto It = Conns.find(Done.Fd);
+    if (It == Conns.end() || It->second->Gen != Done.Gen)
+      continue; // connection closed (or fd reused) while the job ran
+    Conn &C = *It->second;
+    --C.InFlightJobs;
+    C.Done[Done.Seq] = std::move(Done.Bytes);
+    flushReady(C);
+    writeConn(C);
+    updateEpoll(C);
+    maybeFinish(C);
+    if (C.Doomed)
+      closeConn(Done.Fd);
+  }
+}
+
+void EpollServer::maybeFinish(Conn &C) {
+  if (C.PeerClosed && C.InFlightJobs == 0 && C.Done.empty() &&
+      C.OutOff == C.Out.size())
+    C.Doomed = true;
+}
+
+void EpollServer::writeConn(Conn &C) {
+  while (C.OutOff < C.Out.size()) {
+    const ssize_t W = ::send(C.Fd, C.Out.data() + C.OutOff,
+                             C.Out.size() - C.OutOff, MSG_NOSIGNAL);
+    if (W > 0) {
+      C.OutOff += static_cast<size_t>(W);
+      C.LastActiveMs = steadyMs();
+      continue;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    C.Doomed = true;
+    return;
+  }
+  if (C.OutOff == C.Out.size()) {
+    C.Out.clear();
+    C.OutOff = 0;
+  } else if (C.OutOff > MaxLineBytes) {
+    C.Out.erase(0, C.OutOff);
+    C.OutOff = 0;
+  }
+}
+
+void EpollServer::updateEpoll(Conn &C) {
+  const bool Want = C.OutOff < C.Out.size();
+  if (Want == C.WantWrite)
+    return;
+  C.WantWrite = Want;
+  epoll_event E{};
+  E.events = EPOLLIN | (Want ? EPOLLOUT : 0u);
+  E.data.fd = C.Fd;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &E);
+}
+
+void EpollServer::closeConn(int Fd) {
+  const auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ::close(Fd);
+  Conns.erase(It);
+  Service.metrics().set("net_active_connections",
+                        static_cast<long>(Conns.size()));
+}
+
+void EpollServer::closeAllConns() {
+  while (!Conns.empty())
+    closeConn(Conns.begin()->first);
+}
+
+void EpollServer::scanIdle(int64_t NowMs) {
+  std::vector<int> Stale;
+  for (const auto &[Fd, C] : Conns)
+    if (C->InFlightJobs == 0 && C->OutOff == C->Out.size() &&
+        NowMs - C->LastActiveMs > Config.IdleTimeoutMs)
+      Stale.push_back(Fd);
+  for (const int Fd : Stale) {
+    Service.metrics().inc("net_idle_closed");
+    closeConn(Fd);
+  }
+}
+
+void EpollServer::beginDrainIO() {
+  Draining = true;
+  DrainDeadlineMs = steadyMs() + std::max(0L, Config.DrainTimeoutMs);
+  if (ListenFd >= 0) {
+    ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}
+
+void EpollServer::stopWorkers() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    WorkersStop = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &T : Workers)
+    if (T.joinable())
+      T.join();
+  Workers.clear();
+}
+
+void EpollServer::workerLoop() {
+  while (true) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCV.wait(Lock, [this] { return WorkersStop || !Queue.empty(); });
+      if (Queue.empty())
+        return; // WorkersStop and nothing admitted remains
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      Service.metrics().set("net_queue_depth",
+                            static_cast<long>(Queue.size()));
+    }
+    std::string Bytes;
+    if (J.SleepMs >= 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(J.SleepMs));
+      Bytes = "{\"index\":" + std::to_string(J.Seq) +
+              ",\"name\":\"control\",\"status\":\"ok\",\"slept_ms\":" +
+              std::to_string(J.SleepMs) + "}\n";
+    } else {
+      const ServiceResponse R =
+          Service.handleLine(J.Line, static_cast<int>(J.Seq),
+                             Config.DefaultEngine);
+      Bytes = R.toJsonl();
+      Bytes += '\n';
+    }
+    Service.metrics().observe("net_request_us", steadyUs() - J.EnqueuedUs);
+    {
+      std::lock_guard<std::mutex> Lock(CompletionMu);
+      Completion Done;
+      Done.Fd = J.Fd;
+      Done.Gen = J.Gen;
+      Done.Seq = J.Seq;
+      Done.Bytes = std::move(Bytes);
+      Completions.push_back(std::move(Done));
+    }
+    wakeEventFd(WakeFd);
+  }
+}

@@ -1,0 +1,172 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free epoll socket front end for the scheduling service.
+///
+/// Framing is newline-delimited JSONL — byte-compatible with the stdin
+/// pipe (SchedulingService::processJsonl): each request line on a
+/// connection gets exactly one response line, in request order, and the
+/// response bytes for a given line are identical to what the pipe would
+/// emit for the same line at the same stream index. Blank lines and '#'
+/// comments are skipped without a response, exactly like the pipe.
+///
+/// Threading: one IO thread (the caller of serve()) owns the listener,
+/// epoll instance, and every connection's buffers; a fixed pool of worker
+/// threads runs SchedulingService::handleLine(). The IO thread batches
+/// complete lines out of each readable connection into a bounded
+/// admission queue; workers push finished response bytes onto a
+/// completion list and wake the IO thread through an eventfd. Responses
+/// are sequenced per connection (a pipelined fast request never
+/// overtakes a slow earlier one) and flushed through a per-connection
+/// write buffer under EPOLLOUT.
+///
+/// Admission control: when the queue is at MaxQueueDepth the request is
+/// not dropped silently — the server immediately emits a shed response
+/// ({"index":N,"name":"shed","ok":false,...}, the 503 of this protocol)
+/// through the ordered completion path. Connections beyond
+/// MaxConnections are accepted and closed. Idle connections are closed
+/// after IdleTimeoutMs.
+///
+/// Shutdown: requestStop() is async-signal-safe (atomic store + eventfd
+/// write; call it from a SIGTERM handler). The IO loop then closes the
+/// listener and drains: existing connections are served until the client
+/// half-closes, force-closed at DrainTimeoutMs; then the workers finish
+/// the queue and join, so every admitted request was answered or its
+/// connection provably went away.
+///
+/// Control lines: a line whose JSON object has a "cmd" field addresses
+/// the server, not the scheduler. {"cmd":"metrics"} returns the
+/// service's full metrics document (counters, gauges, histograms, cache
+/// and store statistics) as one line. {"cmd":"sleep_ms","ms":N} occupies
+/// a worker for N ms — a test hook, rejected unless EnableTestCommands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_NET_EPOLLSERVER_H
+#define LSMS_NET_EPOLLSERVER_H
+
+#include "service/SchedulingService.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace lsms {
+
+/// Socket front-end configuration.
+struct ServerConfig {
+  /// IPv4 address to bind; tests and the bench use the loopback default.
+  std::string BindAddress = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (see port()).
+  uint16_t Port = 0;
+  int Backlog = 128;
+  /// Worker threads running handleLine(); 0 = the service's job count.
+  int Workers = 0;
+  /// Admission-queue bound: requests beyond this are shed, not queued.
+  size_t MaxQueueDepth = 1024;
+  /// Connections beyond this are accepted and immediately closed.
+  int MaxConnections = 1024;
+  /// Close a connection with no traffic and no in-flight work after this
+  /// many milliseconds; < 0 disables the deadline.
+  long IdleTimeoutMs = -1;
+  /// Force-close connections still open this long after requestStop().
+  long DrainTimeoutMs = 5000;
+  /// Close a connection whose un-read responses exceed this many bytes
+  /// (a pipelining client that never reads).
+  size_t MaxWriteBufferBytes = 16u << 20;
+  /// Engine for request lines without an "engine" field (mirrors the
+  /// processJsonl parameter, so the two paths stay byte-identical).
+  ServiceEngine DefaultEngine = ServiceEngine::Slack;
+  /// Accept {"cmd":"sleep_ms"} (tests only; keeps a worker busy on cue).
+  bool EnableTestCommands = false;
+};
+
+/// The epoll front end. One instance serves one SchedulingService; the
+/// service outlives the server and is not drained by it (stopping the
+/// server leaves the service usable).
+class EpollServer {
+public:
+  explicit EpollServer(SchedulingService &Service,
+                       ServerConfig Config = ServerConfig());
+  ~EpollServer();
+  EpollServer(const EpollServer &) = delete;
+  EpollServer &operator=(const EpollServer &) = delete;
+
+  /// Binds, listens, creates the epoll instance, and spawns the workers.
+  /// Returns false with a diagnostic on any syscall failure.
+  bool start(std::string &Err);
+
+  /// The bound port (the kernel's pick when Config.Port was 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Runs the IO loop on the calling thread until requestStop() and the
+  /// subsequent drain complete. Returns immediately if start() failed or
+  /// was never called.
+  void serve();
+
+  /// Initiates shutdown. Async-signal-safe: an atomic store plus an
+  /// eventfd write, callable straight from a SIGTERM handler.
+  void requestStop();
+
+  /// True between a successful start() and the end of serve().
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+private:
+  struct Conn;
+  struct Job;
+  struct Completion;
+
+  void acceptPending();
+  void readConn(Conn &C);
+  void writeConn(Conn &C);
+  void onLine(Conn &C, std::string Line);
+  void completeLocal(Conn &C, uint64_t Seq, std::string Bytes);
+  void flushReady(Conn &C);
+  void deliverCompletions();
+  void maybeFinish(Conn &C);
+  void updateEpoll(Conn &C);
+  void closeConn(int Fd);
+  void closeAllConns();
+  void scanIdle(int64_t NowMs);
+  void beginDrainIO();
+  void stopWorkers();
+  void workerLoop();
+
+  SchedulingService &Service;
+  ServerConfig Config;
+  int NumWorkers = 0;
+  uint16_t BoundPort = 0;
+
+  int ListenFd = -1;
+  int EpollFd = -1;
+  int WakeFd = -1; ///< eventfd: completion + stop wakeups
+
+  std::unordered_map<int, std::unique_ptr<Conn>> Conns;
+  uint64_t NextConnGen = 1;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCV;
+  std::deque<Job> Queue;
+  bool WorkersStop = false;
+  std::vector<std::thread> Workers;
+
+  std::mutex CompletionMu;
+  std::vector<Completion> Completions;
+
+  std::atomic<bool> StopRequested{false};
+  std::atomic<bool> Running{false};
+  bool Draining = false;
+  int64_t DrainDeadlineMs = 0;
+};
+
+} // namespace lsms
+
+#endif // LSMS_NET_EPOLLSERVER_H

@@ -1,0 +1,136 @@
+#include "net/JsonlClient.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace lsms;
+
+JsonlClient::JsonlClient(JsonlClient &&Other) noexcept
+    : Fd(Other.Fd), Buf(std::move(Other.Buf)), Off(Other.Off) {
+  Other.Fd = -1;
+  Other.Off = 0;
+}
+
+JsonlClient &JsonlClient::operator=(JsonlClient &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = std::exchange(Other.Fd, -1);
+    Buf = std::move(Other.Buf);
+    Off = std::exchange(Other.Off, 0);
+  }
+  return *this;
+}
+
+bool JsonlClient::connect(const std::string &Host, uint16_t Port,
+                          std::string &Err) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad address \"" + Host + "\"";
+    close();
+    return false;
+  }
+  while (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+         0) {
+    if (errno == EINTR)
+      continue;
+    Err = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  const int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return true;
+}
+
+bool JsonlClient::sendLine(const std::string &Line, std::string &Err) {
+  return sendRaw(Line + "\n", Err);
+}
+
+bool JsonlClient::sendRaw(const std::string &Bytes, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    const ssize_t W = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                             MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Sent += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+bool JsonlClient::recvLine(std::string &Line, std::string &Err) {
+  Err.clear();
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  while (true) {
+    const size_t NL = Buf.find('\n', Off);
+    if (NL != std::string::npos) {
+      Line.assign(Buf, Off, NL - Off);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      Off = NL + 1;
+      if (Off == Buf.size()) {
+        Buf.clear();
+        Off = 0;
+      } else if (Off > (1u << 20)) {
+        Buf.erase(0, Off);
+        Off = 0;
+      }
+      return true;
+    }
+    char Chunk[65536];
+    const ssize_t R = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (R > 0) {
+      Buf.append(Chunk, static_cast<size_t>(R));
+      continue;
+    }
+    if (R == 0) {
+      if (Off < Buf.size())
+        Err = "connection closed mid-line";
+      return false; // clean EOF leaves Err empty
+    }
+    if (errno == EINTR)
+      continue;
+    Err = std::string("recv: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+void JsonlClient::shutdownWrite() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+void JsonlClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+  Off = 0;
+}

@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking JSONL client for the epoll front end — the test
+/// suite's and load generator's view of the wire protocol. One instance
+/// is one connection: send request lines (newline appended), read
+/// response lines back in order, optionally half-close the write side to
+/// tell the server this connection is done (the server answers
+/// everything in flight, then closes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_NET_JSONLCLIENT_H
+#define LSMS_NET_JSONLCLIENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace lsms {
+
+class JsonlClient {
+public:
+  JsonlClient() = default;
+  ~JsonlClient() { close(); }
+  JsonlClient(const JsonlClient &) = delete;
+  JsonlClient &operator=(const JsonlClient &) = delete;
+  JsonlClient(JsonlClient &&Other) noexcept;
+  JsonlClient &operator=(JsonlClient &&Other) noexcept;
+
+  /// Connects to \p Host:\p Port (IPv4 dotted quad). Returns false with a
+  /// diagnostic on failure.
+  bool connect(const std::string &Host, uint16_t Port, std::string &Err);
+
+  /// Sends \p Line plus a trailing newline.
+  bool sendLine(const std::string &Line, std::string &Err);
+
+  /// Sends \p Bytes verbatim (for pipelined batches: many lines, one
+  /// write).
+  bool sendRaw(const std::string &Bytes, std::string &Err);
+
+  /// Reads one response line (newline stripped). Returns false on error
+  /// (diagnostic in \p Err) or on clean EOF (\p Err stays empty).
+  bool recvLine(std::string &Line, std::string &Err);
+
+  /// Half-closes the write side; the server drains this connection.
+  void shutdownWrite();
+
+  void close();
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+private:
+  int Fd = -1;
+  std::string Buf; ///< read-ahead beyond the last returned line
+  size_t Off = 0;
+};
+
+} // namespace lsms
+
+#endif // LSMS_NET_JSONLCLIENT_H

@@ -15,6 +15,17 @@ long MetricsRegistry::counter(const std::string &Name) const {
   return It == Counters.end() ? 0 : It->second;
 }
 
+void MetricsRegistry::set(const std::string &Name, long Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Gauges[Name] = Value;
+}
+
+long MetricsRegistry::gauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0 : It->second;
+}
+
 void MetricsRegistry::observe(const std::string &Name, int64_t Micros) {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Histograms.find(Name);
@@ -37,26 +48,39 @@ int64_t MetricsRegistry::percentile(const std::string &Name,
   return It == Histograms.end() ? 0 : It->second.percentile(Fraction);
 }
 
-std::string MetricsRegistry::toJson() const {
+std::string MetricsRegistry::toJson(bool Pretty) const {
   std::lock_guard<std::mutex> Lock(Mu);
+  const char *Open = Pretty ? "\n" : "";
+  const char *Item = Pretty ? "\n    " : "";
+  const char *Sep = Pretty ? ",\n    " : ", ";
+  const char *CloseMap = Pretty ? "\n  " : "";
   std::ostringstream OS;
-  OS << "{\n  \"counters\": {";
+  const auto scalarMap = [&](const char *Title,
+                             const std::map<std::string, long> &Map) {
+    OS << "\"" << Title << "\": {";
+    bool First = true;
+    for (const auto &[Name, Value] : Map) {
+      OS << (First ? Item : Sep) << "\"" << Name << "\": " << Value;
+      First = false;
+    }
+    OS << (First ? "" : CloseMap) << "}";
+  };
+  OS << "{" << Open << (Pretty ? "  " : "");
+  scalarMap("counters", Counters);
+  OS << "," << Open << (Pretty ? "  " : " ");
+  scalarMap("gauges", Gauges);
+  OS << "," << Open << (Pretty ? "  " : " ") << "\"histograms\": {";
   bool First = true;
-  for (const auto &[Name, Value] : Counters) {
-    OS << (First ? "\n" : ",\n") << "    \"" << Name << "\": " << Value;
-    First = false;
-  }
-  OS << (First ? "" : "\n  ") << "},\n  \"histograms\": {";
-  First = true;
   for (const auto &[Name, Hist] : Histograms) {
-    OS << (First ? "\n" : ",\n") << "    \"" << Name << "\": {"
+    OS << (First ? Item : Sep) << "\"" << Name << "\": {"
        << "\"count\": " << Hist.count()
        << ", \"p50_us\": " << Hist.percentile(0.50)
        << ", \"p90_us\": " << Hist.percentile(0.90)
        << ", \"p99_us\": " << Hist.percentile(0.99)
+       << ", \"p999_us\": " << Hist.percentile(0.999)
        << ", \"max_us\": " << Hist.maxSample() << "}";
     First = false;
   }
-  OS << (First ? "" : "\n  ") << "}\n}\n";
+  OS << (First ? "" : CloseMap) << "}" << Open << "}" << (Pretty ? "\n" : "");
   return OS.str();
 }

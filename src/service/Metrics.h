@@ -1,9 +1,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Observability for the scheduling service: named monotonic counters plus
+/// Observability for the scheduling service: named monotonic counters,
+/// named point-in-time gauges (queue depth, active connections), and
 /// named latency histograms (reusing support/Histogram for bucketing and
-/// exact-sample percentiles), exported as deterministic-order JSON. The
+/// exact-sample percentiles), exported as deterministic-order JSON —
+/// pretty-printed for the CLI or as a single line for the wire. The
 /// registry is thread-safe; workers record from the request pipeline
 /// concurrently.
 ///
@@ -35,6 +37,13 @@ public:
   /// Current value of counter \p Name (0 when never incremented).
   long counter(const std::string &Name) const;
 
+  /// Sets gauge \p Name to \p Value (a point-in-time level, unlike the
+  /// monotonic counters).
+  void set(const std::string &Name, long Value);
+
+  /// Current value of gauge \p Name (0 when never set).
+  long gauge(const std::string &Name) const;
+
   /// Records one latency sample, in microseconds, into histogram \p Name.
   void observe(const std::string &Name, int64_t Micros);
 
@@ -44,16 +53,19 @@ public:
   /// Exact \p Fraction-quantile of histogram \p Name (0 when absent).
   int64_t percentile(const std::string &Name, double Fraction) const;
 
-  /// Exports every counter and histogram as a JSON object:
-  ///   {"counters": {...}, "histograms": {NAME: {"count": C, "p50_us": ...,
-  ///    "p90_us": ..., "p99_us": ..., "max_us": ...}, ...}}
+  /// Exports every counter, gauge, and histogram as a JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {NAME: {"count": C, "p50_us": ..., "p90_us": ...,
+  ///    "p99_us": ..., "p999_us": ..., "max_us": ...}, ...}}
   /// Keys are emitted in sorted order so the export is deterministic for a
-  /// given set of recorded events.
-  std::string toJson() const;
+  /// given set of recorded events. \p Pretty selects the indented CLI form;
+  /// false emits one line (the wire form behind "cmd":"metrics").
+  std::string toJson(bool Pretty = true) const;
 
 private:
   mutable std::mutex Mu;
   std::map<std::string, long> Counters;
+  std::map<std::string, long> Gauges;
   std::map<std::string, Histogram> Histograms;
 };
 

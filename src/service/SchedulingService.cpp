@@ -113,6 +113,17 @@ public:
   void run(int N, const std::function<void(int)> &Fn) {
     if (N <= 0)
       return;
+    {
+      // Defensive: a batch submitted after shutdown began would hang
+      // forever waiting for workers that already exited. Run it inline
+      // instead (drain() makes this unreachable in normal use).
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Stopping) {
+        for (int I = 0; I < N; ++I)
+          Fn(I);
+        return;
+      }
+    }
     auto State = std::make_shared<Batch>();
     State->N = N;
     State->Fn = &Fn;
@@ -233,18 +244,62 @@ CachedSchedule fromSchedule(const Schedule &S, long MaxLive) {
 
 } // namespace
 
+/// Counts a handle() call as in flight for drain(); the last one out
+/// notifies waiters.
+class SchedulingService::InFlightGuard {
+public:
+  explicit InFlightGuard(SchedulingService &S) : S(S) {
+    S.InFlight.fetch_add(1, std::memory_order_acquire);
+  }
+  ~InFlightGuard() {
+    if (S.InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> Lock(S.DrainMu);
+      S.DrainCV.notify_all();
+    }
+  }
+
+private:
+  SchedulingService &S;
+};
+
 SchedulingService::SchedulingService(ServiceConfig ConfigIn)
     : Config(std::move(ConfigIn)), Jobs(resolveJobs(Config.Jobs)),
       Cache(Config.CacheCapacity, Config.CacheShards),
       Front(Config.FrontCacheCapacity, Config.CacheShards) {
+  if (!Config.StorePath.empty() &&
+      !Store.open(Config.StorePath, StoreOpenError))
+    Metrics.inc("store_open_failures");
   if (Jobs > 1)
     Workers = std::make_unique<Pool>(Jobs);
 }
 
-SchedulingService::~SchedulingService() = default;
+SchedulingService::~SchedulingService() {
+  // Shutdown ordering: finish every admitted request first, then join the
+  // pool, then close the store the requests were writing through.
+  drain();
+  Workers.reset();
+  Store.close();
+}
+
+void SchedulingService::beginDrain() {
+  Draining.store(true, std::memory_order_release);
+}
+
+bool SchedulingService::accepting() const {
+  return !Draining.load(std::memory_order_acquire);
+}
+
+void SchedulingService::drain() {
+  beginDrain();
+  std::unique_lock<std::mutex> Lock(DrainMu);
+  DrainCV.wait(Lock, [&] {
+    return InFlight.load(std::memory_order_acquire) == 0;
+  });
+}
 
 ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
                                           int Index) {
+  const InFlightGuard Guard(*this);
   const auto T0 = std::chrono::steady_clock::now();
   ServiceResponse Resp;
   Resp.Index = Index;
@@ -402,6 +457,13 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
     if (Cache.lookup(CK, Result)) {
       HaveResult = true;
       Resp.ExactVerdict = Result.Status;
+    } else if (Store.get(CK, Result)) {
+      // Persistent tier: a previous run (possibly a previous process)
+      // already computed this answer. Promote it into the LRU.
+      Metrics.inc("store_hits");
+      Cache.insert(CK, Result);
+      HaveResult = true;
+      Resp.ExactVerdict = Result.Status;
     } else if (Req.DeadlineMs == 0) {
       // A zero deadline has expired before any work can happen; skip the
       // solve entirely so the degradation path is wall-clock independent.
@@ -425,9 +487,13 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
         C.Times = R.Sched.Times;
       // Deadline-free outcomes are deterministic under the service's fixed
       // budgets and safe to replay; with a deadline armed only a proven
-      // Optimal is (an Optimal ladder never hit the deadline).
-      if (Req.DeadlineMs < 0 || R.Status == ExactStatus::Optimal)
+      // Optimal is (an Optimal ladder never hit the deadline). The same
+      // eligibility rule governs the persistent write-through.
+      if (Req.DeadlineMs < 0 || R.Status == ExactStatus::Optimal) {
         Cache.insert(CK, C);
+        if (Store.put(CK, C))
+          Metrics.inc("store_writes");
+      }
       Result = std::move(C);
       HaveResult = true;
     }
@@ -444,13 +510,20 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
     }
     const CacheKey SK{KeyHi, KeyLo, slackAux(Config, SO)};
     if (!Cache.lookup(SK, Result)) {
-      const Schedule S = scheduleLoop(TargetGraph, SO);
-      long MaxLive = -1;
-      if (S.Success)
-        MaxLive =
-            computePressure(Target, S.Times, S.II, RegClass::RR).MaxLive;
-      Result = fromSchedule(S, MaxLive);
-      Cache.insert(SK, Result);
+      if (Store.get(SK, Result)) {
+        Metrics.inc("store_hits");
+        Cache.insert(SK, Result);
+      } else {
+        const Schedule S = scheduleLoop(TargetGraph, SO);
+        long MaxLive = -1;
+        if (S.Success)
+          MaxLive =
+              computePressure(Target, S.Times, S.II, RegClass::RR).MaxLive;
+        Result = fromSchedule(S, MaxLive);
+        Cache.insert(SK, Result);
+        if (Store.put(SK, Result))
+          Metrics.inc("store_writes");
+      }
     }
     if (WantExact) {
       Resp.Degraded = true;
@@ -607,38 +680,37 @@ bool SchedulingService::parseRequestLine(const std::string &Line,
   return true;
 }
 
+ServiceResponse SchedulingService::handleLine(const std::string &Line,
+                                              int Index,
+                                              ServiceEngine DefaultEngine) {
+  ServiceRequest Req;
+  std::string Err;
+  if (parseRequestLine(Line, Req, Err, DefaultEngine))
+    return handle(Req, Index);
+  ServiceResponse Resp;
+  Resp.Index = Index;
+  Resp.Name = "invalid";
+  Resp.Error = "bad request: " + Err;
+  Metrics.inc("requests_parse_errors");
+  return Resp;
+}
+
 int SchedulingService::processJsonl(std::istream &In, std::ostream &Out,
                                     ServiceEngine DefaultEngine) {
-  struct Pending {
-    bool Valid = false;
-    ServiceRequest Req;
-    ServiceResponse ErrResp;
-  };
-  std::vector<Pending> Batch;
+  std::vector<std::string> Batch;
   std::string Line;
   while (std::getline(In, Line)) {
     const size_t FirstCh = Line.find_first_not_of(" \t\r");
     if (FirstCh == std::string::npos || Line[FirstCh] == '#')
       continue;
-    Pending P;
-    std::string Err;
-    if (parseRequestLine(Line, P.Req, Err, DefaultEngine)) {
-      P.Valid = true;
-    } else {
-      P.ErrResp.Index = static_cast<int>(Batch.size());
-      P.ErrResp.Name = "invalid";
-      P.ErrResp.Error = "bad request: " + Err;
-      Metrics.inc("requests_parse_errors");
-    }
-    Batch.push_back(std::move(P));
+    Batch.push_back(Line);
   }
 
   std::vector<ServiceResponse> Responses(Batch.size());
   const int N = static_cast<int>(Batch.size());
   const std::function<void(int)> Work = [&](int I) {
-    Pending &P = Batch[static_cast<size_t>(I)];
     Responses[static_cast<size_t>(I)] =
-        P.Valid ? handle(P.Req, I) : std::move(P.ErrResp);
+        handleLine(Batch[static_cast<size_t>(I)], I, DefaultEngine);
   };
   if (Workers)
     Workers->run(N, Work);
@@ -668,14 +740,34 @@ void appendCacheJson(std::ostream &OS, const ScheduleCache::Stats &S,
      << '}';
 }
 
+void appendStoreJson(std::ostream &OS, bool Open,
+                     const ScheduleStoreStats &S) {
+  char HitRate[32];
+  std::snprintf(HitRate, sizeof(HitRate), "%.4f", S.hitRate());
+  OS << "{\"open\": " << (Open ? "true" : "false") << ", \"hits\": " << S.Hits
+     << ", \"misses\": " << S.Misses << ", \"appends\": " << S.Appends
+     << ", \"live_keys\": " << S.LiveKeys
+     << ", \"recovered_records\": " << S.RecoveredRecords
+     << ", \"truncated_bytes\": " << S.TruncatedBytes
+     << ", \"compactions\": " << S.Compactions
+     << ", \"log_bytes\": " << S.LogBytes
+     << ", \"dead_bytes\": " << S.DeadBytes << ", \"hit_rate\": " << HitRate
+     << '}';
+}
+
 } // namespace
 
-std::string SchedulingService::metricsJson() const {
+std::string SchedulingService::metricsJson(bool Pretty) const {
+  const char *Sep = Pretty ? ",\n  " : ", ";
   std::ostringstream OS;
-  OS << "{\n  \"jobs\": " << Jobs << ",\n  \"cache\": ";
+  OS << "{" << (Pretty ? "\n  " : "") << "\"jobs\": " << Jobs << Sep
+     << "\"cache\": ";
   appendCacheJson(OS, Cache.stats(), Cache.capacity(), Cache.shards());
-  OS << ",\n  \"front_cache\": ";
+  OS << Sep << "\"front_cache\": ";
   appendCacheJson(OS, Front.stats(), Front.capacity(), Front.shards());
-  OS << ",\n  \"metrics\": " << Metrics.toJson() << "}\n";
+  OS << Sep << "\"store\": ";
+  appendStoreJson(OS, Store.isOpen(), Store.stats());
+  OS << Sep << "\"metrics\": " << Metrics.toJson(Pretty) << "}"
+     << (Pretty ? "\n" : "");
   return OS.str();
 }

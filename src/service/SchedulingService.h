@@ -31,9 +31,13 @@
 #include "machine/MachineModel.h"
 #include "service/Metrics.h"
 #include "service/ScheduleCache.h"
+#include "store/ScheduleStore.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -117,6 +121,13 @@ struct ServiceConfig {
   /// Base exact options; Engine is overridden per request, Deadline per
   /// request from DeadlineMs.
   ExactOptions Exact;
+  /// When non-empty, an append-only persistent schedule store (see
+  /// store/ScheduleStore.h) is mounted at this path as the cache tier
+  /// below the in-memory LRU: schedule-tier misses consult it before
+  /// computing, and every cache-eligible result is written through, so
+  /// warm state survives restarts. Open failures disable the store and
+  /// are reported by storeError().
+  std::string StorePath;
   /// Re-validate every remapped schedule against the request's own
   /// dependence graph before responding (cheap; guards the cache's
   /// canonical-isomorphism remap against fingerprint collisions).
@@ -134,6 +145,15 @@ public:
 
   /// Handles one request synchronously on the calling thread.
   ServiceResponse handle(const ServiceRequest &Request, int Index = 0);
+
+  /// Parses one JSONL request line and handles it; malformed lines become
+  /// the same error responses processJsonl emits. This is the unit of work
+  /// the socket front end (net/EpollServer.h) dispatches per request, so
+  /// the wire path and the JSONL pipe produce byte-identical responses for
+  /// identical lines.
+  ServiceResponse
+  handleLine(const std::string &Line, int Index,
+             ServiceEngine DefaultEngine = ServiceEngine::Slack);
 
   /// Handles a batch on the worker pool; Responses[I] answers Requests[I].
   std::vector<ServiceResponse>
@@ -154,18 +174,45 @@ public:
   int processJsonl(std::istream &In, std::ostream &Out,
                    ServiceEngine DefaultEngine = ServiceEngine::Slack);
 
+  /// Stops admission: accepting() turns false. Requests already inside
+  /// handle() keep running; new callers are expected to check accepting()
+  /// first (the socket front end sheds instead of submitting).
+  void beginDrain();
+
+  /// True until beginDrain()/drain() is called.
+  bool accepting() const;
+
+  /// beginDrain() plus a blocking wait until every in-flight handle()
+  /// call (and therefore every batch) has completed, so each admitted
+  /// request's response exists before the worker pool is torn down. The
+  /// destructor drains before joining the pool and closing the store;
+  /// servers drain on SIGTERM so no admitted request is dropped.
+  void drain();
+
   const ServiceConfig &config() const { return Config; }
   int jobs() const { return Jobs; }
   ScheduleCache::Stats cacheStats() const { return Cache.stats(); }
   ScheduleCache::Stats frontCacheStats() const { return Front.stats(); }
   MetricsRegistry &metrics() { return Metrics; }
 
-  /// Counters, latency histograms, and cache statistics as one JSON
-  /// document.
-  std::string metricsJson() const;
+  /// True when the persistent store is mounted and healthy.
+  bool storeOpen() const { return Store.isOpen(); }
+  /// The open failure that disabled the store ("" when none).
+  const std::string &storeError() const { return StoreOpenError; }
+  ScheduleStoreStats storeStats() const { return Store.stats(); }
+  /// Rewrites the store log to live records only (no-op when unmounted).
+  bool compactStore(std::string &Err) { return Store.compact(Err); }
+
+  /// Counters, gauges, latency histograms, cache and store statistics as
+  /// one JSON document; \p Pretty selects the indented CLI form, false the
+  /// single-line wire form.
+  std::string metricsJson(bool Pretty = true) const;
 
 private:
   class Pool;
+
+  /// RAII in-flight accounting for drain().
+  class InFlightGuard;
 
   ServiceConfig Config;
   int Jobs;
@@ -174,8 +221,16 @@ private:
   /// Deadline-armed (DeadlineMs > 0) requests bypass it, so every entry is
   /// a pure function of the request and replays are bit-exact.
   ShardedLruCache<ServiceResponse> Front;
+  /// The persistent tier below the LRU (unmounted when StorePath is "").
+  ScheduleStore Store;
+  std::string StoreOpenError;
   MetricsRegistry Metrics;
   std::unique_ptr<Pool> Workers;
+
+  std::atomic<bool> Draining{false};
+  std::atomic<long> InFlight{0};
+  mutable std::mutex DrainMu;
+  std::condition_variable DrainCV;
 };
 
 } // namespace lsms

@@ -1,0 +1,408 @@
+#include "store/ScheduleStore.h"
+
+#include "support/Crc32.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace lsms;
+
+//===----------------------------------------------------------------------===//
+// Little-endian serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putU8(std::string &Out, uint8_t V) {
+  Out.push_back(static_cast<char>(V));
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putI32(std::string &Out, int32_t V) { putU32(Out, static_cast<uint32_t>(V)); }
+void putI64(std::string &Out, int64_t V) { putU64(Out, static_cast<uint64_t>(V)); }
+
+/// Bounds-checked little-endian reader over a byte range.
+struct Reader {
+  const unsigned char *P;
+  size_t Len;
+  size_t Off = 0;
+  bool Bad = false;
+
+  bool need(size_t N) {
+    if (Bad || Len - Off < N) {
+      Bad = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return P[Off++];
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(P[Off++]) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(P[Off++]) << (8 * I);
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+};
+
+/// Decodes one record payload. Returns false on any structural problem.
+bool decodePayload(const unsigned char *Data, size_t Len, CacheKey &Key,
+                   CachedSchedule &Value) {
+  Reader R{Data, Len};
+  Key.Hi = R.u64();
+  Key.Lo = R.u64();
+  Key.Aux = R.u64();
+  const uint8_t Version = R.u8();
+  if (R.Bad || Version != ScheduleStore::PayloadVersion)
+    return false;
+  Value = CachedSchedule();
+  const uint8_t Success = R.u8();
+  const uint8_t Proven = R.u8();
+  const uint8_t Cert = R.u8();
+  const uint8_t Status = R.u8();
+  if (Success > 1 || Proven > 1 ||
+      Cert > static_cast<uint8_t>(MaxLiveCertificate::SatUnsatBelow) ||
+      Status > static_cast<uint8_t>(ExactStatus::Timeout))
+    return false;
+  Value.Success = Success;
+  Value.MaxLiveProven = Proven;
+  Value.Certificate = static_cast<MaxLiveCertificate>(Cert);
+  Value.Status = static_cast<ExactStatus>(Status);
+  Value.II = R.i32();
+  Value.MII = R.i32();
+  Value.ResMII = R.i32();
+  Value.RecMII = R.i32();
+  Value.MaxLive = R.i64();
+  const uint32_t NumTimes = R.u32();
+  if (R.Bad || NumTimes > ScheduleStore::MaxPayloadBytes / 4)
+    return false;
+  // Exactly NumTimes i32s must remain — no slack bytes.
+  if (Len - R.Off != static_cast<size_t>(NumTimes) * 4)
+    return false;
+  Value.Times.reserve(NumTimes);
+  for (uint32_t I = 0; I < NumTimes; ++I)
+    Value.Times.push_back(R.i32());
+  return !R.Bad;
+}
+
+} // namespace
+
+void lsms::appendStoreRecord(std::string &Out, const CacheKey &Key,
+                             const CachedSchedule &Value) {
+  std::string Payload;
+  Payload.reserve(64 + Value.Times.size() * 4);
+  putU64(Payload, Key.Hi);
+  putU64(Payload, Key.Lo);
+  putU64(Payload, Key.Aux);
+  putU8(Payload, ScheduleStore::PayloadVersion);
+  putU8(Payload, Value.Success ? 1 : 0);
+  putU8(Payload, Value.MaxLiveProven ? 1 : 0);
+  putU8(Payload, static_cast<uint8_t>(Value.Certificate));
+  putU8(Payload, static_cast<uint8_t>(Value.Status));
+  putI32(Payload, Value.II);
+  putI32(Payload, Value.MII);
+  putI32(Payload, Value.ResMII);
+  putI32(Payload, Value.RecMII);
+  putI64(Payload, Value.MaxLive);
+  putU32(Payload, static_cast<uint32_t>(Value.Times.size()));
+  for (const int T : Value.Times)
+    putI32(Payload, T);
+
+  putU32(Out, ScheduleStore::RecordMagic);
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  putU32(Out, crc32(Payload.data(), Payload.size()));
+  Out += Payload;
+}
+
+//===----------------------------------------------------------------------===//
+// ScheduleStore
+//===----------------------------------------------------------------------===//
+
+ScheduleStore::~ScheduleStore() { close(); }
+
+bool ScheduleStore::isOpen() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Fd >= 0;
+}
+
+bool ScheduleStore::open(const std::string &Path, std::string &Err) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0) {
+    Err = "store already open at '" + LogPath + "'";
+    return false;
+  }
+  const int NewFd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (NewFd < 0) {
+    Err = "cannot open '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+
+  // Read the whole log (records are small; logs are bounded by
+  // compaction) and replay it.
+  std::string Bytes;
+  {
+    char Buf[1 << 16];
+    ssize_t N;
+    while ((N = ::read(NewFd, Buf, sizeof(Buf))) > 0)
+      Bytes.append(Buf, static_cast<size_t>(N));
+    if (N < 0) {
+      Err = "cannot read '" + Path + "': " + std::strerror(errno);
+      ::close(NewFd);
+      return false;
+    }
+  }
+
+  Index.clear();
+  Recovered = 0;
+  Truncated = 0;
+  Dead = 0;
+  const auto *Data = reinterpret_cast<const unsigned char *>(Bytes.data());
+  size_t Off = 0;
+  while (Bytes.size() - Off >= RecordHeaderBytes) {
+    Reader H{Data + Off, RecordHeaderBytes};
+    const uint32_t Magic = H.u32();
+    const uint32_t Len = H.u32();
+    const uint32_t Crc = H.u32();
+    if (Magic != RecordMagic || Len > MaxPayloadBytes ||
+        Len > Bytes.size() - Off - RecordHeaderBytes)
+      break;
+    const unsigned char *Payload = Data + Off + RecordHeaderBytes;
+    if (crc32(Payload, Len) != Crc)
+      break;
+    CacheKey Key;
+    CachedSchedule Value;
+    if (!decodePayload(Payload, Len, Key, Value))
+      break;
+    const long RecordBytes = static_cast<long>(RecordHeaderBytes + Len);
+    const auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Dead += It->second.RecordBytes;
+      It->second = IndexEntry{std::move(Value), RecordBytes};
+    } else {
+      Index.emplace(Key, IndexEntry{std::move(Value), RecordBytes});
+    }
+    ++Recovered;
+    Off += static_cast<size_t>(RecordBytes);
+  }
+  if (Off < Bytes.size()) {
+    // Torn or corrupt tail: drop it so the next append starts on a clean
+    // record boundary.
+    Truncated = static_cast<long>(Bytes.size() - Off);
+    if (::ftruncate(NewFd, static_cast<off_t>(Off)) != 0) {
+      Err = "cannot truncate torn tail of '" + Path +
+            "': " + std::strerror(errno);
+      ::close(NewFd);
+      Index.clear();
+      return false;
+    }
+  }
+  if (::lseek(NewFd, 0, SEEK_END) < 0) {
+    Err = "cannot seek '" + Path + "': " + std::strerror(errno);
+    ::close(NewFd);
+    Index.clear();
+    return false;
+  }
+
+  Fd = NewFd;
+  LogPath = Path;
+  LogSize = static_cast<long>(Off);
+  return true;
+}
+
+void ScheduleStore::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+  Fd = -1;
+  Index.clear();
+}
+
+bool ScheduleStore::get(const CacheKey &Key, CachedSchedule &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return false;
+  const auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++MissCount;
+    return false;
+  }
+  Out = It->second.Value;
+  ++HitCount;
+  return true;
+}
+
+bool ScheduleStore::appendRecordLocked(const CacheKey &Key,
+                                       const CachedSchedule &Value,
+                                       long &RecordBytes) {
+  std::string Record;
+  appendStoreRecord(Record, Key, Value);
+  RecordBytes = static_cast<long>(Record.size());
+  size_t Done = 0;
+  while (Done < Record.size()) {
+    const ssize_t N =
+        ::write(Fd, Record.data() + Done, Record.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  LogSize += RecordBytes;
+  ++AppendCount;
+  return true;
+}
+
+bool ScheduleStore::put(const CacheKey &Key, const CachedSchedule &Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return false;
+  const auto It = Index.find(Key);
+  if (It != Index.end()) {
+    const CachedSchedule &Old = It->second.Value;
+    const bool Same =
+        Old.Success == Value.Success && Old.II == Value.II &&
+        Old.MII == Value.MII && Old.ResMII == Value.ResMII &&
+        Old.RecMII == Value.RecMII && Old.MaxLive == Value.MaxLive &&
+        Old.MaxLiveProven == Value.MaxLiveProven &&
+        Old.Certificate == Value.Certificate && Old.Status == Value.Status &&
+        Old.Times == Value.Times;
+    if (Same)
+      return true; // warm replay: nothing new to persist
+  }
+  long RecordBytes = 0;
+  if (!appendRecordLocked(Key, Value, RecordBytes))
+    return false;
+  if (It != Index.end()) {
+    Dead += It->second.RecordBytes;
+    It->second = IndexEntry{Value, RecordBytes};
+  } else {
+    Index.emplace(Key, IndexEntry{Value, RecordBytes});
+  }
+  // Periodic compaction: once superseded records dominate a log that has
+  // grown past a trivial size, rewrite it. Failure is non-fatal — the log
+  // keeps appending and the next put retries.
+  if (LogSize > (1L << 16) && Dead * 2 > LogSize) {
+    std::string Err;
+    (void)compactLocked(Err);
+  }
+  return true;
+}
+
+bool ScheduleStore::compact(std::string &Err) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0) {
+    Err = "store is closed";
+    return false;
+  }
+  return compactLocked(Err);
+}
+
+bool ScheduleStore::compactLocked(std::string &Err) {
+  // Deterministic record order: sort live keys.
+  std::vector<const std::pair<const CacheKey, IndexEntry> *> Live;
+  Live.reserve(Index.size());
+  for (const auto &KV : Index)
+    Live.push_back(&KV);
+  std::sort(Live.begin(), Live.end(), [](const auto *A, const auto *B) {
+    if (A->first.Hi != B->first.Hi)
+      return A->first.Hi < B->first.Hi;
+    if (A->first.Lo != B->first.Lo)
+      return A->first.Lo < B->first.Lo;
+    return A->first.Aux < B->first.Aux;
+  });
+
+  const std::string TmpPath = LogPath + ".compact";
+  const int TmpFd =
+      ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (TmpFd < 0) {
+    Err = "cannot open '" + TmpPath + "': " + std::strerror(errno);
+    return false;
+  }
+  std::string Bytes;
+  for (const auto *KV : Live)
+    appendStoreRecord(Bytes, KV->first, KV->second.Value);
+  size_t Done = 0;
+  while (Done < Bytes.size()) {
+    const ssize_t N = ::write(TmpFd, Bytes.data() + Done, Bytes.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = "cannot write '" + TmpPath + "': " + std::strerror(errno);
+      ::close(TmpFd);
+      ::unlink(TmpPath.c_str());
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  if (::fsync(TmpFd) != 0 || ::rename(TmpPath.c_str(), LogPath.c_str()) != 0) {
+    Err = "cannot commit '" + TmpPath + "': " + std::strerror(errno);
+    ::close(TmpFd);
+    ::unlink(TmpPath.c_str());
+    return false;
+  }
+  // The renamed file is now the log; keep appending to it.
+  ::close(Fd);
+  Fd = TmpFd;
+  LogSize = static_cast<long>(Bytes.size());
+  Dead = 0;
+  ++CompactionCount;
+  // Record sizes may have changed only if serialization changed; they have
+  // not, but refresh RecordBytes bookkeeping anyway for robustness.
+  return true;
+}
+
+bool ScheduleStore::sync() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return false;
+  return ::fsync(Fd) == 0;
+}
+
+ScheduleStoreStats ScheduleStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ScheduleStoreStats S;
+  S.Hits = HitCount;
+  S.Misses = MissCount;
+  S.Appends = AppendCount;
+  S.LiveKeys = static_cast<long>(Index.size());
+  S.RecoveredRecords = Recovered;
+  S.TruncatedBytes = Truncated;
+  S.Compactions = CompactionCount;
+  S.LogBytes = LogSize;
+  S.DeadBytes = Dead;
+  return S;
+}

@@ -1,0 +1,143 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent content-addressed schedule store: the cache tier below the
+/// scheduling service's in-memory sharded LRU, so certified schedules
+/// survive restarts. The on-disk format is an append-only record log; a
+/// full in-memory index (the latest value per key) is rebuilt on open.
+///
+/// Each record is
+///
+///   u32 magic | u32 payload-length | u32 crc32(payload) | payload
+///
+/// with a little-endian payload of the 192-bit cache key (canonical loop
+/// fingerprint + options aux hash) followed by a versioned serialization
+/// of the CachedSchedule. Recovery scans from the front and stops at the
+/// first record that is short, mis-magicked, CRC-inconsistent, or
+/// undecodable; everything from that offset on is a torn tail and is
+/// truncated away (a crash mid-append loses at most the record being
+/// written, never an earlier one). Re-putting a key appends a superseding
+/// record; compaction rewrites only the live (latest-per-key) records into
+/// a fresh log and atomically renames it into place. put() triggers
+/// compaction automatically once dead bytes dominate a non-trivial log.
+///
+/// Thread-safe: one mutex serializes appends, lookups, and compaction.
+/// Lookups are index reads and never touch the disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_STORE_SCHEDULESTORE_H
+#define LSMS_STORE_SCHEDULESTORE_H
+
+#include "service/ScheduleCache.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lsms {
+
+/// Point-in-time statistics for one ScheduleStore.
+struct ScheduleStoreStats {
+  long Hits = 0;             ///< get() found the key
+  long Misses = 0;           ///< get() did not
+  long Appends = 0;          ///< records appended this session
+  long LiveKeys = 0;         ///< distinct keys in the index
+  long RecoveredRecords = 0; ///< valid records replayed by open()
+  long TruncatedBytes = 0;   ///< torn/corrupt tail bytes dropped by open()
+  long Compactions = 0;      ///< compactions run this session
+  long LogBytes = 0;         ///< current log file size
+  long DeadBytes = 0;        ///< bytes held by superseded records
+
+  double hitRate() const {
+    const long Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// The persistent store. Disabled (all operations no-ops returning false)
+/// until open() succeeds.
+class ScheduleStore {
+public:
+  /// Record header constants, shared with the tests that corrupt logs.
+  static constexpr uint32_t RecordMagic = 0x4C535231; // "LSR1"
+  static constexpr size_t RecordHeaderBytes = 12;
+  /// Serialization version inside the payload.
+  static constexpr uint8_t PayloadVersion = 1;
+  /// Records beyond this are rejected as corrupt (no legal loop body
+  /// approaches it).
+  static constexpr uint32_t MaxPayloadBytes = 1u << 24;
+
+  ScheduleStore() = default;
+  ~ScheduleStore();
+  ScheduleStore(const ScheduleStore &) = delete;
+  ScheduleStore &operator=(const ScheduleStore &) = delete;
+
+  /// Opens (creating if absent) the log at \p Path, replays every valid
+  /// record into the index, and truncates any torn tail. Returns false
+  /// with a diagnostic on I/O errors; the store is then disabled.
+  bool open(const std::string &Path, std::string &Err);
+
+  /// Flushes and closes the log; the store becomes disabled.
+  void close();
+
+  bool isOpen() const;
+  const std::string &path() const { return LogPath; }
+
+  /// Index lookup; copies the latest value for \p Key into \p Out.
+  bool get(const CacheKey &Key, CachedSchedule &Out);
+
+  /// Appends a record for \p Key and updates the index. Appending the
+  /// same key/value pair again is a no-op (keeps replayed warm traffic
+  /// from growing the log). May trigger an automatic compaction. Returns
+  /// false on I/O failure or when closed.
+  bool put(const CacheKey &Key, const CachedSchedule &Value);
+
+  /// Rewrites the log to exactly the live records (deterministic key
+  /// order), fsyncs, and atomically renames it over the old log.
+  bool compact(std::string &Err);
+
+  /// Durably flushes appended records (fsync).
+  bool sync();
+
+  ScheduleStoreStats stats() const;
+
+private:
+  struct KeyHash {
+    size_t operator()(const CacheKey &K) const {
+      uint64_t H = K.Hi ^ (K.Lo * 0x9e3779b97f4a7c15ULL) ^
+                   (K.Aux * 0xff51afd7ed558ccdULL);
+      H ^= H >> 33;
+      return static_cast<size_t>(H);
+    }
+  };
+
+  struct IndexEntry {
+    CachedSchedule Value;
+    long RecordBytes = 0; ///< full on-disk size of the latest record
+  };
+
+  bool appendRecordLocked(const CacheKey &Key, const CachedSchedule &Value,
+                          long &RecordBytes);
+  bool compactLocked(std::string &Err);
+
+  mutable std::mutex Mu;
+  int Fd = -1;
+  std::string LogPath;
+  std::unordered_map<CacheKey, IndexEntry, KeyHash> Index;
+
+  long HitCount = 0, MissCount = 0, AppendCount = 0;
+  long Recovered = 0, Truncated = 0, CompactionCount = 0;
+  long LogSize = 0, Dead = 0;
+};
+
+/// Serializes one record (header + payload) for \p Key and \p Value into
+/// \p Out; exposed so the tests and compaction share the writer.
+void appendStoreRecord(std::string &Out, const CacheKey &Key,
+                       const CachedSchedule &Value);
+
+} // namespace lsms
+
+#endif // LSMS_STORE_SCHEDULESTORE_H

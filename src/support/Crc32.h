@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), used by the
+/// persistent schedule store to detect torn or corrupted log records.
+/// Header-only: the lookup table is built at compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SUPPORT_CRC32_H
+#define LSMS_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace lsms {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> makeCrc32Table() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1u) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+inline constexpr std::array<uint32_t, 256> Crc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/// CRC-32 of \p Size bytes at \p Data. Pass a previous result as \p Seed
+/// to continue a running checksum over split buffers.
+inline uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I < Size; ++I)
+    C = detail::Crc32Table[(C ^ P[I]) & 0xFFu] ^ (C >> 8);
+  return ~C;
+}
+
+} // namespace lsms
+
+#endif // LSMS_SUPPORT_CRC32_H

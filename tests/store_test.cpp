@@ -1,0 +1,322 @@
+//===----------------------------------------------------------------------===//
+/// Tests for the persistent content-addressed schedule store
+/// (store/ScheduleStore.h): round trips across close/reopen, crash-safe
+/// recovery (torn-tail truncation at EVERY byte offset of a trailing
+/// record), CRC and magic corruption rejection, supersede/dedup
+/// accounting, and compaction preserving exactly the live records.
+//===----------------------------------------------------------------------===//
+
+#include "store/ScheduleStore.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace lsms;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "lsms_store_" + Name + ".log";
+}
+
+CacheKey makeKey(uint64_t I) {
+  CacheKey K;
+  K.Hi = 0x1111000000000000ULL + I;
+  K.Lo = 0x2222000000000000ULL ^ (I * 0x9e3779b97f4a7c15ULL);
+  K.Aux = 0x3333000000000000ULL + I * 7;
+  return K;
+}
+
+CachedSchedule makeSched(uint64_t I) {
+  CachedSchedule S;
+  S.Success = true;
+  S.II = static_cast<int>(3 + I % 17);
+  S.MII = static_cast<int>(2 + I % 13);
+  S.ResMII = static_cast<int>(1 + I % 7);
+  S.RecMII = static_cast<int>(1 + I % 5);
+  S.MaxLive = static_cast<long>(10 + I % 23);
+  S.MaxLiveProven = I % 2 == 0;
+  S.Certificate =
+      S.MaxLiveProven ? MaxLiveCertificate::MinAvgMet : MaxLiveCertificate::None;
+  S.Status = I % 3 == 0 ? ExactStatus::Optimal : ExactStatus::Feasible;
+  S.Times.clear();
+  for (uint64_t T = 0; T < I % 6; ++T)
+    S.Times.push_back(static_cast<int>(I * 31 + T));
+  return S;
+}
+
+void expectEqual(const CachedSchedule &A, const CachedSchedule &B) {
+  EXPECT_EQ(A.Success, B.Success);
+  EXPECT_EQ(A.II, B.II);
+  EXPECT_EQ(A.MII, B.MII);
+  EXPECT_EQ(A.ResMII, B.ResMII);
+  EXPECT_EQ(A.RecMII, B.RecMII);
+  EXPECT_EQ(A.MaxLive, B.MaxLive);
+  EXPECT_EQ(A.MaxLiveProven, B.MaxLiveProven);
+  EXPECT_EQ(A.Certificate, B.Certificate);
+  EXPECT_EQ(A.Status, B.Status);
+  EXPECT_EQ(A.Times, B.Times);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+} // namespace
+
+TEST(ScheduleStore, ClosedStoreIsInert) {
+  ScheduleStore Store;
+  EXPECT_FALSE(Store.isOpen());
+  CachedSchedule Out;
+  EXPECT_FALSE(Store.get(makeKey(1), Out));
+  EXPECT_FALSE(Store.put(makeKey(1), makeSched(1)));
+  EXPECT_EQ(Store.stats().LiveKeys, 0);
+}
+
+TEST(ScheduleStore, RoundTripAcrossReopen) {
+  const std::string Path = tempPath("roundtrip");
+  std::remove(Path.c_str());
+  constexpr uint64_t N = 20;
+  {
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err;
+    for (uint64_t I = 0; I < N; ++I)
+      ASSERT_TRUE(Store.put(makeKey(I), makeSched(I)));
+    EXPECT_EQ(Store.stats().Appends, static_cast<long>(N));
+    EXPECT_EQ(Store.stats().LiveKeys, static_cast<long>(N));
+  }
+  ScheduleStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open(Path, Err)) << Err;
+  EXPECT_EQ(Store.stats().RecoveredRecords, static_cast<long>(N));
+  EXPECT_EQ(Store.stats().LiveKeys, static_cast<long>(N));
+  EXPECT_EQ(Store.stats().TruncatedBytes, 0);
+  for (uint64_t I = 0; I < N; ++I) {
+    CachedSchedule Out;
+    ASSERT_TRUE(Store.get(makeKey(I), Out)) << "key " << I;
+    expectEqual(Out, makeSched(I));
+  }
+  CachedSchedule Out;
+  EXPECT_FALSE(Store.get(makeKey(N + 1), Out));
+  EXPECT_EQ(Store.stats().Hits, static_cast<long>(N));
+  EXPECT_EQ(Store.stats().Misses, 1);
+  std::remove(Path.c_str());
+}
+
+TEST(ScheduleStore, IdenticalPutIsDeduplicated) {
+  const std::string Path = tempPath("dedup");
+  std::remove(Path.c_str());
+  ScheduleStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open(Path, Err)) << Err;
+  ASSERT_TRUE(Store.put(makeKey(1), makeSched(1)));
+  const long Bytes = Store.stats().LogBytes;
+  ASSERT_TRUE(Store.put(makeKey(1), makeSched(1))); // identical: no append
+  EXPECT_EQ(Store.stats().Appends, 1);
+  EXPECT_EQ(Store.stats().LogBytes, Bytes);
+  EXPECT_EQ(Store.stats().DeadBytes, 0);
+  std::remove(Path.c_str());
+}
+
+TEST(ScheduleStore, SupersedingPutWinsAcrossReopen) {
+  const std::string Path = tempPath("supersede");
+  std::remove(Path.c_str());
+  {
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err;
+    ASSERT_TRUE(Store.put(makeKey(1), makeSched(1)));
+    ASSERT_TRUE(Store.put(makeKey(1), makeSched(2))); // supersedes
+    EXPECT_EQ(Store.stats().LiveKeys, 1);
+    EXPECT_GT(Store.stats().DeadBytes, 0);
+    CachedSchedule Out;
+    ASSERT_TRUE(Store.get(makeKey(1), Out));
+    expectEqual(Out, makeSched(2));
+  }
+  ScheduleStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open(Path, Err)) << Err;
+  EXPECT_EQ(Store.stats().RecoveredRecords, 2); // both records replayed
+  EXPECT_EQ(Store.stats().LiveKeys, 1);
+  CachedSchedule Out;
+  ASSERT_TRUE(Store.get(makeKey(1), Out));
+  expectEqual(Out, makeSched(2));
+  std::remove(Path.c_str());
+}
+
+TEST(ScheduleStore, TornTailTruncatedAtEveryByteOffset) {
+  const std::string Path = tempPath("torntail");
+  std::remove(Path.c_str());
+  // Two intact records, then every proper prefix of a third.
+  {
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err;
+    ASSERT_TRUE(Store.put(makeKey(1), makeSched(1)));
+    ASSERT_TRUE(Store.put(makeKey(2), makeSched(2)));
+  }
+  const std::string Intact = readFile(Path);
+  std::string Third;
+  appendStoreRecord(Third, makeKey(3), makeSched(3));
+  ASSERT_GT(Third.size(), ScheduleStore::RecordHeaderBytes);
+
+  for (size_t Torn = 1; Torn < Third.size(); ++Torn) {
+    writeFile(Path, Intact + Third.substr(0, Torn));
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err << " torn=" << Torn;
+    EXPECT_EQ(Store.stats().RecoveredRecords, 2) << "torn=" << Torn;
+    EXPECT_EQ(Store.stats().LiveKeys, 2) << "torn=" << Torn;
+    EXPECT_EQ(Store.stats().TruncatedBytes, static_cast<long>(Torn))
+        << "torn=" << Torn;
+    CachedSchedule Out;
+    EXPECT_TRUE(Store.get(makeKey(1), Out));
+    EXPECT_TRUE(Store.get(makeKey(2), Out));
+    EXPECT_FALSE(Store.get(makeKey(3), Out));
+    Store.close();
+    // The torn bytes are physically gone: a second recovery is clean.
+    EXPECT_EQ(readFile(Path).size(), Intact.size()) << "torn=" << Torn;
+  }
+
+  // The full third record, by contrast, recovers.
+  writeFile(Path, Intact + Third);
+  ScheduleStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open(Path, Err)) << Err;
+  EXPECT_EQ(Store.stats().RecoveredRecords, 3);
+  EXPECT_EQ(Store.stats().TruncatedBytes, 0);
+  CachedSchedule Out;
+  ASSERT_TRUE(Store.get(makeKey(3), Out));
+  expectEqual(Out, makeSched(3));
+  std::remove(Path.c_str());
+}
+
+TEST(ScheduleStore, CrcCorruptionCutsOffRecovery) {
+  const std::string Path = tempPath("crc");
+  std::remove(Path.c_str());
+  {
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err;
+    ASSERT_TRUE(Store.put(makeKey(1), makeSched(1)));
+    ASSERT_TRUE(Store.put(makeKey(2), makeSched(2)));
+  }
+  std::string First;
+  appendStoreRecord(First, makeKey(1), makeSched(1));
+  const std::string Intact = readFile(Path);
+
+  // Flip a payload byte of record 1: recovery must reject record 1 AND
+  // everything after it (record boundaries are untrustworthy from there).
+  std::string Corrupt = Intact;
+  Corrupt[ScheduleStore::RecordHeaderBytes + 3] ^= 0x40;
+  writeFile(Path, Corrupt);
+  {
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err;
+    EXPECT_EQ(Store.stats().RecoveredRecords, 0);
+    EXPECT_EQ(Store.stats().LiveKeys, 0);
+    EXPECT_EQ(Store.stats().TruncatedBytes,
+              static_cast<long>(Intact.size()));
+  }
+
+  // Flip a payload byte of record 2 only: record 1 survives.
+  Corrupt = Intact;
+  Corrupt[First.size() + ScheduleStore::RecordHeaderBytes + 3] ^= 0x40;
+  writeFile(Path, Corrupt);
+  {
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err;
+    EXPECT_EQ(Store.stats().RecoveredRecords, 1);
+    EXPECT_EQ(Store.stats().LiveKeys, 1);
+    CachedSchedule Out;
+    EXPECT_TRUE(Store.get(makeKey(1), Out));
+    EXPECT_FALSE(Store.get(makeKey(2), Out));
+  }
+
+  // A wrong magic likewise stops the scan.
+  Corrupt = Intact;
+  Corrupt[First.size()] ^= 0xFF;
+  writeFile(Path, Corrupt);
+  {
+    ScheduleStore Store;
+    std::string Err;
+    ASSERT_TRUE(Store.open(Path, Err)) << Err;
+    EXPECT_EQ(Store.stats().RecoveredRecords, 1);
+    EXPECT_EQ(Store.stats().LiveKeys, 1);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(ScheduleStore, CompactionKeepsExactlyTheLiveRecords) {
+  const std::string Path = tempPath("compact");
+  std::remove(Path.c_str());
+  constexpr uint64_t N = 50;
+  ScheduleStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open(Path, Err)) << Err;
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_TRUE(Store.put(makeKey(I), makeSched(I)));
+  for (uint64_t I = 0; I < N; I += 2) // supersede every even key
+    ASSERT_TRUE(Store.put(makeKey(I), makeSched(I + 100)));
+  const long Before = Store.stats().LogBytes;
+  ASSERT_GT(Store.stats().DeadBytes, 0);
+
+  ASSERT_TRUE(Store.compact(Err)) << Err;
+  EXPECT_EQ(Store.stats().Compactions, 1);
+  EXPECT_EQ(Store.stats().DeadBytes, 0);
+  EXPECT_LT(Store.stats().LogBytes, Before);
+  EXPECT_EQ(Store.stats().LiveKeys, static_cast<long>(N));
+  for (uint64_t I = 0; I < N; ++I) {
+    CachedSchedule Out;
+    ASSERT_TRUE(Store.get(makeKey(I), Out)) << "key " << I;
+    expectEqual(Out, makeSched(I % 2 == 0 ? I + 100 : I));
+  }
+  Store.close();
+
+  // The compacted log replays to the same live set.
+  ScheduleStore Reopened;
+  ASSERT_TRUE(Reopened.open(Path, Err)) << Err;
+  EXPECT_EQ(Reopened.stats().RecoveredRecords, static_cast<long>(N));
+  EXPECT_EQ(Reopened.stats().LiveKeys, static_cast<long>(N));
+  for (uint64_t I = 0; I < N; ++I) {
+    CachedSchedule Out;
+    ASSERT_TRUE(Reopened.get(makeKey(I), Out));
+    expectEqual(Out, makeSched(I % 2 == 0 ? I + 100 : I));
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(ScheduleStore, AutoCompactionReclaimsDeadBytes) {
+  const std::string Path = tempPath("autocompact");
+  std::remove(Path.c_str());
+  ScheduleStore Store;
+  std::string Err;
+  ASSERT_TRUE(Store.open(Path, Err)) << Err;
+  // Alternate two large values under one key until dead bytes dominate a
+  // >64KB log; put() must then compact on its own.
+  CachedSchedule A = makeSched(1), B = makeSched(2);
+  A.Times.assign(2000, 7);
+  B.Times.assign(2000, 9);
+  for (int I = 0; I < 40; ++I)
+    ASSERT_TRUE(Store.put(makeKey(1), I % 2 ? A : B));
+  EXPECT_GE(Store.stats().Compactions, 1);
+  EXPECT_EQ(Store.stats().LiveKeys, 1);
+  CachedSchedule Out;
+  ASSERT_TRUE(Store.get(makeKey(1), Out));
+  expectEqual(Out, A); // I=39 odd: A was written last
+  std::remove(Path.c_str());
+}
