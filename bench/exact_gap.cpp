@@ -7,9 +7,10 @@
 /// Usage: exact_gap [num_loops] [max_ops] [seed] [--jobs N] [--engine E]
 ///
 /// --engine selects the exact decision procedure: bnb (branch-and-bound,
-/// the default), sat (the CDCL encoding), or both — which runs the sweep
-/// once per engine and reports any verdict or II disagreement between the
-/// two (there must be none; they decide the same question).
+/// the default), sat (the CDCL encoding), portfolio (the staged bnb/sat
+/// combination), or both — which runs the sweep once per engine, bnb and
+/// sat and portfolio alike, and reports any verdict or II disagreement
+/// between them (there must be none; they decide the same question).
 ///
 /// The sweep fans out across worker threads (--jobs, or LSMS_JOBS, or the
 /// hardware by default) with results merged in loop order, so the report
@@ -36,7 +37,8 @@ namespace {
 /// certified family minimum, so any violation means one engine's proof
 /// is wrong.
 int reportDisagreements(std::ostream &OS, const OracleReport &Bnb,
-                        const OracleReport &Sat) {
+                        const OracleReport &Sat, const char *NameB,
+                        const char *NameS) {
   int Disagreements = 0;
   for (size_t I = 0; I < Bnb.Cases.size() && I < Sat.Cases.size(); ++I) {
     const OracleCase &B = Bnb.Cases[I];
@@ -48,9 +50,10 @@ int reportDisagreements(std::ostream &OS, const OracleReport &Bnb,
     const bool SFound = S.Status == ExactStatus::Optimal ||
                         S.Status == ExactStatus::Feasible;
     if (BFound != SFound || (BFound && B.ExactII != S.ExactII)) {
-      OS << "  " << B.Name << ": bnb " << exactStatusName(B.Status)
-         << " II=" << B.ExactII << " vs sat " << exactStatusName(S.Status)
-         << " II=" << S.ExactII << "\n";
+      OS << "  " << B.Name << ": " << NameB << " "
+         << exactStatusName(B.Status) << " II=" << B.ExactII << " vs "
+         << NameS << " " << exactStatusName(S.Status) << " II=" << S.ExactII
+         << "\n";
       ++Disagreements;
       continue;
     }
@@ -60,10 +63,11 @@ int reportDisagreements(std::ostream &OS, const OracleReport &Bnb,
     if (!certifiedMaxLiveConsistent(B.ExactMaxLive, B.Certificate,
                                     S.ExactMaxLive, S.Certificate) ||
         (SameKind && B.ExactMaxLive != S.ExactMaxLive)) {
-      OS << "  " << B.Name << ": certified MaxLive inconsistent: bnb "
-         << B.ExactMaxLive << " (" << maxLiveCertificateName(B.Certificate)
-         << ") vs sat " << S.ExactMaxLive << " ("
-         << maxLiveCertificateName(S.Certificate) << ")\n";
+      OS << "  " << B.Name << ": certified MaxLive inconsistent: " << NameB
+         << " " << B.ExactMaxLive << " ("
+         << maxLiveCertificateName(B.Certificate) << ") vs " << NameS << " "
+         << S.ExactMaxLive << " (" << maxLiveCertificateName(S.Certificate)
+         << ")\n";
       ++Disagreements;
     }
   }
@@ -104,7 +108,7 @@ int main(int Argc, char **Argv) {
         Both = true;
       } else if (!parseExactEngine(Name, Options.Exact.Engine)) {
         std::cerr << "exact_gap: unknown engine '" << Name
-                  << "' (expected bnb, sat, or both)\n";
+                  << "' (expected bnb, sat, portfolio, or both)\n";
         return 1;
       }
       continue;
@@ -119,29 +123,36 @@ int main(int Argc, char **Argv) {
     Options.Seed = std::strtoull(Positional[2], nullptr, 0);
   if (Options.NumLoops <= 0 || Options.MaxOps < Options.MinOps) {
     std::cerr << "usage: exact_gap [num_loops] [max_ops] [seed] [--jobs N] "
-                 "[--engine bnb|sat|both]\n";
+                 "[--engine bnb|sat|portfolio|both]\n";
     return 1;
   }
 
   if (Both) {
     OracleOptions SatOptions = Options;
+    OracleOptions PortfolioOptions = Options;
     Options.Exact.Engine = ExactEngineKind::BranchAndBound;
     SatOptions.Exact.Engine = ExactEngineKind::Sat;
+    PortfolioOptions.Exact.Engine = ExactEngineKind::Portfolio;
     const OracleReport Bnb = runOracle(Options);
     const OracleReport Sat = runOracle(SatOptions);
+    const OracleReport Pf = runOracle(PortfolioOptions);
     std::cout << "Slack heuristic vs exact modulo scheduler ("
               << Bnb.Cases.size() << " random loops, <= " << Options.MaxOps
               << " ops, seed " << Options.Seed << ", engine bnb)\n\n";
     printOracleReport(std::cout, Bnb);
-    std::cout << "\nCross-engine check (bnb vs sat, " << Sat.Cases.size()
-              << " loops):\n";
-    const int Disagreements = reportDisagreements(std::cout, Bnb, Sat);
+    std::cout << "\nCross-engine check (bnb vs sat vs portfolio, "
+              << Sat.Cases.size() << " loops):\n";
+    const int Disagreements =
+        reportDisagreements(std::cout, Bnb, Sat, "bnb", "sat") +
+        reportDisagreements(std::cout, Bnb, Pf, "bnb", "portfolio") +
+        reportDisagreements(std::cout, Sat, Pf, "sat", "portfolio");
     std::cout << (Disagreements == 0
                       ? "  engines agree on every non-timeout verdict\n"
                       : "")
               << "  disagreements: " << Disagreements << "\n";
-    const int Bad =
-        validationFailures(Bnb, "bnb") + validationFailures(Sat, "sat");
+    const int Bad = validationFailures(Bnb, "bnb") +
+                    validationFailures(Sat, "sat") +
+                    validationFailures(Pf, "portfolio");
     return Disagreements == 0 && Bad == 0 ? 0 : 1;
   }
 

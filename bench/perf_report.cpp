@@ -1,20 +1,25 @@
 //===----------------------------------------------------------------------===//
 /// \file Scheduling-throughput record for the perf trajectory: times the
-/// heuristic suite sweep, the exact sweeps (branch-and-bound and the SAT
-/// engine), and the full
-/// differential-oracle sweep at jobs=1 and jobs=hardware, and emits the
+/// heuristic suite sweep, the exact sweeps (branch-and-bound, the SAT
+/// engine, and the staged portfolio), and the full differential-oracle
+/// sweep (run on the portfolio engine) at jobs=1 and jobs=N, and emits the
 /// numbers as JSON (checked in at the repo root as BENCH_schedule.json so
 /// later PRs have a baseline to regress against). Also cross-checks that
-/// the oracle report is byte-identical at both job counts.
+/// the oracle report is byte-identical at both job counts, and enforces
+/// the certified-MaxLive ratchet: a full run fails unless the oracle
+/// sweep certifies at least 21 of its 50 loops.
 ///
 /// Usage: perf_report [--smoke] [--jobs N] [--out FILE] [--engine E]
 ///   --smoke     small sizes for the `perf` CTest tier (throughput numbers
 ///               are then NOT representative; the JSON is tagged "smoke")
-///   --jobs N    the "parallel" job count to measure (default: hardware)
+///   --jobs N    the "parallel" job count to measure. Default: 4 in full
+///               mode (pinned so the checked-in par numbers measure the
+///               thread pool, not whatever machine generated them), the
+///               hardware in smoke mode
 ///   --out F     write the JSON to F instead of stdout
-///   --engine E  exact engines to time: bnb, sat, or both (default both —
-///               the JSON then also records that the engines' minimal IIs
-///               agree loop for loop)
+///   --engine E  exact engines to time: bnb, sat, portfolio, or both
+///               (default both = all three — the JSON then also records
+///               that the engines' minimal IIs agree loop for loop)
 //===----------------------------------------------------------------------===//
 
 #include "NetBenchCommon.h"
@@ -82,7 +87,7 @@ int main(int Argc, char **Argv) {
   bool Smoke = false;
   int JobsN = 0;
   const char *OutPath = nullptr;
-  bool RunBnb = true, RunSat = true;
+  bool RunBnb = true, RunSat = true, RunPortfolio = true;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Smoke = true;
@@ -94,21 +99,28 @@ int main(int Argc, char **Argv) {
       const char *Name = Argv[++I];
       ExactEngineKind Engine;
       if (std::strcmp(Name, "both") == 0) {
-        RunBnb = RunSat = true;
+        RunBnb = RunSat = RunPortfolio = true;
       } else if (parseExactEngine(Name, Engine)) {
         RunBnb = Engine == ExactEngineKind::BranchAndBound;
         RunSat = Engine == ExactEngineKind::Sat;
+        RunPortfolio = Engine == ExactEngineKind::Portfolio;
       } else {
         std::cerr << "perf_report: unknown engine '" << Name
-                  << "' (expected bnb, sat, or both)\n";
+                  << "' (expected bnb, sat, portfolio, or both)\n";
         return 1;
       }
     } else {
       std::cerr << "usage: perf_report [--smoke] [--jobs N] [--out FILE] "
-                   "[--engine bnb|sat|both]\n";
+                   "[--engine bnb|sat|portfolio|both]\n";
       return 1;
     }
   }
+  // Full mode pins the parallel job count (default 4) so the checked-in
+  // par/speedup numbers measure the thread pool at a fixed width instead
+  // of degenerating to jobs=1 on single-core builders (which made every
+  // speedup a vacuous 1.00). Smoke mode keeps the hardware default.
+  if (JobsN <= 0 && !Smoke)
+    JobsN = 4;
   JobsN = resolveJobs(JobsN);
 
   const int SuiteLoops = Smoke ? 40 : 300;
@@ -138,8 +150,8 @@ int main(int Argc, char **Argv) {
   }
 
   // -- Exact sweeps: each selected engine to a proven-minimal II. ---------
-  SectionResult ExactBnb, ExactSat;
-  std::vector<int> BnbII, SatII;
+  SectionResult ExactBnb, ExactSat, ExactPortfolio;
+  std::vector<int> BnbII, SatII, PortfolioII;
   {
     const std::vector<LoopBody> Suite =
         buildOracleSuite(ExactLoops, 3, 20, Seed);
@@ -167,9 +179,12 @@ int main(int Argc, char **Argv) {
       sweep(ExactEngineKind::BranchAndBound, ExactBnb, BnbII);
     if (RunSat)
       sweep(ExactEngineKind::Sat, ExactSat, SatII);
+    if (RunPortfolio)
+      sweep(ExactEngineKind::Portfolio, ExactPortfolio, PortfolioII);
   }
-  const bool EnginesCompared = RunBnb && RunSat;
-  const bool EnginesAgree = !EnginesCompared || BnbII == SatII;
+  const bool EnginesCompared = RunBnb && RunSat && RunPortfolio;
+  const bool EnginesAgree =
+      !EnginesCompared || (BnbII == SatII && BnbII == PortfolioII);
 
   // -- Oracle sweep: the full differential run (both schedulers + MaxLive
   // minimization + validation), the exact_gap workload. -------------------
@@ -179,6 +194,11 @@ int main(int Argc, char **Argv) {
   {
     OracleOptions Options;
     Options.NumLoops = OracleLoops;
+    // The oracle's exact side runs on the portfolio engine: feasibility by
+    // branch-and-bound with a SAT fallback, MaxLive certification SAT-first
+    // — the configuration the >=10x sweep throughput and the certified
+    // ratchet are measured against.
+    Options.Exact.Engine = ExactEngineKind::Portfolio;
     std::string Report1, ReportN;
     for (const int Jobs : {1, JobsN}) {
       Options.Jobs = Jobs;
@@ -316,6 +336,12 @@ int main(int Argc, char **Argv) {
        << "  \"oracle_report_byte_identical_across_jobs\": "
        << (ReportsIdentical ? "true" : "false") << ",\n"
        << "  \"oracle_maxlive_certified\": " << CertifiedLoops << ",\n"
+       << "  \"oracle_sweep_loops_per_sec\": "
+       << formatDouble(Oracle.Jobs1Seconds > 0
+                           ? Oracle.Loops / Oracle.Jobs1Seconds
+                           : 0,
+                       1)
+       << ",\n"
        << "  \"oracle_maxlive_cert_minavg\": " << CertMinAvg << ",\n"
        << "  \"oracle_maxlive_cert_family\": " << CertFamily << ",\n";
   if (EnginesCompared)
@@ -329,6 +355,9 @@ int main(int Argc, char **Argv) {
     printSection(JSON, "exact_suite", ExactBnb, JobsN, false);
   if (RunSat)
     printSection(JSON, "exact_suite_sat", ExactSat, JobsN, false);
+  if (RunPortfolio)
+    printSection(JSON, "exact_suite_portfolio", ExactPortfolio, JobsN,
+                 false);
   printSection(JSON, "oracle_sweep", Oracle, JobsN, false);
   JSON << "    \"service\": {\n"
        << "      \"loops\": " << Service.CorpusLoops << ",\n"
@@ -385,6 +414,13 @@ int main(int Argc, char **Argv) {
   } else {
     std::cout << JSON.str();
   }
+  // The certified-MaxLive ratchet: the portfolio oracle sweep must keep
+  // certifying at least as many loops as the pre-portfolio baseline (21 of
+  // 50). Smoke mode sweeps too few loops for the threshold to apply.
+  const bool CertifiedEnough = Smoke || CertifiedLoops >= 21;
+  if (!CertifiedEnough)
+    std::cerr << "perf_report: FAIL oracle sweep certified only "
+              << CertifiedLoops << " loops < 21 (ratchet)\n";
   if (!ServiceByteIdentical)
     std::cerr << "perf_report: FAIL service responses differ across jobs\n";
   if (!ServiceWarmFastEnough)
@@ -401,9 +437,9 @@ int main(int Argc, char **Argv) {
                 << " shed=" << Server.Shed
                 << " recovered=" << Server.RecoveredRecords << ")\n";
   }
-  return ReportsIdentical && EnginesAgree && ServiceByteIdentical &&
-                 ServiceWarmFastEnough && ServerWarmFastEnough &&
-                 Service.Errors == 0
+  return ReportsIdentical && EnginesAgree && CertifiedEnough &&
+                 ServiceByteIdentical && ServiceWarmFastEnough &&
+                 ServerWarmFastEnough && Service.Errors == 0
              ? 0
              : 1;
 }

@@ -3,8 +3,9 @@
 /// Cydrome-style baseline and the unidirectional ablation on the
 /// hand-written kernel suite: achieved II and register pressure per loop.
 /// The "II ex" yardstick column comes from an exact engine selected with
-/// --engine {bnb,sat,both}; both runs the two engines side by side and
-/// reports any disagreement on the proven-minimal II (there must be none).
+/// --engine {bnb,sat,portfolio,both}; both runs all three engines side by
+/// side and reports any disagreement on the proven-minimal II (there must
+/// be none).
 //===----------------------------------------------------------------------===//
 
 #include "bounds/Lifetimes.h"
@@ -54,12 +55,13 @@ int main(int Argc, char **Argv) {
         Both = true;
       } else if (!parseExactEngine(Name, ExactConfig.Engine)) {
         std::cerr << "scheduler_comparison: unknown engine '" << Name
-                  << "' (expected bnb, sat, or both)\n";
+                  << "' (expected bnb, sat, portfolio, or both)\n";
         return 1;
       }
       continue;
     }
-    std::cerr << "usage: scheduler_comparison [--engine bnb|sat|both]\n";
+    std::cerr << "usage: scheduler_comparison "
+                 "[--engine bnb|sat|portfolio|both]\n";
     return 1;
   }
 
@@ -78,14 +80,18 @@ int main(int Argc, char **Argv) {
     const ExactResult Exact = scheduleLoopExact(Graph, ExactConfig);
     std::string ExactII = exactIIString(Exact);
     if (Both) {
-      ExactOptions SatConfig = ExactConfig;
-      SatConfig.Engine = ExactEngineKind::Sat;
-      const ExactResult Sat = scheduleLoopExact(Graph, SatConfig);
-      if (exactIIString(Sat) != ExactII) {
-        std::cerr << Body.Name << ": engines disagree: bnb " << ExactII
-                  << " vs sat " << exactIIString(Sat) << "\n";
-        ++Disagreements;
-        ExactII += "!";
+      for (const ExactEngineKind Other :
+           {ExactEngineKind::Sat, ExactEngineKind::Portfolio}) {
+        ExactOptions OtherConfig = ExactConfig;
+        OtherConfig.Engine = Other;
+        const ExactResult R = scheduleLoopExact(Graph, OtherConfig);
+        if (exactIIString(R) != ExactII) {
+          std::cerr << Body.Name << ": engines disagree: bnb " << ExactII
+                    << " vs " << exactEngineName(Other) << " "
+                    << exactIIString(R) << "\n";
+          ++Disagreements;
+          ExactII += "!";
+        }
       }
     }
     const Row Slack = runOne(Body, Machine, SchedulerOptions::slack());
@@ -113,7 +119,7 @@ int main(int Argc, char **Argv) {
                "cut register pressure;\nwithout them slack scheduling "
                "behaves like Cydrome's scheduler.\n";
   if (Both)
-    std::cout << "\nCross-engine check (bnb vs sat): "
+    std::cout << "\nCross-engine check (bnb vs sat vs portfolio): "
               << (Disagreements == 0 ? "engines agree on every kernel"
                                      : "DISAGREEMENTS FOUND")
               << "\n";

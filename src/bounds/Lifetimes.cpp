@@ -62,6 +62,54 @@ PressureInfo lsms::computePressure(const LoopBody &Body,
   return Info;
 }
 
+long lsms::computeMaxLive(const LoopBody &Body,
+                          const std::vector<int> &Times, int II,
+                          RegClass Class, PressureScratch &Scratch) {
+  assert(II > 0 && "bad initiation interval");
+  assert(Times.size() == static_cast<size_t>(Body.numOps()) &&
+         "times must cover every operation");
+
+  std::vector<long> &End = Scratch.End;
+  std::vector<long> &Live = Scratch.Live;
+  End.assign(static_cast<size_t>(Body.numValues()), LONG_MIN);
+  Live.assign(static_cast<size_t>(II), 0);
+
+  auto Record = [&](int ValueId, int UserOp, int Omega) {
+    if (Body.value(ValueId).Class != Class)
+      return;
+    const long UseEnd = static_cast<long>(Times[static_cast<size_t>(UserOp)]) +
+                        static_cast<long>(Omega) * II;
+    End[static_cast<size_t>(ValueId)] =
+        std::max(End[static_cast<size_t>(ValueId)], UseEnd);
+  };
+  for (const Operation &Op : Body.Ops) {
+    for (const Use &U : Op.Operands)
+      Record(U.Value, Op.Id, U.Omega);
+    if (Op.PredValue >= 0)
+      Record(Op.PredValue, Op.Id, Op.PredOmega);
+  }
+
+  long WholeSum = 0; // full-II wraps contribute to every column equally
+  for (const Value &V : Body.Values) {
+    if (V.Class != Class || End[static_cast<size_t>(V.Id)] == LONG_MIN)
+      continue;
+    const long DefTime = Times[static_cast<size_t>(V.Def)];
+    const long Length = End[static_cast<size_t>(V.Id)] - DefTime;
+    assert(Length >= 0 && "use precedes definition in schedule");
+    WholeSum += Length / II;
+    const long Rem = Length % II;
+    for (long K = 0; K < Rem; ++K) {
+      const long Col = (DefTime + K) % II;
+      ++Live[static_cast<size_t>((Col + II) % II)];
+    }
+  }
+
+  long MaxLive = 0;
+  for (long L : Live)
+    MaxLive = std::max(MaxLive, L);
+  return MaxLive + WholeSum;
+}
+
 long lsms::computeMinLT(const DepGraph &Graph, const MinDistMatrix &MinDist,
                         int ValueId) {
   const long II = MinDist.initiationInterval();

@@ -40,6 +40,20 @@ PressureInfo computePressure(const LoopBody &Body,
                              const std::vector<int> &Times, int II,
                              RegClass Class);
 
+/// Reusable buffers for computeMaxLive. The branch-and-bound family
+/// enumeration evaluates pressure at every leaf; routing those calls
+/// through one scratch keeps the inner loop allocation-free.
+struct PressureScratch {
+  std::vector<long> End;
+  std::vector<long> Live;
+};
+
+/// MaxLive of computePressure's LiveVector, and nothing else: same
+/// lifetime accounting, no per-value lengths or averages, buffers reused
+/// from \p Scratch.
+long computeMaxLive(const LoopBody &Body, const std::vector<int> &Times,
+                    int II, RegClass Class, PressureScratch &Scratch);
+
 /// Schedule-independent lower bound on the lifetime of \p ValueId at the
 /// MinDist matrix's II: max over flow dependences (omega*II +
 /// MinDist(def, use)) (Section 5.1). Returns 0 for values without uses.

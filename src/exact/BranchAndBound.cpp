@@ -39,10 +39,11 @@ long tighten(long C, long D, long II) {
 class ExactSolver {
 public:
   ExactSolver(const DepGraph &Graph, const MinDistMatrix &MinDist,
-              const std::vector<int> &FuInstance, long NodeBudget)
+              const std::vector<int> &FuInstance, long NodeBudget,
+              const std::atomic<bool> *Stop)
       : Graph(Graph), Body(Graph.body()), Machine(Graph.machine()),
         MinDist(MinDist), FuInstance(FuInstance), NodeBudget(NodeBudget),
-        II(MinDist.initiationInterval()), N(Body.numOps()),
+        Stop(Stop), II(MinDist.initiationInterval()), N(Body.numOps()),
         Mrt(Machine, II) {}
 
   /// Decides schedulability; fills \p TimesOut on success.
@@ -74,6 +75,7 @@ private:
   const MinDistMatrix &MinDist;
   const std::vector<int> &FuInstance;
   const long NodeBudget;
+  const std::atomic<bool> *Stop; ///< cooperative cancellation, may be null
   const int II;
   const int N;
 
@@ -102,6 +104,21 @@ private:
   std::vector<int> RealOps;    ///< real ops ascending, family branch order
   std::vector<long> FamTime;   ///< per-op issue time of the member prefix
   std::vector<int> MemberBuf;  ///< materialized member, pseudo-ops derived
+  std::vector<int> LeafBuf;    ///< pressure-leaf canonical times scratch
+  PressureScratch Pressure;    ///< computeMaxLive buffers, reused per leaf
+  // tryPlace scratch: all uses finish before the recursive dfs call, so
+  // one set of buffers serves every depth.
+  std::vector<long> InBuf, OutBuf, ABuf, BBuf;
+
+  /// True once the external stop token fires; folded into TimedOut so
+  /// both report the budget-style "no claim" verdict.
+  bool stopRequested() {
+    if (Stop && Stop->load(std::memory_order_relaxed)) {
+      TimedOut = true;
+      return true;
+    }
+    return false;
+  }
 };
 
 void ExactSolver::buildOrder(Mode M) {
@@ -239,7 +256,7 @@ long ExactSolver::pressureLowerBound(const std::vector<long> &T) const {
 /// by II preserve residues, so the resource table stays satisfied too).
 /// Every candidate time costs one node from the shared budget.
 void ExactSolver::familyDfs(size_t Idx, const std::vector<long> &T) {
-  if (TimedOut || StopSearch)
+  if (TimedOut || StopSearch || stopRequested())
     return;
   if (Idx == RealOps.size()) {
     evaluateFamilyMember();
@@ -300,7 +317,7 @@ void ExactSolver::evaluateFamilyMember() {
     MemberBuf[static_cast<size_t>(X)] = static_cast<int>(TX);
   }
   const long MaxLive =
-      computePressure(Body, MemberBuf, II, RegClass::RR).MaxLive;
+      computeMaxLive(Body, MemberBuf, II, RegClass::RR, Pressure);
   FamilyBest = std::min(FamilyBest, MaxLive);
   if (MaxLive < BestMaxLive) {
     BestMaxLive = MaxLive;
@@ -318,10 +335,11 @@ bool ExactSolver::tryPlace(int V, int Rho_, size_t Depth) {
   // every placed op, closed through the existing matrix. A positive cycle
   // (necessarily a multiple of II) means no integer times realize these
   // residues.
-  std::vector<long> In(static_cast<size_t>(N), NoPath);
-  std::vector<long> Out(static_cast<size_t>(N), NoPath);
-  std::vector<long> A(static_cast<size_t>(N), NoPath);
-  std::vector<long> B(static_cast<size_t>(N), NoPath);
+  std::vector<long> &In = InBuf, &Out = OutBuf, &A = ABuf, &B = BBuf;
+  In.assign(static_cast<size_t>(N), NoPath);
+  Out.assign(static_cast<size_t>(N), NoPath);
+  A.assign(static_cast<size_t>(N), NoPath);
+  B.assign(static_cast<size_t>(N), NoPath);
   for (int X : Placed) {
     if (MinDist.connected(X, V))
       A[static_cast<size_t>(X)] =
@@ -386,7 +404,7 @@ bool ExactSolver::tryPlace(int V, int Rho_, size_t Depth) {
 }
 
 bool ExactSolver::dfs(size_t Depth) {
-  if (TimedOut || StopSearch)
+  if (TimedOut || StopSearch || stopRequested())
     return false;
 
   if (Depth == Order.size()) {
@@ -401,7 +419,7 @@ bool ExactSolver::dfs(size_t Depth) {
     // assignment whose canonical times overrun some Lstart has an empty
     // family; its canonical leaf is still evaluated so the incumbent stays
     // at least as good as the earliest-time search found.
-    std::vector<int> Times;
+    std::vector<int> &Times = LeafBuf;
     leafTimes(TStack[Depth], Times);
     bool InFamily = true;
     for (int X : RealOps)
@@ -409,7 +427,7 @@ bool ExactSolver::dfs(size_t Depth) {
                                  LstartBuf[static_cast<size_t>(X)];
     if (!InFamily) {
       const long MaxLive =
-          computePressure(Body, Times, II, RegClass::RR).MaxLive;
+          computeMaxLive(Body, Times, II, RegClass::RR, Pressure);
       if (MaxLive < BestMaxLive) {
         BestMaxLive = MaxLive;
         BestTimes = Times;
@@ -520,11 +538,12 @@ ExactStatus lsms::solveAtIIBranchAndBound(const DepGraph &Graph,
                                           const std::vector<int> &FuInstance,
                                           long NodeBudget,
                                           std::vector<int> &TimesOut,
-                                          long &Nodes) {
+                                          long &Nodes,
+                                          const std::atomic<bool> *Stop) {
   assert(MinDist.initiationInterval() > 0 &&
          MinDist.numOps() == Graph.numOps() &&
          "MinDist must hold the relation at the candidate II");
-  ExactSolver Solver(Graph, MinDist, FuInstance, NodeBudget);
+  ExactSolver Solver(Graph, MinDist, FuInstance, NodeBudget, Stop);
   return Solver.solve(TimesOut, Nodes);
 }
 
@@ -532,8 +551,8 @@ ExactStatus lsms::minimizeMaxLiveBranchAndBound(
     const DepGraph &Graph, const MinDistMatrix &MinDist,
     const std::vector<int> &FuInstance, long NodeBudget,
     std::vector<int> &TimesInOut, long &MaxLiveInOut, long &Nodes,
-    bool &FamilyCertifiedOut) {
-  ExactSolver Solver(Graph, MinDist, FuInstance, NodeBudget);
+    bool &FamilyCertifiedOut, const std::atomic<bool> *Stop) {
+  ExactSolver Solver(Graph, MinDist, FuInstance, NodeBudget, Stop);
   return Solver.minimize(TimesInOut, MaxLiveInOut, Nodes,
                          FamilyCertifiedOut);
 }

@@ -36,6 +36,7 @@
 
 #include "exact/ExactEngine.h"
 
+#include <atomic>
 #include <vector>
 
 namespace lsms {
@@ -44,12 +45,14 @@ namespace lsms {
 /// already hold the relation at that II) for the functional-unit
 /// assignment \p FuInstance. Returns Optimal (\p TimesOut filled),
 /// Infeasible, or Timeout; \p Nodes is incremented by the candidate
-/// residues evaluated. Deterministic.
+/// residues evaluated. Deterministic. A set \p Stop flag (portfolio
+/// cancellation) surfaces as Timeout.
 ExactStatus solveAtIIBranchAndBound(const DepGraph &Graph,
                                     const MinDistMatrix &MinDist,
                                     const std::vector<int> &FuInstance,
                                     long NodeBudget,
-                                    std::vector<int> &TimesOut, long &Nodes);
+                                    std::vector<int> &TimesOut, long &Nodes,
+                                    const std::atomic<bool> *Stop = nullptr);
 
 /// Minimizes MaxLive at the II of \p MinDist, seeded with the legal
 /// schedule in \p TimesInOut. Returns Optimal when the search space was
@@ -60,13 +63,11 @@ ExactStatus solveAtIIBranchAndBound(const DepGraph &Graph,
 /// (a member achieving it was found and the exhausted search excluded
 /// anything smaller); it stays false when the incumbent — which may issue
 /// past the canonical makespan — beat every family member.
-ExactStatus minimizeMaxLiveBranchAndBound(const DepGraph &Graph,
-                                          const MinDistMatrix &MinDist,
-                                          const std::vector<int> &FuInstance,
-                                          long NodeBudget,
-                                          std::vector<int> &TimesInOut,
-                                          long &MaxLiveInOut, long &Nodes,
-                                          bool &FamilyCertifiedOut);
+ExactStatus minimizeMaxLiveBranchAndBound(
+    const DepGraph &Graph, const MinDistMatrix &MinDist,
+    const std::vector<int> &FuInstance, long NodeBudget,
+    std::vector<int> &TimesInOut, long &MaxLiveInOut, long &Nodes,
+    bool &FamilyCertifiedOut, const std::atomic<bool> *Stop = nullptr);
 
 } // namespace lsms
 

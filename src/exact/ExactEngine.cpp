@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <memory>
 
 using namespace lsms;
 
@@ -32,6 +33,8 @@ const char *lsms::exactEngineName(ExactEngineKind Engine) {
     return "bnb";
   case ExactEngineKind::Sat:
     return "sat";
+  case ExactEngineKind::Portfolio:
+    return "portfolio";
   }
   return "?";
 }
@@ -43,6 +46,10 @@ bool lsms::parseExactEngine(const char *Name, ExactEngineKind &Engine) {
   }
   if (std::strcmp(Name, "sat") == 0) {
     Engine = ExactEngineKind::Sat;
+    return true;
+  }
+  if (std::strcmp(Name, "portfolio") == 0) {
+    Engine = ExactEngineKind::Portfolio;
     return true;
   }
   return false;
@@ -90,6 +97,50 @@ bool lsms::certifiedMaxLiveConsistent(long MaxLiveA, MaxLiveCertificate A,
 
 namespace {
 
+/// Folds one SAT engine's per-call counter deltas into the unified stats.
+void accumulateSat(ExactEngineStats &Stats, const SatEngineStats &Sat) {
+  Stats.Conflicts += Sat.Conflicts;
+  Stats.Propagations += Sat.Propagations;
+  Stats.Decisions += Sat.Decisions;
+  Stats.Restarts += Sat.Restarts;
+  Stats.LearnedClauses += Sat.Learned;
+  Stats.Refinements += Sat.Refinements;
+  Stats.SatVariables = Sat.Variables;
+  Stats.SatClauses = Sat.Clauses;
+}
+
+/// Folds a MaxLive-certification run's counters into the unified stats.
+void accumulateMaxLiveSat(ExactEngineStats &Stats,
+                          const SatMaxLiveResult &R) {
+  Stats.Conflicts += R.Stats.Conflicts;
+  Stats.Propagations += R.Stats.Propagations;
+  Stats.Decisions += R.Stats.Decisions;
+  Stats.Restarts += R.Stats.Restarts;
+  Stats.LearnedClauses += R.Stats.Learned;
+  Stats.Refinements += R.Stats.Refinements;
+  Stats.SatVariables = R.Stats.Variables;
+  Stats.SatClauses = R.Stats.Clauses;
+}
+
+/// State shared across one II ladder: the functional-unit assignment is
+/// computed once, and the SAT engine keeps a persistent incremental
+/// SatIILadder so the pairwise at-most-one core and every learned clause
+/// survive from rung to rung (assumption-based solving retires only the
+/// rung-specific guarded clauses).
+struct LadderContext {
+  explicit LadderContext(const DepGraph &Graph)
+      : FuInstance(assignFunctionalUnits(Graph.body(), Graph.machine())) {}
+
+  SatIILadder &ladder(const DepGraph &Graph) {
+    if (!Ladder)
+      Ladder.reset(new SatIILadder(Graph, FuInstance));
+    return *Ladder;
+  }
+
+  std::vector<int> FuInstance;
+  std::unique_ptr<SatIILadder> Ladder; ///< created on first SAT use
+};
+
 /// Runs the engine-selected MaxLive-minimization pass at the II of
 /// \p MinDist, seeded with the legal schedule in \p Times (pressure
 /// \p MaxLive). Updates both in place with the best found and reports the
@@ -112,11 +163,11 @@ ExactStatus runMaxLivePass(const DepGraph &Graph, const MinDistMatrix &MinDist,
     return ExactStatus::Optimal;
   }
 
-  if (Options.Engine == ExactEngineKind::BranchAndBound) {
+  const auto RunBnB = [&]() {
     bool FamilyCertified = false;
     const ExactStatus St = minimizeMaxLiveBranchAndBound(
         Graph, MinDist, FuInstance, Options.MaxLiveNodeBudget, Times, MaxLive,
-        Stats.Nodes, FamilyCertified);
+        Stats.Nodes, FamilyCertified, Options.Stop);
     if (St != ExactStatus::Optimal)
       return ExactStatus::Timeout;
     if (MaxLive <= MinAvg)
@@ -124,25 +175,30 @@ ExactStatus runMaxLivePass(const DepGraph &Graph, const MinDistMatrix &MinDist,
     else if (FamilyCertified)
       Certificate = MaxLiveCertificate::BnBExhausted;
     return ExactStatus::Optimal;
-  }
+  };
 
-  const SatMaxLiveResult R =
-      minimizeMaxLiveSat(Graph, MinDist, FuInstance,
-                         Options.MaxLiveConflictBudget, MinAvg, MaxLive);
-  Stats.Conflicts += R.Stats.Conflicts;
-  Stats.Propagations += R.Stats.Propagations;
-  Stats.Decisions += R.Stats.Decisions;
-  Stats.Restarts += R.Stats.Restarts;
-  Stats.LearnedClauses += R.Stats.Learned;
-  Stats.Refinements += R.Stats.Refinements;
-  Stats.SatVariables = R.Stats.Variables;
-  Stats.SatClauses = R.Stats.Clauses;
+  if (Options.Engine == ExactEngineKind::BranchAndBound)
+    return RunBnB();
+
+  // SAT cardinality walk, warm-started from the incumbent's pressure (for
+  // the portfolio that incumbent may come from the other engine — this is
+  // the bnb-to-sat half of the fact sharing).
+  const SatMaxLiveResult R = minimizeMaxLiveSat(
+      Graph, MinDist, FuInstance, Options.MaxLiveConflictBudget, MinAvg,
+      MaxLive, Options.Stop);
+  accumulateMaxLiveSat(Stats, R);
   if (R.FamilyMin >= 0 && R.FamilyMin < MaxLive) {
     MaxLive = R.FamilyMin;
     Times = R.Times;
   }
-  if (!R.SearchComplete)
-    return ExactStatus::Timeout;
+  if (!R.SearchComplete) {
+    if (Options.Engine != ExactEngineKind::Portfolio)
+      return ExactStatus::Timeout;
+    // Portfolio fallback: hand branch-and-bound the best SAT witness as
+    // its incumbent (the sat-to-bnb half of the fact sharing) and let it
+    // finish the family proof.
+    return RunBnB();
+  }
   // Search complete: every family member with pressure below the seed was
   // either found (and is now MaxLive) or refuted. Certify only when the
   // reported value is itself achieved inside the family (FamilyMin ==
@@ -152,6 +208,70 @@ ExactStatus runMaxLivePass(const DepGraph &Graph, const MinDistMatrix &MinDist,
     Certificate = MaxLive <= MinAvg ? MaxLiveCertificate::MinAvgMet
                                     : MaxLiveCertificate::SatUnsatBelow;
   return ExactStatus::Optimal;
+}
+
+/// The fixed-II decision procedure behind solveAtII. \p Ctx carries the
+/// functional-unit assignment and the incremental SAT ladder across rungs;
+/// a null context gets a one-shot local one (same verdicts, no reuse).
+ExactStatus solveAtIIImpl(const DepGraph &Graph, int II,
+                          const ExactOptions &Options, MinDistMatrix &MinDist,
+                          std::vector<int> &TimesOut, ExactEngineStats &Stats,
+                          LadderContext *Ctx) {
+  // Shared pre-checks: both engines assume a positive-cycle-free MinDist
+  // relation and a reservation that fits, so verdicts can only differ if
+  // one of the complete decision procedures is wrong.
+  if (II <= 0)
+    return ExactStatus::Infeasible;
+  if (!MinDist.compute(Graph, II))
+    return ExactStatus::Infeasible; // II below RecMII: positive cycle
+  const LoopBody &Body = Graph.body();
+  const MachineModel &Machine = Graph.machine();
+  for (const Operation &Op : Body.Ops)
+    if (Machine.reservationCycles(Op.Opc) > II)
+      return ExactStatus::Infeasible; // non-pipelined op cannot fit
+  std::unique_ptr<LadderContext> OwnCtx;
+  if (!Ctx) {
+    OwnCtx.reset(new LadderContext(Graph));
+    Ctx = OwnCtx.get();
+  }
+
+  const auto RunBnB = [&]() {
+    return solveAtIIBranchAndBound(Graph, MinDist, Ctx->FuInstance,
+                                   Options.NodeBudget, TimesOut, Stats.Nodes,
+                                   Options.Stop);
+  };
+  const auto RunSat = [&]() {
+    SatIILadder &Ladder = Ctx->ladder(Graph);
+    Ladder.setStopFlag(Options.Stop);
+    SatEngineStats Sat;
+    const SatScheduleStatus St =
+        Ladder.solveAtII(MinDist, Options.SatConflictBudget, TimesOut, Sat);
+    accumulateSat(Stats, Sat);
+    switch (St) {
+    case SatScheduleStatus::Scheduled:
+      return ExactStatus::Optimal;
+    case SatScheduleStatus::Infeasible:
+      return ExactStatus::Infeasible;
+    case SatScheduleStatus::Budget:
+      return ExactStatus::Timeout;
+    }
+    return ExactStatus::Timeout;
+  };
+
+  switch (Options.Engine) {
+  case ExactEngineKind::BranchAndBound:
+    return RunBnB();
+  case ExactEngineKind::Sat:
+    return RunSat();
+  case ExactEngineKind::Portfolio: {
+    // Branch-and-bound first (fastest on shallow residue spaces), the SAT
+    // engine only when its node budget gave out. Both stages answer the
+    // identical decision question, so the hand-off cannot change verdicts.
+    const ExactStatus St = RunBnB();
+    return St == ExactStatus::Timeout ? RunSat() : St;
+  }
+  }
+  return ExactStatus::Timeout;
 }
 
 } // namespace
@@ -181,44 +301,8 @@ ExactStatus lsms::solveAtII(const DepGraph &Graph, int II,
                             MinDistMatrix &MinDist,
                             std::vector<int> &TimesOut,
                             ExactEngineStats &Stats) {
-  // Shared pre-checks: both engines assume a positive-cycle-free MinDist
-  // relation and a reservation that fits, so verdicts can only differ if
-  // one of the complete decision procedures is wrong.
-  if (II <= 0)
-    return ExactStatus::Infeasible;
-  if (!MinDist.compute(Graph, II))
-    return ExactStatus::Infeasible; // II below RecMII: positive cycle
-  const LoopBody &Body = Graph.body();
-  const MachineModel &Machine = Graph.machine();
-  for (const Operation &Op : Body.Ops)
-    if (Machine.reservationCycles(Op.Opc) > II)
-      return ExactStatus::Infeasible; // non-pipelined op cannot fit
-  const std::vector<int> FuInstance = assignFunctionalUnits(Body, Machine);
-
-  if (Options.Engine == ExactEngineKind::BranchAndBound)
-    return solveAtIIBranchAndBound(Graph, MinDist, FuInstance,
-                                   Options.NodeBudget, TimesOut, Stats.Nodes);
-
-  SatEngineStats Sat;
-  const SatScheduleStatus St = scheduleAtIISat(
-      Graph, MinDist, FuInstance, Options.SatConflictBudget, TimesOut, Sat);
-  Stats.Conflicts += Sat.Conflicts;
-  Stats.Propagations += Sat.Propagations;
-  Stats.Decisions += Sat.Decisions;
-  Stats.Restarts += Sat.Restarts;
-  Stats.LearnedClauses += Sat.Learned;
-  Stats.Refinements += Sat.Refinements;
-  Stats.SatVariables = Sat.Variables;
-  Stats.SatClauses = Sat.Clauses;
-  switch (St) {
-  case SatScheduleStatus::Scheduled:
-    return ExactStatus::Optimal;
-  case SatScheduleStatus::Infeasible:
-    return ExactStatus::Infeasible;
-  case SatScheduleStatus::Budget:
-    return ExactStatus::Timeout;
-  }
-  return ExactStatus::Timeout;
+  return solveAtIIImpl(Graph, II, Options, MinDist, TimesOut, Stats,
+                       /*Ctx=*/nullptr);
 }
 
 ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
@@ -235,8 +319,12 @@ ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
   bool AnyTimeout = false;
   bool Found = false;
   // One matrix across the II ladder: the SCC condensation is II-independent
-  // and stays cached, so each attempt only refreshes omega-arc weights.
+  // and stays cached, so each attempt only refreshes omega-arc weights. The
+  // context likewise persists the functional-unit assignment and the
+  // incremental SAT ladder, so SAT rungs share one clause core and keep
+  // every learned clause.
   MinDistMatrix MinDist;
+  LadderContext Ctx(Graph);
   for (int II = Sched.MII; II <= MaxII; ++II) {
     if (Options.hasDeadline() &&
         std::chrono::steady_clock::now() >= Options.Deadline) {
@@ -247,8 +335,8 @@ ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
     ++Result.IIAttempts;
     Sched.II = II;
     const ExactStatus St =
-        solveAtII(Graph, II, Options, MinDist, Sched.Times,
-                  Result.EngineStats);
+        solveAtIIImpl(Graph, II, Options, MinDist, Sched.Times,
+                      Result.EngineStats, &Ctx);
     if (St == ExactStatus::Optimal) {
       Found = true;
       break;
@@ -278,14 +366,13 @@ ExactResult lsms::scheduleLoopExact(const DepGraph &Graph,
   Result.MinAvgAtII = computeMinAvg(Graph, MinDist);
 
   if (Options.MinimizeMaxLive) {
-    // The pressure-minimization pass runs on the same engine that decided
-    // feasibility: branch-and-bound enumerates the issue-time family under
-    // incumbent pruning, the SAT engine probes "MaxLive <= k" cardinality
-    // encodings downward. Either way the certificate claims the same
-    // family minimum.
-    const std::vector<int> FuInstance =
-        assignFunctionalUnits(Graph.body(), Graph.machine());
-    runMaxLivePass(Graph, MinDist, Options, FuInstance, Sched.Times,
+    // The pressure-minimization pass runs on the same engine selection
+    // that decided feasibility: branch-and-bound enumerates the issue-time
+    // family under incumbent pruning, the SAT engine probes "MaxLive <= k"
+    // cardinality encodings downward, and the portfolio stages SAT first
+    // with a branch-and-bound finisher. Either way the certificate claims
+    // the same family minimum.
+    runMaxLivePass(Graph, MinDist, Options, Ctx.FuInstance, Sched.Times,
                    Result.MaxLive, Result.MinAvgAtII, Result.EngineStats,
                    Result.Certificate);
     Result.NodesExplored = Result.EngineStats.primary(Options.Engine);

@@ -18,6 +18,18 @@
 /// scheduleLoopExact iterates the II ladder (in steps of 1 — exactness
 /// requires visiting every II) with whichever engine is selected.
 ///
+/// A third selection, Portfolio, combines them: branch-and-bound decides
+/// feasibility first (it is fastest on the kernel suite's shallow
+/// residue spaces) with the SAT engine as the fallback when its node
+/// budget runs out, and the MaxLive pass runs SAT-first (the incremental
+/// cardinality walk, warm-started from the incumbent schedule's pressure)
+/// with branch-and-bound as the fallback, seeded with the best SAT
+/// witness. Facts flow both ways across the engines — incumbents tighten
+/// SAT upper bounds, SAT witnesses seed branch-and-bound incumbents — and
+/// the staged dispatch is deterministic: both stages are deterministic
+/// and the hand-off depends only on their verdicts, never on wall-clock.
+/// ExactOptions::Stop arms cooperative cancellation for racing callers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSMS_EXACT_EXACTENGINE_H
@@ -28,6 +40,7 @@
 #include "graph/MinDist.h"
 #include "ir/DepGraph.h"
 
+#include <atomic>
 #include <chrono>
 #include <vector>
 
@@ -48,6 +61,7 @@ const char *exactStatusName(ExactStatus Status);
 enum class ExactEngineKind : uint8_t {
   BranchAndBound, ///< residue-space branch-and-bound (the default)
   Sat,            ///< CDCL SAT over (operation, residue) Booleans
+  Portfolio,      ///< staged bnb/sat combination with fact sharing
 };
 
 /// How a minimized MaxLive was proven. MinAvgMet certifies global
@@ -89,11 +103,11 @@ bool maxLiveCertificatesAgree(MaxLiveCertificate A, MaxLiveCertificate B);
 bool certifiedMaxLiveConsistent(long MaxLiveA, MaxLiveCertificate A,
                                 long MaxLiveB, MaxLiveCertificate B);
 
-/// Returns "bnb" or "sat" (the --engine spellings).
+/// Returns "bnb", "sat", or "portfolio" (the --engine spellings).
 const char *exactEngineName(ExactEngineKind Engine);
 
-/// Parses an --engine spelling ("bnb" or "sat"). Returns false on an
-/// unknown name, leaving \p Engine untouched.
+/// Parses an --engine spelling ("bnb", "sat", or "portfolio"). Returns
+/// false on an unknown name, leaving \p Engine untouched.
 bool parseExactEngine(const char *Name, ExactEngineKind &Engine);
 
 /// Knobs for the exact scheduler, engine selection included.
@@ -141,6 +155,13 @@ struct ExactOptions {
   bool hasDeadline() const {
     return Deadline != std::chrono::steady_clock::time_point{};
   }
+
+  /// Optional cooperative cancellation token, polled by both engines on
+  /// their hot loops. A set flag makes the current attempt report Timeout
+  /// promptly. Unlike Deadline this is caller-driven, so determinism is
+  /// exactly as deterministic as the caller's trigger; leave null for the
+  /// byte-identical-reports guarantee.
+  const std::atomic<bool> *Stop = nullptr;
 };
 
 /// Per-engine search statistics, unified so callers can report effort
@@ -158,9 +179,17 @@ struct ExactEngineStats {
   long SatClauses = 0;    ///< SAT: problem clauses in the last encoding
 
   /// The engine's primary effort metric: nodes for branch-and-bound,
-  /// conflicts for SAT.
+  /// conflicts for SAT, their sum for the portfolio (both stages spend).
   long primary(ExactEngineKind Engine) const {
-    return Engine == ExactEngineKind::BranchAndBound ? Nodes : Conflicts;
+    switch (Engine) {
+    case ExactEngineKind::BranchAndBound:
+      return Nodes;
+    case ExactEngineKind::Sat:
+      return Conflicts;
+    case ExactEngineKind::Portfolio:
+      return Nodes + Conflicts;
+    }
+    return Nodes + Conflicts;
   }
 
   void accumulate(const ExactEngineStats &Other) {

@@ -16,6 +16,8 @@ bool MinDistMatrix::computeDense(const DepGraph &Graph, int NewII) {
   // compute() on another graph does not reuse stale buckets.
   CachedGraph = nullptr;
   WeightsII = -1;
+  MatrixII = -1;
+  BlocksValid = false;
 
   auto At = [this, NN](int X, int Y) -> long & {
     return Matrix[static_cast<size_t>(X) * NN + static_cast<size_t>(Y)];
@@ -122,9 +124,35 @@ void MinDistMatrix::buildStructure(const DepGraph &Graph) {
     }
   }
 
+  // Components without intra omega arcs have II-independent local
+  // closures; reserve a cache slot for every multi-op one so the ladder's
+  // later rungs can skip their Floyd-Warshall entirely.
+  IntraOmegaFree.assign(static_cast<size_t>(NumComps), 1);
+  for (int C = 0; C < NumComps; ++C)
+    for (int I = IntraStart[static_cast<size_t>(C)];
+         I < IntraStart[static_cast<size_t>(C) + 1]; ++I)
+      if (Arcs[static_cast<size_t>(IntraArcs[static_cast<size_t>(I)])].Omega >
+          0) {
+        IntraOmegaFree[static_cast<size_t>(C)] = 0;
+        break;
+      }
+  BlockStart.assign(static_cast<size_t>(NumComps) + 1, 0);
+  for (int C = 0; C < NumComps; ++C) {
+    const int S = MemberStart[static_cast<size_t>(C) + 1] -
+                  MemberStart[static_cast<size_t>(C)];
+    const size_t Need = (IntraOmegaFree[static_cast<size_t>(C)] && S > 1)
+                            ? static_cast<size_t>(S) * static_cast<size_t>(S)
+                            : 0;
+    BlockStart[static_cast<size_t>(C) + 1] =
+        BlockStart[static_cast<size_t>(C)] + Need;
+  }
+  BlockCache.assign(BlockStart.back(), NoPath);
+  BlocksValid = false;
+
   CachedGraph = &Graph;
   CachedNumArcs = Arcs.size();
   WeightsII = -1; // weights belong to the old graph
+  MatrixII = -1;
 }
 
 void MinDistMatrix::refreshWeights(const DepGraph &Graph, int NewII) {
@@ -150,6 +178,16 @@ bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
   if (CachedGraph != &Graph || N != Graph.numOps() ||
       CachedNumArcs != Graph.arcs().size())
     buildStructure(Graph);
+
+  // Ladder fast path: no omega arcs means no arc weight depends on II, so
+  // a matrix already closed for this graph is the answer at every II.
+  if (MatrixII >= 0 && OmegaArcs.empty()) {
+    II = NewII;
+    WeightsII = NewII;
+    return true;
+  }
+  MatrixII = -1;
+
   refreshWeights(Graph, NewII);
   II = NewII;
 
@@ -176,6 +214,21 @@ bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
     }
 
     const size_t SS = static_cast<size_t>(S);
+
+    // Intra-omega-free components close to the same block at every II;
+    // reuse the cached closure from an earlier rung when available.
+    const bool Cacheable = IntraOmegaFree[static_cast<size_t>(C)] != 0;
+    if (Cacheable && BlocksValid) {
+      const long *Block = &BlockCache[BlockStart[static_cast<size_t>(C)]];
+      for (size_t X = 0; X < SS; ++X) {
+        const int GX = MemberList[static_cast<size_t>(Lo) + X];
+        long *Row = &Matrix[static_cast<size_t>(GX) * NN];
+        for (size_t Y = 0; Y < SS; ++Y)
+          Row[MemberList[static_cast<size_t>(Lo) + Y]] = Block[X * SS + Y];
+      }
+      continue;
+    }
+
     Local.assign(SS * SS, NoPath);
     for (int I = IntraStart[static_cast<size_t>(C)];
          I < IntraStart[static_cast<size_t>(C) + 1]; ++I) {
@@ -207,6 +260,10 @@ bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
     for (size_t X = 0; X < SS; ++X)
       if (Local[X * SS + X] > 0)
         return false; // positive recurrence cycle: II < RecMII
+    if (Cacheable)
+      std::copy(Local.begin(), Local.end(),
+                BlockCache.begin() +
+                    static_cast<long>(BlockStart[static_cast<size_t>(C)]));
     for (size_t X = 0; X < SS; ++X) {
       const int GX = MemberList[static_cast<size_t>(Lo) + X];
       long *Row = &Matrix[static_cast<size_t>(GX) * NN];
@@ -214,6 +271,9 @@ bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
         Row[MemberList[static_cast<size_t>(Lo) + Y]] = Local[X * SS + Y];
     }
   }
+  // Every intra-omega-free block is now closed and cached (either copied
+  // from the cache or just stored into it); later rungs may reuse them.
+  BlocksValid = true;
 
   // Phase 2: cross-component distances, one row at a time. Components are
   // numbered in reverse topological order (an arc between components goes
@@ -266,6 +326,7 @@ bool MinDistMatrix::compute(const DepGraph &Graph, int NewII) {
       }
     }
   }
+  MatrixII = NewII;
   return true;
 }
 

@@ -14,9 +14,14 @@
 /// pass over the condensation DAG. The SCC structure and arc buckets are
 /// II-independent and cached across calls on the same graph, so the
 /// II=MII, MII+1, ... retry loops of the schedulers only refresh the
-/// omega-carrying arc weights per candidate II. computeDense() keeps the
-/// original dense Floyd-Warshall as a differential-testing reference; the
-/// max-plus closure is unique, so the two agree entry for entry.
+/// omega-carrying arc weights per candidate II. Two further delta-update
+/// layers serve the II ladder: a graph without omega arcs has an
+/// II-independent relation, so a repeat compute() on it returns the
+/// previous matrix outright; and components whose intra arcs are all
+/// omega-free keep their closed local blocks across rungs, so only
+/// omega-carrying recurrences re-run Floyd-Warshall. computeDense() keeps
+/// the original dense Floyd-Warshall as a differential-testing reference;
+/// the max-plus closure is unique, so the two agree entry for entry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -95,8 +100,15 @@ private:
   std::vector<int> CrossArcs;   ///< arc ids entering the comp from outside
   std::vector<int> OmegaArcs;   ///< arc ids with omega > 0 (II-dependent)
 
+  std::vector<char> IntraOmegaFree; ///< per component: no intra omega arc
+  std::vector<size_t> BlockStart;   ///< offsets into BlockCache, per component
+  std::vector<long> BlockCache; ///< closed Local blocks of intra-omega-free
+                                ///< multi-op components (II-independent)
+  bool BlocksValid = false;     ///< BlockCache holds this graph's closures
+
   // Per-II state.
   int WeightsII = -1;           ///< II the arc weights were refreshed for
+  int MatrixII = -1;            ///< II of the last successful compute()
   std::vector<long> ArcW;       ///< latency - II*omega, per arc id
   std::vector<long> Local;      ///< per-component Floyd-Warshall scratch
   std::vector<long> Gather;     ///< per-component entry-value scratch

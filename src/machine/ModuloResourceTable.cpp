@@ -1,17 +1,70 @@
 #include "machine/ModuloResourceTable.h"
 
+#include <algorithm>
+
 using namespace lsms;
 
+namespace {
+
+/// Mask of \p Len bits (1..64) starting at bit \p Lo within a word index
+/// space; callers split ranges at word boundaries first.
+uint64_t maskBits(int Lo, int Len) {
+  const uint64_t Body = Len >= 64 ? ~0ull : ((1ull << Len) - 1);
+  return Body << Lo;
+}
+
+/// True when any bit of [Lo, Lo+Len) is set in \p Row.
+bool testRange(const uint64_t *Row, int Lo, int Len) {
+  const int Hi = Lo + Len; // exclusive
+  const int W0 = Lo >> 6;
+  const int W1 = (Hi - 1) >> 6;
+  if (W0 == W1)
+    return (Row[W0] & maskBits(Lo & 63, Len)) != 0;
+  if (Row[W0] & maskBits(Lo & 63, 64 - (Lo & 63)))
+    return true;
+  for (int W = W0 + 1; W < W1; ++W)
+    if (Row[W])
+      return true;
+  return (Row[W1] & maskBits(0, Hi - (W1 << 6))) != 0;
+}
+
+/// Sets (\p Set) or clears every bit of [Lo, Lo+Len) in \p Row.
+void fillRange(uint64_t *Row, int Lo, int Len, bool Set) {
+  const int Hi = Lo + Len;
+  const int W0 = Lo >> 6;
+  const int W1 = (Hi - 1) >> 6;
+  const auto Apply = [&](int W, uint64_t Mask) {
+    if (Set) {
+      assert((Row[W] & Mask) == 0 && "placing over an existing reservation");
+      Row[W] |= Mask;
+    } else {
+      assert((Row[W] & Mask) == Mask &&
+             "removing a reservation that was never made");
+      Row[W] &= ~Mask;
+    }
+  };
+  if (W0 == W1) {
+    Apply(W0, maskBits(Lo & 63, Len));
+    return;
+  }
+  Apply(W0, maskBits(Lo & 63, 64 - (Lo & 63)));
+  for (int W = W0 + 1; W < W1; ++W)
+    Apply(W, ~0ull);
+  Apply(W1, maskBits(0, Hi - (W1 << 6)));
+}
+
+} // namespace
+
 ModuloResourceTable::ModuloResourceTable(const MachineModel &Machine, int II)
-    : Machine(Machine), II(II) {
+    : Machine(Machine), II(II), WordsPerRow((II + 63) / 64) {
   assert(II > 0 && "initiation interval must be positive");
-  KindBase.assign(NumFuKinds, 0);
+  RowBase.assign(NumFuKinds, 0);
   int Next = 0;
   for (unsigned K = 0; K < NumFuKinds; ++K) {
-    KindBase[K] = Next;
-    Next += Machine.unitCount(static_cast<FuKind>(K)) * II;
+    RowBase[K] = Next;
+    Next += Machine.unitCount(static_cast<FuKind>(K));
   }
-  Slots.assign(static_cast<size_t>(Next), 0);
+  Words.assign(static_cast<size_t>(Next) * WordsPerRow, 0);
 }
 
 bool ModuloResourceTable::canPlace(Opcode Op, FuKind Kind, int Instance,
@@ -23,10 +76,15 @@ bool ModuloResourceTable::canPlace(Opcode Op, FuKind Kind, int Instance,
   // operation's next iteration: never placeable at this II.
   if (Res > II)
     return false;
-  for (int K = 0; K < Res; ++K)
-    if (Slots[slotIndex(Kind, Instance, wrap(Cycle + K))])
-      return false;
-  return true;
+  if (Res <= 0)
+    return true;
+  const uint64_t *Row = row(Kind, Instance);
+  const int Start = wrap(Cycle);
+  const int FirstLen = std::min(Res, II - Start);
+  if (testRange(Row, Start, FirstLen))
+    return false;
+  // The wrapped tail, when the reservation crosses the II boundary.
+  return Res == FirstLen || !testRange(Row, 0, Res - FirstLen);
 }
 
 void ModuloResourceTable::place(Opcode Op, FuKind Kind, int Instance,
@@ -35,11 +93,14 @@ void ModuloResourceTable::place(Opcode Op, FuKind Kind, int Instance,
     return;
   const int Res = Machine.reservationCycles(Op);
   assert(Res <= II && "reservation longer than II");
-  for (int K = 0; K < Res; ++K) {
-    uint8_t &Slot = Slots[slotIndex(Kind, Instance, wrap(Cycle + K))];
-    assert(!Slot && "placing over an existing reservation");
-    Slot = 1;
-  }
+  if (Res <= 0)
+    return;
+  uint64_t *Row = row(Kind, Instance);
+  const int Start = wrap(Cycle);
+  const int FirstLen = std::min(Res, II - Start);
+  fillRange(Row, Start, FirstLen, /*Set=*/true);
+  if (Res > FirstLen)
+    fillRange(Row, 0, Res - FirstLen, /*Set=*/true);
 }
 
 void ModuloResourceTable::remove(Opcode Op, FuKind Kind, int Instance,
@@ -47,20 +108,24 @@ void ModuloResourceTable::remove(Opcode Op, FuKind Kind, int Instance,
   if (Kind == FuKind::None)
     return;
   const int Res = Machine.reservationCycles(Op);
-  for (int K = 0; K < Res; ++K) {
-    uint8_t &Slot = Slots[slotIndex(Kind, Instance, wrap(Cycle + K))];
-    assert(Slot && "removing a reservation that was never made");
-    Slot = 0;
-  }
+  if (Res <= 0)
+    return;
+  uint64_t *Row = row(Kind, Instance);
+  const int Start = wrap(Cycle);
+  const int FirstLen = std::min(Res, II - Start);
+  fillRange(Row, Start, FirstLen, /*Set=*/false);
+  if (Res > FirstLen)
+    fillRange(Row, 0, Res - FirstLen, /*Set=*/false);
 }
 
 int ModuloResourceTable::occupancy(FuKind Kind, int Instance,
                                    int Cycle) const {
   if (Kind == FuKind::None)
     return 0;
-  return Slots[slotIndex(Kind, Instance, wrap(Cycle))];
+  const int Bit = wrap(Cycle);
+  return (row(Kind, Instance)[Bit >> 6] >> (Bit & 63)) & 1;
 }
 
 void ModuloResourceTable::clear() {
-  std::fill(Slots.begin(), Slots.end(), 0);
+  std::fill(Words.begin(), Words.end(), 0);
 }

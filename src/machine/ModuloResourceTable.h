@@ -6,6 +6,12 @@
 /// an operation at cycle t commits its unit for cycles t+k*II for all k, so
 /// reservations are recorded at t mod II.
 ///
+/// Reservations are stored as bitsets: one row of packed 64-bit words per
+/// (FuKind, instance), II bits each. A multi-cycle reservation is at most
+/// two contiguous bit ranges (it can wrap once around the II boundary), so
+/// conflict checks are a handful of word operations instead of a per-cycle
+/// loop — this sits on the innermost branch-and-bound placement path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSMS_MACHINE_MODULORESOURCETABLE_H
@@ -14,6 +20,7 @@
 #include "machine/MachineModel.h"
 
 #include <cassert>
+#include <cstdint>
 #include <vector>
 
 namespace lsms {
@@ -51,12 +58,18 @@ public:
   void clear();
 
 private:
-  int slotIndex(FuKind Kind, int Instance, int CycleModII) const {
+  const uint64_t *row(FuKind Kind, int Instance) const {
     assert(Kind != FuKind::None && "pseudo-ops take no slots");
     assert(Instance >= 0 && Instance < Machine.unitCount(Kind) &&
            "unit instance out of range");
-    return KindBase[static_cast<unsigned>(Kind)] +
-           Instance * II + CycleModII;
+    return Words.data() +
+           static_cast<size_t>(RowBase[static_cast<unsigned>(Kind)] +
+                               Instance) *
+               WordsPerRow;
+  }
+  uint64_t *row(FuKind Kind, int Instance) {
+    return const_cast<uint64_t *>(
+        static_cast<const ModuloResourceTable *>(this)->row(Kind, Instance));
   }
 
   int wrap(int Cycle) const {
@@ -66,8 +79,9 @@ private:
 
   const MachineModel &Machine;
   int II;
-  std::vector<int> KindBase;  ///< first slot index per FuKind
-  std::vector<uint8_t> Slots; ///< 1 when reserved
+  int WordsPerRow;
+  std::vector<int> RowBase;    ///< first row index per FuKind
+  std::vector<uint64_t> Words; ///< packed reservation bits, II per row
 };
 
 } // namespace lsms

@@ -22,7 +22,8 @@ public:
         MinDist(MinDist), FuInstance(FuInstance),
         II(MinDist.initiationInterval()), N(Body.numOps()) {}
 
-  SatMaxLiveResult run(long ConflictBudget, long MinAvg, long UpperCap);
+  SatMaxLiveResult run(long ConflictBudget, long MinAvg, long UpperCap,
+                       const std::atomic<bool> *Stop);
 
 private:
   /// Order-literal lookup with window boundaries folded in: "t_x <= T" is
@@ -57,7 +58,7 @@ private:
   void collectLifetimes();
   void encodeLiveness();
   void encodeCounters(long Width);
-  void assertAtMost(long K);
+  std::vector<Lit> capAssumptions(long K) const;
   long decode(std::vector<int> &TimesOut) const;
 
   const DepGraph &Graph;
@@ -341,12 +342,19 @@ void MaxLiveEncoder::encodeCounters(long Width) {
   }
 }
 
-void MaxLiveEncoder::assertAtMost(long K) {
+/// At-most-K as assumptions rather than permanent units: blocking "at
+/// least K+1 in column c" at the counter output is enough because any K+1
+/// true literals force that output through the >=-direction clauses. Every
+/// probe of the k-walk then reuses one solver state — learned clauses
+/// never depend on the cap and survive each tightening.
+std::vector<Lit> MaxLiveEncoder::capAssumptions(long K) const {
+  std::vector<Lit> Assumptions;
   for (int Col = 0; Col < II; ++Col) {
     const std::vector<int> &Out = CapVar[static_cast<size_t>(Col)];
     if (K + 1 <= static_cast<long>(Out.size()))
-      Solver.addClause({~mkLit(Out[static_cast<size_t>(K)])});
+      Assumptions.push_back(~mkLit(Out[static_cast<size_t>(K)]));
   }
+  return Assumptions;
 }
 
 /// Reads issue times out of the model (smallest T whose order literal is
@@ -381,8 +389,10 @@ long MaxLiveEncoder::decode(std::vector<int> &TimesOut) const {
 }
 
 SatMaxLiveResult MaxLiveEncoder::run(long ConflictBudget, long MinAvg,
-                                     long UpperCap) {
+                                     long UpperCap,
+                                     const std::atomic<bool> *Stop) {
   SatMaxLiveResult Result;
+  Solver.setStopFlag(Stop);
   buildWindows();
   encodeChainsAndDirects();
   encodeDependences();
@@ -401,12 +411,12 @@ SatMaxLiveResult MaxLiveEncoder::run(long ConflictBudget, long MinAvg,
       Result.SearchComplete = true;
       break;
     }
-    assertAtMost(K);
     const long Spent = Solver.stats().Conflicts;
     const long Remaining = ConflictBudget - Spent;
     if (Remaining <= 0)
       break; // budget exhausted: report best-so-far, no claim
-    const SatResult R = Solver.solve(Remaining);
+    const SatResult R =
+        Solver.solveUnderAssumptions(capAssumptions(K), Remaining);
     if (R == SatResult::Unknown)
       break;
     if (R == SatResult::Unsat) {
@@ -440,10 +450,11 @@ SatMaxLiveResult lsms::minimizeMaxLiveSat(const DepGraph &Graph,
                                           const MinDistMatrix &MinDist,
                                           const std::vector<int> &FuInstance,
                                           long ConflictBudget, long MinAvg,
-                                          long UpperCap) {
+                                          long UpperCap,
+                                          const std::atomic<bool> *Stop) {
   assert(MinDist.initiationInterval() > 0 &&
          MinDist.numOps() == Graph.numOps() &&
          "MinDist must hold the relation at the candidate II");
   MaxLiveEncoder Encoder(Graph, MinDist, FuInstance);
-  return Encoder.run(ConflictBudget, MinAvg, UpperCap);
+  return Encoder.run(ConflictBudget, MinAvg, UpperCap, Stop);
 }

@@ -36,6 +36,7 @@
 #include "ir/DepGraph.h"
 #include "sat/SatScheduler.h"
 
+#include <atomic>
 #include <vector>
 
 namespace lsms {
@@ -69,12 +70,14 @@ struct SatMaxLiveResult {
 /// cannot improve the reported schedule, so the search is cut there.
 /// \p MinAvg is the paper's lower bound at this II: a witness meeting it
 /// is accepted without a further probe. \p ConflictBudget bounds total
-/// CDCL conflicts across probes. Deterministic.
+/// CDCL conflicts across probes. Deterministic unless \p Stop is set (a
+/// cancelled run reports best-so-far with no completeness claim).
 SatMaxLiveResult minimizeMaxLiveSat(const DepGraph &Graph,
                                     const MinDistMatrix &MinDist,
                                     const std::vector<int> &FuInstance,
                                     long ConflictBudget, long MinAvg,
-                                    long UpperCap);
+                                    long UpperCap,
+                                    const std::atomic<bool> *Stop = nullptr);
 
 } // namespace lsms
 

@@ -1,7 +1,6 @@
 #include "sat/SatScheduler.h"
 
 #include "machine/ModuloResourceTable.h"
-#include "sat/SatSolver.h"
 
 #include <algorithm>
 #include <cassert>
@@ -30,62 +29,52 @@ long satAdd(long A, long B) {
   return S > Cap ? Cap : S;
 }
 
-/// Builds the CNF, runs the CDCL solver with lazy positive-cycle
-/// refinement, and decodes the model.
-class SatEncoder {
-public:
-  SatEncoder(const DepGraph &Graph, const MinDistMatrix &MinDist,
-             const std::vector<int> &FuInstance)
-      : Graph(Graph), Body(Graph.body()), Machine(Graph.machine()),
-        MinDist(MinDist), FuInstance(FuInstance),
-        II(MinDist.initiationInterval()), N(Body.numOps()) {}
+} // namespace
 
-  SatScheduleStatus run(long ConflictBudget, std::vector<int> &TimesOut,
-                        SatEngineStats &Stats);
-
-private:
-  Lit placedAt(int Slot, int Rho) const {
-    return mkLit(Slot * II + Rho);
-  }
-  void encodeExactlyOne();
-  void encodeResources();
-  void encodeDependences();
-  void decodeResidues();
-  bool closeTightened(); ///< false when a positive cycle was found
-  std::vector<Lit> cycleCut() const;
-  void materializeTimes(std::vector<int> &TimesOut) const;
-
-  const DepGraph &Graph;
-  const LoopBody &Body;
-  const MachineModel &Machine;
-  const MinDistMatrix &MinDist;
-  const std::vector<int> &FuInstance;
-  const int II;
-  const int N;
-
-  SatSolver Solver;
-  std::vector<int> Real;   ///< op ids with a functional unit, ascending
-  std::vector<int> Slot;   ///< op id -> index in Real, -1 for pseudo-ops
-  std::vector<int> Rho;    ///< decoded residue per real slot
-  std::vector<long> T;     ///< tightened closure over real slots
-  int CycleSlot = -1;      ///< diagonal violator when closure failed
-};
-
-void SatEncoder::encodeExactlyOne() {
-  for (size_t S = 0; S < Real.size(); ++S) {
-    std::vector<Lit> AtLeastOne;
-    AtLeastOne.reserve(static_cast<size_t>(II));
-    for (int R = 0; R < II; ++R)
-      AtLeastOne.push_back(placedAt(static_cast<int>(S), R));
-    Solver.addClause(AtLeastOne);
-    for (int A = 0; A < II; ++A)
-      for (int B = A + 1; B < II; ++B)
-        Solver.addClause({~placedAt(static_cast<int>(S), A),
-                          ~placedAt(static_cast<int>(S), B)});
+SatIILadder::SatIILadder(const DepGraph &Graph,
+                         const std::vector<int> &FuInstance)
+    : Graph(Graph), Body(Graph.body()), Machine(Graph.machine()),
+      FuInstance(FuInstance), N(Body.numOps()) {
+  Slot.assign(static_cast<size_t>(N), -1);
+  for (int X = 0; X < N; ++X) {
+    if (Machine.unitFor(Body.op(X).Opc) == FuKind::None)
+      continue;
+    Slot[static_cast<size_t>(X)] = static_cast<int>(Real.size());
+    Real.push_back(X);
   }
 }
 
-void SatEncoder::encodeResources() {
+void SatIILadder::growColumns(int NewColumns) {
+  // One variable block per residue column; at-most-one against every
+  // earlier column is II-independent (an operation occupies exactly one
+  // residue whatever the II), so these clauses are permanent and shared by
+  // every rung — the quadratic part of the exactly-one encoding is paid
+  // once per loop instead of once per rung.
+  while (static_cast<int>(ColBase.size()) < NewColumns) {
+    const int Col = static_cast<int>(ColBase.size());
+    ColBase.push_back(Solver.numVars());
+    for (size_t S = 0; S < Real.size(); ++S)
+      Solver.newVar();
+    for (size_t S = 0; S < Real.size(); ++S)
+      for (int B = 0; B < Col; ++B)
+        Solver.addClause({~placedAt(static_cast<int>(S), B),
+                          ~placedAt(static_cast<int>(S), Col)});
+  }
+}
+
+void SatIILadder::encodeRung(Lit Guard, const MinDistMatrix &MinDist) {
+  const int II = MinDist.initiationInterval();
+
+  // At-least-one over [0, II) — II-dependent, so guarded.
+  for (size_t S = 0; S < Real.size(); ++S) {
+    std::vector<Lit> AtLeastOne;
+    AtLeastOne.reserve(static_cast<size_t>(II) + 1);
+    AtLeastOne.push_back(Guard);
+    for (int R = 0; R < II; ++R)
+      AtLeastOne.push_back(placedAt(static_cast<int>(S), R));
+    Solver.addClause(AtLeastOne);
+  }
+
   // Modulo-resource conflicts are pairwise over operations sharing a
   // functional-unit instance; the reservation table itself is the single
   // source of truth for what conflicts (multi-cycle reservations on the
@@ -96,10 +85,10 @@ void SatEncoder::encodeResources() {
     const FuKind KindU = Machine.unitFor(U.Opc);
     const int InstU = FuInstance[static_cast<size_t>(Real[SU])];
     // Residues an operation cannot occupy even alone (a non-pipelined
-    // reservation wrapping onto itself) become unit clauses.
+    // reservation wrapping onto itself) are excluded for this rung.
     for (int A = 0; A < II; ++A)
       if (!Mrt.canPlace(U.Opc, KindU, InstU, A))
-        Solver.addClause({~placedAt(static_cast<int>(SU), A)});
+        Solver.addClause({Guard, ~placedAt(static_cast<int>(SU), A)});
     for (size_t SV = SU + 1; SV < Real.size(); ++SV) {
       const Operation &V = Body.op(Real[SV]);
       const FuKind KindV = Machine.unitFor(V.Opc);
@@ -112,15 +101,13 @@ void SatEncoder::encodeResources() {
         Mrt.place(U.Opc, KindU, InstU, A);
         for (int B = 0; B < II; ++B)
           if (!Mrt.canPlace(V.Opc, KindV, InstV, B))
-            Solver.addClause({~placedAt(static_cast<int>(SU), A),
+            Solver.addClause({Guard, ~placedAt(static_cast<int>(SU), A),
                               ~placedAt(static_cast<int>(SV), B)});
         Mrt.remove(U.Opc, KindU, InstU, A);
       }
     }
   }
-}
 
-void SatEncoder::encodeDependences() {
   // Pairwise dependence legality. Only mutually connected pairs (the same
   // MinDist recurrence component) constrain residues: for a one-directional
   // bound the later operation can always slide by whole IIs, so every
@@ -140,18 +127,20 @@ void SatEncoder::encodeDependences() {
         if (tighten(CUV, D, II) + tighten(CVU, -D, II) <= 0)
           continue;
         for (int A = 0; A < II; ++A)
-          Solver.addClause({~placedAt(static_cast<int>(SU), A),
-                            ~placedAt(static_cast<int>(SV), (A + D) % II)});
+          Solver.addClause({Guard, ~placedAt(static_cast<int>(SU), A),
+                            ~placedAt(static_cast<int>(SV),
+                                      (A + D) % II)});
       }
     }
   }
 }
 
-void SatEncoder::decodeResidues() {
+void SatIILadder::decodeResidues(int II) {
   Rho.assign(Real.size(), -1);
   for (size_t S = 0; S < Real.size(); ++S) {
     for (int R = 0; R < II; ++R) {
-      if (Solver.modelValue(static_cast<int>(S) * II + R)) {
+      if (Solver.modelValue(ColBase[static_cast<size_t>(R)] +
+                            static_cast<int>(S))) {
         assert(Rho[S] < 0 && "exactly-one constraint violated");
         Rho[S] = R;
       }
@@ -163,7 +152,7 @@ void SatEncoder::decodeResidues() {
 /// Max-plus Floyd-Warshall over the tightened constraint graph of the
 /// decoded residues. Returns false (setting CycleSlot) when some diagonal
 /// goes positive, i.e. no integer issue times realize these residues.
-bool SatEncoder::closeTightened() {
+bool SatIILadder::closeTightened(const MinDistMatrix &MinDist, int II) {
   const size_t R = Real.size();
   T.assign(R * R, NoPath);
   for (size_t I = 0; I < R; ++I) {
@@ -209,10 +198,11 @@ bool SatEncoder::closeTightened() {
 /// run entirely inside that strongly connected set and their weights
 /// depend only on those residues, so the cut is sound; it excludes the
 /// current model, so each refinement shrinks the finite residue space.
-std::vector<Lit> SatEncoder::cycleCut() const {
+std::vector<Lit> SatIILadder::cycleCut() const {
   const size_t R = Real.size();
   const size_t V = static_cast<size_t>(CycleSlot);
   std::vector<Lit> Cut;
+  Cut.push_back(ActiveGuard); // the cut's weights are this rung's
   for (size_t U = 0; U < R; ++U)
     if (U == V || (isPath(T[V * R + U]) && isPath(T[U * R + V])))
       Cut.push_back(~placedAt(static_cast<int>(U), Rho[U]));
@@ -225,7 +215,8 @@ std::vector<Lit> SatEncoder::cycleCut() const {
 /// time non-negative), pseudo-operations at the earliest cycle consistent
 /// with every real operation — the same rule as the branch-and-bound
 /// engine's leaf materialization, justified by MinDist maximality.
-void SatEncoder::materializeTimes(std::vector<int> &TimesOut) const {
+void SatIILadder::materializeTimes(const MinDistMatrix &MinDist, int II,
+                                   std::vector<int> &TimesOut) const {
   const int Start = Body.startOp();
   const size_t R = Real.size();
   std::vector<long> Base(R, 0);
@@ -262,39 +253,71 @@ void SatEncoder::materializeTimes(std::vector<int> &TimesOut) const {
   TimesOut[static_cast<size_t>(Start)] = 0;
 }
 
-SatScheduleStatus SatEncoder::run(long ConflictBudget,
-                                  std::vector<int> &TimesOut,
-                                  SatEngineStats &Stats) {
-  Slot.assign(static_cast<size_t>(N), -1);
-  for (int X = 0; X < N; ++X) {
-    if (Machine.unitFor(Body.op(X).Opc) == FuKind::None)
-      continue;
-    Slot[static_cast<size_t>(X)] = static_cast<int>(Real.size());
-    Real.push_back(X);
+SatScheduleStatus SatIILadder::solveAtII(const MinDistMatrix &MinDist,
+                                         long ConflictBudget,
+                                         std::vector<int> &TimesOut,
+                                         SatEngineStats &Stats) {
+  const int II = MinDist.initiationInterval();
+  assert(II > 0 && MinDist.numOps() == Graph.numOps() &&
+         "MinDist must hold the relation at the candidate II");
+  assert(II >= LastII && "ladder rungs must be non-decreasing");
+
+  const SatSolverStats Before = Solver.stats();
+  const int VarsBefore = Solver.numVars();
+  const int ClausesBefore = Solver.numClauses();
+  const auto Snapshot = [&]() {
+    Stats.Variables += Solver.numVars() - VarsBefore;
+    Stats.Clauses += Solver.numClauses() - ClausesBefore;
+    Stats.Decisions += Solver.stats().Decisions - Before.Decisions;
+    Stats.Propagations += Solver.stats().Propagations - Before.Propagations;
+    Stats.Conflicts += Solver.stats().Conflicts - Before.Conflicts;
+    Stats.Restarts += Solver.stats().Restarts - Before.Restarts;
+    Stats.Learned += Solver.stats().Learned - Before.Learned;
+  };
+
+  if (ConflictBudget == 0) {
+    return SatScheduleStatus::Budget; // mirror NodeBudget = 0 semantics
   }
 
-  for (size_t V = 0; V < Real.size() * static_cast<size_t>(II); ++V)
-    Solver.newVar();
-  encodeExactlyOne();
-  encodeResources();
-  encodeDependences();
+  // Retire the previous rung: its activation literal becomes a permanent
+  // fact, satisfying the whole group (and every learned clause guarded by
+  // it) without touching the shared at-most-one core.
+  if (ActiveGuard.Code >= 0 && II != LastII) {
+    Solver.addClause({ActiveGuard});
+    ActiveGuard = Lit{};
+  }
+  if (!Solver.okay()) {
+    Snapshot();
+    return SatScheduleStatus::Infeasible;
+  }
+  if (ActiveGuard.Code < 0) {
+    growColumns(II);
+    ActiveGuard = mkLit(Solver.newVar());
+    encodeRung(ActiveGuard, MinDist);
+    LastII = II;
+  }
 
   SatScheduleStatus Status = SatScheduleStatus::Budget;
   for (;;) {
-    if (ConflictBudget >= 0 && Solver.stats().Conflicts >= ConflictBudget)
+    const long Spent = Solver.stats().Conflicts - Before.Conflicts;
+    if (ConflictBudget >= 0 && Spent >= ConflictBudget)
       break;
-    const long Remaining =
-        ConflictBudget < 0 ? -1 : ConflictBudget - Solver.stats().Conflicts;
-    const SatResult R = Solver.solve(Remaining);
+    const long Remaining = ConflictBudget < 0 ? -1 : ConflictBudget - Spent;
+    const SatResult R =
+        Solver.solveUnderAssumptions({~ActiveGuard}, Remaining);
     if (R == SatResult::Unknown)
       break;
     if (R == SatResult::Unsat) {
       Status = SatScheduleStatus::Infeasible;
+      // Retire immediately: nothing below this II will be asked again.
+      if (Solver.okay())
+        Solver.addClause({ActiveGuard});
+      ActiveGuard = Lit{};
       break;
     }
-    decodeResidues();
-    if (closeTightened()) {
-      materializeTimes(TimesOut);
+    decodeResidues(II);
+    if (closeTightened(MinDist, II)) {
+      materializeTimes(MinDist, II, TimesOut);
       Status = SatScheduleStatus::Scheduled;
       break;
     }
@@ -302,17 +325,9 @@ SatScheduleStatus SatEncoder::run(long ConflictBudget,
     ++Stats.Refinements;
   }
 
-  Stats.Variables = Solver.numVars();
-  Stats.Clauses = Solver.numClauses();
-  Stats.Decisions = Solver.stats().Decisions;
-  Stats.Propagations = Solver.stats().Propagations;
-  Stats.Conflicts = Solver.stats().Conflicts;
-  Stats.Restarts = Solver.stats().Restarts;
-  Stats.Learned = Solver.stats().Learned;
+  Snapshot();
   return Status;
 }
-
-} // namespace
 
 SatScheduleStatus lsms::scheduleAtIISat(const DepGraph &Graph,
                                         const MinDistMatrix &MinDist,
@@ -320,11 +335,6 @@ SatScheduleStatus lsms::scheduleAtIISat(const DepGraph &Graph,
                                         long ConflictBudget,
                                         std::vector<int> &TimesOut,
                                         SatEngineStats &Stats) {
-  assert(MinDist.initiationInterval() > 0 &&
-         MinDist.numOps() == Graph.numOps() &&
-         "MinDist must hold the relation at the candidate II");
-  if (ConflictBudget == 0)
-    return SatScheduleStatus::Budget; // mirror NodeBudget = 0 semantics
-  SatEncoder Encoder(Graph, MinDist, FuInstance);
-  return Encoder.run(ConflictBudget, TimesOut, Stats);
+  SatIILadder Ladder(Graph, FuInstance);
+  return Ladder.solveAtII(MinDist, ConflictBudget, TimesOut, Stats);
 }

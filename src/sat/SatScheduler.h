@@ -25,6 +25,18 @@
 /// is exact: Scheduled models decode to validator-clean schedules and
 /// Infeasible proves no schedule exists at this II.
 ///
+/// The encoding is *incremental across the II = MII, MII+1, ... ladder*
+/// (SatIILadder): one persistent solver per loop. At-most-one clauses over
+/// residue columns are valid at every rung (an operation has one residue
+/// regardless of II), so they — and all learned clauses — are shared;
+/// residue columns are grown lazily as the ladder climbs. Everything that
+/// depends on the concrete II (at-least-one over [0, II), resource
+/// conflicts, dependence-difference clauses, lazy cycle cuts) is guarded
+/// by a per-rung activation literal a_II: clauses carry a_II, the rung is
+/// decided by solving under the assumption ¬a_II, and a finished rung is
+/// permanently retired with the unit clause {a_II}, which also satisfies
+/// every learned clause that depended on the rung.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSMS_SAT_SATSCHEDULER_H
@@ -32,7 +44,9 @@
 
 #include "graph/MinDist.h"
 #include "ir/DepGraph.h"
+#include "sat/SatSolver.h"
 
+#include <atomic>
 #include <vector>
 
 namespace lsms {
@@ -45,10 +59,12 @@ enum class SatScheduleStatus : uint8_t {
   Budget,     ///< conflict budget exhausted first
 };
 
-/// CDCL + encoder statistics for one fixed-II attempt.
+/// CDCL + encoder statistics for one fixed-II attempt. For ladder rungs
+/// after the first these are per-call deltas, so accumulating attempts
+/// never double-counts shared work.
 struct SatEngineStats {
   long Variables = 0;
-  long Clauses = 0; ///< problem clauses after encoding (incl. cuts)
+  long Clauses = 0; ///< problem clauses added this attempt (incl. cuts)
   long Decisions = 0;
   long Propagations = 0;
   long Conflicts = 0;
@@ -57,13 +73,65 @@ struct SatEngineStats {
   long Refinements = 0; ///< lazy positive-cycle cuts added
 };
 
+/// Persistent incremental SAT context for one loop's II ladder. Rungs must
+/// be visited in non-decreasing II order; each solveAtII call retires the
+/// previous rung's activation group and encodes only what the new II adds.
+/// Deterministic for a fixed call sequence (unless a stop flag is set).
+class SatIILadder {
+public:
+  SatIILadder(const DepGraph &Graph, const std::vector<int> &FuInstance);
+
+  /// Decides schedulability at the II of \p MinDist (which must already
+  /// hold the relation at that II). Semantics match scheduleAtIISat.
+  SatScheduleStatus solveAtII(const MinDistMatrix &MinDist,
+                              long ConflictBudget,
+                              std::vector<int> &TimesOut,
+                              SatEngineStats &Stats);
+
+  /// Cooperative cancellation (see SatSolver::setStopFlag); a cancelled
+  /// call reports Budget.
+  void setStopFlag(const std::atomic<bool> *Flag) {
+    Solver.setStopFlag(Flag);
+  }
+
+private:
+  Lit placedAt(int Slot, int Rho) const {
+    return mkLit(ColBase[static_cast<size_t>(Rho)] + Slot);
+  }
+  void growColumns(int NewColumns);
+  void encodeRung(Lit Guard, const MinDistMatrix &MinDist);
+  void decodeResidues(int II);
+  bool closeTightened(const MinDistMatrix &MinDist, int II);
+  std::vector<Lit> cycleCut() const;
+  void materializeTimes(const MinDistMatrix &MinDist, int II,
+                        std::vector<int> &TimesOut) const;
+
+  const DepGraph &Graph;
+  const LoopBody &Body;
+  const MachineModel &Machine;
+  const std::vector<int> FuInstance;
+  const int N;
+
+  SatSolver Solver;
+  std::vector<int> Real;    ///< op ids with a functional unit, ascending
+  std::vector<int> Slot;    ///< op id -> index in Real, -1 for pseudo-ops
+  std::vector<int> ColBase; ///< residue column -> base variable index
+  Lit ActiveGuard{};        ///< current rung's activation literal
+  int LastII = 0;
+
+  std::vector<int> Rho; ///< decoded residue per real slot
+  std::vector<long> T;  ///< tightened closure over real slots
+  int CycleSlot = -1;   ///< diagonal violator when closure failed
+};
+
 /// Decides schedulability of \p Graph at the fixed II of \p MinDist (which
 /// must already hold the relation at that II) for the pre-scheduling
 /// functional-unit assignment \p FuInstance. On Scheduled, \p TimesOut
 /// holds canonical earliest issue times consistent with the model's
 /// residues. \p ConflictBudget bounds total CDCL conflicts across
 /// refinement rounds; <= 0 gives up immediately (mirroring the
-/// branch-and-bound node budget). Deterministic.
+/// branch-and-bound node budget). Deterministic. One-shot convenience
+/// wrapper over SatIILadder; ladder callers reuse the context instead.
 SatScheduleStatus scheduleAtIISat(const DepGraph &Graph,
                                   const MinDistMatrix &MinDist,
                                   const std::vector<int> &FuInstance,

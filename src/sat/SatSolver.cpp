@@ -189,14 +189,20 @@ void SatSolver::cancelUntil(int Level) {
 
 void SatSolver::attachClause(int Id) {
   const Clause &C = Clauses[static_cast<size_t>(Id)];
-  assert(C.Lits.size() >= 2 && "attach of a short clause");
-  Watches[static_cast<size_t>(C.Lits[0].Code)].push_back(Id);
-  Watches[static_cast<size_t>(C.Lits[1].Code)].push_back(Id);
+  assert(C.Size >= 2 && "attach of a short clause");
+  const Lit *Ls = lits(C);
+  Watches[static_cast<size_t>(Ls[0].Code)].push_back(Id);
+  Watches[static_cast<size_t>(Ls[1].Code)].push_back(Id);
 }
 
-int SatSolver::addClauseRecord(std::vector<Lit> Lits, bool Learnt) {
+int SatSolver::addClauseRecord(const std::vector<Lit> &Lits, bool Learnt) {
   const int Id = static_cast<int>(Clauses.size());
-  Clauses.push_back(Clause{std::move(Lits), 0, Learnt, false});
+  Clause C;
+  C.Off = static_cast<int>(LitPool.size());
+  C.Size = static_cast<int>(Lits.size());
+  C.Learnt = Learnt;
+  LitPool.insert(LitPool.end(), Lits.begin(), Lits.end());
+  Clauses.push_back(C);
   attachClause(Id);
   if (Learnt)
     LearntIds.push_back(Id);
@@ -243,7 +249,7 @@ bool SatSolver::addClause(std::vector<Lit> Lits) {
       Ok = false;
     return Ok;
   }
-  addClauseRecord(std::move(Out), /*Learnt=*/false);
+  addClauseRecord(Out, /*Learnt=*/false);
   return true;
 }
 
@@ -262,7 +268,7 @@ void SatSolver::reduceDB() {
   std::vector<int> Candidates;
   Candidates.reserve(LearntIds.size());
   for (int Id : LearntIds)
-    if (Clauses[static_cast<size_t>(Id)].Lits.size() > 2)
+    if (Clauses[static_cast<size_t>(Id)].Size > 2)
       Candidates.push_back(Id);
   if (Candidates.empty())
     return;
@@ -277,8 +283,6 @@ void SatSolver::reduceDB() {
   for (size_t I = 0; I < Drop; ++I) {
     Clause &C = Clauses[static_cast<size_t>(Candidates[I])];
     C.Dead = true;
-    C.Lits.clear();
-    C.Lits.shrink_to_fit(); // release learned-clause memory eagerly
     ++Stats.Deleted;
   }
   LearntIds.erase(std::remove_if(LearntIds.begin(), LearntIds.end(),
@@ -287,6 +291,25 @@ void SatSolver::reduceDB() {
                                        .Dead;
                                  }),
                   LearntIds.end());
+
+  // Compact the literal arena in place: clause ids were assigned in pool
+  // order, so a single forward pass moves every surviving span left.
+  size_t WritePos = 0;
+  for (Clause &C : Clauses) {
+    if (C.Dead) {
+      C.Size = 0;
+      continue;
+    }
+    const size_t Off = static_cast<size_t>(C.Off);
+    const size_t Size = static_cast<size_t>(C.Size);
+    if (Off != WritePos)
+      std::copy(LitPool.begin() + static_cast<long>(Off),
+                LitPool.begin() + static_cast<long>(Off + Size),
+                LitPool.begin() + static_cast<long>(WritePos));
+    C.Off = static_cast<int>(WritePos);
+    WritePos += Size;
+  }
+  LitPool.resize(WritePos);
   rebuildWatches();
 }
 
@@ -300,19 +323,20 @@ int SatSolver::propagate() {
     for (size_t I = 0; I < WL.size(); ++I) {
       const int Id = WL[I];
       Clause &C = Clauses[static_cast<size_t>(Id)];
+      Lit *Ls = lits(C);
       // Move the false watch to slot 1.
-      if (C.Lits[0] == ~P)
-        std::swap(C.Lits[0], C.Lits[1]);
-      assert(C.Lits[1] == ~P && "watch list out of sync");
-      if (value(C.Lits[0]) > 0) {
+      if (Ls[0] == ~P)
+        std::swap(Ls[0], Ls[1]);
+      assert(Ls[1] == ~P && "watch list out of sync");
+      if (value(Ls[0]) > 0) {
         WL[Keep++] = Id; // clause already satisfied by the other watch
         continue;
       }
       bool Moved = false;
-      for (size_t K = 2; K < C.Lits.size(); ++K) {
-        if (value(C.Lits[K]) >= 0) {
-          std::swap(C.Lits[1], C.Lits[K]);
-          Watches[static_cast<size_t>(C.Lits[1].Code)].push_back(Id);
+      for (int K = 2; K < C.Size; ++K) {
+        if (value(Ls[K]) >= 0) {
+          std::swap(Ls[1], Ls[K]);
+          Watches[static_cast<size_t>(Ls[1].Code)].push_back(Id);
           Moved = true;
           break;
         }
@@ -321,14 +345,14 @@ int SatSolver::propagate() {
         continue;
       // Unit or conflicting.
       WL[Keep++] = Id;
-      if (value(C.Lits[0]) < 0) {
+      if (value(Ls[0]) < 0) {
         for (size_t J = I + 1; J < WL.size(); ++J)
           WL[Keep++] = WL[J];
         WL.resize(Keep);
         QHead = Trail.size();
         return Id;
       }
-      uncheckedEnqueue(C.Lits[0], Id);
+      uncheckedEnqueue(Ls[0], Id);
       ++Stats.Propagations;
     }
     WL.resize(Keep);
@@ -350,8 +374,9 @@ void SatSolver::analyze(int Confl, std::vector<Lit> &Learnt, int &BtLevel) {
     Clause &C = Clauses[static_cast<size_t>(Confl)];
     if (C.Learnt)
       bumpClause(C);
-    for (size_t J = (P.Code < 0 ? 0 : 1); J < C.Lits.size(); ++J) {
-      const Lit Q = C.Lits[J];
+    const Lit *Ls = lits(C);
+    for (int J = (P.Code < 0 ? 0 : 1); J < C.Size; ++J) {
+      const Lit Q = Ls[J];
       const int V = litVar(Q);
       if (Seen[static_cast<size_t>(V)] ||
           VarLevel[static_cast<size_t>(V)] == 0)
@@ -392,6 +417,39 @@ void SatSolver::analyze(int Confl, std::vector<Lit> &Learnt, int &BtLevel) {
     Seen[static_cast<size_t>(V)] = 0;
 }
 
+void SatSolver::analyzeFinal(Lit P) {
+  // P is an assumption found false under the current trail. Walk the
+  // implication graph backwards from ~P; every assumption decision reached
+  // joins the core. Literals below level 1 are facts and never contribute.
+  FinalConflictLits.assign(1, P);
+  if (VarLevel[static_cast<size_t>(litVar(P))] == 0 || decisionLevel() == 0)
+    return;
+  Seen[static_cast<size_t>(litVar(P))] = 1;
+  const size_t Bound = static_cast<size_t>(TrailLim[0]);
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    const Lit Q = Trail[I - 1];
+    const int V = litVar(Q);
+    if (!Seen[static_cast<size_t>(V)])
+      continue;
+    const int Reason = VarReason[static_cast<size_t>(V)];
+    if (Reason == NoReason) {
+      assert(VarLevel[static_cast<size_t>(V)] > 0 &&
+             "decision below the first assumption level");
+      FinalConflictLits.push_back(Q);
+    } else {
+      const Clause &C = Clauses[static_cast<size_t>(Reason)];
+      const Lit *Ls = lits(C);
+      for (int J = 1; J < C.Size; ++J) {
+        const int W = litVar(Ls[J]);
+        if (VarLevel[static_cast<size_t>(W)] > 0)
+          Seen[static_cast<size_t>(W)] = 1;
+      }
+    }
+    Seen[static_cast<size_t>(V)] = 0;
+  }
+  Seen[static_cast<size_t>(litVar(P))] = 0;
+}
+
 Lit SatSolver::pickBranchLit() {
   while (!Heap.empty()) {
     const int V = heapPopMax();
@@ -404,8 +462,26 @@ Lit SatSolver::pickBranchLit() {
 // -- main search ------------------------------------------------------------
 
 SatResult SatSolver::solve(long ConflictBudget) {
-  if (!Ok)
+  return solveUnderAssumptions({}, ConflictBudget);
+}
+
+SatResult SatSolver::solveUnderAssumptions(
+    const std::vector<Lit> &Assumptions, long ConflictBudget) {
+  if (!Ok) {
+    FinalConflictLits.clear();
     return SatResult::Unsat;
+  }
+  // Copy before clearing the previous core: callers may legitimately pass
+  // finalConflict() itself back in (e.g. to re-probe a derived core).
+  Assumps = Assumptions;
+  FinalConflictLits.clear();
+  const SatResult Result = search(ConflictBudget);
+  Assumps.clear();
+  cancelUntil(0);
+  return Result;
+}
+
+SatResult SatSolver::search(long ConflictBudget) {
   cancelUntil(0);
   if (propagate() != NoReason) {
     Ok = false;
@@ -419,6 +495,9 @@ SatResult SatSolver::solve(long ConflictBudget) {
   std::vector<Lit> Learnt;
 
   for (;;) {
+    if (StopFlag && StopFlag->load(std::memory_order_relaxed))
+      return SatResult::Unknown;
+
     const int Confl = propagate();
     if (Confl != NoReason) {
       ++Stats.Conflicts;
@@ -442,10 +521,8 @@ SatResult SatSolver::solve(long ConflictBudget) {
       decayVarActivity();
       decayClauseActivity();
       if (ConflictBudget >= 0 &&
-          Stats.Conflicts - BudgetStart >= ConflictBudget) {
-        cancelUntil(0);
+          Stats.Conflicts - BudgetStart >= ConflictBudget)
         return SatResult::Unknown;
-      }
       continue;
     }
 
@@ -462,11 +539,29 @@ SatResult SatSolver::solve(long ConflictBudget) {
       continue;
     }
 
-    const Lit Next = pickBranchLit();
+    // Re-establish any assumptions popped by backjumping or restarts
+    // before making free decisions. An already-true assumption gets an
+    // empty decision level to keep level numbering aligned with the
+    // assumption index; a false one yields the final conflict.
+    Lit Next{};
+    while (decisionLevel() < static_cast<int>(Assumps.size())) {
+      const Lit P = Assumps[static_cast<size_t>(decisionLevel())];
+      if (value(P) > 0) {
+        TrailLim.push_back(static_cast<int>(Trail.size()));
+      } else if (value(P) < 0) {
+        analyzeFinal(P);
+        return SatResult::Unsat;
+      } else {
+        Next = P;
+        break;
+      }
+    }
+
+    if (Next.Code < 0)
+      Next = pickBranchLit();
     if (Next.Code < 0) {
       // Every variable is assigned: a model.
       Model.assign(Assigns.begin(), Assigns.end());
-      cancelUntil(0);
       return SatResult::Sat;
     }
     ++Stats.Decisions;

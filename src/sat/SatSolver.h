@@ -14,11 +14,25 @@
 /// solve() calls (the scheduling encoder adds lazy positive-cycle cuts and
 /// re-solves); learned clauses persist across calls.
 ///
+/// Incremental interface: solveUnderAssumptions() decides satisfiability
+/// under a conjunction of assumption literals without committing them as
+/// facts. Assumptions act as pseudo-decisions, so every learned clause is
+/// implied by the clause database alone (an assumption can never be a
+/// resolution pivot — its reason is empty) and persists soundly across
+/// calls with different assumptions. This is what makes activation-literal
+/// constraint groups work: a group clause (a ∨ C) is switched on by
+/// assuming ¬a, switched off by simply not assuming it, and permanently
+/// retired with the unit clause {a}.
+///
+/// Clause literals live in a single arena (LitPool) rather than one
+/// heap-allocated vector per clause; reduceDB compacts the arena in place.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LSMS_SAT_SATSOLVER_H
 #define LSMS_SAT_SATSOLVER_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -49,8 +63,8 @@ inline bool litSign(Lit L) { return (L.Code & 1) != 0; }
 /// Outcome of a solve() call.
 enum class SatResult : uint8_t {
   Sat,     ///< a model was found (query it with modelValue)
-  Unsat,   ///< the clause set is unsatisfiable
-  Unknown, ///< the conflict budget ran out first
+  Unsat,   ///< unsatisfiable (outright, or under the given assumptions)
+  Unknown, ///< the conflict budget ran out or the stop flag was raised
 };
 
 /// Returns "sat", "unsat", or "unknown".
@@ -84,7 +98,9 @@ public:
   /// Number of problem (non-learned) clauses currently alive.
   int numClauses() const { return NumProblemClauses; }
 
-  /// True until a root-level contradiction has been derived.
+  /// True until a root-level contradiction has been derived. Stays true
+  /// when a solveUnderAssumptions() call returns Unsat only because of its
+  /// assumptions — the solver remains usable with other assumptions.
   bool okay() const { return Ok; }
 
   /// Decides satisfiability. \p ConflictBudget < 0 means unlimited;
@@ -92,6 +108,28 @@ public:
   /// conflicts. Deterministic: depends only on the clause stream and the
   /// budgets of prior calls.
   SatResult solve(long ConflictBudget = -1);
+
+  /// Decides satisfiability of the clause set conjoined with the given
+  /// assumption literals. Assumptions are pseudo-decisions: they are not
+  /// asserted as facts, learned clauses never depend on them, and the
+  /// solver state remains valid for later calls with different
+  /// assumptions. On Unsat caused by the assumptions, finalConflict()
+  /// holds an unsatisfiable core of them; on outright Unsat okay() turns
+  /// false and the core is empty.
+  SatResult solveUnderAssumptions(const std::vector<Lit> &Assumptions,
+                                  long ConflictBudget = -1);
+
+  /// After solveUnderAssumptions() == Unsat: the subset of the passed
+  /// assumptions (same polarity) whose conjunction is contradicted by the
+  /// clause set. Empty when the clause set is unsatisfiable outright.
+  const std::vector<Lit> &finalConflict() const { return FinalConflictLits; }
+
+  /// Installs a cooperative cancellation flag (nullptr to clear). The
+  /// search polls it once per decision/conflict and returns Unknown when
+  /// it is set. Results then depend on wall-clock timing, so deterministic
+  /// callers leave it unset; the portfolio race mode uses it for
+  /// first-finisher-wins cancellation.
+  void setStopFlag(const std::atomic<bool> *Flag) { StopFlag = Flag; }
 
   /// Value of \p Var in the last model (valid only after solve() == Sat).
   bool modelValue(int Var) const {
@@ -101,15 +139,20 @@ public:
   const SatSolverStats &stats() const { return Stats; }
 
 private:
-  /// One clause; watched literals are Lits[0] and Lits[1].
+  /// One clause: a span [Off, Off+Size) of LitPool. Watched literals are
+  /// the first two literals of the span.
   struct Clause {
-    std::vector<Lit> Lits;
+    int Off = 0;
+    int Size = 0;
     double Act = 0;
     bool Learnt = false;
     bool Dead = false;
   };
 
   static constexpr int NoReason = -1;
+
+  Lit *lits(Clause &C) { return LitPool.data() + C.Off; }
+  const Lit *lits(const Clause &C) const { return LitPool.data() + C.Off; }
 
   // -- assignment / trail ---------------------------------------------------
   int8_t value(int Var) const { return Assigns[static_cast<size_t>(Var)]; }
@@ -122,11 +165,13 @@ private:
   void cancelUntil(int Level);
 
   // -- search ---------------------------------------------------------------
+  SatResult search(long ConflictBudget);
   int propagate(); ///< returns conflicting clause id or NoReason
   void analyze(int Confl, std::vector<Lit> &Learnt, int &BtLevel);
+  void analyzeFinal(Lit P); ///< assumption core for failed assumption P
   Lit pickBranchLit();
   void attachClause(int Id);
-  int addClauseRecord(std::vector<Lit> Lits, bool Learnt);
+  int addClauseRecord(const std::vector<Lit> &Lits, bool Learnt);
   void reduceDB();
   void rebuildWatches();
 
@@ -148,6 +193,7 @@ private:
 
   bool Ok = true;
   std::vector<Clause> Clauses;
+  std::vector<Lit> LitPool; ///< clause-literal arena, compacted by reduceDB
   std::vector<int> LearntIds;
   int NumProblemClauses = 0;
   std::vector<std::vector<int>> Watches; ///< per literal code
@@ -169,6 +215,10 @@ private:
 
   std::vector<char> Seen; ///< analyze scratch
   std::vector<int8_t> Model;
+
+  std::vector<Lit> Assumps; ///< active assumptions during search()
+  std::vector<Lit> FinalConflictLits;
+  const std::atomic<bool> *StopFlag = nullptr;
 
   size_t MaxLearnts = 4096; ///< reduceDB threshold, grows geometrically
 

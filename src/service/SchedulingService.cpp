@@ -32,6 +32,8 @@ const char *lsms::serviceEngineName(ServiceEngine Engine) {
     return "bnb";
   case ServiceEngine::Sat:
     return "sat";
+  case ServiceEngine::Portfolio:
+    return "portfolio";
   }
   return "?";
 }
@@ -48,6 +50,10 @@ bool lsms::parseServiceEngine(const std::string &Name,
   }
   if (Name == "sat") {
     Engine = ServiceEngine::Sat;
+    return true;
+  }
+  if (Name == "portfolio") {
+    Engine = ServiceEngine::Portfolio;
     return true;
   }
   return false;
@@ -446,9 +452,17 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
 
   if (WantExact) {
     ExactOptions EO = Config.Exact;
-    EO.Engine = Req.Engine == ServiceEngine::Sat
-                    ? ExactEngineKind::Sat
-                    : ExactEngineKind::BranchAndBound;
+    switch (Req.Engine) {
+    case ServiceEngine::Sat:
+      EO.Engine = ExactEngineKind::Sat;
+      break;
+    case ServiceEngine::Portfolio:
+      EO.Engine = ExactEngineKind::Portfolio;
+      break;
+    default:
+      EO.Engine = ExactEngineKind::BranchAndBound;
+      break;
+    }
     if (Req.MaxII > 0) {
       EO.IICap.MaxIIFactor = 0;
       EO.IICap.MaxIISlack = Req.MaxII;
@@ -663,7 +677,7 @@ bool SchedulingService::parseRequestLine(const std::string &Line,
   }
   if (!EngineName.empty() && !parseServiceEngine(EngineName, Out.Engine)) {
     Err = "unknown engine \"" + EngineName +
-          "\" (expected slack, bnb, or sat)";
+          "\" (expected slack, bnb, sat, or portfolio)";
     return false;
   }
   if (Out.Kernel.empty() == Out.Source.empty()) {

@@ -44,9 +44,9 @@
 namespace lsms {
 
 /// The scheduler a request selects.
-enum class ServiceEngine : uint8_t { Slack, BranchAndBound, Sat };
+enum class ServiceEngine : uint8_t { Slack, BranchAndBound, Sat, Portfolio };
 
-/// Returns "slack", "bnb", or "sat" (the wire spellings).
+/// Returns "slack", "bnb", "sat", or "portfolio" (the wire spellings).
 const char *serviceEngineName(ServiceEngine Engine);
 
 /// Parses a wire spelling; returns false on an unknown name.
