@@ -2,12 +2,25 @@
 
 #include "net/JsonlClient.h"
 #include "service/Json.h"
+#include "service/Protocol.h"
+#include "support/Rng.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace lsms;
 
@@ -36,8 +49,7 @@ void runConnection(const NetLoadConfig &Config, int ConnIndex,
     if (!Config.DisjointSlices ||
         static_cast<int>(I % static_cast<size_t>(Config.Connections)) ==
             ConnIndex)
-      Slice.push_back("{\"source\":" + jsonQuote(Config.Corpus[I]) +
-                      ",\"engine\":\"" + Config.Engine + "\"}");
+      Slice.push_back(renderRequestLine(Config.Corpus[I], Config.Engine));
   if (Slice.empty()) {
     Stats.Error = "empty corpus slice";
     return;
@@ -78,9 +90,10 @@ void runConnection(const NetLoadConfig &Config, int ConnIndex,
     SendTimes.pop_front();
     ++RecvCount;
     ++Stats.Received;
-    if (Resp.find("\"status\":\"shed\"") != std::string::npos)
+    const WireResponseView V = classifyResponseLine(Resp);
+    if (V.Shed)
       ++Stats.Shed;
-    else if (Resp.find("\"status\":\"error\"") != std::string::npos)
+    else if (V.Error)
       ++Stats.Errors;
   }
   Client.shutdownWrite();
@@ -117,6 +130,357 @@ NetLoadResult lsms::runNetLoad(const NetLoadConfig &Config) {
     Result.Received += S.Received;
     Result.Errors += S.Errors;
     Result.Shed += S.Shed;
+    if (!S.Error.empty() && Result.Error.empty())
+      Result.Error = S.Error;
+    All.insert(All.end(), S.LatenciesUs.begin(), S.LatenciesUs.end());
+  }
+  if (!All.empty()) {
+    std::sort(All.begin(), All.end());
+    const auto pct = [&](double F) {
+      const size_t N = All.size();
+      size_t Rank = static_cast<size_t>(F * static_cast<double>(N));
+      if (Rank >= N)
+        Rank = N - 1;
+      return All[Rank];
+    };
+    Result.P50Us = pct(0.50);
+    Result.P99Us = pct(0.99);
+    Result.P999Us = pct(0.999);
+    Result.MaxUs = All.back();
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Open-arrival mode
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One persistent client connection in an open-arrival event loop.
+struct OpenConn {
+  int Fd = -1;
+  std::string Out; ///< bytes queued but not yet written
+  size_t OutOff = 0;
+  std::string In; ///< partial response line
+  /// Scheduled arrival time of every in-flight request, in request order
+  /// (responses come back in order on a connection).
+  std::deque<int64_t> PendingUs;
+  bool WantWrite = false;
+  bool Dead = false;
+};
+
+struct OpenStats {
+  long Sent = 0, Received = 0, Errors = 0, Shed = 0;
+  long TierExact = 0, TierSlack = 0, TierCached = 0;
+  std::vector<int64_t> LatenciesUs;
+  std::string Error;
+};
+
+bool setNonBlocking(int Fd) {
+  const int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+int connectBlocking(const std::string &Host, uint16_t Port,
+                    std::string &Err) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "bad address " + Host;
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<const sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Err = std::string("connect: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  const int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+void updateInterest(int Ep, OpenConn &C, size_t Idx) {
+  epoll_event Ev{};
+  Ev.events = EPOLLIN | (C.WantWrite ? EPOLLOUT : 0u);
+  Ev.data.u64 = Idx;
+  ::epoll_ctl(Ep, EPOLL_CTL_MOD, C.Fd, &Ev);
+}
+
+/// Writes what the socket accepts; arms EPOLLOUT on a partial write.
+/// Returns false when the connection failed.
+bool flushOut(int Ep, OpenConn &C, size_t Idx) {
+  while (C.OutOff < C.Out.size()) {
+    const ssize_t N = ::send(C.Fd, C.Out.data() + C.OutOff,
+                             C.Out.size() - C.OutOff, MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutOff += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!C.WantWrite) {
+        C.WantWrite = true;
+        updateInterest(Ep, C, Idx);
+      }
+      return true;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  C.Out.clear();
+  C.OutOff = 0;
+  if (C.WantWrite) {
+    C.WantWrite = false;
+    updateInterest(Ep, C, Idx);
+  }
+  return true;
+}
+
+/// One event-loop thread: NumConns persistent connections, a private
+/// Poisson arrival process at TargetRps / NumThreads, Quota requests.
+void runOpenWorker(const OpenLoadConfig &Config, int ThreadIdx,
+                   int NumThreads, long Quota, int NumConns,
+                   OpenStats &S) {
+  std::vector<std::string> Lines;
+  Lines.reserve(Config.Corpus.size());
+  for (const std::string &Src : Config.Corpus)
+    Lines.push_back(renderRequestLine(Src, Config.Engine) + "\n");
+  if (Lines.empty()) {
+    S.Error = "empty corpus";
+    return;
+  }
+
+  const int Ep = ::epoll_create1(0);
+  if (Ep < 0) {
+    S.Error = std::string("epoll_create1: ") + std::strerror(errno);
+    return;
+  }
+  std::vector<OpenConn> Conns(static_cast<size_t>(NumConns));
+  const auto Cleanup = [&] {
+    for (OpenConn &C : Conns)
+      if (C.Fd >= 0)
+        ::close(C.Fd);
+    ::close(Ep);
+  };
+  std::string Err;
+  for (size_t I = 0; I < Conns.size(); ++I) {
+    Conns[I].Fd = connectBlocking(Config.Host, Config.Port, Err);
+    if (Conns[I].Fd < 0 || !setNonBlocking(Conns[I].Fd)) {
+      S.Error = Err.empty() ? "fcntl(O_NONBLOCK) failed" : Err;
+      Cleanup();
+      return;
+    }
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = I;
+    ::epoll_ctl(Ep, EPOLL_CTL_ADD, Conns[I].Fd, &Ev);
+  }
+
+  long Outstanding = 0;
+  const auto failConn = [&](OpenConn &C) {
+    if (S.Error.empty())
+      S.Error = "connection failed mid-run";
+    Outstanding -= static_cast<long>(C.PendingUs.size());
+    C.PendingUs.clear();
+    ::epoll_ctl(Ep, EPOLL_CTL_DEL, C.Fd, nullptr);
+    ::close(C.Fd);
+    C.Fd = -1;
+    C.Dead = true;
+  };
+
+  Rng R(Config.Seed ^
+        (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(ThreadIdx + 1)));
+  const double RatePerUs =
+      (Config.TargetRps / static_cast<double>(NumThreads)) / 1e6;
+  const int64_t StartUs = nowUs();
+  double NextDueUs = 0;
+  long SentCount = 0;
+  int64_t LastProgressUs = StartUs;
+  std::vector<epoll_event> Events(128);
+  S.LatenciesUs.reserve(static_cast<size_t>(Quota));
+
+  while (!(SentCount >= Quota && Outstanding == 0)) {
+    const int64_t Now = nowUs();
+    // Emit every arrival whose scheduled time has come, whether or not
+    // the server kept up — that is what "open" means.
+    while (SentCount < Quota &&
+           StartUs + static_cast<int64_t>(NextDueUs) <= Now) {
+      const size_t CI =
+          static_cast<size_t>(SentCount) % Conns.size();
+      OpenConn &C = Conns[CI];
+      if (!C.Dead) {
+        C.PendingUs.push_back(StartUs + static_cast<int64_t>(NextDueUs));
+        C.Out += Lines[static_cast<size_t>(SentCount * NumThreads +
+                                           ThreadIdx) %
+                       Lines.size()];
+        ++Outstanding;
+        ++S.Sent;
+        LastProgressUs = Now;
+        if (!flushOut(Ep, C, CI))
+          failConn(C);
+      }
+      ++SentCount;
+      NextDueUs += -std::log(1.0 - R.nextDouble()) / RatePerUs;
+    }
+
+    int WaitMs;
+    if (SentCount < Quota) {
+      const int64_t DueInUs =
+          StartUs + static_cast<int64_t>(NextDueUs) - nowUs();
+      WaitMs = DueInUs <= 0
+                   ? 0
+                   : static_cast<int>(
+                         std::min<int64_t>(DueInUs / 1000 + 1, 100));
+    } else {
+      WaitMs = 50;
+      if (nowUs() - LastProgressUs > Config.TailTimeoutMs * 1000) {
+        S.Error = "tail timeout with " + std::to_string(Outstanding) +
+                  " responses outstanding";
+        break;
+      }
+    }
+
+    const int N =
+        ::epoll_wait(Ep, Events.data(), static_cast<int>(Events.size()),
+                     WaitMs);
+    for (int E = 0; E < N; ++E) {
+      const size_t CI = static_cast<size_t>(Events[E].data.u64);
+      OpenConn &C = Conns[CI];
+      if (C.Dead)
+        continue;
+      if (Events[E].events & (EPOLLHUP | EPOLLERR)) {
+        failConn(C);
+        continue;
+      }
+      if ((Events[E].events & EPOLLOUT) && !flushOut(Ep, C, CI)) {
+        failConn(C);
+        continue;
+      }
+      if (!(Events[E].events & EPOLLIN))
+        continue;
+      char Buf[16384];
+      while (!C.Dead) {
+        const ssize_t RN = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+        if (RN > 0) {
+          C.In.append(Buf, static_cast<size_t>(RN));
+          size_t Pos;
+          while ((Pos = C.In.find('\n')) != std::string::npos) {
+            const std::string Line = C.In.substr(0, Pos);
+            C.In.erase(0, Pos + 1);
+            if (C.PendingUs.empty())
+              continue; // server-initiated line we did not time
+            const int64_t RecvUs = nowUs();
+            S.LatenciesUs.push_back(RecvUs - C.PendingUs.front());
+            C.PendingUs.pop_front();
+            --Outstanding;
+            ++S.Received;
+            LastProgressUs = RecvUs;
+            const WireResponseView V = classifyResponseLine(Line);
+            if (V.Shed)
+              ++S.Shed;
+            else if (V.Error)
+              ++S.Errors;
+            if (V.HasTier) {
+              switch (V.Tier) {
+              case ServiceTier::Exact:
+                ++S.TierExact;
+                break;
+              case ServiceTier::Slack:
+                ++S.TierSlack;
+                break;
+              case ServiceTier::Cached:
+                ++S.TierCached;
+                break;
+              case ServiceTier::Shed:
+                break;
+              }
+            }
+          }
+          continue;
+        }
+        if (RN < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+          break;
+        if (RN < 0 && errno == EINTR)
+          continue;
+        failConn(C); // EOF or hard error with requests outstanding
+      }
+    }
+  }
+  Cleanup();
+}
+
+} // namespace
+
+long lsms::raiseFdLimit(long AtLeast) {
+  rlimit RL{};
+  if (::getrlimit(RLIMIT_NOFILE, &RL) != 0)
+    return -1;
+  if (static_cast<long>(RL.rlim_cur) >= AtLeast)
+    return static_cast<long>(RL.rlim_cur);
+  rlimit NewRL = RL;
+  NewRL.rlim_cur =
+      RL.rlim_max == RLIM_INFINITY
+          ? static_cast<rlim_t>(AtLeast)
+          : std::min<rlim_t>(RL.rlim_max, static_cast<rlim_t>(AtLeast));
+  if (::setrlimit(RLIMIT_NOFILE, &NewRL) != 0)
+    return static_cast<long>(RL.rlim_cur);
+  return static_cast<long>(NewRL.rlim_cur);
+}
+
+OpenLoadResult lsms::runOpenLoad(const OpenLoadConfig &Config) {
+  OpenLoadResult Result;
+  if (Config.TargetRps <= 0) {
+    Result.Error = "open-arrival mode needs a positive target rps";
+    return Result;
+  }
+  const int Conns = std::max(1, Config.Connections);
+  int Threads = Config.ClientThreads;
+  if (Threads <= 0) {
+    const unsigned HW = std::thread::hardware_concurrency();
+    Threads = static_cast<int>(HW ? std::min(4u, std::max(1u, HW / 2)) : 2);
+  }
+  Threads = std::min(Threads, Conns);
+  // Client fds live in the same process as the server in the benches.
+  raiseFdLimit(2L * Conns + 256);
+
+  std::vector<OpenStats> Stats(static_cast<size_t>(Threads));
+  const auto T0 = Clock::now();
+  {
+    std::vector<std::thread> Pool;
+    Pool.reserve(static_cast<size_t>(Threads));
+    for (int T = 0; T < Threads; ++T) {
+      const long Quota =
+          Config.TotalRequests / Threads +
+          (T < Config.TotalRequests % Threads ? 1 : 0);
+      const int NumConns =
+          Conns / Threads + (T < Conns % Threads ? 1 : 0);
+      Pool.emplace_back([&Config, T, Threads, Quota, NumConns, &Stats] {
+        runOpenWorker(Config, T, Threads, Quota, NumConns, Stats[T]);
+      });
+    }
+    for (std::thread &T : Pool)
+      T.join();
+  }
+  Result.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+
+  std::vector<int64_t> All;
+  for (const OpenStats &S : Stats) {
+    Result.Sent += S.Sent;
+    Result.Received += S.Received;
+    Result.Errors += S.Errors;
+    Result.Shed += S.Shed;
+    Result.TierExact += S.TierExact;
+    Result.TierSlack += S.TierSlack;
+    Result.TierCached += S.TierCached;
     if (!S.Error.empty() && Result.Error.empty())
       Result.Error = S.Error;
     All.insert(All.end(), S.LatenciesUs.begin(), S.LatenciesUs.end());

@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "exact/Oracle.h"
+#include "service/EngineFlag.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -103,16 +104,20 @@ int main(int Argc, char **Argv) {
       continue;
     }
     if (std::strcmp(Argv[I], "--engine") == 0 && I + 1 < Argc) {
-      const char *Name = Argv[++I];
-      if (std::strcmp(Name, "both") == 0) {
-        Both = true;
-      } else if (!parseExactEngine(Name, Options.Exact.Engine)) {
-        std::cerr << "exact_gap: unknown engine '" << Name
-                  << "' (expected bnb, sat, portfolio, or both)\n";
+      EngineSelection Sel;
+      std::string EngineErr;
+      if (!parseEngineSelection(Argv[++I], /*AllowSlack=*/false,
+                                /*AllowAll=*/true, Sel, EngineErr)) {
+        std::cerr << "exact_gap: " << EngineErr << "\n";
         return 1;
       }
+      Both = Sel.All;
+      if (!Sel.All)
+        Options.Exact.Engine = Sel.Exact;
       continue;
     }
+    if (applyExactBudgetFlag(Argv[I], Options.Exact))
+      continue;
     Positional.push_back(Argv[I]);
   }
   if (Positional.size() > 0)

@@ -9,6 +9,12 @@
 /// the certified-MaxLive ratchet: a full run fails unless the oracle
 /// sweep certifies at least 21 of its 50 loops.
 ///
+/// The report also drives the socket front end at scale: an open-arrival
+/// (Poisson) tail-latency section over >= 1000 concurrent connections
+/// against the sharded epoll server, and an overload section that pushes
+/// exact requests through a deliberately tiny admission queue and checks
+/// the tier ladder answers (degraded or cached) instead of shedding.
+///
 /// Usage: perf_report [--smoke] [--jobs N] [--out FILE] [--engine E]
 ///   --smoke     small sizes for the `perf` CTest tier (throughput numbers
 ///               are then NOT representative; the JSON is tagged "smoke")
@@ -20,6 +26,8 @@
 ///   --engine E  exact engines to time: bnb, sat, portfolio, or both
 ///               (default both = all three — the JSON then also records
 ///               that the engines' minimal IIs agree loop for loop)
+///   Exact budgets (--node-budget=N etc., see service/EngineFlag.h) apply
+///   to the exact and oracle sweeps.
 //===----------------------------------------------------------------------===//
 
 #include "NetBenchCommon.h"
@@ -27,6 +35,7 @@
 #include "SuiteMetrics.h"
 #include "exact/Oracle.h"
 #include "net/EpollServer.h"
+#include "service/EngineFlag.h"
 #include "support/ParallelFor.h"
 #include "workloads/Suite.h"
 
@@ -88,6 +97,7 @@ int main(int Argc, char **Argv) {
   int JobsN = 0;
   const char *OutPath = nullptr;
   bool RunBnb = true, RunSat = true, RunPortfolio = true;
+  ExactOptions BaseExact;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0) {
       Smoke = true;
@@ -96,22 +106,24 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc) {
       OutPath = Argv[++I];
     } else if (std::strcmp(Argv[I], "--engine") == 0 && I + 1 < Argc) {
-      const char *Name = Argv[++I];
-      ExactEngineKind Engine;
-      if (std::strcmp(Name, "both") == 0) {
-        RunBnb = RunSat = RunPortfolio = true;
-      } else if (parseExactEngine(Name, Engine)) {
-        RunBnb = Engine == ExactEngineKind::BranchAndBound;
-        RunSat = Engine == ExactEngineKind::Sat;
-        RunPortfolio = Engine == ExactEngineKind::Portfolio;
-      } else {
-        std::cerr << "perf_report: unknown engine '" << Name
-                  << "' (expected bnb, sat, portfolio, or both)\n";
+      EngineSelection Sel;
+      std::string EngineErr;
+      if (!parseEngineSelection(Argv[++I], /*AllowSlack=*/false,
+                                /*AllowAll=*/true, Sel, EngineErr)) {
+        std::cerr << "perf_report: " << EngineErr << "\n";
         return 1;
       }
+      RunBnb = Sel.All || Sel.Exact == ExactEngineKind::BranchAndBound;
+      RunSat = Sel.All || Sel.Exact == ExactEngineKind::Sat;
+      RunPortfolio = Sel.All || Sel.Exact == ExactEngineKind::Portfolio;
+    } else if (applyExactBudgetFlag(Argv[I], BaseExact)) {
+      // parsed an exact-budget knob
     } else {
       std::cerr << "usage: perf_report [--smoke] [--jobs N] [--out FILE] "
-                   "[--engine bnb|sat|portfolio|both]\n";
+                   "[--engine bnb|sat|portfolio|both]\n"
+                   "       [--node-budget=N] [--sat-conflict-budget=N]\n"
+                   "       [--maxlive-node-budget=N] "
+                   "[--maxlive-conflict-budget=N]\n";
       return 1;
     }
   }
@@ -157,7 +169,7 @@ int main(int Argc, char **Argv) {
         buildOracleSuite(ExactLoops, 3, 20, Seed);
     auto sweep = [&](ExactEngineKind Engine, SectionResult &Section,
                      std::vector<int> &IIOut) {
-      ExactOptions Options;
+      ExactOptions Options = BaseExact;
       Options.Engine = Engine;
       Section.Loops = static_cast<int>(Suite.size());
       for (const int Jobs : {1, JobsN}) {
@@ -198,6 +210,7 @@ int main(int Argc, char **Argv) {
     // branch-and-bound with a SAT fallback, MaxLive certification SAT-first
     // — the configuration the >=10x sweep throughput and the certified
     // ratchet are measured against.
+    Options.Exact = BaseExact;
     Options.Exact.Engine = ExactEngineKind::Portfolio;
     std::string Report1, ReportN;
     for (const int Jobs : {1, JobsN}) {
@@ -327,6 +340,113 @@ int main(int Argc, char **Argv) {
       Server.Error.empty() && Server.Errors == 0 && Server.Shed == 0 &&
       Server.RecoveredRecords > 0 && ServerRestartSpeedup >= 10.0;
 
+  // -- Open-arrival tail latency: Poisson arrivals over a large pool of
+  // persistent connections against the 4-way SO_REUSEPORT-sharded front
+  // end. Latency is charged from the scheduled arrival (no coordinated
+  // omission); the full-mode gate bounds slack-engine p99 and requires a
+  // clean (no errors, nothing shed) run at >= 1000 connections. ----------
+  struct OpenBenchNumbers {
+    OpenLoadResult Tail;
+    OpenLoadResult Overload;
+    int TailConns = 0, OverloadConns = 0;
+    double TailTargetRps = 0, OverloadTargetRps = 0;
+    int IoShards = 4;
+  } Open;
+  {
+    const std::vector<std::string> OpenCorpus =
+        serviceBenchCorpus(Smoke ? 8 : 32, Seed + 2);
+    ServiceConfig SC;
+    SC.Jobs = JobsN;
+    SchedulingService Svc(SC);
+    ServerConfig NC;
+    NC.IoShards = Open.IoShards;
+    EpollServer Front(Svc, NC);
+    std::string Err;
+    if (!Front.start(Err)) {
+      Open.Tail.Error = Err;
+    } else {
+      std::thread IO([&Front] { Front.serve(); });
+      OpenLoadConfig OC;
+      OC.Port = Front.port();
+      OC.Connections = Smoke ? 128 : 1000;
+      OC.TargetRps = Smoke ? 400 : 2000;
+      OC.TotalRequests = Smoke ? 800 : 10000;
+      OC.Seed = Seed + 2;
+      OC.Engine = "slack";
+      OC.Corpus = OpenCorpus;
+      Open.TailConns = OC.Connections;
+      Open.TailTargetRps = OC.TargetRps;
+      Open.Tail = runOpenLoad(OC);
+      Front.requestStop();
+      IO.join();
+    }
+  }
+  const bool OpenTailOk = Open.Tail.Error.empty() &&
+                          Open.Tail.Errors == 0 && Open.Tail.Shed == 0 &&
+                          (Smoke || Open.Tail.P99Us <= 250000);
+
+  // -- Overload ladder under open arrival: a deliberately starved server
+  // (one worker, tiny admission queue, budget-bound exact engine) takes a
+  // bnb-engine Poisson burst far above its compute capacity. A slack warm
+  // pass first populates the cache so the cached rung has answers; the
+  // gate then demands >= 90% of requests get answered (degraded or
+  // cached) rather than shed, with the cached rung demonstrably used. ----
+  {
+    const std::vector<std::string> OverCorpus =
+        serviceBenchCorpus(Smoke ? 8 : 32, Seed + 3);
+    ServiceConfig SC;
+    SC.Jobs = 1;
+    SC.Exact.NodeBudget = 1L << 14;
+    SC.Exact.MaxLiveNodeBudget = 1L << 14;
+    SchedulingService Svc(SC);
+    ServerConfig NC;
+    NC.Workers = 1;
+    NC.IoShards = 2;
+    NC.MaxQueueDepth = 4;
+    NC.SlackQueueDepth = 8;
+    NC.CachedFallback = true;
+    EpollServer Front(Svc, NC);
+    std::string Err;
+    if (!Front.start(Err)) {
+      Open.Overload.Error = Err;
+    } else {
+      std::thread IO([&Front] { Front.serve(); });
+      // Warm pass: strict lockstep on one connection so nothing queues —
+      // every corpus loop gets a slack answer into the cache.
+      NetLoadConfig WC;
+      WC.Port = Front.port();
+      WC.Connections = 1;
+      WC.PipelineDepth = 1;
+      WC.Engine = "slack";
+      WC.Corpus = OverCorpus;
+      WC.RequestsPerConnection = static_cast<int>(OverCorpus.size());
+      const NetLoadResult Warm = runNetLoad(WC);
+      if (!Warm.ok() || Warm.Errors > 0) {
+        Open.Overload.Error =
+            Warm.Error.empty() ? "overload warm pass saw errors"
+                               : Warm.Error;
+      } else {
+        OpenLoadConfig OC;
+        OC.Port = Front.port();
+        OC.Connections = Smoke ? 64 : 256;
+        OC.TargetRps = Smoke ? 300 : 1500;
+        OC.TotalRequests = Smoke ? 600 : 6000;
+        OC.Seed = Seed + 3;
+        OC.Engine = "bnb";
+        OC.Corpus = OverCorpus;
+        Open.OverloadConns = OC.Connections;
+        Open.OverloadTargetRps = OC.TargetRps;
+        Open.Overload = runOpenLoad(OC);
+      }
+      Front.requestStop();
+      IO.join();
+    }
+  }
+  const bool OverloadAnswers =
+      Open.Overload.Error.empty() && Open.Overload.Errors == 0 &&
+      (Smoke || (Open.Overload.answeredFraction() >= 0.9 &&
+                 Open.Overload.TierCached > 0));
+
   std::ostringstream JSON;
   JSON << "{\n"
        << "  \"bench\": \"perf_report\",\n"
@@ -399,6 +519,43 @@ int main(int Argc, char **Argv) {
        << "      \"shed\": " << Server.Shed << ",\n"
        << "      \"warm_store_10x\": "
        << (ServerWarmFastEnough ? "true" : "false") << "\n"
+       << "    },\n"
+       << "    \"server_open\": {\n"
+       << "      \"io_shards\": " << Open.IoShards << ",\n"
+       << "      \"connections\": " << Open.TailConns << ",\n"
+       << "      \"target_rps\": " << formatDouble(Open.TailTargetRps, 1)
+       << ",\n"
+       << "      \"sent\": " << Open.Tail.Sent << ",\n"
+       << "      \"received\": " << Open.Tail.Received << ",\n"
+       << "      \"seconds\": " << formatDouble(Open.Tail.Seconds, 3)
+       << ",\n"
+       << "      \"achieved_rps\": " << formatDouble(Open.Tail.rps(), 1)
+       << ",\n"
+       << "      \"p50_us\": " << Open.Tail.P50Us << ",\n"
+       << "      \"p99_us\": " << Open.Tail.P99Us << ",\n"
+       << "      \"p999_us\": " << Open.Tail.P999Us << ",\n"
+       << "      \"max_us\": " << Open.Tail.MaxUs << ",\n"
+       << "      \"errors\": " << Open.Tail.Errors << ",\n"
+       << "      \"shed\": " << Open.Tail.Shed << ",\n"
+       << "      \"p99_under_250ms\": " << (OpenTailOk ? "true" : "false")
+       << "\n"
+       << "    },\n"
+       << "    \"server_overload\": {\n"
+       << "      \"connections\": " << Open.OverloadConns << ",\n"
+       << "      \"target_rps\": "
+       << formatDouble(Open.OverloadTargetRps, 1) << ",\n"
+       << "      \"sent\": " << Open.Overload.Sent << ",\n"
+       << "      \"received\": " << Open.Overload.Received << ",\n"
+       << "      \"tier_exact\": " << Open.Overload.TierExact << ",\n"
+       << "      \"tier_slack\": " << Open.Overload.TierSlack << ",\n"
+       << "      \"tier_cached\": " << Open.Overload.TierCached << ",\n"
+       << "      \"shed\": " << Open.Overload.Shed << ",\n"
+       << "      \"errors\": " << Open.Overload.Errors << ",\n"
+       << "      \"answered_fraction\": "
+       << formatDouble(Open.Overload.answeredFraction(), 4) << ",\n"
+       << "      \"p99_us\": " << Open.Overload.P99Us << ",\n"
+       << "      \"answered_90pct\": "
+       << (OverloadAnswers ? "true" : "false") << "\n"
        << "    }\n"
        << "  }\n"
        << "}\n";
@@ -437,9 +594,30 @@ int main(int Argc, char **Argv) {
                 << " shed=" << Server.Shed
                 << " recovered=" << Server.RecoveredRecords << ")\n";
   }
+  if (!OpenTailOk) {
+    if (!Open.Tail.Error.empty())
+      std::cerr << "perf_report: FAIL open-arrival bench: "
+                << Open.Tail.Error << "\n";
+    else
+      std::cerr << "perf_report: FAIL open-arrival tail p99 "
+                << Open.Tail.P99Us << "us > 250ms (errors="
+                << Open.Tail.Errors << " shed=" << Open.Tail.Shed
+                << ")\n";
+  }
+  if (!OverloadAnswers) {
+    if (!Open.Overload.Error.empty())
+      std::cerr << "perf_report: FAIL overload bench: "
+                << Open.Overload.Error << "\n";
+    else
+      std::cerr << "perf_report: FAIL overload ladder answered "
+                << formatDouble(Open.Overload.answeredFraction() * 100, 1)
+                << "% < 90% (tier_cached=" << Open.Overload.TierCached
+                << " shed=" << Open.Overload.Shed << ")\n";
+  }
   return ReportsIdentical && EnginesAgree && CertifiedEnough &&
                  ServiceByteIdentical && ServiceWarmFastEnough &&
-                 ServerWarmFastEnough && Service.Errors == 0
+                 ServerWarmFastEnough && OpenTailOk && OverloadAnswers &&
+                 Service.Errors == 0
              ? 0
              : 1;
 }

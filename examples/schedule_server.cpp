@@ -6,23 +6,38 @@
 ///
 /// The wire protocol is the JSONL pipe, verbatim: one request per line,
 /// one response line per request, in order, byte-identical to what
-/// `schedule_service` prints for the same lines. `{"cmd":"metrics"}`
-/// returns server + service metrics as one JSON line.
+/// `schedule_service` prints for the same lines (service/Protocol.h
+/// documents the v1 line shapes). `{"cmd":"metrics"}` returns server +
+/// service metrics as one JSON line.
+///
+/// Scaling: --io-shards=N runs N SO_REUSEPORT-sharded IO event loops over
+/// one worker pool. Under overload, requests degrade down the tier ladder
+/// (exact -> slack -> cached) before anything is shed; --slack-queue and
+/// --no-cached-fallback tune the ladder.
 ///
 /// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight and
 /// already-connected work completes, then the process exits 0.
 ///
 /// Usage:
 ///   schedule_server [--port=N] [--bind=ADDR] [--jobs=N] [--workers=N]
-///                   [--store=PATH] [--engine=slack|bnb|sat]
-///                   [--max-queue=N] [--max-conns=N]
+///                   [--io-shards=N] [--store=PATH]
+///                   [--engine=slack|bnb|sat|portfolio]
+///                   [--max-queue=N] [--slack-queue=N]
+///                   [--no-cached-fallback] [--max-conns=N]
 ///                   [--idle-timeout-ms=N] [--drain-timeout-ms=N]
+///                   [--node-budget=N] [--sat-conflict-budget=N]
+///                   [--maxlive-node-budget=N]
+///                   [--maxlive-conflict-budget=N]
 ///                   [--enable-test-commands] [--print-port] [--metrics]
 ///   --port=0 (default) binds an ephemeral port; --print-port writes the
 ///   bound port as a single line on stdout so scripts can connect.
+///   Idle connections close after 60 s by default (--idle-timeout-ms=-1
+///   disables the deadline; the embedded-server default is disabled, the
+///   deployment default here is not).
 //===----------------------------------------------------------------------===//
 
 #include "net/EpollServer.h"
+#include "service/EngineFlag.h"
 
 #include <csignal>
 #include <cstdlib>
@@ -43,14 +58,23 @@ void onSignal(int) {
 void usage() {
   std::cerr
       << "usage: schedule_server [--port=N] [--bind=ADDR] [--jobs=N]\n"
-         "                       [--workers=N] [--store=PATH]\n"
-         "                       [--engine=slack|bnb|sat] [--max-queue=N]\n"
-         "                       [--max-conns=N] [--idle-timeout-ms=N]\n"
+         "                       [--workers=N] [--io-shards=N]\n"
+         "                       [--store=PATH]\n"
+         "                       [--engine=" << engineFlagChoices(true, false)
+      << "]\n"
+         "                       [--max-queue=N] [--slack-queue=N]\n"
+         "                       [--no-cached-fallback] [--max-conns=N]\n"
+         "                       [--idle-timeout-ms=N]\n"
          "                       [--drain-timeout-ms=N]\n"
+         "                       [--node-budget=N] [--sat-conflict-budget=N]\n"
+         "                       [--maxlive-node-budget=N]\n"
+         "                       [--maxlive-conflict-budget=N]\n"
          "                       [--enable-test-commands] [--print-port]\n"
          "                       [--metrics]\n"
          "Serves JSONL scheduling requests over TCP. SIGTERM drains\n"
-         "gracefully. --store persists schedules across restarts.\n";
+         "gracefully. --store persists schedules across restarts.\n"
+         "--io-shards runs N SO_REUSEPORT IO loops; under overload the\n"
+         "tier ladder degrades exact->slack->cached before shedding.\n";
 }
 
 } // namespace
@@ -58,6 +82,10 @@ void usage() {
 int main(int Argc, char **Argv) {
   ServiceConfig Service;
   ServerConfig Server;
+  // Deployment default: reap idle connections after a minute. The
+  // embedded ServerConfig default stays -1 (disabled) so tests and
+  // short-lived harnesses never race a reaper they did not ask for.
+  Server.IdleTimeoutMs = 60000;
   std::string EngineName;
   bool PrintPort = false;
   bool PrintMetrics = false;
@@ -75,18 +103,26 @@ int main(int Argc, char **Argv) {
       Service.Jobs = static_cast<int>(intOf(7));
     } else if (Arg.rfind("--workers=", 0) == 0) {
       Server.Workers = static_cast<int>(intOf(10));
+    } else if (Arg.rfind("--io-shards=", 0) == 0) {
+      Server.IoShards = static_cast<int>(intOf(12));
     } else if (Arg.rfind("--store=", 0) == 0) {
       Service.StorePath = Arg.substr(8);
     } else if (Arg.rfind("--engine=", 0) == 0) {
       EngineName = Arg.substr(9);
     } else if (Arg.rfind("--max-queue=", 0) == 0) {
       Server.MaxQueueDepth = static_cast<size_t>(intOf(12));
+    } else if (Arg.rfind("--slack-queue=", 0) == 0) {
+      Server.SlackQueueDepth = static_cast<size_t>(intOf(14));
+    } else if (Arg == "--no-cached-fallback") {
+      Server.CachedFallback = false;
     } else if (Arg.rfind("--max-conns=", 0) == 0) {
       Server.MaxConnections = static_cast<int>(intOf(12));
     } else if (Arg.rfind("--idle-timeout-ms=", 0) == 0) {
       Server.IdleTimeoutMs = intOf(18);
     } else if (Arg.rfind("--drain-timeout-ms=", 0) == 0) {
       Server.DrainTimeoutMs = intOf(19);
+    } else if (applyExactBudgetFlag(Arg, Service.Exact)) {
+      // parsed an exact-budget knob
     } else if (Arg == "--enable-test-commands") {
       Server.EnableTestCommands = true;
     } else if (Arg == "--print-port") {
@@ -101,10 +137,15 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
-  if (!EngineName.empty() &&
-      !parseServiceEngine(EngineName, Server.DefaultEngine)) {
-    std::cerr << "schedule_server: unknown engine '" << EngineName << "'\n";
-    return 2;
+  if (!EngineName.empty()) {
+    EngineSelection Sel;
+    std::string EngineErr;
+    if (!parseEngineSelection(EngineName, /*AllowSlack=*/true,
+                              /*AllowAll=*/false, Sel, EngineErr)) {
+      std::cerr << "schedule_server: " << EngineErr << "\n";
+      return 2;
+    }
+    Server.DefaultEngine = Sel.Service;
   }
 
   SchedulingService Svc(Service);

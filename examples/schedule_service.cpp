@@ -13,10 +13,15 @@
 /// lines and '#' comments are skipped.
 ///
 /// Usage:
-///   schedule_service [--jobs=N] [--cache-capacity=N] [--engine=slack|bnb|sat]
+///   schedule_service [--jobs=N] [--cache-capacity=N]
+///                    [--engine=slack|bnb|sat|portfolio]
+///                    [--node-budget=N] [--sat-conflict-budget=N]
+///                    [--maxlive-node-budget=N]
+///                    [--maxlive-conflict-budget=N]
 ///                    [--metrics] <requests.jsonl | ->
 //===----------------------------------------------------------------------===//
 
+#include "service/EngineFlag.h"
 #include "service/SchedulingService.h"
 
 #include <cstdlib>
@@ -29,8 +34,14 @@ namespace {
 
 void usage() {
   std::cerr << "usage: schedule_service [--jobs=N] [--cache-capacity=N]\n"
-               "                        [--engine=slack|bnb|sat] [--metrics]\n"
-               "                        <requests.jsonl | ->\n"
+               "                        [--engine="
+            << engineFlagChoices(true, false)
+            << "]\n"
+               "                        [--node-budget=N]\n"
+               "                        [--sat-conflict-budget=N]\n"
+               "                        [--maxlive-node-budget=N]\n"
+               "                        [--maxlive-conflict-budget=N]\n"
+               "                        [--metrics] <requests.jsonl | ->\n"
                "Reads JSONL scheduling requests, writes JSONL responses in\n"
                "request order. --engine sets the default for requests that\n"
                "do not name one. --metrics prints cache and latency\n"
@@ -54,6 +65,8 @@ int main(int Argc, char **Argv) {
           static_cast<size_t>(std::strtoul(Arg.c_str() + 17, nullptr, 10));
     } else if (Arg.rfind("--engine=", 0) == 0) {
       DefaultEngine = Arg.substr(9);
+    } else if (applyExactBudgetFlag(Arg, Config.Exact)) {
+      // parsed an exact-budget knob
     } else if (Arg == "--metrics") {
       PrintMetrics = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -72,10 +85,15 @@ int main(int Argc, char **Argv) {
   }
 
   ServiceEngine Engine = ServiceEngine::Slack;
-  if (!DefaultEngine.empty() && !parseServiceEngine(DefaultEngine, Engine)) {
-    std::cerr << "schedule_service: unknown engine '" << DefaultEngine
-              << "'\n";
-    return 2;
+  if (!DefaultEngine.empty()) {
+    EngineSelection Sel;
+    std::string EngineErr;
+    if (!parseEngineSelection(DefaultEngine, /*AllowSlack=*/true,
+                              /*AllowAll=*/false, Sel, EngineErr)) {
+      std::cerr << "schedule_service: " << EngineErr << "\n";
+      return 2;
+    }
+    Engine = Sel.Service;
   }
 
   SchedulingService Service(Config);

@@ -11,6 +11,7 @@
 #include "bounds/Lifetimes.h"
 #include "core/ModuloScheduler.h"
 #include "exact/ExactEngine.h"
+#include "service/EngineFlag.h"
 #include "support/Table.h"
 #include "workloads/Suite.h"
 
@@ -50,18 +51,25 @@ int main(int Argc, char **Argv) {
   bool Both = false;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--engine") == 0 && I + 1 < Argc) {
-      const char *Name = Argv[++I];
-      if (std::strcmp(Name, "both") == 0) {
-        Both = true;
-      } else if (!parseExactEngine(Name, ExactConfig.Engine)) {
-        std::cerr << "scheduler_comparison: unknown engine '" << Name
-                  << "' (expected bnb, sat, portfolio, or both)\n";
+      EngineSelection Sel;
+      std::string EngineErr;
+      if (!parseEngineSelection(Argv[++I], /*AllowSlack=*/false,
+                                /*AllowAll=*/true, Sel, EngineErr)) {
+        std::cerr << "scheduler_comparison: " << EngineErr << "\n";
         return 1;
       }
+      Both = Sel.All;
+      if (!Sel.All)
+        ExactConfig.Engine = Sel.Exact;
       continue;
     }
+    if (applyExactBudgetFlag(Argv[I], ExactConfig))
+      continue;
     std::cerr << "usage: scheduler_comparison "
-                 "[--engine bnb|sat|portfolio|both]\n";
+                 "[--engine bnb|sat|portfolio|both]\n"
+                 "       [--node-budget=N] [--sat-conflict-budget=N]\n"
+                 "       [--maxlive-node-budget=N] "
+                 "[--maxlive-conflict-budget=N]\n";
     return 1;
   }
 

@@ -4,7 +4,9 @@
 #   2. drive it with the load generator over real sockets,
 #   3. SIGTERM and verify the graceful-drain handshake (exit 0),
 #   4. restart on the same store and verify the warm run recovers records
-#      and answers without errors or sheds.
+#      and answers without errors or sheds,
+#   5. hit the warm server with a short open-arrival (Poisson) run over a
+#      few hundred connections and sanity-bound its p99.
 #
 # Usage: scripts/server_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -71,6 +73,30 @@ run_load() {
   }
 }
 
+run_open_load() {
+  # Open-arrival sanity: a couple hundred persistent connections of
+  # Poisson slack traffic against the warm server. Everything must be
+  # answered (no errors, nothing shed) with a sub-second p99 — a loose
+  # bound that still catches event-loop stalls; the tight tail gate lives
+  # in perf_report's full mode.
+  "$LOADGEN" --port="$PORT" --open --connections=200 --rps=500 \
+    --requests=2000 --engine=slack --corpus=0 --json \
+    | tee "$WORK/open.json"
+  grep -q '"errors":0' "$WORK/open.json" || {
+    echo "server_smoke: open-arrival run saw response errors" >&2
+    exit 1
+  }
+  grep -q '"shed":0' "$WORK/open.json" || {
+    echo "server_smoke: open-arrival run had requests shed" >&2
+    exit 1
+  }
+  P99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' "$WORK/open.json")
+  if [[ -z $P99 || $P99 -ge 1000000 ]]; then
+    echo "server_smoke: open-arrival p99 ${P99:-unparsed}us not < 1s" >&2
+    exit 1
+  fi
+}
+
 echo "== cold pass =="
 start_server
 run_load
@@ -89,6 +115,9 @@ if grep -q "(0 records recovered)" "$WORK/server.log"; then
   exit 1
 fi
 run_load
+
+echo "== open-arrival pass =="
+run_open_load
 stop_server
 
 echo "server_smoke: OK"

@@ -1,6 +1,7 @@
 #include "net/EpollServer.h"
 
 #include "service/Json.h"
+#include "service/Protocol.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -35,18 +36,6 @@ int64_t steadyUs() {
       .count();
 }
 
-std::string shedLine(uint64_t Seq) {
-  return "{\"index\":" + std::to_string(Seq) +
-         ",\"name\":\"shed\",\"status\":\"shed\",\"error\":\"server "
-         "overloaded: admission queue full\"}\n";
-}
-
-std::string controlError(uint64_t Seq, const std::string &Msg) {
-  return "{\"index\":" + std::to_string(Seq) +
-         ",\"name\":\"control\",\"status\":\"error\",\"error\":" +
-         jsonQuote(Msg) + "}\n";
-}
-
 void wakeEventFd(int Fd) {
   const uint64_t One = 1;
   ssize_t Unused = ::write(Fd, &One, sizeof(One));
@@ -55,8 +44,8 @@ void wakeEventFd(int Fd) {
 
 } // namespace
 
-/// One accepted connection; owned by the IO thread. Gen guards worker
-/// completions against fd reuse after a close.
+/// One accepted connection; owned by exactly one shard's IO thread. Gen
+/// guards worker completions against fd reuse after a close.
 struct EpollServer::Conn {
   int Fd = -1;
   uint64_t Gen = 0;
@@ -74,10 +63,12 @@ struct EpollServer::Conn {
 };
 
 struct EpollServer::Job {
+  int ShardIdx = 0;
   int Fd = -1;
   uint64_t Gen = 0;
   uint64_t Seq = 0;
   long SleepMs = -1; ///< >= 0: test command, sleep instead of schedule
+  AdmitMode Mode = AdmitMode::Full; ///< overload-ladder rung at admission
   std::string Line;
   int64_t EnqueuedUs = 0;
 };
@@ -95,69 +86,100 @@ EpollServer::EpollServer(SchedulingService &Service, ServerConfig Config)
 EpollServer::~EpollServer() {
   requestStop();
   stopWorkers();
-  closeAllConns();
-  if (ListenFd >= 0)
-    ::close(ListenFd);
-  if (EpollFd >= 0)
-    ::close(EpollFd);
-  if (WakeFd >= 0)
-    ::close(WakeFd);
+  for (const auto &S : Shards) {
+    closeAllConns(*S);
+    if (S->ListenFd >= 0)
+      ::close(S->ListenFd);
+    if (S->EpollFd >= 0)
+      ::close(S->EpollFd);
+    if (S->WakeFd >= 0)
+      ::close(S->WakeFd);
+  }
 }
 
-bool EpollServer::start(std::string &Err) {
-  WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (WakeFd < 0) {
+bool EpollServer::startShard(Shard &S, uint16_t BindPort, std::string &Err) {
+  S.WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (S.WakeFd < 0) {
     Err = std::string("eventfd: ") + std::strerror(errno);
     return false;
   }
-  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
-  if (EpollFd < 0) {
+  S.EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (S.EpollFd < 0) {
     Err = std::string("epoll_create1: ") + std::strerror(errno);
     return false;
   }
-  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (ListenFd < 0) {
+  S.ListenFd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (S.ListenFd < 0) {
     Err = std::string("socket: ") + std::strerror(errno);
     return false;
   }
   const int One = 1;
-  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  ::setsockopt(S.ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  // Sharding relies on the kernel's SO_REUSEPORT connection spreading;
+  // single-shard servers skip it so the port stays exclusively theirs.
+  if (static_cast<int>(Shards.size()) > 1 &&
+      ::setsockopt(S.ListenFd, SOL_SOCKET, SO_REUSEPORT, &One,
+                   sizeof(One)) < 0) {
+    Err = std::string("setsockopt(SO_REUSEPORT): ") + std::strerror(errno);
+    return false;
+  }
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
-  Addr.sin_port = htons(Config.Port);
+  Addr.sin_port = htons(BindPort);
   if (::inet_pton(AF_INET, Config.BindAddress.c_str(), &Addr.sin_addr) != 1) {
     Err = "bad bind address \"" + Config.BindAddress + "\"";
     return false;
   }
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+  if (::bind(S.ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0) {
     Err = std::string("bind: ") + std::strerror(errno);
     return false;
   }
-  if (::listen(ListenFd, Config.Backlog) < 0) {
+  if (::listen(S.ListenFd, Config.Backlog) < 0) {
     Err = std::string("listen: ") + std::strerror(errno);
     return false;
   }
   socklen_t Len = sizeof(Addr);
-  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) <
+  if (::getsockname(S.ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) <
       0) {
     Err = std::string("getsockname: ") + std::strerror(errno);
     return false;
   }
-  BoundPort = ntohs(Addr.sin_port);
+  if (BoundPort == 0)
+    BoundPort = ntohs(Addr.sin_port);
 
   epoll_event E{};
   E.events = EPOLLIN;
-  E.data.fd = ListenFd;
-  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &E) < 0) {
+  E.data.fd = S.ListenFd;
+  if (::epoll_ctl(S.EpollFd, EPOLL_CTL_ADD, S.ListenFd, &E) < 0) {
     Err = std::string("epoll_ctl(listen): ") + std::strerror(errno);
     return false;
   }
-  E.data.fd = WakeFd;
-  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &E) < 0) {
+  E.data.fd = S.WakeFd;
+  if (::epoll_ctl(S.EpollFd, EPOLL_CTL_ADD, S.WakeFd, &E) < 0) {
     Err = std::string("epoll_ctl(wake): ") + std::strerror(errno);
     return false;
   }
+  return true;
+}
+
+bool EpollServer::start(std::string &Err) {
+  const int NumShards = std::max(1, Config.IoShards);
+  Shards.reserve(static_cast<size_t>(NumShards));
+  for (int I = 0; I < NumShards; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Index = I;
+    Shards.push_back(std::move(S));
+  }
+  // Shard 0 discovers the port (the kernel's pick when Config.Port is 0);
+  // the remaining shards bind the discovered port through SO_REUSEPORT.
+  for (auto &S : Shards)
+    if (!startShard(*S, S->Index == 0 ? Config.Port : BoundPort, Err))
+      return false;
+  WakeFds.reserve(Shards.size());
+  for (const auto &S : Shards)
+    WakeFds.push_back(S->WakeFd);
 
   NumWorkers = Config.Workers > 0 ? Config.Workers : Service.jobs();
   NumWorkers = std::max(1, NumWorkers);
@@ -170,36 +192,58 @@ bool EpollServer::start(std::string &Err) {
 
 void EpollServer::requestStop() {
   StopRequested.store(true, std::memory_order_release);
-  if (WakeFd >= 0)
-    wakeEventFd(WakeFd);
+  for (const int Fd : WakeFds)
+    if (Fd >= 0)
+      wakeEventFd(Fd);
 }
 
 void EpollServer::serve() {
-  if (EpollFd < 0)
+  if (Shards.empty() || Shards[0]->EpollFd < 0)
     return;
+  {
+    std::vector<std::thread> IoThreads;
+    IoThreads.reserve(Shards.size() - 1);
+    for (size_t I = 1; I < Shards.size(); ++I)
+      IoThreads.emplace_back([this, I] { ioLoop(*Shards[I]); });
+    ioLoop(*Shards[0]);
+    for (std::thread &T : IoThreads)
+      T.join();
+  }
+  stopWorkers();
+  for (auto &S : Shards) {
+    {
+      std::lock_guard<std::mutex> Lock(S->CompletionMu);
+      S->Completions.clear(); // their connections are gone
+    }
+    closeAllConns(*S);
+  }
+  Running.store(false, std::memory_order_release);
+}
+
+void EpollServer::ioLoop(Shard &S) {
   epoll_event Events[64];
   while (true) {
-    if (StopRequested.load(std::memory_order_acquire) && !Draining)
-      beginDrainIO();
-    if (Draining) {
-      if (Conns.empty())
+    if (StopRequested.load(std::memory_order_acquire) && !S.Draining)
+      beginDrainIO(S);
+    if (S.Draining) {
+      if (S.Conns.empty())
         break;
-      if (steadyMs() >= DrainDeadlineMs) {
+      if (steadyMs() >= S.DrainDeadlineMs) {
         Service.metrics().inc("net_drain_forced",
-                              static_cast<long>(Conns.size()));
-        closeAllConns();
+                              static_cast<long>(S.Conns.size()));
+        closeAllConns(S);
         break;
       }
     }
 
     int TimeoutMs = -1;
-    if (Draining)
+    if (S.Draining)
       TimeoutMs = static_cast<int>(std::clamp<int64_t>(
-          DrainDeadlineMs - steadyMs(), 0, 100));
+          S.DrainDeadlineMs - steadyMs(), 0, 100));
     else if (Config.IdleTimeoutMs > 0)
       TimeoutMs = 100;
 
-    const int N = ::epoll_wait(EpollFd, Events, 64, TimeoutMs);
+    const int N = ::epoll_wait(S.EpollFd, Events, 64, TimeoutMs);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -208,60 +252,53 @@ void EpollServer::serve() {
     for (int I = 0; I < N; ++I) {
       const epoll_event &E = Events[I];
       const int Fd = E.data.fd;
-      if (Fd == WakeFd) {
+      if (Fd == S.WakeFd) {
         uint64_t Buf;
-        while (::read(WakeFd, &Buf, sizeof(Buf)) > 0) {
+        while (::read(S.WakeFd, &Buf, sizeof(Buf)) > 0) {
         }
-        deliverCompletions();
+        deliverCompletions(S);
         continue;
       }
-      if (Fd == ListenFd) {
-        acceptPending();
+      if (Fd == S.ListenFd) {
+        acceptPending(S);
         continue;
       }
-      const auto It = Conns.find(Fd);
-      if (It == Conns.end())
+      const auto It = S.Conns.find(Fd);
+      if (It == S.Conns.end())
         continue;
       Conn &C = *It->second;
       if (E.events & EPOLLERR) {
-        closeConn(Fd);
+        closeConn(S, Fd);
         continue;
       }
       if (E.events & EPOLLIN)
-        readConn(C);
+        readConn(S, C);
       if (!C.Doomed && (E.events & EPOLLOUT)) {
         writeConn(C);
-        updateEpoll(C);
+        updateEpoll(S, C);
         maybeFinish(C);
       }
       if (!C.Doomed && (E.events & EPOLLHUP))
         C.Doomed = true; // both directions gone; responses undeliverable
       if (C.Doomed)
-        closeConn(Fd);
+        closeConn(S, Fd);
     }
-    if (!Draining && Config.IdleTimeoutMs > 0)
-      scanIdle(steadyMs());
+    if (!S.Draining && Config.IdleTimeoutMs > 0)
+      scanIdle(S, steadyMs());
   }
-  stopWorkers();
-  {
-    std::lock_guard<std::mutex> Lock(CompletionMu);
-    Completions.clear(); // their connections are gone
-  }
-  closeAllConns();
-  Running.store(false, std::memory_order_release);
 }
 
-void EpollServer::acceptPending() {
+void EpollServer::acceptPending(Shard &S) {
   while (true) {
     const int Fd =
-        ::accept4(ListenFd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        ::accept4(S.ListenFd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
       break; // EAGAIN or a transient accept failure; epoll re-arms
     }
-    if (Draining ||
-        static_cast<int>(Conns.size()) >= Config.MaxConnections) {
+    if (S.Draining ||
+        ActiveConns.load(std::memory_order_relaxed) >= Config.MaxConnections) {
       ::close(Fd);
       Service.metrics().inc("net_rejected");
       continue;
@@ -270,23 +307,24 @@ void EpollServer::acceptPending() {
     ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
     auto C = std::make_unique<Conn>();
     C->Fd = Fd;
-    C->Gen = NextConnGen++;
+    C->Gen = S.NextConnGen++;
     C->LastActiveMs = steadyMs();
     epoll_event E{};
     E.events = EPOLLIN;
     E.data.fd = Fd;
-    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &E) < 0) {
+    if (::epoll_ctl(S.EpollFd, EPOLL_CTL_ADD, Fd, &E) < 0) {
       ::close(Fd);
       continue;
     }
-    Conns.emplace(Fd, std::move(C));
+    S.Conns.emplace(Fd, std::move(C));
     Service.metrics().inc("net_accepted");
-    Service.metrics().set("net_active_connections",
-                          static_cast<long>(Conns.size()));
+    Service.metrics().set(
+        "net_active_connections",
+        ActiveConns.fetch_add(1, std::memory_order_relaxed) + 1);
   }
 }
 
-void EpollServer::readConn(Conn &C) {
+void EpollServer::readConn(Shard &S, Conn &C) {
   char Buf[65536];
   while (true) {
     const ssize_t R = ::recv(C.Fd, Buf, sizeof(Buf), 0);
@@ -315,7 +353,7 @@ void EpollServer::readConn(Conn &C) {
     std::string Line = C.In.substr(Start, NL - Start);
     if (!Line.empty() && Line.back() == '\r')
       Line.pop_back();
-    onLine(C, std::move(Line));
+    onLine(S, C, std::move(Line));
   }
   C.In.erase(0, Start);
   if (C.In.size() > MaxLineBytes) {
@@ -324,11 +362,11 @@ void EpollServer::readConn(Conn &C) {
     return;
   }
   writeConn(C);
-  updateEpoll(C);
+  updateEpoll(S, C);
   maybeFinish(C);
 }
 
-void EpollServer::onLine(Conn &C, std::string Line) {
+void EpollServer::onLine(Shard &S, Conn &C, std::string Line) {
   const size_t FirstCh = Line.find_first_not_of(" \t\r");
   if (FirstCh == std::string::npos || Line[FirstCh] == '#')
     return; // same skip rule as processJsonl: no index, no response
@@ -346,7 +384,7 @@ void EpollServer::onLine(Conn &C, std::string Line) {
         const std::string &Cmd = CmdIt->second.S;
         if (Cmd == "metrics") {
           Service.metrics().inc("net_control");
-          completeLocal(C, Seq, Service.metricsJson(false) + "\n");
+          completeLocal(S, C, Seq, Service.metricsJson(false) + "\n");
           return;
         }
         if (Cmd == "sleep_ms" && Config.EnableTestCommands) {
@@ -357,8 +395,11 @@ void EpollServer::onLine(Conn &C, std::string Line) {
                         : 0;
           Line.clear(); // the worker only needs SleepMs
         } else {
-          completeLocal(C, Seq,
-                        controlError(Seq, "unknown cmd \"" + Cmd + "\""));
+          completeLocal(S, C, Seq,
+                        renderControlErrorLine(
+                            Seq, ServiceErrorCode::UnknownCommand,
+                            "unknown cmd \"" + Cmd + "\"") +
+                            "\n");
           return;
         }
       }
@@ -369,17 +410,25 @@ void EpollServer::onLine(Conn &C, std::string Line) {
     // parse error the JSONL pipe would.
   }
 
-  bool Shed = false;
+  // Overload ladder, rung by rung: Full while the queue is healthy,
+  // SlackOnly in the overflow band, then the cached rung inline on this
+  // IO thread, and only then a shed.
+  int Admitted = -1; // 0 = Full, 1 = SlackOnly
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
-    if (Queue.size() >= Config.MaxQueueDepth) {
-      Shed = true;
-    } else {
+    const size_t Depth = Queue.size();
+    if (Depth < Config.MaxQueueDepth)
+      Admitted = 0;
+    else if (Depth < Config.MaxQueueDepth + Config.SlackQueueDepth)
+      Admitted = 1;
+    if (Admitted >= 0) {
       Job J;
+      J.ShardIdx = S.Index;
       J.Fd = C.Fd;
       J.Gen = C.Gen;
       J.Seq = Seq;
       J.SleepMs = SleepMs;
+      J.Mode = Admitted == 1 ? AdmitMode::SlackOnly : AdmitMode::Full;
       J.Line = std::move(Line);
       J.EnqueuedUs = steadyUs();
       Queue.push_back(std::move(J));
@@ -387,19 +436,33 @@ void EpollServer::onLine(Conn &C, std::string Line) {
                             static_cast<long>(Queue.size()));
     }
   }
-  if (Shed) {
-    Service.metrics().inc("net_shed");
-    completeLocal(C, Seq, shedLine(Seq));
-  } else {
+  if (Admitted >= 0) {
+    if (Admitted == 1)
+      Service.metrics().inc("net_slack_admits");
     QueueCV.notify_one();
+    return;
   }
+  // Both queue rungs are full. Control sleeps are not schedulable
+  // requests, so they skip the cached rung and shed directly.
+  if (Config.CachedFallback && SleepMs < 0) {
+    ServiceResponse R;
+    if (Service.handleLineCachedOnly(Line, static_cast<int>(Seq),
+                                     Config.DefaultEngine, R)) {
+      Service.metrics().inc("net_cached_answers");
+      completeLocal(S, C, Seq, R.toJsonl() + "\n");
+      return;
+    }
+  }
+  Service.metrics().inc("net_shed");
+  completeLocal(S, C, Seq, renderShedLine(Seq, requestIdForShed(Line)) + "\n");
 }
 
-void EpollServer::completeLocal(Conn &C, uint64_t Seq, std::string Bytes) {
+void EpollServer::completeLocal(Shard &S, Conn &C, uint64_t Seq,
+                                std::string Bytes) {
   --C.InFlightJobs;
   C.Done[Seq] = std::move(Bytes);
   flushReady(C);
-  updateEpoll(C);
+  updateEpoll(S, C);
 }
 
 void EpollServer::flushReady(Conn &C) {
@@ -416,25 +479,25 @@ void EpollServer::flushReady(Conn &C) {
   }
 }
 
-void EpollServer::deliverCompletions() {
+void EpollServer::deliverCompletions(Shard &S) {
   std::vector<Completion> Batch;
   {
-    std::lock_guard<std::mutex> Lock(CompletionMu);
-    Batch.swap(Completions);
+    std::lock_guard<std::mutex> Lock(S.CompletionMu);
+    Batch.swap(S.Completions);
   }
   for (Completion &Done : Batch) {
-    const auto It = Conns.find(Done.Fd);
-    if (It == Conns.end() || It->second->Gen != Done.Gen)
+    const auto It = S.Conns.find(Done.Fd);
+    if (It == S.Conns.end() || It->second->Gen != Done.Gen)
       continue; // connection closed (or fd reused) while the job ran
     Conn &C = *It->second;
     --C.InFlightJobs;
     C.Done[Done.Seq] = std::move(Done.Bytes);
     flushReady(C);
     writeConn(C);
-    updateEpoll(C);
+    updateEpoll(S, C);
     maybeFinish(C);
     if (C.Doomed)
-      closeConn(Done.Fd);
+      closeConn(S, Done.Fd);
   }
 }
 
@@ -469,7 +532,7 @@ void EpollServer::writeConn(Conn &C) {
   }
 }
 
-void EpollServer::updateEpoll(Conn &C) {
+void EpollServer::updateEpoll(Shard &S, Conn &C) {
   const bool Want = C.OutOff < C.Out.size();
   if (Want == C.WantWrite)
     return;
@@ -477,44 +540,45 @@ void EpollServer::updateEpoll(Conn &C) {
   epoll_event E{};
   E.events = EPOLLIN | (Want ? EPOLLOUT : 0u);
   E.data.fd = C.Fd;
-  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &E);
+  ::epoll_ctl(S.EpollFd, EPOLL_CTL_MOD, C.Fd, &E);
 }
 
-void EpollServer::closeConn(int Fd) {
-  const auto It = Conns.find(Fd);
-  if (It == Conns.end())
+void EpollServer::closeConn(Shard &S, int Fd) {
+  const auto It = S.Conns.find(Fd);
+  if (It == S.Conns.end())
     return;
-  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ::epoll_ctl(S.EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
   ::close(Fd);
-  Conns.erase(It);
-  Service.metrics().set("net_active_connections",
-                        static_cast<long>(Conns.size()));
+  S.Conns.erase(It);
+  Service.metrics().set(
+      "net_active_connections",
+      ActiveConns.fetch_sub(1, std::memory_order_relaxed) - 1);
 }
 
-void EpollServer::closeAllConns() {
-  while (!Conns.empty())
-    closeConn(Conns.begin()->first);
+void EpollServer::closeAllConns(Shard &S) {
+  while (!S.Conns.empty())
+    closeConn(S, S.Conns.begin()->first);
 }
 
-void EpollServer::scanIdle(int64_t NowMs) {
+void EpollServer::scanIdle(Shard &S, int64_t NowMs) {
   std::vector<int> Stale;
-  for (const auto &[Fd, C] : Conns)
+  for (const auto &[Fd, C] : S.Conns)
     if (C->InFlightJobs == 0 && C->OutOff == C->Out.size() &&
         NowMs - C->LastActiveMs > Config.IdleTimeoutMs)
       Stale.push_back(Fd);
   for (const int Fd : Stale) {
     Service.metrics().inc("net_idle_closed");
-    closeConn(Fd);
+    closeConn(S, Fd);
   }
 }
 
-void EpollServer::beginDrainIO() {
-  Draining = true;
-  DrainDeadlineMs = steadyMs() + std::max(0L, Config.DrainTimeoutMs);
-  if (ListenFd >= 0) {
-    ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, ListenFd, nullptr);
-    ::close(ListenFd);
-    ListenFd = -1;
+void EpollServer::beginDrainIO(Shard &S) {
+  S.Draining = true;
+  S.DrainDeadlineMs = steadyMs() + std::max(0L, Config.DrainTimeoutMs);
+  if (S.ListenFd >= 0) {
+    ::epoll_ctl(S.EpollFd, EPOLL_CTL_DEL, S.ListenFd, nullptr);
+    ::close(S.ListenFd);
+    S.ListenFd = -1;
   }
 }
 
@@ -546,26 +610,24 @@ void EpollServer::workerLoop() {
     std::string Bytes;
     if (J.SleepMs >= 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(J.SleepMs));
-      Bytes = "{\"index\":" + std::to_string(J.Seq) +
-              ",\"name\":\"control\",\"status\":\"ok\",\"slept_ms\":" +
-              std::to_string(J.SleepMs) + "}\n";
+      Bytes = renderSleepLine(J.Seq, J.SleepMs) + "\n";
     } else {
-      const ServiceResponse R =
-          Service.handleLine(J.Line, static_cast<int>(J.Seq),
-                             Config.DefaultEngine);
+      const ServiceResponse R = Service.handleLine(
+          J.Line, static_cast<int>(J.Seq), Config.DefaultEngine, J.Mode);
       Bytes = R.toJsonl();
       Bytes += '\n';
     }
     Service.metrics().observe("net_request_us", steadyUs() - J.EnqueuedUs);
+    Shard &S = *Shards[static_cast<size_t>(J.ShardIdx)];
     {
-      std::lock_guard<std::mutex> Lock(CompletionMu);
+      std::lock_guard<std::mutex> Lock(S.CompletionMu);
       Completion Done;
       Done.Fd = J.Fd;
       Done.Gen = J.Gen;
       Done.Seq = J.Seq;
       Done.Bytes = std::move(Bytes);
-      Completions.push_back(std::move(Done));
+      S.Completions.push_back(std::move(Done));
     }
-    wakeEventFd(WakeFd);
+    wakeEventFd(S.WakeFd);
   }
 }

@@ -1,0 +1,186 @@
+#include "service/Protocol.h"
+
+#include "service/Json.h"
+#include "service/SchedulingService.h"
+
+#include <map>
+#include <sstream>
+
+using namespace lsms;
+
+const char *lsms::serviceEngineName(ServiceEngine Engine) {
+  switch (Engine) {
+  case ServiceEngine::Slack:
+    return "slack";
+  case ServiceEngine::BranchAndBound:
+    return "bnb";
+  case ServiceEngine::Sat:
+    return "sat";
+  case ServiceEngine::Portfolio:
+    return "portfolio";
+  }
+  return "?";
+}
+
+bool lsms::parseServiceEngine(const std::string &Name,
+                              ServiceEngine &Engine) {
+  if (Name == "slack") {
+    Engine = ServiceEngine::Slack;
+    return true;
+  }
+  if (Name == "bnb") {
+    Engine = ServiceEngine::BranchAndBound;
+    return true;
+  }
+  if (Name == "sat") {
+    Engine = ServiceEngine::Sat;
+    return true;
+  }
+  if (Name == "portfolio") {
+    Engine = ServiceEngine::Portfolio;
+    return true;
+  }
+  return false;
+}
+
+const char *lsms::serviceTierName(ServiceTier Tier) {
+  switch (Tier) {
+  case ServiceTier::Exact:
+    return "exact";
+  case ServiceTier::Slack:
+    return "slack";
+  case ServiceTier::Cached:
+    return "cached";
+  case ServiceTier::Shed:
+    return "shed";
+  }
+  return "?";
+}
+
+const char *lsms::serviceErrorCodeName(ServiceErrorCode Code) {
+  switch (Code) {
+  case ServiceErrorCode::None:
+    return "none";
+  case ServiceErrorCode::BadRequest:
+    return "bad_request";
+  case ServiceErrorCode::UnknownKernel:
+    return "unknown_kernel";
+  case ServiceErrorCode::CompileError:
+    return "compile_error";
+  case ServiceErrorCode::NoSchedule:
+    return "no_schedule";
+  case ServiceErrorCode::MaxIIExceeded:
+    return "max_ii_exceeded";
+  case ServiceErrorCode::Internal:
+    return "internal";
+  case ServiceErrorCode::Overloaded:
+    return "overloaded";
+  case ServiceErrorCode::UnknownCommand:
+    return "unknown_command";
+  }
+  return "?";
+}
+
+std::string lsms::renderResponseLine(const ServiceResponse &R) {
+  std::ostringstream OS;
+  OS << "{\"index\":" << R.Index << ",\"proto\":" << ProtocolVersion;
+  if (!R.Id.empty())
+    OS << ",\"id\":" << jsonQuote(R.Id);
+  OS << ",\"name\":" << jsonQuote(R.Name);
+  OS << ",\"engine\":\"" << serviceEngineName(R.Engine) << '"';
+  if (!R.Ok) {
+    OS << ",\"status\":\"error\",\"error_code\":\""
+       << serviceErrorCodeName(R.Code == ServiceErrorCode::None
+                                   ? ServiceErrorCode::Internal
+                                   : R.Code)
+       << "\",\"error\":" << jsonQuote(R.Error) << '}';
+    return OS.str();
+  }
+  OS << ",\"status\":\"ok\"";
+  OS << ",\"tier\":\"" << serviceTierName(R.Tier) << '"';
+  OS << ",\"degraded\":" << (R.Degraded ? "true" : "false");
+  if (R.Engine != ServiceEngine::Slack)
+    OS << ",\"exact_status\":\"" << exactStatusName(R.ExactVerdict) << '"';
+  OS << ",\"ii\":" << R.II << ",\"mii\":" << R.MII
+     << ",\"res_mii\":" << R.ResMII << ",\"rec_mii\":" << R.RecMII
+     << ",\"length\":" << R.Length << ",\"maxlive\":" << R.MaxLive;
+  if (R.Engine != ServiceEngine::Slack)
+    OS << ",\"maxlive_proven\":" << (R.MaxLiveProven ? "true" : "false")
+       << ",\"maxlive_cert\":\"" << maxLiveCertificateName(R.Certificate)
+       << '"';
+  if (!R.Times.empty()) {
+    OS << ",\"times\":[";
+    for (size_t I = 0; I < R.Times.size(); ++I)
+      OS << (I ? "," : "") << R.Times[I];
+    OS << ']';
+  }
+  OS << '}';
+  return OS.str();
+}
+
+std::string lsms::renderShedLine(uint64_t Index, const std::string &Id) {
+  std::string Line = "{\"index\":" + std::to_string(Index) +
+                     ",\"proto\":" + std::to_string(ProtocolVersion);
+  if (!Id.empty())
+    Line += ",\"id\":" + jsonQuote(Id);
+  Line += ",\"name\":\"shed\",\"status\":\"shed\",\"tier\":\"shed\","
+          "\"error_code\":\"overloaded\",\"error\":\"server overloaded: "
+          "admission queue full and no cached answer\"}";
+  return Line;
+}
+
+std::string lsms::renderControlErrorLine(uint64_t Index,
+                                         ServiceErrorCode Code,
+                                         const std::string &Message) {
+  return "{\"index\":" + std::to_string(Index) +
+         ",\"proto\":" + std::to_string(ProtocolVersion) +
+         ",\"name\":\"control\",\"status\":\"error\",\"error_code\":\"" +
+         serviceErrorCodeName(Code) + "\",\"error\":" + jsonQuote(Message) +
+         '}';
+}
+
+std::string lsms::renderSleepLine(uint64_t Index, long SleptMs) {
+  return "{\"index\":" + std::to_string(Index) +
+         ",\"proto\":" + std::to_string(ProtocolVersion) +
+         ",\"name\":\"control\",\"status\":\"ok\",\"slept_ms\":" +
+         std::to_string(SleptMs) + '}';
+}
+
+std::string lsms::renderRequestLine(const std::string &Source,
+                                    const std::string &Engine) {
+  return "{\"source\":" + jsonQuote(Source) + ",\"engine\":\"" + Engine +
+         "\"}";
+}
+
+std::string lsms::requestIdForShed(const std::string &Line) {
+  std::map<std::string, JsonScalar> Obj;
+  std::string Err;
+  if (!parseFlatJsonObject(Line, Obj, Err))
+    return "";
+  const auto It = Obj.find("id");
+  if (It == Obj.end() || It->second.K != JsonScalar::String)
+    return "";
+  return It->second.S;
+}
+
+WireResponseView lsms::classifyResponseLine(const std::string &Line) {
+  WireResponseView V;
+  if (Line.find("\"status\":\"shed\"") != std::string::npos)
+    V.Shed = true;
+  else if (Line.find("\"status\":\"error\"") != std::string::npos)
+    V.Error = true;
+  else if (Line.find("\"status\":\"ok\"") != std::string::npos)
+    V.Ok = true;
+  static const ServiceTier Tiers[] = {ServiceTier::Exact, ServiceTier::Slack,
+                                      ServiceTier::Cached, ServiceTier::Shed};
+  for (const ServiceTier T : Tiers) {
+    const std::string Needle =
+        std::string("\"tier\":\"") + serviceTierName(T) + '"';
+    if (Line.find(Needle) != std::string::npos) {
+      V.HasTier = true;
+      V.Tier = T;
+      break;
+    }
+  }
+  return V;
+}

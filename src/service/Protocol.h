@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned JSONL wire protocol shared by every emitter and consumer
+/// of scheduler traffic: the service pipe (processJsonl), the socket front
+/// end (net/EpollServer), the load tools (bench/NetBenchCommon), and the
+/// tests. Exactly one place renders response lines and exactly one place
+/// names the enums that appear on the wire, so the shapes cannot drift.
+///
+/// Version policy: every response line carries `"proto":1`. Additive
+/// fields (new keys, new enum spellings) keep the version; renaming or
+/// removing a field, changing a field's type, or changing the meaning of
+/// an existing spelling bumps it. Clients must ignore keys they do not
+/// know.
+///
+/// v1 response shapes (one line each, `\n`-terminated on the wire):
+///
+///   ok      {"index":N,"proto":1[,"id":S],"name":S,"engine":E,
+///            "status":"ok","tier":T,"degraded":B[,"exact_status":S],
+///            "ii":N,"mii":N,"res_mii":N,"rec_mii":N,"length":N,
+///            "maxlive":N[,"maxlive_proven":B,"maxlive_cert":S]
+///            [,"times":[N,...]]}
+///   error   {"index":N,"proto":1[,"id":S],"name":S,"engine":E,
+///            "status":"error","error_code":C,"error":S}
+///   shed    {"index":N,"proto":1[,"id":S],"name":"shed","status":"shed",
+///            "tier":"shed","error_code":"overloaded","error":S}
+///   control {"index":N,"proto":1,"name":"control","status":"ok"|"error",
+///            ...}
+///
+/// `"tier"` is the overload-degradation rung that produced the answer:
+/// "exact" (the requested exact engine answered, undegraded), "slack"
+/// (the slack heuristic answered — requested, or an exact request
+/// degraded), "cached" (answered from the cache/store under overload
+/// without running any engine), "shed" (no answer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_SERVICE_PROTOCOL_H
+#define LSMS_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace lsms {
+
+struct ServiceResponse;
+
+/// The wire protocol version stamped into every response line.
+constexpr int ProtocolVersion = 1;
+
+/// The scheduler a request selects.
+enum class ServiceEngine : uint8_t { Slack, BranchAndBound, Sat, Portfolio };
+
+/// Returns "slack", "bnb", "sat", or "portfolio" (the wire spellings).
+const char *serviceEngineName(ServiceEngine Engine);
+
+/// Parses a wire spelling; returns false on an unknown name.
+bool parseServiceEngine(const std::string &Name, ServiceEngine &Engine);
+
+/// The degradation rung that produced (or failed to produce) an answer.
+enum class ServiceTier : uint8_t { Exact, Slack, Cached, Shed };
+
+/// Returns "exact", "slack", "cached", or "shed" (the wire spellings).
+const char *serviceTierName(ServiceTier Tier);
+
+/// Machine-readable failure taxonomy carried as "error_code" alongside the
+/// human-oriented "error" string. Append-only: new codes may be added,
+/// existing spellings never change within a protocol version.
+enum class ServiceErrorCode : uint8_t {
+  None,          ///< the request succeeded (no "error_code" emitted)
+  BadRequest,    ///< malformed JSON / unknown field / bad payload combo
+  UnknownKernel, ///< named kernel not in the suite
+  CompileError,  ///< DSL source failed to compile
+  NoSchedule,    ///< no engine found a schedule within the II cap
+  MaxIIExceeded, ///< best schedule violates the request's max_ii
+  Internal,      ///< server-side invariant failure (validation, remap)
+  Overloaded,    ///< shed: every degradation tier was exhausted
+  UnknownCommand ///< control line with an unrecognized "cmd"
+};
+
+/// Returns the wire spelling ("bad_request", "unknown_kernel", ...).
+const char *serviceErrorCodeName(ServiceErrorCode Code);
+
+/// Renders one response as a single v1 JSONL line (no trailing newline).
+/// This is THE response serializer: the pipe, the socket workers, and the
+/// cached-tier fast path all call it (via ServiceResponse::toJsonl), so
+/// every transport emits byte-identical lines for identical answers.
+std::string renderResponseLine(const ServiceResponse &Resp);
+
+/// Renders the server's shed line (the 503 of this protocol): emitted by
+/// the socket front end when a request exhausts every degradation tier.
+/// \p Id is the request's "id" field when it was parseable ("" otherwise),
+/// echoed back so pipelined clients can correlate the refusal.
+std::string renderShedLine(uint64_t Index, const std::string &Id);
+
+/// Renders a control-channel error line (e.g. an unknown "cmd").
+std::string renderControlErrorLine(uint64_t Index, ServiceErrorCode Code,
+                                   const std::string &Message);
+
+/// Renders the {"cmd":"sleep_ms"} acknowledgement (test control channel).
+std::string renderSleepLine(uint64_t Index, long SleptMs);
+
+/// Builds a minimal scheduling request line from inline DSL source — the
+/// shape the load tools send.
+std::string renderRequestLine(const std::string &Source,
+                              const std::string &Engine);
+
+/// Extracts the "id" field from a request line for shed echoing; returns
+/// "" when the line is unparseable or has no string "id".
+std::string requestIdForShed(const std::string &Line);
+
+/// Cheap substring classification of one response line, for consumers
+/// that count outcomes without parsing full JSON (load generators, smoke
+/// scripts). Exactly one of Ok/Error/Shed is true for well-formed lines.
+struct WireResponseView {
+  bool Ok = false;
+  bool Error = false;
+  bool Shed = false;
+  bool HasTier = false;
+  ServiceTier Tier = ServiceTier::Slack; ///< valid only when HasTier
+};
+WireResponseView classifyResponseLine(const std::string &Line);
+
+} // namespace lsms
+
+#endif // LSMS_SERVICE_PROTOCOL_H

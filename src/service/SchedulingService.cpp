@@ -24,71 +24,8 @@
 
 using namespace lsms;
 
-const char *lsms::serviceEngineName(ServiceEngine Engine) {
-  switch (Engine) {
-  case ServiceEngine::Slack:
-    return "slack";
-  case ServiceEngine::BranchAndBound:
-    return "bnb";
-  case ServiceEngine::Sat:
-    return "sat";
-  case ServiceEngine::Portfolio:
-    return "portfolio";
-  }
-  return "?";
-}
-
-bool lsms::parseServiceEngine(const std::string &Name,
-                              ServiceEngine &Engine) {
-  if (Name == "slack") {
-    Engine = ServiceEngine::Slack;
-    return true;
-  }
-  if (Name == "bnb") {
-    Engine = ServiceEngine::BranchAndBound;
-    return true;
-  }
-  if (Name == "sat") {
-    Engine = ServiceEngine::Sat;
-    return true;
-  }
-  if (Name == "portfolio") {
-    Engine = ServiceEngine::Portfolio;
-    return true;
-  }
-  return false;
-}
-
 std::string ServiceResponse::toJsonl() const {
-  std::ostringstream OS;
-  OS << "{\"index\":" << Index;
-  if (!Id.empty())
-    OS << ",\"id\":" << jsonQuote(Id);
-  OS << ",\"name\":" << jsonQuote(Name);
-  OS << ",\"engine\":\"" << serviceEngineName(Engine) << '"';
-  if (!Ok) {
-    OS << ",\"status\":\"error\",\"error\":" << jsonQuote(Error) << '}';
-    return OS.str();
-  }
-  OS << ",\"status\":\"ok\"";
-  OS << ",\"degraded\":" << (Degraded ? "true" : "false");
-  if (Engine != ServiceEngine::Slack)
-    OS << ",\"exact_status\":\"" << exactStatusName(ExactVerdict) << '"';
-  OS << ",\"ii\":" << II << ",\"mii\":" << MII << ",\"res_mii\":" << ResMII
-     << ",\"rec_mii\":" << RecMII << ",\"length\":" << Length
-     << ",\"maxlive\":" << MaxLive;
-  if (Engine != ServiceEngine::Slack)
-    OS << ",\"maxlive_proven\":" << (MaxLiveProven ? "true" : "false")
-       << ",\"maxlive_cert\":\"" << maxLiveCertificateName(Certificate)
-       << '"';
-  if (!Times.empty()) {
-    OS << ",\"times\":[";
-    for (size_t I = 0; I < Times.size(); ++I)
-      OS << (I ? "," : "") << Times[I];
-    OS << ']';
-  }
-  OS << '}';
-  return OS.str();
+  return renderResponseLine(*this);
 }
 
 //===----------------------------------------------------------------------===//
@@ -303,10 +240,24 @@ void SchedulingService::drain() {
   });
 }
 
-ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
-                                          int Index) {
+ServiceResponse SchedulingService::handle(const ServiceRequest &ReqIn,
+                                          int Index, AdmitMode Mode) {
   const InFlightGuard Guard(*this);
   const auto T0 = std::chrono::steady_clock::now();
+  // SlackOnly admission reuses the deterministic deadline-expired path:
+  // forcing DeadlineMs to 0 makes an exact request degrade to the slack
+  // heuristic without touching an exact engine, and the front-cache key
+  // already distinguishes the forced variant (the DeadlineMs == 0 flag is
+  // part of it).
+  ServiceRequest SlackOnlyReq;
+  const ServiceRequest *ReqP = &ReqIn;
+  if (Mode == AdmitMode::SlackOnly &&
+      ReqIn.Engine != ServiceEngine::Slack && ReqIn.DeadlineMs != 0) {
+    SlackOnlyReq = ReqIn;
+    SlackOnlyReq.DeadlineMs = 0;
+    ReqP = &SlackOnlyReq;
+  }
+  const ServiceRequest &Req = *ReqP;
   ServiceResponse Resp;
   Resp.Index = Index;
   Resp.Id = Req.Id;
@@ -314,6 +265,10 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
   Metrics.inc("requests_total");
   Metrics.inc(std::string("requests_engine_") +
               serviceEngineName(Req.Engine));
+  if (Mode == AdmitMode::SlackOnly)
+    Metrics.inc("requests_admit_slack_only");
+  else if (Mode == AdmitMode::CachedOnly)
+    Metrics.inc("requests_admit_cached_only");
 
   // -- Front cache: fully-rendered responses keyed on the raw payload
   // text and everything else that determines the line. A hit skips
@@ -350,14 +305,29 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
                         serviceEngineName(Req.Engine),
                     Micros);
     Metrics.inc(R.Ok ? "requests_ok" : "requests_error");
-    if (FrontEligible && !Replayed)
+    if (R.Ok)
+      Metrics.inc(std::string("responses_tier_") + serviceTierName(R.Tier));
+    // CachedOnly answers are re-tiered replays; inserting them would
+    // poison the front cache for full-admission traffic.
+    if (FrontEligible && !Replayed && Mode != AdmitMode::CachedOnly)
       Front.insert(FrontKey, R);
     return R;
   };
-  const auto fail = [&](const std::string &Why) {
+  const auto fail = [&](ServiceErrorCode Code, const std::string &Why) {
     Resp.Ok = false;
+    Resp.Code = Code;
     Resp.Error = Why;
     return finish(Resp);
+  };
+  // The cached rung found nothing: report Overloaded WITHOUT caching the
+  // outcome, so the caller (the socket front end) sheds this request.
+  const auto cacheMiss = [&]() {
+    Resp.Ok = false;
+    Resp.Code = ServiceErrorCode::Overloaded;
+    Resp.Tier = ServiceTier::Shed;
+    Resp.Error = "server overloaded and no cached schedule for this loop";
+    Metrics.inc("requests_cached_only_misses");
+    return finish(Resp, /*Replayed=*/true);
   };
 
   if (FrontEligible) {
@@ -370,6 +340,8 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
                      ? (Req.Kernel.empty() ? std::string("inline")
                                            : Req.Kernel)
                      : Req.Name;
+      if (Mode == AdmitMode::CachedOnly && Hit.Ok)
+        Hit.Tier = ServiceTier::Cached;
       Metrics.inc("requests_front_hits");
       if (Hit.Degraded)
         Metrics.inc("requests_degraded");
@@ -386,15 +358,17 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
       if (Req.Kernel == K.Name)
         Found = &K;
     if (!Found)
-      return fail("unknown kernel '" + Req.Kernel + "'");
+      return fail(ServiceErrorCode::UnknownKernel,
+                  "unknown kernel '" + Req.Kernel + "'");
     const std::string Err = compileLoop(Found->Source, Resp.Name, Body);
     if (!Err.empty())
-      return fail("kernel '" + Req.Kernel + "' failed to compile: " + Err);
+      return fail(ServiceErrorCode::CompileError,
+                  "kernel '" + Req.Kernel + "' failed to compile: " + Err);
   } else {
     Resp.Name = Req.Name.empty() ? "inline" : Req.Name;
     const std::string Err = compileLoop(Req.Source, Resp.Name, Body);
     if (!Err.empty())
-      return fail(Err);
+      return fail(ServiceErrorCode::CompileError, Err);
   }
 
   // -- Canonicalize. Schedules are only legal relative to their body's
@@ -448,6 +422,7 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
 
   CachedSchedule Result;
   bool HaveResult = false;
+  bool NearestUsed = false;
   const bool WantExact = Req.Engine != ServiceEngine::Slack;
 
   if (WantExact) {
@@ -478,6 +453,10 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
       Cache.insert(CK, Result);
       HaveResult = true;
       Resp.ExactVerdict = Result.Status;
+    } else if (Mode == AdmitMode::CachedOnly) {
+      // No precomputed exact answer; fall through to the cached slack
+      // rungs below without running an engine.
+      Resp.ExactVerdict = ExactStatus::Timeout;
     } else if (Req.DeadlineMs == 0) {
       // A zero deadline has expired before any work can happen; skip the
       // solve entirely so the degradation path is wall-clock independent.
@@ -527,6 +506,14 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
       if (Store.get(SK, Result)) {
         Metrics.inc("store_hits");
         Cache.insert(SK, Result);
+      } else if (Mode == AdmitMode::CachedOnly) {
+        // Last rung: any persisted schedule for this loop, whatever the
+        // options aux it was computed under (a different engine or budget
+        // configuration). Validation below still guards the answer.
+        if (!Store.getByLoop(KeyHi, KeyLo, Result) || !Result.Success)
+          return cacheMiss();
+        Metrics.inc("store_nearest_hits");
+        NearestUsed = true;
       } else {
         const Schedule S = scheduleLoop(TargetGraph, SO);
         long MaxLive = -1;
@@ -543,20 +530,25 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
       Resp.Degraded = true;
       Metrics.inc("requests_degraded");
     }
-    if (!Result.Success)
-      return fail(WantExact
+    if (!Result.Success) {
+      if (Mode == AdmitMode::CachedOnly)
+        return cacheMiss(); // a cached failure is not an answer; shed
+      return fail(ServiceErrorCode::NoSchedule,
+                  WantExact
                       ? "exact engine gave up and the slack fallback found "
                         "no schedule within the II cap"
                       : "no schedule within the II cap");
+    }
   }
 
   // The per-request cap is a hard constraint. The heuristic's ladder only
   // consults its cap when escalating — its first attempt at MII can
   // "succeed" past a cap below MII — so enforce it on the answer.
   if (Req.MaxII > 0 && Result.II > Req.MaxII)
-    return fail("no schedule within max_ii " + std::to_string(Req.MaxII) +
-                " (minimum initiation interval is " +
-                std::to_string(Result.MII) + ")");
+    return fail(ServiceErrorCode::MaxIIExceeded,
+                "no schedule within max_ii " + std::to_string(Req.MaxII) +
+                    " (minimum initiation interval is " +
+                    std::to_string(Result.MII) + ")");
 
   // -- Remap the schedule back to the request's numbering (the identity
   // when the request body was scheduled directly) and re-validate against
@@ -579,12 +571,22 @@ ServiceResponse SchedulingService::handle(const ServiceRequest &Req,
     const DepGraph ReqGraph(Body, Config.Machine);
     const std::string V = validateSchedule(ReqGraph, Check);
     if (!V.empty()) {
+      // A nearest-per-loop record can legitimately fail here (it was
+      // written under a different machine/options aux): that rung simply
+      // has no answer, so shed rather than report an internal error.
+      if (NearestUsed)
+        return cacheMiss();
       Metrics.inc("responses_validation_failures");
-      return fail("internal: remapped schedule failed validation: " + V);
+      return fail(ServiceErrorCode::Internal,
+                  "internal: remapped schedule failed validation: " + V);
     }
   }
 
   Resp.Ok = true;
+  Resp.Tier = Mode == AdmitMode::CachedOnly
+                  ? ServiceTier::Cached
+                  : (WantExact && !Resp.Degraded ? ServiceTier::Exact
+                                                 : ServiceTier::Slack);
   Resp.II = Result.II;
   Resp.MII = Result.MII;
   Resp.ResMII = Result.ResMII;
@@ -696,17 +698,29 @@ bool SchedulingService::parseRequestLine(const std::string &Line,
 
 ServiceResponse SchedulingService::handleLine(const std::string &Line,
                                               int Index,
-                                              ServiceEngine DefaultEngine) {
+                                              ServiceEngine DefaultEngine,
+                                              AdmitMode Mode) {
   ServiceRequest Req;
   std::string Err;
   if (parseRequestLine(Line, Req, Err, DefaultEngine))
-    return handle(Req, Index);
+    return handle(Req, Index, Mode);
   ServiceResponse Resp;
   Resp.Index = Index;
   Resp.Name = "invalid";
+  Resp.Code = ServiceErrorCode::BadRequest;
   Resp.Error = "bad request: " + Err;
   Metrics.inc("requests_parse_errors");
   return Resp;
+}
+
+bool SchedulingService::handleLineCachedOnly(const std::string &Line,
+                                             int Index,
+                                             ServiceEngine DefaultEngine,
+                                             ServiceResponse &Out) {
+  Out = handleLine(Line, Index, DefaultEngine, AdmitMode::CachedOnly);
+  // Parse errors and other request-level failures ARE answers; only the
+  // ladder-exhausted Overloaded outcome means "nothing cached, shed me".
+  return Out.Ok || Out.Code != ServiceErrorCode::Overloaded;
 }
 
 int SchedulingService::processJsonl(std::istream &In, std::ostream &Out,

@@ -30,6 +30,7 @@
 #include "exact/ExactEngine.h"
 #include "machine/MachineModel.h"
 #include "service/Metrics.h"
+#include "service/Protocol.h"
 #include "service/ScheduleCache.h"
 #include "store/ScheduleStore.h"
 
@@ -43,14 +44,13 @@
 
 namespace lsms {
 
-/// The scheduler a request selects.
-enum class ServiceEngine : uint8_t { Slack, BranchAndBound, Sat, Portfolio };
-
-/// Returns "slack", "bnb", "sat", or "portfolio" (the wire spellings).
-const char *serviceEngineName(ServiceEngine Engine);
-
-/// Parses a wire spelling; returns false on an unknown name.
-bool parseServiceEngine(const std::string &Name, ServiceEngine &Engine);
+/// How far down the overload ladder a request is admitted. Full runs the
+/// requested engine; SlackOnly forces the deterministic exact→slack
+/// degradation (the deadline-expired path) without touching an exact
+/// engine; CachedOnly answers purely from the front cache / LRU / store
+/// (including the nearest-per-loop rung) and never computes — cheap
+/// enough that the socket front end runs it inline on the IO thread.
+enum class AdmitMode : uint8_t { Full, SlackOnly, CachedOnly };
 
 /// One scheduling request. Exactly one of Kernel/Source must be set.
 struct ServiceRequest {
@@ -81,6 +81,14 @@ struct ServiceResponse {
   bool Ok = false;
   std::string Error;
   ServiceEngine Engine = ServiceEngine::Slack; ///< engine requested
+  /// The overload-ladder rung that produced the answer (wire field
+  /// "tier"): Exact for an undegraded exact answer, Slack for the
+  /// heuristic (requested or degraded-to), Cached for answers served
+  /// under overload without running any engine.
+  ServiceTier Tier = ServiceTier::Slack;
+  /// Machine-readable failure code (wire field "error_code"); None on
+  /// success.
+  ServiceErrorCode Code = ServiceErrorCode::None;
   /// True when an exact request fell back to the slack heuristic
   /// (deadline missed, engine budget exhausted, or exact-infeasible under
   /// the II cap). The schedule below is then the slack schedule.
@@ -143,8 +151,11 @@ public:
   SchedulingService(const SchedulingService &) = delete;
   SchedulingService &operator=(const SchedulingService &) = delete;
 
-  /// Handles one request synchronously on the calling thread.
-  ServiceResponse handle(const ServiceRequest &Request, int Index = 0);
+  /// Handles one request synchronously on the calling thread. \p Mode
+  /// selects the overload-ladder rung (see AdmitMode); Full is the normal
+  /// path.
+  ServiceResponse handle(const ServiceRequest &Request, int Index = 0,
+                         AdmitMode Mode = AdmitMode::Full);
 
   /// Parses one JSONL request line and handles it; malformed lines become
   /// the same error responses processJsonl emits. This is the unit of work
@@ -153,7 +164,18 @@ public:
   /// identical lines.
   ServiceResponse
   handleLine(const std::string &Line, int Index,
-             ServiceEngine DefaultEngine = ServiceEngine::Slack);
+             ServiceEngine DefaultEngine = ServiceEngine::Slack,
+             AdmitMode Mode = AdmitMode::Full);
+
+  /// The cached rung of the overload ladder: answers \p Line without
+  /// running any engine (parse errors, front-cache hits, LRU/store hits,
+  /// and the nearest-per-loop store lookup all count as answers). Returns
+  /// false — and leaves \p Out meaningless — when no cached answer
+  /// exists, in which case the caller sheds. Cheap enough to run inline
+  /// on the socket IO thread.
+  bool handleLineCachedOnly(const std::string &Line, int Index,
+                            ServiceEngine DefaultEngine,
+                            ServiceResponse &Out);
 
   /// Handles a batch on the worker pool; Responses[I] answers Requests[I].
   std::vector<ServiceResponse>

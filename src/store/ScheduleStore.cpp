@@ -116,6 +116,13 @@ bool decodePayload(const unsigned char *Data, size_t Len, CacheKey &Key,
   return !R.Bad;
 }
 
+/// Folds a loop fingerprint into the LoopIndex bucket key.
+uint64_t loopIndexKey(uint64_t Hi, uint64_t Lo) {
+  uint64_t H = Hi ^ (Lo * 0x9e3779b97f4a7c15ULL);
+  H ^= H >> 33;
+  return H;
+}
+
 } // namespace
 
 void lsms::appendStoreRecord(std::string &Out, const CacheKey &Key,
@@ -184,6 +191,7 @@ bool ScheduleStore::open(const std::string &Path, std::string &Err) {
   }
 
   Index.clear();
+  LoopIndex.clear();
   Recovered = 0;
   Truncated = 0;
   Dead = 0;
@@ -211,6 +219,7 @@ bool ScheduleStore::open(const std::string &Path, std::string &Err) {
       It->second = IndexEntry{std::move(Value), RecordBytes};
     } else {
       Index.emplace(Key, IndexEntry{std::move(Value), RecordBytes});
+      LoopIndex[loopIndexKey(Key.Hi, Key.Lo)].push_back(Key);
     }
     ++Recovered;
     Off += static_cast<size_t>(RecordBytes);
@@ -248,6 +257,7 @@ void ScheduleStore::close() {
   ::close(Fd);
   Fd = -1;
   Index.clear();
+  LoopIndex.clear();
 }
 
 bool ScheduleStore::get(const CacheKey &Key, CachedSchedule &Out) {
@@ -262,6 +272,27 @@ bool ScheduleStore::get(const CacheKey &Key, CachedSchedule &Out) {
   Out = It->second.Value;
   ++HitCount;
   return true;
+}
+
+bool ScheduleStore::getByLoop(uint64_t Hi, uint64_t Lo, CachedSchedule &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return false;
+  const auto Bucket = LoopIndex.find(loopIndexKey(Hi, Lo));
+  if (Bucket != LoopIndex.end()) {
+    for (const CacheKey &Key : Bucket->second) {
+      if (Key.Hi != Hi || Key.Lo != Lo)
+        continue; // bucket collision across distinct loops
+      const auto It = Index.find(Key);
+      if (It != Index.end() && It->second.Value.Success) {
+        Out = It->second.Value;
+        ++HitCount;
+        return true;
+      }
+    }
+  }
+  ++MissCount;
+  return false;
 }
 
 bool ScheduleStore::appendRecordLocked(const CacheKey &Key,
@@ -311,6 +342,7 @@ bool ScheduleStore::put(const CacheKey &Key, const CachedSchedule &Value) {
     It->second = IndexEntry{Value, RecordBytes};
   } else {
     Index.emplace(Key, IndexEntry{Value, RecordBytes});
+    LoopIndex[loopIndexKey(Key.Hi, Key.Lo)].push_back(Key);
   }
   // Periodic compaction: once superseded records dominate a log that has
   // grown past a trivial size, rewrite it. Failure is non-fatal — the log

@@ -89,6 +89,14 @@ public:
   /// Index lookup; copies the latest value for \p Key into \p Out.
   bool get(const CacheKey &Key, CachedSchedule &Out);
 
+  /// Nearest-answer lookup for the overload ladder's cached tier: the
+  /// first successful record whose canonical loop fingerprint is
+  /// (Hi, Lo), under ANY options aux — i.e. a schedule for this exact
+  /// loop computed under a different engine or budget configuration.
+  /// Deterministic (first-inserted wins). Returns false when no
+  /// successful record exists for the loop.
+  bool getByLoop(uint64_t Hi, uint64_t Lo, CachedSchedule &Out);
+
   /// Appends a record for \p Key and updates the index. Appending the
   /// same key/value pair again is a no-op (keeps replayed warm traffic
   /// from growing the log). May trigger an automatic compaction. Returns
@@ -127,6 +135,9 @@ private:
   int Fd = -1;
   std::string LogPath;
   std::unordered_map<CacheKey, IndexEntry, KeyHash> Index;
+  /// Secondary index for getByLoop: loop fingerprint (Hi, Lo, aux
+  /// ignored) -> every full key seen for that loop, in insertion order.
+  std::unordered_map<uint64_t, std::vector<CacheKey>> LoopIndex;
 
   long HitCount = 0, MissCount = 0, AppendCount = 0;
   long Recovered = 0, Truncated = 0, CompactionCount = 0;

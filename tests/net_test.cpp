@@ -2,9 +2,11 @@
 /// Loopback integration tests for the epoll front end (net/EpollServer.h):
 /// byte-identity of the socket path against the JSONL pipe, pipelined and
 /// concurrent clients with strict per-connection response ordering,
-/// overload shedding under a bounded admission queue, the metrics control
-/// command, graceful drain of in-flight work, connection-cap rejection,
-/// and warm restarts answering from the persistent store.
+/// overload shedding under a bounded admission queue, the tiered overload
+/// ladder (exact -> slack -> cached -> shed), SO_REUSEPORT IO sharding,
+/// the metrics control command, graceful drain of in-flight work,
+/// connection-cap rejection, and warm restarts answering from the
+/// persistent store.
 //===----------------------------------------------------------------------===//
 
 #include "net/EpollServer.h"
@@ -152,6 +154,10 @@ TEST(NetServer, OverloadShedsBeyondBoundedQueue) {
   ServerConfig NC;
   NC.Workers = 1;
   NC.MaxQueueDepth = 1;
+  // Pin the pre-ladder behavior: no slack band, no cached rung, so
+  // everything past the queue bound sheds immediately.
+  NC.SlackQueueDepth = 0;
+  NC.CachedFallback = false;
   NC.EnableTestCommands = true;
   TestServer Server(SC, NC);
 
@@ -189,6 +195,135 @@ TEST(NetServer, OverloadShedsBeyondBoundedQueue) {
   EXPECT_GE(Shed, 6);
   EXPECT_EQ(Server.Svc.metrics().counter("net_shed"), Shed);
   EXPECT_GE(Server.Svc.metrics().counter("net_requests"), Burst + 1);
+}
+
+TEST(NetServer, OverloadLadderDegradesBeforeShedding) {
+  ServiceConfig SC;
+  SC.Jobs = 1;
+  ServerConfig NC;
+  NC.Workers = 1;
+  NC.MaxQueueDepth = 1;
+  NC.SlackQueueDepth = 2;
+  NC.CachedFallback = true;
+  NC.EnableTestCommands = true;
+  TestServer Server(SC, NC);
+
+  const std::string Warm = "{\"kernel\": \"daxpy\", \"engine\": \"bnb\"}";
+  JsonlClient Client = connectTo(Server);
+  std::string Err, Line;
+  // Warm the cache at full fidelity: an undegraded exact answer.
+  ASSERT_TRUE(Client.sendLine(Warm, Err));
+  ASSERT_TRUE(Client.recvLine(Line, Err));
+  ASSERT_NE(Line.find("\"tier\":\"exact\""), std::string::npos) << Line;
+  ASSERT_NE(Line.find("\"proto\":1"), std::string::npos) << Line;
+
+  // Occupy the only worker...
+  ASSERT_TRUE(Client.sendLine("{\"cmd\": \"sleep_ms\", \"ms\": 600}", Err));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // ...then burst nine requests. Admission walks the ladder
+  // deterministically while the worker sleeps: one full-fidelity (queue
+  // slot) replays the warm exact answer; two land in the slack band —
+  // exact requests with no cached exact answer, so they degrade to the
+  // slack heuristic; the rest hit the cached rung, which answers the warm
+  // replays from cache and sheds only the cold miss.
+  const std::string ColdSlack =
+      "{\"source\": \"loop i = 2, n\\n  z[i] = z[i-1] * 0.5 + "
+      "u[i]\\nend\", \"engine\": \"bnb\"}";
+  std::string Batch = Warm + "\n" + ColdSlack + "\n" + ColdSlack + "\n";
+  for (int I = 0; I < 5; ++I)
+    Batch += Warm + "\n";
+  Batch += "{\"source\": \"loop i = 2, n\\n  y[i] = y[i-1] * 0.75 + "
+           "u[i]\\nend\", \"engine\": \"bnb\", \"id\": \"cold1\"}\n";
+  ASSERT_TRUE(Client.sendRaw(Batch, Err));
+  Client.shutdownWrite();
+
+  std::vector<std::string> Lines;
+  while (Client.recvLine(Line, Err))
+    Lines.push_back(Line);
+  EXPECT_TRUE(Err.empty()) << Err;
+
+  // sleep ack + 9 burst responses, in request order.
+  ASSERT_EQ(Lines.size(), 10u);
+  for (size_t I = 0; I < Lines.size(); ++I)
+    EXPECT_EQ(Lines[I].rfind("{\"index\":" + std::to_string(I + 1) + ",", 0),
+              0u)
+        << Lines[I];
+  EXPECT_NE(Lines[0].find("\"slept_ms\":600"), std::string::npos);
+
+  int Exact = 0, Slack = 0, Cached = 0, Shed = 0, LastRank = 0;
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    const WireResponseView V = classifyResponseLine(Lines[I]);
+    ASSERT_TRUE(V.HasTier) << Lines[I];
+    Exact += V.Tier == ServiceTier::Exact;
+    Slack += V.Tier == ServiceTier::Slack;
+    Cached += V.Tier == ServiceTier::Cached;
+    Shed += V.Tier == ServiceTier::Shed;
+    // The ladder only ever descends across a burst: exact, then slack,
+    // then cached, then shed.
+    const int Rank = static_cast<int>(V.Tier);
+    EXPECT_GE(Rank, LastRank) << Lines[I];
+    LastRank = Rank;
+  }
+  EXPECT_EQ(Exact, 1);
+  EXPECT_EQ(Slack, 2);
+  EXPECT_EQ(Cached, 5);
+  EXPECT_EQ(Shed, 1);
+  // Slack-tier answers to an exact request are marked degraded.
+  EXPECT_NE(Lines[2].find("\"degraded\":true"), std::string::npos)
+      << Lines[2];
+  // The shed line is structured and echoes the request id.
+  EXPECT_NE(Lines[9].find("\"status\":\"shed\""), std::string::npos);
+  EXPECT_NE(Lines[9].find("\"error_code\":\"overloaded\""),
+            std::string::npos);
+  EXPECT_NE(Lines[9].find("\"id\":\"cold1\""), std::string::npos);
+
+  const MetricsRegistry &M = Server.Svc.metrics();
+  EXPECT_EQ(M.counter("net_slack_admits"), 2);
+  EXPECT_EQ(M.counter("net_cached_answers"), 5);
+  EXPECT_EQ(M.counter("net_shed"), 1);
+  EXPECT_EQ(M.counter("responses_tier_cached"), 5);
+  EXPECT_GE(M.counter("responses_tier_slack"), 2);
+  EXPECT_GE(M.counter("responses_tier_exact"), 1);
+  EXPECT_EQ(M.counter("requests_cached_only_misses"), 1);
+}
+
+TEST(NetServer, ShardedServerKeepsPerConnectionByteIdentity) {
+  const std::string Requests = requestCorpus();
+
+  // Reference: the stdin pipe on an identically configured service.
+  ServiceConfig SC;
+  SC.Jobs = 4;
+  std::string Expected;
+  {
+    SchedulingService Pipe(SC);
+    std::istringstream In(Requests);
+    std::ostringstream Out;
+    Pipe.processJsonl(In, Out);
+    Expected = Out.str();
+  }
+  ASSERT_FALSE(Expected.empty());
+
+  ServerConfig NC;
+  NC.IoShards = 4;
+  TestServer Server(SC, NC);
+  ASSERT_GT(Server.port(), 0);
+
+  // Many concurrent connections land on different shards (the kernel
+  // spreads SO_REUSEPORT accepts); every stream must still be identical
+  // to the single-threaded pipe, byte for byte.
+  constexpr int NumClients = 12;
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Clients;
+  for (int C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&Server, &Requests, &Expected, &Mismatches] {
+      if (roundTrip(Server, Requests) != Expected)
+        Mismatches.fetch_add(1);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+  EXPECT_EQ(Server.Svc.metrics().counter("net_accepted"), NumClients);
+  EXPECT_EQ(Server.Svc.metrics().counter("net_shed"), 0);
 }
 
 TEST(NetServer, MetricsCommandReturnsOneLineDocument) {

@@ -1,0 +1,176 @@
+//===----------------------------------------------------------------------===//
+/// Golden tests pinning the v1 wire protocol (service/Protocol.h) byte for
+/// byte: response lines for every status shape (ok/error/shed/control),
+/// the enum wire spellings, the shed-id echo, and the substring
+/// classifier. A failure here means the wire format changed — that is a
+/// protocol version bump, not a refactor.
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+#include "service/SchedulingService.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lsms;
+
+namespace {
+
+/// Runs one request line through a fresh service and returns the rendered
+/// response line (no trailing newline).
+std::string respond(const std::string &Line, int Index = 0) {
+  SchedulingService Svc{[] {
+    ServiceConfig SC;
+    SC.Jobs = 1;
+    return SC;
+  }()};
+  return Svc.handleLine(Line, Index).toJsonl();
+}
+
+} // namespace
+
+TEST(Protocol, GoldenOkLineSlackEngine) {
+  EXPECT_EQ(respond("{\"kernel\": \"daxpy\"}", 3),
+            "{\"index\":3,\"proto\":1,\"name\":\"daxpy\",\"engine\":"
+            "\"slack\",\"status\":\"ok\",\"tier\":\"slack\",\"degraded\":"
+            "false,\"ii\":2,\"mii\":2,\"res_mii\":2,\"rec_mii\":1,"
+            "\"length\":20,\"maxlive\":19}");
+}
+
+TEST(Protocol, GoldenOkLineExactEngine) {
+  EXPECT_EQ(respond("{\"kernel\": \"daxpy\", \"engine\": \"bnb\"}", 2),
+            "{\"index\":2,\"proto\":1,\"name\":\"daxpy\",\"engine\":\"bnb\","
+            "\"status\":\"ok\",\"tier\":\"exact\",\"degraded\":false,"
+            "\"exact_status\":\"optimal\",\"ii\":2,\"mii\":2,\"res_mii\":2,"
+            "\"rec_mii\":1,\"length\":19,\"maxlive\":28,\"maxlive_proven\":"
+            "false,\"maxlive_cert\":\"none\"}");
+}
+
+TEST(Protocol, GoldenOkLineWithIdAndTimes) {
+  EXPECT_EQ(respond("{\"source\": \"loop i = 2, n\\n  x[i] = x[i-1] + "
+                    "u[i]\\nend\", \"emit_times\": true, \"id\": \"g1\"}",
+                    4),
+            "{\"index\":4,\"proto\":1,\"id\":\"g1\",\"name\":\"inline\","
+            "\"engine\":\"slack\",\"status\":\"ok\",\"tier\":\"slack\","
+            "\"degraded\":false,\"ii\":1,\"mii\":1,\"res_mii\":1,"
+            "\"rec_mii\":1,\"length\":16,\"maxlive\":16,"
+            "\"times\":[0,16,0,1,14,14,15,0]}");
+}
+
+TEST(Protocol, GoldenErrorLines) {
+  EXPECT_EQ(respond("{oops"),
+            "{\"index\":0,\"proto\":1,\"name\":\"invalid\",\"engine\":"
+            "\"slack\",\"status\":\"error\",\"error_code\":\"bad_request\","
+            "\"error\":\"bad request: expected '\\\"'\"}");
+  EXPECT_EQ(respond("{\"kernel\": \"no_such_kernel\"}", 1),
+            "{\"index\":1,\"proto\":1,\"name\":\"no_such_kernel\","
+            "\"engine\":\"slack\",\"status\":\"error\",\"error_code\":"
+            "\"unknown_kernel\",\"error\":\"unknown kernel "
+            "'no_such_kernel'\"}");
+}
+
+TEST(Protocol, GoldenShedControlAndSleepLines) {
+  EXPECT_EQ(renderShedLine(7, "abc"),
+            "{\"index\":7,\"proto\":1,\"id\":\"abc\",\"name\":\"shed\","
+            "\"status\":\"shed\",\"tier\":\"shed\",\"error_code\":"
+            "\"overloaded\",\"error\":\"server overloaded: admission queue "
+            "full and no cached answer\"}");
+  EXPECT_EQ(renderShedLine(0, ""),
+            "{\"index\":0,\"proto\":1,\"name\":\"shed\",\"status\":\"shed\","
+            "\"tier\":\"shed\",\"error_code\":\"overloaded\",\"error\":"
+            "\"server overloaded: admission queue full and no cached "
+            "answer\"}");
+  EXPECT_EQ(renderControlErrorLine(5, ServiceErrorCode::UnknownCommand,
+                                   "unknown cmd 'frobnicate'"),
+            "{\"index\":5,\"proto\":1,\"name\":\"control\",\"status\":"
+            "\"error\",\"error_code\":\"unknown_command\",\"error\":"
+            "\"unknown cmd 'frobnicate'\"}");
+  EXPECT_EQ(renderSleepLine(1, 400),
+            "{\"index\":1,\"proto\":1,\"name\":\"control\",\"status\":"
+            "\"ok\",\"slept_ms\":400}");
+  EXPECT_EQ(renderRequestLine("loop i = 1, n\nend", "bnb"),
+            "{\"source\":\"loop i = 1, n\\nend\",\"engine\":\"bnb\"}");
+}
+
+TEST(Protocol, EnumWireSpellingsRoundTrip) {
+  const ServiceEngine Engines[] = {ServiceEngine::Slack,
+                                   ServiceEngine::BranchAndBound,
+                                   ServiceEngine::Sat,
+                                   ServiceEngine::Portfolio};
+  for (const ServiceEngine E : Engines) {
+    ServiceEngine Back;
+    ASSERT_TRUE(parseServiceEngine(serviceEngineName(E), Back));
+    EXPECT_EQ(Back, E);
+  }
+  EXPECT_STREQ(serviceEngineName(ServiceEngine::BranchAndBound), "bnb");
+  ServiceEngine Ignored;
+  EXPECT_FALSE(parseServiceEngine("exact", Ignored));
+
+  EXPECT_STREQ(serviceTierName(ServiceTier::Exact), "exact");
+  EXPECT_STREQ(serviceTierName(ServiceTier::Slack), "slack");
+  EXPECT_STREQ(serviceTierName(ServiceTier::Cached), "cached");
+  EXPECT_STREQ(serviceTierName(ServiceTier::Shed), "shed");
+
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::BadRequest),
+               "bad_request");
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::UnknownKernel),
+               "unknown_kernel");
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::CompileError),
+               "compile_error");
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::NoSchedule),
+               "no_schedule");
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::MaxIIExceeded),
+               "max_ii_exceeded");
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::Internal), "internal");
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::Overloaded),
+               "overloaded");
+  EXPECT_STREQ(serviceErrorCodeName(ServiceErrorCode::UnknownCommand),
+               "unknown_command");
+}
+
+TEST(Protocol, ShedIdEchoParsesOnlyStringIds) {
+  EXPECT_EQ(requestIdForShed("{\"kernel\": \"daxpy\", \"id\": \"q7\"}"),
+            "q7");
+  EXPECT_EQ(requestIdForShed("{\"kernel\": \"daxpy\", \"id\": 7}"), "");
+  EXPECT_EQ(requestIdForShed("{\"kernel\": \"daxpy\"}"), "");
+  EXPECT_EQ(requestIdForShed("not json"), "");
+}
+
+TEST(Protocol, ClassifierSeesStatusAndTier) {
+  const WireResponseView Ok = classifyResponseLine(
+      respond("{\"kernel\": \"daxpy\", \"engine\": \"bnb\"}"));
+  EXPECT_TRUE(Ok.Ok);
+  EXPECT_FALSE(Ok.Error);
+  EXPECT_FALSE(Ok.Shed);
+  ASSERT_TRUE(Ok.HasTier);
+  EXPECT_EQ(Ok.Tier, ServiceTier::Exact);
+
+  const WireResponseView Err = classifyResponseLine(respond("{oops"));
+  EXPECT_TRUE(Err.Error);
+  EXPECT_FALSE(Err.Ok);
+  EXPECT_FALSE(Err.HasTier);
+
+  const WireResponseView Shed = classifyResponseLine(renderShedLine(0, ""));
+  EXPECT_TRUE(Shed.Shed);
+  EXPECT_FALSE(Shed.Ok);
+  ASSERT_TRUE(Shed.HasTier);
+  EXPECT_EQ(Shed.Tier, ServiceTier::Shed);
+}
+
+TEST(Protocol, PipeMatchesRenderedLines) {
+  // The pipe and the renderer are the same code path; pin that the pipe
+  // emits exactly renderResponseLine(...) + "\n" per request.
+  ServiceConfig SC;
+  SC.Jobs = 1;
+  SchedulingService Svc(SC);
+  std::istringstream In("{\"kernel\": \"daxpy\"}\n{oops\n");
+  std::ostringstream Out;
+  Svc.processJsonl(In, Out);
+  std::ostringstream Want;
+  Want << respond("{\"kernel\": \"daxpy\"}", 0) << "\n"
+       << respond("{oops", 1) << "\n";
+  EXPECT_EQ(Out.str(), Want.str());
+}
