@@ -1,0 +1,515 @@
+#include "sat/CgraSat.h"
+
+#include "cgra/CgraMapper.h"
+#include "sat/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+
+using namespace lsms;
+
+namespace {
+
+constexpr long NoPath = MinDistMatrix::NoPath;
+
+bool isPath(long W) { return W > NoPath / 2; }
+
+long tighten(long C, long D, long II) {
+  return C + (((D - C) % II + II) % II);
+}
+
+long satAdd(long A, long B) {
+  constexpr long Cap = LONG_MAX / 4;
+  const long S = A + B;
+  return S > Cap ? Cap : S;
+}
+
+/// Per-arc clause-count gate for the up-front hop-strengthened pairwise
+/// encoding; recurrence arcs beyond it fall back to lazy cuts alone.
+constexpr long EagerHopClauseCap = 50000;
+
+/// One fixed-II spatial encoding + CEGAR loop.
+class CgraSatAttempt {
+public:
+  CgraSatAttempt(const DepGraph &Graph, const CgraModel &Cgra,
+                 const MinDistMatrix &MinDist)
+      : Graph(Graph), Cgra(Cgra), Body(Graph.body()), M(Cgra.machine()),
+        MinDist(MinDist), II(MinDist.initiationInterval()),
+        N(Graph.numOps()) {
+    Slot.assign(static_cast<size_t>(N), -1);
+    for (int X = 0; X < N; ++X) {
+      if (M.unitFor(Body.op(X).Opc) == FuKind::None)
+        continue;
+      Slot[static_cast<size_t>(X)] = static_cast<int>(Real.size());
+      Real.push_back(X);
+    }
+    Allowed.assign(Real.size(), {});
+    PeIndex.assign(Real.size(),
+                   std::vector<int>(static_cast<size_t>(Cgra.numPes()), -1));
+    for (size_t S = 0; S < Real.size(); ++S) {
+      const Opcode Opc = Body.op(Real[S]).Opc;
+      if (!fuKindNeedsPe(M.unitFor(Opc)))
+        continue;
+      for (int Pe = 0; Pe < Cgra.numPes(); ++Pe)
+        if (Cgra.capableOf(Pe, Opc)) {
+          PeIndex[S][static_cast<size_t>(Pe)] =
+              static_cast<int>(Allowed[S].size());
+          Allowed[S].push_back(Pe);
+        }
+    }
+  }
+
+  CgraSatStatus run(long ConflictBudget, std::vector<int> &TimesOut,
+                    std::vector<int> &PesOut, SatEngineStats &Stats);
+
+private:
+  bool placeable(size_t S) const { return !Allowed[S].empty(); }
+  Lit rVar(size_t S, int R) const {
+    return mkLit(RBase[S] + R);
+  }
+  Lit sVar(size_t S, int R, int K) const {
+    return mkLit(SBase[S] + R * static_cast<int>(Allowed[S].size()) + K);
+  }
+
+  bool encode();
+  void decode();
+  bool closeTightened();
+  std::vector<Lit> cycleCut() const;
+  bool routeCut(std::vector<Lit> &Cut) const;
+  void materialize(std::vector<int> &TimesOut, std::vector<int> &PesOut) const;
+
+  const DepGraph &Graph;
+  const CgraModel &Cgra;
+  const LoopBody &Body;
+  const MachineModel &M;
+  const MinDistMatrix &MinDist;
+  const int II;
+  const int N;
+
+  SatSolver Solver;
+  std::vector<int> Real; ///< op ids with a functional unit, ascending
+  std::vector<int> Slot; ///< op id -> index in Real, -1 for pseudo-ops
+  std::vector<std::vector<int>> Allowed; ///< capable PEs per slot (empty =
+                                         ///< no PE slot needed, e.g. brtop)
+  std::vector<std::vector<int>> PeIndex; ///< PE id -> index in Allowed
+  std::vector<int> RBase; ///< residue-column base var per slot
+  std::vector<int> SBase; ///< selector base var per placeable slot
+
+  std::vector<int> Rho; ///< decoded residue per slot
+  std::vector<int> Pe;  ///< decoded PE per slot (-1 when not placeable)
+  std::vector<long> T;  ///< hop-augmented tightened closure
+  int CycleSlot = -1;
+};
+
+bool CgraSatAttempt::encode() {
+  RBase.assign(Real.size(), 0);
+  SBase.assign(Real.size(), 0);
+  for (size_t S = 0; S < Real.size(); ++S) {
+    RBase[S] = Solver.numVars();
+    for (int R = 0; R < II; ++R)
+      Solver.newVar();
+    SBase[S] = Solver.numVars();
+    for (size_t V = 0; V < Allowed[S].size() * static_cast<size_t>(II); ++V)
+      Solver.newVar();
+  }
+
+  // Exactly one residue per operation.
+  for (size_t S = 0; S < Real.size(); ++S) {
+    std::vector<Lit> AtLeastOne;
+    for (int R = 0; R < II; ++R)
+      AtLeastOne.push_back(rVar(S, R));
+    Solver.addClause(AtLeastOne);
+    for (int A = 0; A < II; ++A)
+      for (int B = A + 1; B < II; ++B)
+        Solver.addClause({~rVar(S, A), ~rVar(S, B)});
+  }
+
+  // Channeling: a residue commits to exactly one capable PE.
+  for (size_t S = 0; S < Real.size(); ++S) {
+    if (!placeable(S))
+      continue;
+    const int A = static_cast<int>(Allowed[S].size());
+    for (int R = 0; R < II; ++R) {
+      std::vector<Lit> PickOne;
+      PickOne.push_back(~rVar(S, R));
+      for (int K = 0; K < A; ++K)
+        PickOne.push_back(sVar(S, R, K));
+      Solver.addClause(PickOne);
+      for (int K = 0; K < A; ++K)
+        Solver.addClause({~sVar(S, R, K), rVar(S, R)});
+      for (int K1 = 0; K1 < A; ++K1)
+        for (int K2 = K1 + 1; K2 < A; ++K2)
+          Solver.addClause({~sVar(S, R, K1), ~sVar(S, R, K2)});
+    }
+  }
+
+  // Per-PE modulo exclusivity: two ops sharing a PE must not overlap their
+  // reservation intervals mod II.
+  std::vector<char> Mark(static_cast<size_t>(II), 0);
+  for (size_t SU = 0; SU < Real.size(); ++SU) {
+    if (!placeable(SU))
+      continue;
+    const int ResU = M.reservationCycles(Body.op(Real[SU]).Opc);
+    for (size_t SV = SU + 1; SV < Real.size(); ++SV) {
+      if (!placeable(SV))
+        continue;
+      const int ResV = M.reservationCycles(Body.op(Real[SV]).Opc);
+      for (const int P : Allowed[SU]) {
+        const int KV = PeIndex[SV][static_cast<size_t>(P)];
+        if (KV < 0)
+          continue;
+        const int KU = PeIndex[SU][static_cast<size_t>(P)];
+        for (int A = 0; A < II; ++A) {
+          std::fill(Mark.begin(), Mark.end(), 0);
+          for (int K = 0; K < ResU; ++K)
+            Mark[static_cast<size_t>((A + K) % II)] = 1;
+          for (int B = 0; B < II; ++B) {
+            bool Overlap = false;
+            for (int K = 0; K < ResV && !Overlap; ++K)
+              Overlap = Mark[static_cast<size_t>((B + K) % II)];
+            if (Overlap)
+              Solver.addClause({~sVar(SU, A, KU), ~sVar(SV, B, KV)});
+          }
+        }
+      }
+    }
+  }
+
+  // Flat pairwise dependence legality over residue columns (hop-free lower
+  // bounds; valid for every placement).
+  for (size_t SU = 0; SU < Real.size(); ++SU) {
+    const int U = Real[SU];
+    for (size_t SV = SU + 1; SV < Real.size(); ++SV) {
+      const int V = Real[SV];
+      if (!MinDist.connected(U, V) || !MinDist.connected(V, U))
+        continue;
+      const long CUV = MinDist.at(U, V);
+      const long CVU = MinDist.at(V, U);
+      for (int D = 0; D < II; ++D) {
+        if (tighten(CUV, D, II) + tighten(CVU, -D, II) <= 0)
+          continue;
+        for (int A = 0; A < II; ++A)
+          Solver.addClause({~rVar(SU, A), ~rVar(SV, (A + D) % II)});
+      }
+    }
+  }
+
+  // Hop-strengthened pairwise legality for register-flow arcs inside a
+  // recurrence: landing producer and consumer on distant PEs adds hop
+  // latency to the arc, which can close an otherwise-slack two-cycle.
+  // Bounded per arc; larger products rely on the lazy cuts below.
+  for (const DepArc &Arc : Graph.arcs()) {
+    if (Arc.Value < 0 || Arc.Src == Arc.Dst)
+      continue;
+    const int SX = Slot[static_cast<size_t>(Arc.Src)];
+    const int SY = Slot[static_cast<size_t>(Arc.Dst)];
+    if (SX < 0 || SY < 0)
+      continue;
+    const size_t SXU = static_cast<size_t>(SX);
+    const size_t SYU = static_cast<size_t>(SY);
+    if (!placeable(SXU) || !placeable(SYU))
+      continue;
+    if (!MinDist.connected(Arc.Src, Arc.Dst) ||
+        !MinDist.connected(Arc.Dst, Arc.Src))
+      continue;
+    const long Pairs = static_cast<long>(Allowed[SXU].size()) *
+                       static_cast<long>(Allowed[SYU].size());
+    if (Pairs * II * II > EagerHopClauseCap)
+      continue;
+    const long CXY = MinDist.at(Arc.Src, Arc.Dst);
+    const long CYX = MinDist.at(Arc.Dst, Arc.Src);
+    for (size_t KX = 0; KX < Allowed[SXU].size(); ++KX) {
+      for (size_t KY = 0; KY < Allowed[SYU].size(); ++KY) {
+        const int PX = Allowed[SXU][KX];
+        const int PY = Allowed[SYU][KY];
+        if (PX == PY)
+          continue;
+        const long Hopped =
+            std::max(CXY, static_cast<long>(Arc.Latency) +
+                              Cgra.hopDelay(PX, PY) -
+                              static_cast<long>(Arc.Omega) * II);
+        for (int D = 0; D < II; ++D) {
+          if (tighten(Hopped, D, II) + tighten(CYX, -D, II) <= 0)
+            continue;
+          for (int A = 0; A < II; ++A)
+            Solver.addClause({~sVar(SXU, A, static_cast<int>(KX)),
+                              ~sVar(SYU, (A + D) % II,
+                                    static_cast<int>(KY))});
+        }
+      }
+    }
+  }
+  return Solver.okay();
+}
+
+void CgraSatAttempt::decode() {
+  Rho.assign(Real.size(), -1);
+  Pe.assign(Real.size(), -1);
+  for (size_t S = 0; S < Real.size(); ++S) {
+    for (int R = 0; R < II; ++R)
+      if (Solver.modelValue(litVar(rVar(S, R)))) {
+        assert(Rho[S] < 0 && "exactly-one residue violated");
+        Rho[S] = R;
+      }
+    assert(Rho[S] >= 0 && "operation left without a residue");
+    if (!placeable(S))
+      continue;
+    for (size_t K = 0; K < Allowed[S].size(); ++K)
+      if (Solver.modelValue(litVar(sVar(S, Rho[S], static_cast<int>(K))))) {
+        assert(Pe[S] < 0 && "at-most-one PE violated");
+        Pe[S] = Allowed[S][K];
+      }
+    assert(Pe[S] >= 0 && "placeable operation left without a PE");
+  }
+}
+
+bool CgraSatAttempt::closeTightened() {
+  const size_t R = Real.size();
+  T.assign(R * R, NoPath);
+  for (size_t I = 0; I < R; ++I)
+    for (size_t J = 0; J < R; ++J) {
+      if (I == J) {
+        T[I * R + J] = 0;
+        continue;
+      }
+      if (MinDist.connected(Real[I], Real[J]))
+        T[I * R + J] =
+            tighten(MinDist.at(Real[I], Real[J]), Rho[J] - Rho[I], II);
+    }
+  // Overlay the hop-charged register-flow arcs of the decoded placement.
+  for (const DepArc &Arc : Graph.arcs()) {
+    const int SX = Slot[static_cast<size_t>(Arc.Src)];
+    const int SY = Slot[static_cast<size_t>(Arc.Dst)];
+    if (SX < 0 || SY < 0 || SX == SY)
+      continue;
+    const int Hop = arcHopDelay(Cgra, Arc, Pe[static_cast<size_t>(SX)],
+                                Pe[static_cast<size_t>(SY)]);
+    if (Hop == 0)
+      continue;
+    const long W =
+        tighten(static_cast<long>(Arc.Latency) + Hop -
+                    static_cast<long>(Arc.Omega) * II,
+                Rho[static_cast<size_t>(SY)] - Rho[static_cast<size_t>(SX)],
+                II);
+    long &Cell = T[static_cast<size_t>(SX) * R + static_cast<size_t>(SY)];
+    Cell = std::max(Cell, W);
+  }
+  for (size_t K = 0; K < R; ++K) {
+    for (size_t I = 0; I < R; ++I) {
+      const long IK = T[I * R + K];
+      if (!isPath(IK))
+        continue;
+      for (size_t J = 0; J < R; ++J) {
+        const long KJ = T[K * R + J];
+        if (!isPath(KJ))
+          continue;
+        long &Cell = T[I * R + J];
+        const long Via = satAdd(IK, KJ);
+        if (Via > Cell)
+          Cell = Via;
+      }
+    }
+    for (size_t I = 0; I < R; ++I)
+      if (T[I * R + I] > 0) {
+        CycleSlot = static_cast<int>(I);
+        return false;
+      }
+  }
+  CycleSlot = -1;
+  return true;
+}
+
+/// Blocking clause for the positive cycle through CycleSlot: every slot
+/// mutually connected with it keeps its current (residue, PE) choice only
+/// if at least one of them moves. All arc weights inside that strongly
+/// connected set — tightened MinDist entries and hop overlays alike —
+/// are functions of exactly those residues and PEs, so the cut is sound.
+std::vector<Lit> CgraSatAttempt::cycleCut() const {
+  const size_t R = Real.size();
+  const size_t V = static_cast<size_t>(CycleSlot);
+  std::vector<Lit> Cut;
+  for (size_t U = 0; U < R; ++U) {
+    if (U != V && (!isPath(T[V * R + U]) || !isPath(T[U * R + V])))
+      continue;
+    if (placeable(U))
+      Cut.push_back(~sVar(U, Rho[U],
+                          PeIndex[U][static_cast<size_t>(Pe[U])]));
+    else
+      Cut.push_back(~rVar(U, Rho[U]));
+  }
+  return Cut;
+}
+
+/// Checks route capacity on the decoded residues (departure cycles depend
+/// only on residues, not absolute times). On overflow builds the blocking
+/// clause: every transfer feeding the overflowing (PE, residue) slot pins
+/// its producer's selector and one witness consumer's selector per
+/// destination; with all of them held the slot provably overflows again,
+/// so excluding the combination is sound. Returns true when clean.
+bool CgraSatAttempt::routeCut(std::vector<Lit> &Cut) const {
+  std::vector<int> Times(static_cast<size_t>(N), -1);
+  std::vector<int> Pes(static_cast<size_t>(N), -1);
+  for (size_t S = 0; S < Real.size(); ++S) {
+    Times[static_cast<size_t>(Real[S])] = Rho[S];
+    Pes[static_cast<size_t>(Real[S])] = Pe[S];
+  }
+  std::vector<int> Counts;
+  int OverPe = -1, OverR = -1;
+  if (countRouteUse(Graph, Cgra, Times, Pes, II, Counts, &OverPe, &OverR))
+    return true;
+
+  Cut.clear();
+  for (size_t SX = 0; SX < Real.size(); ++SX) {
+    const int X = Real[SX];
+    if (Pe[SX] != OverPe ||
+        (Rho[SX] + Graph.latency(X)) % II != OverR)
+      continue;
+    // One witness consumer per distinct destination PE of this producer.
+    std::vector<char> Seen(static_cast<size_t>(Cgra.numPes()), 0);
+    bool Sends = false;
+    for (const int ArcId : Graph.succArcs(X)) {
+      const DepArc &Arc = Graph.arc(ArcId);
+      const int SY = Slot[static_cast<size_t>(Arc.Dst)];
+      if (Arc.Value < 0 || SY < 0)
+        continue;
+      const int Q = Pe[static_cast<size_t>(SY)];
+      if (Q < 0 || Q == OverPe || Seen[static_cast<size_t>(Q)])
+        continue;
+      Seen[static_cast<size_t>(Q)] = 1;
+      Sends = true;
+      Cut.push_back(~sVar(static_cast<size_t>(SY),
+                          Rho[static_cast<size_t>(SY)],
+                          PeIndex[static_cast<size_t>(SY)]
+                                 [static_cast<size_t>(Q)]));
+    }
+    if (Sends)
+      Cut.push_back(~sVar(SX, Rho[SX],
+                          PeIndex[SX][static_cast<size_t>(OverPe)]));
+  }
+  assert(!Cut.empty() && "route overflow without contributing transfers");
+  return false;
+}
+
+void CgraSatAttempt::materialize(std::vector<int> &TimesOut,
+                                 std::vector<int> &PesOut) const {
+  const int Start = Body.startOp();
+  const size_t R = Real.size();
+  std::vector<long> Base(R, 0);
+  for (size_t I = 0; I < R; ++I) {
+    const long FromStart =
+        MinDist.connected(Start, Real[I]) ? MinDist.at(Start, Real[I]) : 0;
+    Base[I] = tighten(std::max(0L, FromStart), Rho[I], II);
+  }
+  std::vector<long> Time(R, 0);
+  for (size_t J = 0; J < R; ++J) {
+    long TJ = Base[J];
+    for (size_t I = 0; I < R; ++I)
+      if (isPath(T[I * R + J]))
+        TJ = std::max(TJ, Base[I] + T[I * R + J]);
+    Time[J] = TJ;
+  }
+
+  TimesOut.assign(static_cast<size_t>(N), 0);
+  PesOut.assign(static_cast<size_t>(N), -1);
+  for (size_t I = 0; I < R; ++I) {
+    assert(Time[I] % II == Rho[I] && "decoded time lost its residue");
+    TimesOut[static_cast<size_t>(Real[I])] = static_cast<int>(Time[I]);
+    PesOut[static_cast<size_t>(Real[I])] = Pe[I];
+  }
+  for (int X = 0; X < N; ++X) {
+    if (X == Start || Slot[static_cast<size_t>(X)] >= 0)
+      continue;
+    long TX = std::max(
+        0L, MinDist.connected(Start, X) ? MinDist.at(Start, X) : 0L);
+    for (size_t I = 0; I < R; ++I)
+      if (MinDist.connected(Real[I], X))
+        TX = std::max(TX, Time[I] + MinDist.at(Real[I], X));
+    TimesOut[static_cast<size_t>(X)] = static_cast<int>(TX);
+  }
+  TimesOut[static_cast<size_t>(Start)] = 0;
+}
+
+CgraSatStatus CgraSatAttempt::run(long ConflictBudget,
+                                  std::vector<int> &TimesOut,
+                                  std::vector<int> &PesOut,
+                                  SatEngineStats &Stats) {
+  // Structural pre-checks shared with the heuristic mapper: a capability
+  // hole or a reservation wrapping past II is infeasible at every
+  // placement, no search needed.
+  for (size_t S = 0; S < Real.size(); ++S) {
+    const Opcode Opc = Body.op(Real[S]).Opc;
+    if (!fuKindNeedsPe(M.unitFor(Opc)))
+      continue;
+    if (Allowed[S].empty())
+      return CgraSatStatus::Infeasible;
+    if (M.reservationCycles(Opc) > II)
+      return CgraSatStatus::Infeasible;
+  }
+  if (ConflictBudget == 0)
+    return CgraSatStatus::Budget;
+
+  const SatSolverStats Before = Solver.stats();
+  const auto Snapshot = [&]() {
+    Stats.Variables += Solver.numVars();
+    Stats.Clauses += Solver.numClauses();
+    Stats.Decisions += Solver.stats().Decisions - Before.Decisions;
+    Stats.Propagations += Solver.stats().Propagations - Before.Propagations;
+    Stats.Conflicts += Solver.stats().Conflicts - Before.Conflicts;
+    Stats.Restarts += Solver.stats().Restarts - Before.Restarts;
+    Stats.Learned += Solver.stats().Learned - Before.Learned;
+  };
+
+  if (!encode()) {
+    Snapshot();
+    return CgraSatStatus::Infeasible;
+  }
+
+  CgraSatStatus Status = CgraSatStatus::Budget;
+  for (;;) {
+    const long Spent = Solver.stats().Conflicts - Before.Conflicts;
+    if (ConflictBudget >= 0 && Spent >= ConflictBudget)
+      break;
+    const long Remaining = ConflictBudget < 0 ? -1 : ConflictBudget - Spent;
+    const SatResult R = Solver.solve(Remaining);
+    if (R == SatResult::Unknown)
+      break;
+    if (R == SatResult::Unsat) {
+      Status = CgraSatStatus::Infeasible;
+      break;
+    }
+    decode();
+    if (!closeTightened()) {
+      Solver.addClause(cycleCut());
+      ++Stats.Refinements;
+      continue;
+    }
+    std::vector<Lit> Cut;
+    if (!routeCut(Cut)) {
+      Solver.addClause(Cut);
+      ++Stats.Refinements;
+      continue;
+    }
+    materialize(TimesOut, PesOut);
+    Status = CgraSatStatus::Mapped;
+    break;
+  }
+  Snapshot();
+  return Status;
+}
+
+} // namespace
+
+CgraSatStatus lsms::mapAtIICgraSat(const DepGraph &Graph,
+                                   const CgraModel &Cgra,
+                                   const MinDistMatrix &MinDist,
+                                   long ConflictBudget,
+                                   std::vector<int> &TimesOut,
+                                   std::vector<int> &PesOut,
+                                   SatEngineStats &Stats) {
+  assert(MinDist.initiationInterval() > 0 &&
+         MinDist.numOps() == Graph.numOps() &&
+         "MinDist must hold the relation at the candidate II");
+  CgraSatAttempt Attempt(Graph, Cgra, MinDist);
+  return Attempt.run(ConflictBudget, TimesOut, PesOut, Stats);
+}

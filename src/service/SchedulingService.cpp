@@ -777,6 +777,7 @@ void appendStoreJson(std::ostream &OS, bool Open,
      << ", \"live_keys\": " << S.LiveKeys
      << ", \"recovered_records\": " << S.RecoveredRecords
      << ", \"truncated_bytes\": " << S.TruncatedBytes
+     << ", \"torn_records\": " << S.TornRecords
      << ", \"compactions\": " << S.Compactions
      << ", \"log_bytes\": " << S.LogBytes
      << ", \"dead_bytes\": " << S.DeadBytes << ", \"hit_rate\": " << HitRate

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <iostream>
 #include <vector>
 
 #include <fcntl.h>
@@ -194,6 +195,7 @@ bool ScheduleStore::open(const std::string &Path, std::string &Err) {
   LoopIndex.clear();
   Recovered = 0;
   Truncated = 0;
+  Torn = 0;
   Dead = 0;
   const auto *Data = reinterpret_cast<const unsigned char *>(Bytes.data());
   size_t Off = 0;
@@ -226,8 +228,23 @@ bool ScheduleStore::open(const std::string &Path, std::string &Err) {
   }
   if (Off < Bytes.size()) {
     // Torn or corrupt tail: drop it so the next append starts on a clean
-    // record boundary.
+    // record boundary. Count the record starts the tail held — each
+    // sighting of the record magic is one torn record; a tail cut before
+    // its magic completed still counts as one.
     Truncated = static_cast<long>(Bytes.size() - Off);
+    for (size_t P = Off; P + 4 <= Bytes.size(); ++P) {
+      uint32_t Word = 0;
+      for (int I = 0; I < 4; ++I)
+        Word |= static_cast<uint32_t>(Data[P + static_cast<size_t>(I)])
+                << (8 * I);
+      if (Word == RecordMagic)
+        ++Torn;
+    }
+    if (Torn == 0)
+      Torn = 1;
+    std::cerr << "store: recovered " << Recovered << " records from '"
+              << Path << "', dropped " << Truncated << " torn tail bytes ("
+              << Torn << " torn record" << (Torn == 1 ? "" : "s") << ")\n";
     if (::ftruncate(NewFd, static_cast<off_t>(Off)) != 0) {
       Err = "cannot truncate torn tail of '" + Path +
             "': " + std::strerror(errno);
@@ -433,6 +450,7 @@ ScheduleStoreStats ScheduleStore::stats() const {
   S.LiveKeys = static_cast<long>(Index.size());
   S.RecoveredRecords = Recovered;
   S.TruncatedBytes = Truncated;
+  S.TornRecords = Torn;
   S.Compactions = CompactionCount;
   S.LogBytes = LogSize;
   S.DeadBytes = Dead;

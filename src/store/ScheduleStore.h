@@ -46,6 +46,9 @@ struct ScheduleStoreStats {
   long LiveKeys = 0;         ///< distinct keys in the index
   long RecoveredRecords = 0; ///< valid records replayed by open()
   long TruncatedBytes = 0;   ///< torn/corrupt tail bytes dropped by open()
+  /// Record starts (magic sightings) inside the dropped tail; a tail cut
+  /// before its magic completed still counts as one torn record.
+  long TornRecords = 0;
   long Compactions = 0;      ///< compactions run this session
   long LogBytes = 0;         ///< current log file size
   long DeadBytes = 0;        ///< bytes held by superseded records
@@ -140,7 +143,7 @@ private:
   std::unordered_map<uint64_t, std::vector<CacheKey>> LoopIndex;
 
   long HitCount = 0, MissCount = 0, AppendCount = 0;
-  long Recovered = 0, Truncated = 0, CompactionCount = 0;
+  long Recovered = 0, Truncated = 0, Torn = 0, CompactionCount = 0;
   long LogSize = 0, Dead = 0;
 };
 

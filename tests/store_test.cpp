@@ -181,6 +181,9 @@ TEST(ScheduleStore, TornTailTruncatedAtEveryByteOffset) {
     EXPECT_EQ(Store.stats().LiveKeys, 2) << "torn=" << Torn;
     EXPECT_EQ(Store.stats().TruncatedBytes, static_cast<long>(Torn))
         << "torn=" << Torn;
+    // One record start in the tail — whether its magic made it to disk
+    // (torn >= 4) or the header was cut mid-write (floor of one).
+    EXPECT_EQ(Store.stats().TornRecords, 1) << "torn=" << Torn;
     CachedSchedule Out;
     EXPECT_TRUE(Store.get(makeKey(1), Out));
     EXPECT_TRUE(Store.get(makeKey(2), Out));
@@ -197,6 +200,7 @@ TEST(ScheduleStore, TornTailTruncatedAtEveryByteOffset) {
   ASSERT_TRUE(Store.open(Path, Err)) << Err;
   EXPECT_EQ(Store.stats().RecoveredRecords, 3);
   EXPECT_EQ(Store.stats().TruncatedBytes, 0);
+  EXPECT_EQ(Store.stats().TornRecords, 0);
   CachedSchedule Out;
   ASSERT_TRUE(Store.get(makeKey(3), Out));
   expectEqual(Out, makeSched(3));
@@ -230,6 +234,8 @@ TEST(ScheduleStore, CrcCorruptionCutsOffRecovery) {
     EXPECT_EQ(Store.stats().LiveKeys, 0);
     EXPECT_EQ(Store.stats().TruncatedBytes,
               static_cast<long>(Intact.size()));
+    // Both records' magics sit in the dropped tail.
+    EXPECT_EQ(Store.stats().TornRecords, 2);
   }
 
   // Flip a payload byte of record 2 only: record 1 survives.
@@ -257,6 +263,9 @@ TEST(ScheduleStore, CrcCorruptionCutsOffRecovery) {
     ASSERT_TRUE(Store.open(Path, Err)) << Err;
     EXPECT_EQ(Store.stats().RecoveredRecords, 1);
     EXPECT_EQ(Store.stats().LiveKeys, 1);
+    // The flipped magic leaves no recognizable record start in the tail;
+    // the count still floors at one torn record.
+    EXPECT_EQ(Store.stats().TornRecords, 1);
   }
   std::remove(Path.c_str());
 }
