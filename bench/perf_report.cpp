@@ -42,6 +42,7 @@
 #include "SuiteMetrics.h"
 #include "cgra/CgraOracle.h"
 #include "exact/Oracle.h"
+#include "spec/SpecOracle.h"
 #include "net/EpollServer.h"
 #include "service/EngineFlag.h"
 #include "support/ParallelFor.h"
@@ -275,6 +276,37 @@ int main(int Argc, char **Argv) {
     CgraReportsIdentical = Report1 == ReportN;
   }
 
+  // -- Irregular loops: conservative vs speculative scheduling over the
+  // while-exit / may-alias suite (the irregular_gap workload), with the
+  // speculative schedules replayed against a concrete trace. Smoke shrinks
+  // the sweep; the gates on validation, the structural II ordering, and
+  // report byte-identity apply in both modes. ----------------------------
+  SectionResult IrregularSection;
+  IrregularReport IrrReport;
+  bool IrrReportsIdentical = true;
+  {
+    IrregularOptions Options;
+    if (Smoke)
+      Options.NumLoops = 8;
+    std::string Report1, ReportN;
+    for (const int Jobs : {1, JobsN}) {
+      Options.Jobs = Jobs;
+      const auto T0 = Clock::now();
+      IrrReport = runIrregularSweep(Options);
+      (Jobs == 1 ? IrregularSection.Jobs1Seconds
+                 : IrregularSection.JobsNSeconds) = secondsSince(T0);
+      if (JobsN == 1)
+        IrregularSection.JobsNSeconds = IrregularSection.Jobs1Seconds;
+      IrregularSection.Loops = static_cast<int>(IrrReport.Cases.size());
+      std::ostringstream OS;
+      printIrregularReport(OS, IrrReport);
+      (Jobs == 1 ? Report1 : ReportN) = OS.str();
+      if (JobsN == 1)
+        ReportN = Report1;
+    }
+    IrrReportsIdentical = Report1 == ReportN;
+  }
+
   // -- Scheduling service: cold vs warm (cache-hit) throughput over the
   // deterministic corpus, plus the byte-identity check across workers. ----
   ServiceBenchResult Service;
@@ -498,6 +530,8 @@ int main(int Argc, char **Argv) {
        << (ReportsIdentical ? "true" : "false") << ",\n"
        << "  \"cgra_report_byte_identical_across_jobs\": "
        << (CgraReportsIdentical ? "true" : "false") << ",\n"
+       << "  \"irregular_report_byte_identical_across_jobs\": "
+       << (IrrReportsIdentical ? "true" : "false") << ",\n"
        << "  \"oracle_maxlive_certified\": " << CertifiedLoops << ",\n"
        << "  \"oracle_sweep_loops_per_sec\": "
        << formatDouble(Oracle.Jobs1Seconds > 0
@@ -541,6 +575,29 @@ int main(int Argc, char **Argv) {
        << CgraReport.ValidationFailures << ",\n"
        << "      \"parity_failures\": " << CgraReport.ParityViolations
        << "\n"
+       << "    },\n"
+       << "    \"irregular\": {\n"
+       << "      \"loops\": " << IrregularSection.Loops << ",\n"
+       << "      \"seq_seconds\": "
+       << formatDouble(IrregularSection.Jobs1Seconds, 3) << ",\n"
+       << "      \"par_seconds\": "
+       << formatDouble(IrregularSection.JobsNSeconds, 3) << ",\n"
+       << "      \"cons_scheduled\": " << IrrReport.ConsScheduled << ",\n"
+       << "      \"spec_scheduled\": " << IrrReport.SpecScheduled << ",\n"
+       << "      \"comparable\": " << IrrReport.Comparable << ",\n"
+       << "      \"spec_at_or_below_cons\": " << IrrReport.SpecAtOrBelowCons
+       << ",\n"
+       << "      \"strict_gaps\": " << IrrReport.StrictGaps << ",\n"
+       << "      \"certified_strict_gaps\": "
+       << IrrReport.CertifiedStrictGaps << ",\n"
+       << "      \"spec_wins\": " << IrrReport.SpecWins << ",\n"
+       << "      \"assumption_violations\": " << IrrReport.TotalViolations
+       << ",\n"
+       << "      \"misspeculated_stores\": "
+       << IrrReport.TotalMisspeculatedStores << ",\n"
+       << "      \"validation_failures\": " << IrrReport.ValidationFailures
+       << ",\n"
+       << "      \"trace_failures\": " << IrrReport.TraceFailures << "\n"
        << "    },\n"
        << "    \"service\": {\n"
        << "      \"loops\": " << Service.CorpusLoops << ",\n"
@@ -651,6 +708,27 @@ int main(int Argc, char **Argv) {
       CgraReport.ParityViolations == 0 &&
       (Smoke || (CgraReport.AboveFlatMII >= 1 &&
                  CgraReport.CertifiedOptimal >= 140));
+  // The irregular ratchet: both lowerings schedule and validate on every
+  // loop, the structural "spec II <= cons II" ordering holds on 100% of
+  // them, no schedule diverges from its trace obligations, and — in full
+  // mode — the sweep keeps demonstrating >= 10 strict II gaps and >= 1
+  // held-assumption speculative win. Smoke keeps the correctness gates but
+  // sweeps too few loops for the count floors.
+  const bool IrregularOk =
+      IrrReportsIdentical && IrrReport.ValidationFailures == 0 &&
+      IrrReport.TraceFailures == 0 &&
+      IrrReport.Comparable == IrregularSection.Loops &&
+      IrrReport.SpecAtOrBelowCons == IrrReport.Comparable &&
+      (Smoke || (IrrReport.StrictGaps >= 10 && IrrReport.SpecWins >= 1));
+  if (!IrregularOk)
+    std::cerr << "perf_report: FAIL irregular sweep (comparable "
+              << IrrReport.Comparable << " of " << IrregularSection.Loops
+              << " loops, spec<=cons on " << IrrReport.SpecAtOrBelowCons
+              << "; strict gaps " << IrrReport.StrictGaps
+              << " (floor 10), wins " << IrrReport.SpecWins
+              << " (floor 1); validation=" << IrrReport.ValidationFailures
+              << " trace=" << IrrReport.TraceFailures << " byte_identical="
+              << (IrrReportsIdentical ? "true" : "false") << ")\n";
   if (!CgraOk)
     std::cerr << "perf_report: FAIL cgra sweep (certified "
               << CgraReport.CertifiedOptimal << " of " << CgraSection.Loops
@@ -697,6 +775,7 @@ int main(int Argc, char **Argv) {
                 << " shed=" << Open.Overload.Shed << ")\n";
   }
   return ReportsIdentical && EnginesAgree && CertifiedEnough && CgraOk &&
+                 IrregularOk &&
                  ServiceByteIdentical && ServiceWarmFastEnough &&
                  ServerWarmFastEnough && OpenTailOk && OverloadAnswers &&
                  Service.Errors == 0

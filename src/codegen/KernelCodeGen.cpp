@@ -24,6 +24,14 @@ std::string lsms::generateKernelCode(const LoopBody &Body,
                                      const Schedule &Sched, KernelCode &Out) {
   if (!Sched.Success)
     return "cannot generate code for a failed schedule";
+  // Irregular bodies stop at the scheduling/replay layers: the kernel
+  // specifier encodes affine address streams and a counted trip, neither
+  // of which covers data-dependent subscripts or a while-exit.
+  if (Body.isWhileLoop())
+    return "cannot generate kernel code for a while-loop";
+  for (const Operation &Op : Body.Ops)
+    if (Op.Indirect)
+      return "cannot generate kernel code for data-dependent subscripts";
 
   Out = KernelCode();
   Out.II = Sched.II;

@@ -34,6 +34,9 @@ struct Expr {
   std::string Name;           // Scalar / ArrayRef
   int Offset = 0;             // ArrayRef: a[Stride*i + Offset]
   int Stride = 1;             // ArrayRef subscript stride
+  /// ArrayRef with a data-dependent subscript a[x]: the scalar variable
+  /// naming the element index. Empty for affine subscripts.
+  std::string IndexVar;
   BinaryOp Op = BinaryOp::Add; // Binary
   std::unique_ptr<Expr> Lhs, Rhs; // Binary / Unary(Lhs) / Sqrt(Lhs)
   int Line = 0;
@@ -60,6 +63,7 @@ struct AssignStmt {
   std::string Name;
   int Offset = 0; ///< array targets: a[Stride*i + Offset]
   int Stride = 1;
+  std::string IndexVar; ///< data-dependent target a[x]; empty when affine
   std::unique_ptr<Expr> Value;
 };
 
@@ -79,6 +83,11 @@ struct Program {
   std::vector<std::pair<std::string, double>> Params;
   std::string Counter; ///< induction variable name (usually "i")
   long First = 1;      ///< lower bound of the iteration space
+  /// While-style exit clause (`loop i = 1, n while (cond)`): do-while
+  /// semantics — the condition is evaluated at the *end* of each iteration
+  /// and the first iteration where it is false is the last one executed.
+  bool HasExit = false;
+  Condition Exit;
   std::vector<std::unique_ptr<Stmt>> Body;
 };
 

@@ -38,7 +38,11 @@ int precedenceOf(const Expr &E) {
 }
 
 void printSubscript(std::ostringstream &OS, const std::string &Counter,
-                    int Offset, int Stride) {
+                    int Offset, int Stride, const std::string &IndexVar) {
+  if (!IndexVar.empty()) {
+    OS << '[' << IndexVar << ']';
+    return;
+  }
   OS << '[';
   if (Stride != 1)
     OS << Stride << '*';
@@ -65,7 +69,7 @@ void printExprInto(std::ostringstream &OS, const std::string &Counter,
     break;
   case ExprKind::ArrayRef:
     OS << E.Name;
-    printSubscript(OS, Counter, E.Offset, E.Stride);
+    printSubscript(OS, Counter, E.Offset, E.Stride, E.IndexVar);
     break;
   case ExprKind::Unary:
     OS << '-';
@@ -123,7 +127,8 @@ void printStmt(std::ostringstream &OS, const std::string &Counter,
   if (S.Kind == StmtKind::Assign) {
     OS << S.Assign.Name;
     if (S.Assign.IsArray)
-      printSubscript(OS, Counter, S.Assign.Offset, S.Assign.Stride);
+      printSubscript(OS, Counter, S.Assign.Offset, S.Assign.Stride,
+                     S.Assign.IndexVar);
     OS << " = ";
     printExprInto(OS, Counter, *S.Assign.Value, 1);
     OS << '\n';
@@ -165,7 +170,7 @@ bool exprsEqual(const Expr *A, const Expr *B) {
     return A->Name == B->Name;
   case ExprKind::ArrayRef:
     return A->Name == B->Name && A->Offset == B->Offset &&
-           A->Stride == B->Stride;
+           A->Stride == B->Stride && A->IndexVar == B->IndexVar;
   case ExprKind::Unary:
   case ExprKind::Sqrt:
     return exprsEqual(A->Lhs.get(), B->Lhs.get());
@@ -189,6 +194,7 @@ bool stmtsEqual(const std::vector<std::unique_ptr<Stmt>> &A,
           SA.Assign.Name != SB.Assign.Name ||
           SA.Assign.Offset != SB.Assign.Offset ||
           SA.Assign.Stride != SB.Assign.Stride ||
+          SA.Assign.IndexVar != SB.Assign.IndexVar ||
           !exprsEqual(SA.Assign.Value.get(), SB.Assign.Value.get()))
         return false;
     } else {
@@ -215,7 +221,15 @@ std::string lsms::printProgram(const Program &Prog) {
   std::ostringstream OS;
   for (const auto &[Name, Value] : Prog.Params)
     OS << "param " << Name << " = " << formatNumber(Value) << '\n';
-  OS << "loop " << Prog.Counter << " = " << Prog.First << ", n\n";
+  OS << "loop " << Prog.Counter << " = " << Prog.First << ", n";
+  if (Prog.HasExit) {
+    OS << " while (";
+    printExprInto(OS, Prog.Counter, *Prog.Exit.Lhs, 1);
+    OS << ' ' << cmpSpelling(Prog.Exit.Op) << ' ';
+    printExprInto(OS, Prog.Counter, *Prog.Exit.Rhs, 1);
+    OS << ')';
+  }
+  OS << '\n';
   printStmtList(OS, Prog.Counter, Prog.Body, 2);
   OS << "end\n";
   return OS.str();
@@ -223,7 +237,12 @@ std::string lsms::printProgram(const Program &Prog) {
 
 bool lsms::programsEqual(const Program &A, const Program &B) {
   if (A.Counter != B.Counter || A.First != B.First ||
-      A.Params.size() != B.Params.size())
+      A.HasExit != B.HasExit || A.Params.size() != B.Params.size())
+    return false;
+  if (A.HasExit &&
+      (A.Exit.Op != B.Exit.Op ||
+       !exprsEqual(A.Exit.Lhs.get(), B.Exit.Lhs.get()) ||
+       !exprsEqual(A.Exit.Rhs.get(), B.Exit.Rhs.get())))
     return false;
   for (size_t I = 0; I < A.Params.size(); ++I)
     if (A.Params[I].first != B.Params[I].first ||

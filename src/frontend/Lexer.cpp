@@ -28,6 +28,8 @@ const char *lsms::tokenKindName(TokenKind Kind) {
     return "'end'";
   case TokenKind::KwSqrt:
     return "'sqrt'";
+  case TokenKind::KwWhile:
+    return "'while'";
   case TokenKind::LParen:
     return "'('";
   case TokenKind::RParen:
@@ -83,6 +85,8 @@ static TokenKind keywordKind(const std::string &Word) {
     return TokenKind::KwEnd;
   if (Word == "sqrt")
     return TokenKind::KwSqrt;
+  if (Word == "while")
+    return TokenKind::KwWhile;
   return TokenKind::Identifier;
 }
 

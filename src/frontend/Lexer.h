@@ -34,6 +34,7 @@ enum class TokenKind : uint8_t {
   KwElse,
   KwEnd,
   KwSqrt,
+  KwWhile,
   LParen,
   RParen,
   LBracket,

@@ -19,6 +19,7 @@ struct WriteSite {
   int Offset = 0;
   int Stride = 1;
   bool Conditional = false;
+  bool Indirect = false; ///< data-dependent subscript a[x]
   int TopLevelIndex = 0; ///< index of the containing top-level statement
 };
 
@@ -44,6 +45,11 @@ bool mayAlias(int Stride1, int Off1, int Stride2, int Off2) {
 /// Per-array analysis results.
 struct ArrayInfo {
   int Id = -1;
+  /// Any access with a data-dependent subscript makes the array's memory
+  /// state unanalyzable: no load/store elimination, and every pair of
+  /// potentially-conflicting accesses gets conservative may-alias arcs.
+  bool HasIndirectWrite = false;
+  bool HasIndirectRead = false;
   std::vector<WriteSite> Writes;
   /// Value id carrying the unconditional single-writer store per
   /// (stride, offset) subscript, declared up-front so earlier reads can
@@ -88,13 +94,16 @@ private:
   Use genOp(Opcode Opc, std::vector<Use> Operands, const std::string &Name,
             int Target);
   Use genArrayRead(const std::string &Name, int Stride, int Offset);
+  Use genIndirectRead(const std::string &Name, const std::string &IndexVar);
   bool tryEliminateLoad(const std::string &Array, int Stride, int Offset,
                         Use &Out);
   Use addressOf(const std::string &Array, int Stride, int Offset);
   Use inductionValue();
   Use scalarValue(const std::string &Name);
   int scalarLastAssignTarget(const std::string &Name, bool TopLevel);
+  void genExit();
   void addMemoryDeps();
+  void addControlDeps();
   std::string freshName(const std::string &Base) {
     return Base + "." + std::to_string(NameCounter++);
   }
@@ -139,7 +148,14 @@ std::string Compiler::run() {
   for (const auto &[Name, V] : FinalValue)
     if (Body.value(V).Def < 0)
       Builder.defineValue(V, Opcode::Copy, {CurBinding.at(Name)});
+  // The exit condition reads end-of-iteration bindings (do-while), so it is
+  // compiled after the body; its loads still take part in dependence
+  // analysis below.
+  genExit();
+  if (!Diag.empty())
+    return Diag;
   addMemoryDeps();
+  addControlDeps();
   Builder.finish();
   return Diag;
 }
@@ -159,6 +175,10 @@ bool Compiler::analyze() {
 
   for (size_t I = 0; I < Prog.Body.size(); ++I)
     analyzeStmt(*Prog.Body[I], /*Conditional=*/false, static_cast<int>(I));
+  if (Prog.HasExit) {
+    analyzeExpr(*Prog.Exit.Lhs);
+    analyzeExpr(*Prog.Exit.Rhs);
+  }
   if (!Diag.empty())
     return false;
 
@@ -167,6 +187,8 @@ bool Compiler::analyze() {
   // load/store elimination is sound without predicate analysis).
   for (auto &[Name, Info] : Arrays) {
     Info.Id = Builder.newArray(Name);
+    if (Info.HasIndirectWrite)
+      continue; // elimination is unsound under data-dependent writes
     std::map<std::pair<int, int>, int> Writers, ConditionalWriters;
     for (const WriteSite &W : Info.Writes) {
       ++Writers[{W.Stride, W.Offset}];
@@ -227,8 +249,16 @@ void Compiler::analyzeStmt(const Stmt &S, bool Conditional,
       return;
     }
     ArrayVars.insert(A.Name);
+    const bool Indirect = !A.IndexVar.empty();
+    if (Indirect) {
+      if (ArrayVars.count(A.IndexVar)) {
+        error(S.Line, "'" + A.IndexVar + "' used as both scalar and array");
+        return;
+      }
+      Arrays[A.Name].HasIndirectWrite = true;
+    }
     Arrays[A.Name].Writes.push_back(
-        {A.Offset, A.Stride, Conditional, TopLevelIndex});
+        {A.Offset, A.Stride, Conditional, Indirect, TopLevelIndex});
     return;
   }
   if (ArrayVars.count(A.Name)) {
@@ -254,6 +284,13 @@ void Compiler::analyzeExpr(const Expr &E) {
     }
     ArrayVars.insert(E.Name);
     Arrays[E.Name]; // ensure the array exists even when never written
+    if (!E.IndexVar.empty()) {
+      if (ArrayVars.count(E.IndexVar)) {
+        error(E.Line, "'" + E.IndexVar + "' used as both scalar and array");
+        return;
+      }
+      Arrays[E.Name].HasIndirectRead = true;
+    }
     return;
   case ExprKind::Unary:
   case ExprKind::Sqrt:
@@ -305,6 +342,17 @@ void Compiler::genAssign(const Stmt &S, int Predicate, bool TopLevel) {
   }
 
   ArrayInfo &Info = Arrays.at(A.Name);
+  if (!A.IndexVar.empty()) {
+    // Data-dependent store target: the element index is the scalar's
+    // current (rounded) value.
+    const Use V = genExpr(*A.Value);
+    const Use Idx = scalarValue(A.IndexVar);
+    Builder.emitIndirectStore(Info.Id, Idx, V,
+                              "st_" + A.Name + "_at_" + A.IndexVar, Predicate,
+                              0);
+    ++MemVersion[A.Name];
+    return;
+  }
   int Target = -1;
   if (Predicate < 0) {
     const auto It = Info.StoreValue.find({A.Stride, A.Offset});
@@ -420,6 +468,8 @@ Use Compiler::genExpr(const Expr &E, int Target) {
   case ExprKind::Scalar:
     return finishLeaf(scalarValue(E.Name), Target);
   case ExprKind::ArrayRef:
+    if (!E.IndexVar.empty())
+      return finishLeaf(genIndirectRead(E.Name, E.IndexVar), Target);
     return finishLeaf(genArrayRead(E.Name, E.Stride, E.Offset), Target);
   case ExprKind::Unary: {
     const Use A = genExpr(*E.Lhs);
@@ -507,6 +557,8 @@ Use Compiler::addressOf(const std::string &Array, int Stride, int Offset) {
 bool Compiler::tryEliminateLoad(const std::string &Array, int Stride,
                                 int Offset, Use &Out) {
   const ArrayInfo &Info = Arrays.at(Array);
+  if (Info.HasIndirectWrite)
+    return false; // a data-dependent write may clobber any element
   // Writes through a different affine shape that may alias this read make
   // the memory state unanalyzable: keep the load.
   for (const WriteSite &W : Info.Writes) {
@@ -564,6 +616,63 @@ Use Compiler::genArrayRead(const std::string &Name, int Stride,
   return U;
 }
 
+Use Compiler::genIndirectRead(const std::string &Name,
+                              const std::string &IndexVar) {
+  // Data-dependent loads are never eliminated or cached: the addressed
+  // element changes with the index scalar's runtime value.
+  const ArrayInfo &Info = Arrays.at(Name);
+  const Use Idx = scalarValue(IndexVar);
+  const int V =
+      Builder.emitIndirectLoad(Info.Id, Idx, "ld_" + Name + "_at_" + IndexVar);
+  return Use{V, 0};
+}
+
+void Compiler::genExit() {
+  if (!Prog.HasExit)
+    return;
+  const Use L = genExpr(*Prog.Exit.Lhs);
+  const Use R = genExpr(*Prog.Exit.Rhs);
+  Opcode CmpOpc = Opcode::CmpEQ;
+  switch (Prog.Exit.Op) {
+  case CmpOp::Eq:
+    CmpOpc = Opcode::CmpEQ;
+    break;
+  case CmpOp::Ne:
+    CmpOpc = Opcode::CmpNE;
+    break;
+  case CmpOp::Lt:
+    CmpOpc = Opcode::CmpLT;
+    break;
+  case CmpOp::Le:
+    CmpOpc = Opcode::CmpLE;
+    break;
+  case CmpOp::Gt:
+    CmpOpc = Opcode::CmpGT;
+    break;
+  case CmpOp::Ge:
+    CmpOpc = Opcode::CmpGE;
+    break;
+  }
+  Body.ExitValue = genOp(CmpOpc, {L, R}, "exit", -1).Value;
+}
+
+void Compiler::addControlDeps() {
+  // Do-while semantics: iteration j's exit test decides whether iteration
+  // j+1 runs at all. Conservatively, no store of iteration j+1 may commit
+  // before iteration j's exit value resolves (latency 1 past the compare's
+  // issue). Register writes of a squashed iteration are harmless — omegas
+  // are non-negative, so no live iteration reads them — which is why only
+  // stores are fenced. Speculative lowering may drop these arcs and emit a
+  // NoEarlyExit assumption instead.
+  if (Body.ExitValue < 0)
+    return;
+  const int ExitDef = Body.value(Body.ExitValue).Def;
+  for (const Operation &Op : Body.Ops)
+    if (Op.Opc == Opcode::Store)
+      Builder.addTaggedMemDep(ExitDef, Op.Id, DepKind::Extra, /*Latency=*/1,
+                              /*Omega=*/1, ArcConfidence::Control);
+}
+
 void Compiler::addMemoryDeps() {
   struct MemOp {
     int Op;
@@ -571,19 +680,44 @@ void Compiler::addMemoryDeps() {
     int Array;
     int Offset;
     int Stride;
+    bool Indirect;
   };
   std::vector<MemOp> MemOps;
   for (const Operation &Op : Body.Ops)
     if (isMemoryOp(Op.Opc))
       MemOps.push_back({Op.Id, Op.Opc == Opcode::Store, Op.ArrayId,
-                        Op.ElemOffset, Op.ElemStride});
+                        Op.ElemOffset, Op.ElemStride, Op.Indirect});
 
+  int NextAliasGroup = 0;
   for (size_t I = 0; I < MemOps.size(); ++I) {
     for (size_t J = I + 1; J < MemOps.size(); ++J) {
       const MemOp &A = MemOps[I]; // emitted (program order) first
       const MemOp &B = MemOps[J];
       if (A.Array != B.Array || (!A.IsStore && !B.IsStore))
         continue;
+
+      if (A.Indirect || B.Indirect) {
+        // A data-dependent subscript may touch any element of the array:
+        // serialize conservatively (program order within the iteration,
+        // reverse direction across iterations) with may-alias arcs that
+        // speculation can drop as a group. The collision probability is
+        // unknown here; calibrated generators stamp an estimate.
+        const int Group = NextAliasGroup++;
+        DepKind Fwd = DepKind::Output, Rev = DepKind::Output;
+        int FwdLat = 1, RevLat = 1;
+        if (A.IsStore != B.IsStore) {
+          Fwd = A.IsStore ? DepKind::Flow : DepKind::Anti;
+          Rev = A.IsStore ? DepKind::Anti : DepKind::Flow;
+          FwdLat = A.IsStore ? 1 : 0;
+          RevLat = A.IsStore ? 0 : 1;
+        }
+        Builder.addTaggedMemDep(A.Op, B.Op, Fwd, FwdLat, 0,
+                                ArcConfidence::MayAlias, -1.0, Group);
+        Builder.addTaggedMemDep(B.Op, A.Op, Rev, RevLat, 1,
+                                ArcConfidence::MayAlias, -1.0, Group);
+        continue;
+      }
+
       // GCD dependence test: references that can never touch the same
       // element need no ordering at all.
       if (!mayAlias(A.Stride, A.Offset, B.Stride, B.Offset))
@@ -617,15 +751,24 @@ void Compiler::addMemoryDeps() {
       // May alias at some unknown distance: serialize conservatively —
       // program order within the iteration (omega 0) and the reverse
       // direction across iterations (omega 1 dominates all distances).
+      // These are may-alias arcs: the GCD test proved the subscripts *can*
+      // coincide but not at which iteration distance.
+      const int Group = NextAliasGroup++;
       if (A.IsStore && B.IsStore) {
-        Builder.addMemDep(A.Op, B.Op, DepKind::Output, 1, 0);
-        Builder.addMemDep(B.Op, A.Op, DepKind::Output, 1, 1);
+        Builder.addTaggedMemDep(A.Op, B.Op, DepKind::Output, 1, 0,
+                                ArcConfidence::MayAlias, -1.0, Group);
+        Builder.addTaggedMemDep(B.Op, A.Op, DepKind::Output, 1, 1,
+                                ArcConfidence::MayAlias, -1.0, Group);
       } else if (A.IsStore) {
-        Builder.addMemDep(A.Op, B.Op, DepKind::Flow, 1, 0);
-        Builder.addMemDep(B.Op, A.Op, DepKind::Anti, 0, 1);
+        Builder.addTaggedMemDep(A.Op, B.Op, DepKind::Flow, 1, 0,
+                                ArcConfidence::MayAlias, -1.0, Group);
+        Builder.addTaggedMemDep(B.Op, A.Op, DepKind::Anti, 0, 1,
+                                ArcConfidence::MayAlias, -1.0, Group);
       } else {
-        Builder.addMemDep(A.Op, B.Op, DepKind::Anti, 0, 0);
-        Builder.addMemDep(B.Op, A.Op, DepKind::Flow, 1, 1);
+        Builder.addTaggedMemDep(A.Op, B.Op, DepKind::Anti, 0, 0,
+                                ArcConfidence::MayAlias, -1.0, Group);
+        Builder.addTaggedMemDep(B.Op, A.Op, DepKind::Flow, 1, 1,
+                                ArcConfidence::MayAlias, -1.0, Group);
       }
     }
   }

@@ -59,7 +59,8 @@ private:
   std::unique_ptr<Stmt> parseStmt();
   std::unique_ptr<Stmt> parseIf();
   std::unique_ptr<Stmt> parseAssign();
-  bool parseArrayIndex(int &OffsetOut, int &StrideOut);
+  bool parseArrayIndex(int &OffsetOut, int &StrideOut,
+                       std::string &IndexVarOut);
   std::unique_ptr<Expr> parseExpr();
   std::unique_ptr<Expr> parseTerm();
   std::unique_ptr<Expr> parseFactor();
@@ -129,6 +130,19 @@ bool Parser::parseLoopHeader(Program &Prog) {
   if (!check(TokenKind::Identifier) || peek().Text != "n")
     return fail("the loop's upper bound must be the symbolic trip count 'n'");
   advance();
+  // Subscripts inside the optional while clause need the counter name.
+  Counter = Prog.Counter;
+  if (accept(TokenKind::KwWhile)) {
+    if (!expect(TokenKind::LParen, "after 'while'"))
+      return false;
+    if (!parseCondition(Prog.Exit))
+      return false;
+    if (!expect(TokenKind::RParen, "to close the while condition"))
+      return false;
+    Prog.HasExit = true;
+  }
+  if (check(TokenKind::KwWhile))
+    return fail("a loop may have only one while clause");
   skipNewlines();
   return true;
 }
@@ -187,7 +201,8 @@ std::unique_ptr<Stmt> Parser::parseAssign() {
   S->Assign.Name = advance().Text;
   if (accept(TokenKind::LBracket)) {
     S->Assign.IsArray = true;
-    if (!parseArrayIndex(S->Assign.Offset, S->Assign.Stride))
+    if (!parseArrayIndex(S->Assign.Offset, S->Assign.Stride,
+                         S->Assign.IndexVar))
       return nullptr;
   }
   if (!expect(TokenKind::Assign, "in assignment"))
@@ -198,20 +213,36 @@ std::unique_ptr<Stmt> Parser::parseAssign() {
   return S;
 }
 
-bool Parser::parseArrayIndex(int &OffsetOut, int &StrideOut) {
-  // Subscripts are affine in the induction variable: [i], [i +/- d],
-  // [c*i], or [c*i +/- d].
+bool Parser::parseArrayIndex(int &OffsetOut, int &StrideOut,
+                             std::string &IndexVarOut) {
+  // Subscripts are affine in the induction variable — [i], [i +/- d],
+  // [c*i], [c*i +/- d] — or data-dependent through a bare scalar: [x].
   StrideOut = 1;
+  IndexVarOut.clear();
+  bool SawStride = false;
   if (check(TokenKind::Number)) {
     const double C = advance().NumberValue;
     if (C != std::floor(C) || C < 1)
       return fail("subscript strides must be positive integers");
     StrideOut = static_cast<int>(C);
+    SawStride = true;
     if (!expect(TokenKind::Star, "between stride and induction variable"))
       return false;
   }
-  if (!check(TokenKind::Identifier) || peek().Text != Counter)
+  if (!check(TokenKind::Identifier))
     return fail("array subscripts must be affine in '" + Counter + "'");
+  if (peek().Text != Counter) {
+    // Data-dependent subscript: a bare scalar identifier, nothing else.
+    if (SawStride)
+      return fail("data-dependent subscripts may not carry a stride");
+    IndexVarOut = advance().Text;
+    OffsetOut = 0;
+    if (check(TokenKind::Plus) || check(TokenKind::Minus))
+      return fail("data-dependent subscripts may not carry an offset");
+    if (!expect(TokenKind::RBracket, "to close the subscript"))
+      return false;
+    return true;
+  }
   advance();
   OffsetOut = 0;
   if (accept(TokenKind::Plus) || check(TokenKind::Minus)) {
@@ -317,7 +348,7 @@ std::unique_ptr<Expr> Parser::parseFactor() {
     Node->Name = advance().Text;
     if (accept(TokenKind::LBracket)) {
       Node->Kind = ExprKind::ArrayRef;
-      if (!parseArrayIndex(Node->Offset, Node->Stride))
+      if (!parseArrayIndex(Node->Offset, Node->Stride, Node->IndexVar))
         return nullptr;
     } else {
       Node->Kind = ExprKind::Scalar;

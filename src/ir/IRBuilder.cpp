@@ -77,6 +77,31 @@ int IRBuilder::emitStore(int ArrayId, int ElemOffset, Use Addr, Use Val,
   return Op;
 }
 
+int IRBuilder::emitIndirectLoad(int ArrayId, Use Index,
+                                const std::string &Name, int PredValue,
+                                int PredOmega) {
+  const int V = emitValue(Opcode::Load, {Index}, Name, PredValue, PredOmega);
+  Operation &Op = Body.op(Body.value(V).Def);
+  Op.ArrayId = ArrayId;
+  Op.Indirect = true;
+  Op.ElemOffset = 0;
+  Op.ElemStride = 0;
+  return V;
+}
+
+int IRBuilder::emitIndirectStore(int ArrayId, Use Index, Use Val,
+                                 const std::string &Name, int PredValue,
+                                 int PredOmega) {
+  const int Op = Body.addOperation(Opcode::Store, {Index, Val}, Name);
+  Body.op(Op).ArrayId = ArrayId;
+  Body.op(Op).Indirect = true;
+  Body.op(Op).ElemOffset = 0;
+  Body.op(Op).ElemStride = 0;
+  Body.op(Op).PredValue = PredValue;
+  Body.op(Op).PredOmega = PredOmega;
+  return Op;
+}
+
 int IRBuilder::addressStream(const std::string &Name, double Base,
                              double Stride) {
   const int StrideC = constant(Stride);
@@ -106,6 +131,16 @@ void IRBuilder::markLiveOut(int ValueId) {
 void IRBuilder::addMemDep(int SrcOp, int DstOp, DepKind Kind, int Latency,
                           int Omega) {
   Body.MemDeps.push_back({SrcOp, DstOp, Kind, Latency, Omega});
+}
+
+void IRBuilder::addTaggedMemDep(int SrcOp, int DstOp, DepKind Kind,
+                                int Latency, int Omega, ArcConfidence Conf,
+                                double Prob, int AliasGroup) {
+  MemDep D{SrcOp, DstOp, Kind, Latency, Omega};
+  D.Conf = Conf;
+  D.Prob = Prob;
+  D.AliasGroup = AliasGroup;
+  Body.MemDeps.push_back(D);
 }
 
 LoopBody &IRBuilder::finish() {

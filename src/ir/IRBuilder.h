@@ -79,8 +79,27 @@ public:
   /// Marks \p ValueId as read after the loop (e.g. a reduction result).
   void markLiveOut(int ValueId);
 
+  /// Emits a load of Array[index] where the element index is the rounded
+  /// runtime value of \p Index (data-dependent subscript). Returns the
+  /// loaded value id.
+  int emitIndirectLoad(int ArrayId, Use Index, const std::string &Name,
+                       int PredValue = -1, int PredOmega = 0);
+
+  /// Emits a store of \p Val to Array[index] with a data-dependent
+  /// subscript; returns the *operation* id.
+  int emitIndirectStore(int ArrayId, Use Index, Use Val,
+                        const std::string &Name, int PredValue = -1,
+                        int PredOmega = 0);
+
   /// Adds an explicit (memory) dependence arc.
   void addMemDep(int SrcOp, int DstOp, DepKind Kind, int Latency, int Omega);
+
+  /// Adds a tagged (may-alias / control) dependence arc. \p Prob is the
+  /// collision-probability estimate for may-alias arcs (< 0 when unknown);
+  /// \p AliasGroup groups the paired arcs of one may-alias site.
+  void addTaggedMemDep(int SrcOp, int DstOp, DepKind Kind, int Latency,
+                       int Omega, ArcConfidence Conf, double Prob = -1.0,
+                       int AliasGroup = -1);
 
   /// Appends the brtop operation, verifies the body, and returns it.
   /// Asserts on verification failure (builder clients are trusted code; the

@@ -33,6 +33,18 @@ const char *lsms::depKindName(DepKind Kind) {
   LSMS_UNREACHABLE("invalid dependence kind");
 }
 
+const char *lsms::arcConfidenceName(ArcConfidence Conf) {
+  switch (Conf) {
+  case ArcConfidence::Exact:
+    return "exact";
+  case ArcConfidence::MayAlias:
+    return "mayalias";
+  case ArcConfidence::Control:
+    return "control";
+  }
+  LSMS_UNREACHABLE("invalid arc confidence");
+}
+
 LoopBody::LoopBody() {
   // Operation 0 is Start, operation 1 is Stop (Section 4.1).
   addOperation(Opcode::Start, {}, "start");
@@ -248,6 +260,17 @@ std::string LoopBody::verify() const {
       return Fail("memory dependence references unknown operations");
     if (D.Omega < 0)
       return Fail("memory dependence has negative omega");
+    if (D.Conf == ArcConfidence::MayAlias && D.AliasGroup < 0)
+      return Fail("may-alias dependence missing its alias group");
+  }
+
+  if (ExitValue >= 0) {
+    if (ExitValue >= numValues())
+      return Fail("exit condition references an unknown value");
+    if (value(ExitValue).Class != RegClass::ICR)
+      return Fail("exit condition must be an ICR (predicate) value");
+    if (value(ExitValue).Def == startOp())
+      return Fail("exit condition must be computed inside the loop");
   }
 
   if (hasZeroOmegaCycle(*this))
@@ -269,9 +292,13 @@ void LoopBody::print(std::ostream &OS) const {
       OS << R.Name << ":" << regClassName(R.Class) << " = ";
     }
     OS << opcodeName(Op.Opc);
-    if (Op.ArrayId >= 0)
-      OS << " A" << Op.ArrayId << "[i"
-         << (Op.ElemOffset >= 0 ? "+" : "") << Op.ElemOffset << "]";
+    if (Op.ArrayId >= 0) {
+      if (Op.Indirect)
+        OS << " A" << Op.ArrayId << "[indirect]";
+      else
+        OS << " A" << Op.ArrayId << "[i"
+           << (Op.ElemOffset >= 0 ? "+" : "") << Op.ElemOffset << "]";
+    }
     for (const Use &U : Op.Operands) {
       OS << ' ' << value(U.Value).Name;
       if (U.Omega != 0)
@@ -284,8 +311,21 @@ void LoopBody::print(std::ostream &OS) const {
     }
     OS << '\n';
   }
-  for (const MemDep &D : MemDeps)
+  for (const MemDep &D : MemDeps) {
     OS << "  memdep " << op(D.Src).Name << " -> " << op(D.Dst).Name << " ("
-       << depKindName(D.Kind) << ", lat=" << D.Latency << ", omega=" << D.Omega
-       << ")\n";
+       << depKindName(D.Kind) << ", lat=" << D.Latency << ", omega=" << D.Omega;
+    if (D.Conf != ArcConfidence::Exact) {
+      OS << ", " << arcConfidenceName(D.Conf);
+      if (D.Conf == ArcConfidence::MayAlias) {
+        OS << " g" << D.AliasGroup << " p=";
+        if (D.Prob < 0)
+          OS << '?';
+        else
+          OS << D.Prob;
+      }
+    }
+    OS << ")\n";
+  }
+  if (ExitValue >= 0)
+    OS << "  while " << value(ExitValue).Name << '\n';
 }

@@ -83,6 +83,11 @@ struct Operation {
   int ArrayId = -1;
   int ElemOffset = 0;
   int ElemStride = 1;
+  /// For loads/stores with a data-dependent subscript: the element index is
+  /// the rounded value of operand 0 instead of the affine form above
+  /// (pointer chases, histograms). Dependence analysis must treat such
+  /// accesses as may-alias against every access of the same array.
+  bool Indirect = false;
   std::string Name;
 };
 
@@ -93,12 +98,38 @@ enum class DepKind : uint8_t { Flow, Anti, Output, Extra };
 /// Returns "flow", "anti", "output", or "extra".
 const char *depKindName(DepKind Kind);
 
+/// How certain the dependence analyzer is that the arc is real.
+///  - Exact: distance proven; the arc must always be honored.
+///  - MayAlias: the two accesses *may* touch the same location (indirect
+///    subscripts, unresolvable affine distances). The recorded omega is the
+///    worst-case (conservative) distance; Prob estimates how likely the
+///    accesses are to actually collide (< 0 when unknown). Speculative
+///    lowering may drop the whole AliasGroup and emit a NoAlias assumption.
+///  - Control: ordering induced by a while-style exit condition — stores of
+///    iteration j+1 must not commit before iteration j's exit test resolves.
+///    Speculative lowering may drop these and emit a NoEarlyExit assumption.
+enum class ArcConfidence : uint8_t { Exact, MayAlias, Control };
+
+/// Returns "exact", "mayalias", or "control".
+const char *arcConfidenceName(ArcConfidence Conf);
+
 struct MemDep {
   int Src = -1;
   int Dst = -1;
   DepKind Kind = DepKind::Flow;
   int Latency = 0;
   int Omega = 0;
+  /// Certainty of the arc. Exact arcs are unconditional; MayAlias/Control
+  /// arcs are conservative and may be speculatively omitted (src/spec).
+  ArcConfidence Conf = ArcConfidence::Exact;
+  /// For MayAlias arcs: estimated probability that the accesses collide
+  /// within one conservative window. Negative means unknown. Exact arcs
+  /// keep the default 1.
+  double Prob = 1.0;
+  /// Groups the paired arcs of one may-alias site (forward + reverse
+  /// serialization arcs share a group). Speculation drops whole groups and
+  /// emits one assumption per group. -1 for ungrouped (Exact) arcs.
+  int AliasGroup = -1;
 };
 
 /// A branch-free loop body eligible for modulo scheduling.
@@ -135,6 +166,15 @@ public:
   /// Number of basic blocks in the source before if-conversion (Table 2
   /// metric; 1 for straight-line bodies).
   int SourceBasicBlocks = 1;
+
+  /// While-style exit condition: the ICR value whose instance for iteration
+  /// j decides whether iteration j+1 runs (do-while semantics — the first
+  /// iteration whose exit value is false is the *last* executed). -1 for
+  /// counted DO loops. The brtop trip count then acts as an upper bound on
+  /// the iteration window.
+  int ExitValue = -1;
+
+  bool isWhileLoop() const { return ExitValue >= 0; }
 
   std::vector<Operation> Ops;
   std::vector<Value> Values;

@@ -26,6 +26,9 @@ int omegaOf(int K, int Omega, int Factor) {
 
 LoopBody lsms::unrollLoop(const LoopBody &Body, int Factor) {
   assert(Factor >= 1 && "unroll factor must be positive");
+  // A while-exit firing mid-group has no representation in the unrolled
+  // iteration space; irregular loops are scheduled at source granularity.
+  assert(!Body.isWhileLoop() && "cannot unroll a while-loop");
 
   LoopBody Out;
   Out.Name = Body.Name + "_x" + std::to_string(Factor);
@@ -113,10 +116,18 @@ LoopBody lsms::unrollLoop(const LoopBody &Body, int Factor) {
       }
       if (Op.ArrayId >= 0) {
         NO.ArrayId = Op.ArrayId;
-        NO.ElemStride = Op.ElemStride * Factor;
-        NO.ElemOffset =
-            static_cast<int>((Body.First + K) * Op.ElemStride) +
-            Op.ElemOffset;
+        if (Op.Indirect) {
+          // Data-dependent subscript: the element index is the rounded
+          // operand value in every copy; the affine form stays unused.
+          NO.Indirect = true;
+          NO.ElemStride = Op.ElemStride;
+          NO.ElemOffset = Op.ElemOffset;
+        } else {
+          NO.ElemStride = Op.ElemStride * Factor;
+          NO.ElemOffset =
+              static_cast<int>((Body.First + K) * Op.ElemStride) +
+              Op.ElemOffset;
+        }
       }
       if (Op.Result >= 0) {
         const int NewV =
@@ -138,6 +149,9 @@ LoopBody lsms::unrollLoop(const LoopBody &Body, int Factor) {
           OpMap[static_cast<size_t>(D.Dst)][static_cast<size_t>(K)];
       if (NewSrc < 0 || NewDst < 0)
         continue;
+      // Confidence tags are dropped to Exact: speculation lowers front-end
+      // bodies before any unrolling, and an unconditional arc is the sound
+      // direction for everything downstream of an unroll.
       Out.MemDeps.push_back({NewSrc, NewDst, D.Kind, D.Latency, NewOmega});
     }
   }

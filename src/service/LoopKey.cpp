@@ -113,6 +113,14 @@ private:
       uint64_t L = combine(TagMem, static_cast<uint64_t>(D.Kind));
       L = combine(L, asWord(D.Latency));
       L = combine(L, asWord(D.Omega));
+      // Confidence payload: two arcs differing only in alias certainty or
+      // probability must not alias in the cache — speculation lowers them
+      // differently. AliasGroup ids are program-order dependent, so a
+      // renumbered-but-isomorphic body may fingerprint differently; that is
+      // only a cache miss, never a false hit.
+      L = combine(L, static_cast<uint64_t>(D.Conf));
+      L = combine(L, bitsOf(D.Prob));
+      L = combine(L, asWord(D.AliasGroup));
       addArc(D.Src, D.Dst, L);
     }
   }
@@ -124,6 +132,7 @@ private:
       C = combine(C, asWord(Op.ArrayId));
       C = combine(C, asWord(Op.ElemOffset));
       C = combine(C, asWord(Op.ElemStride));
+      C = combine(C, Op.Indirect ? 1 : 0);
       C = combine(C, static_cast<uint64_t>(Op.Operands.size()));
       C = combine(C, Op.Result >= 0 ? 1 : 0);
       C = combine(C, Op.PredValue >= 0 ? 1 : 0);
@@ -270,6 +279,9 @@ private:
     S.push_back(asWord(Body.First));
     S.push_back(asWord(Body.NumArrays));
     S.push_back(Body.HasConditional ? 1 : 0);
+    S.push_back(Body.ExitValue < 0
+                    ? ~0ULL
+                    : asWord(ValuePerm[static_cast<size_t>(Body.ExitValue)]));
     S.push_back(asWord(Body.SourceBasicBlocks));
     S.push_back(asWord(NO));
     S.push_back(asWord(NV));
@@ -284,6 +296,7 @@ private:
       S.push_back(asWord(Op.ArrayId));
       S.push_back(asWord(Op.ElemOffset));
       S.push_back(asWord(Op.ElemStride));
+      S.push_back(Op.Indirect ? 1 : 0);
       S.push_back(Op.Result < 0
                       ? ~0ULL
                       : asWord(ValuePerm[static_cast<size_t>(Op.Result)]));
@@ -315,18 +328,24 @@ private:
       S.push_back(asWord(V.SeedElemStride));
     }
 
-    std::vector<std::tuple<int, int, int, int, int>> Deps;
+    std::vector<std::tuple<int, int, int, int, int, int, uint64_t, int>> Deps;
     for (const MemDep &D : Body.MemDeps)
       Deps.emplace_back(OpPerm[static_cast<size_t>(D.Src)],
                         OpPerm[static_cast<size_t>(D.Dst)],
-                        static_cast<int>(D.Kind), D.Latency, D.Omega);
+                        static_cast<int>(D.Kind), D.Latency, D.Omega,
+                        static_cast<int>(D.Conf), bitsOf(D.Prob),
+                        D.AliasGroup);
     std::sort(Deps.begin(), Deps.end());
-    for (const auto &[Src, Dst, Kind, Latency, Omega] : Deps) {
+    for (const auto &[Src, Dst, Kind, Latency, Omega, Conf, ProbBits, Group] :
+         Deps) {
       S.push_back(asWord(Src));
       S.push_back(asWord(Dst));
       S.push_back(asWord(Kind));
       S.push_back(asWord(Latency));
       S.push_back(asWord(Omega));
+      S.push_back(asWord(Conf));
+      S.push_back(ProbBits);
+      S.push_back(asWord(Group));
     }
     return S;
   }
@@ -366,6 +385,8 @@ LoopBody lsms::canonicalLoopBody(const LoopBody &Body, const LoopKey &Key) {
   C.First = Body.First;
   C.NumArrays = Body.NumArrays;
   C.HasConditional = Body.HasConditional;
+  if (Body.ExitValue >= 0)
+    C.ExitValue = Key.ValuePerm[static_cast<size_t>(Body.ExitValue)];
   C.SourceBasicBlocks = Body.SourceBasicBlocks;
 
   for (int K = 0; K < NV; ++K) {
@@ -400,6 +421,7 @@ LoopBody lsms::canonicalLoopBody(const LoopBody &Body, const LoopKey &Key) {
     NewOp.ArrayId = Op.ArrayId;
     NewOp.ElemOffset = Op.ElemOffset;
     NewOp.ElemStride = Op.ElemStride;
+    NewOp.Indirect = Op.Indirect;
   }
   if (Body.brTopOp() >= 0)
     C.setBrTop(Key.OpPerm[static_cast<size_t>(Body.brTopOp())]);
@@ -412,8 +434,12 @@ LoopBody lsms::canonicalLoopBody(const LoopBody &Body, const LoopKey &Key) {
   }
   std::sort(C.MemDeps.begin(), C.MemDeps.end(),
             [](const MemDep &A, const MemDep &B) {
-              return std::tie(A.Src, A.Dst, A.Kind, A.Latency, A.Omega) <
-                     std::tie(B.Src, B.Dst, B.Kind, B.Latency, B.Omega);
+              const uint64_t PA = std::bit_cast<uint64_t>(A.Prob);
+              const uint64_t PB = std::bit_cast<uint64_t>(B.Prob);
+              return std::tie(A.Src, A.Dst, A.Kind, A.Latency, A.Omega,
+                              A.Conf, PA, A.AliasGroup) <
+                     std::tie(B.Src, B.Dst, B.Kind, B.Latency, B.Omega,
+                              B.Conf, PB, B.AliasGroup);
             });
   return C;
 }

@@ -1,0 +1,113 @@
+#include "spec/Speculation.h"
+
+#include "support/Compiler.h"
+
+#include <map>
+#include <sstream>
+
+using namespace lsms;
+
+const char *lsms::assumptionKindName(AssumptionKind Kind) {
+  switch (Kind) {
+  case AssumptionKind::NoAlias:
+    return "noalias";
+  case AssumptionKind::NoEarlyExit:
+    return "noearlyexit";
+  }
+  LSMS_UNREACHABLE("invalid assumption kind");
+}
+
+namespace {
+
+void countArcs(const LoopBody &Body, Lowering &L) {
+  for (const MemDep &D : Body.MemDeps) {
+    if (D.Conf == ArcConfidence::MayAlias)
+      ++L.MayAliasArcs;
+    else if (D.Conf == ArcConfidence::Control)
+      ++L.ControlArcs;
+  }
+}
+
+} // namespace
+
+Lowering lsms::lowerConservative(const LoopBody &Body) {
+  Lowering L;
+  L.Body = Body;
+  countArcs(Body, L);
+  return L;
+}
+
+Lowering lsms::lowerSpeculative(const LoopBody &Body,
+                                const SpecOptions &Opts) {
+  Lowering L;
+  L.Body = Body;
+  countArcs(Body, L);
+
+  // Decide per alias group: a group is dropped only when *every* arc in it
+  // qualifies (they always carry the same stamped probability, but be
+  // defensive). Collect group extents for the assumption records.
+  struct GroupInfo {
+    int First = -1;  ///< program-order first op of the pair
+    int Second = -1; ///< program-order second op
+    double Prob = -1.0;
+    bool Drop = true;
+  };
+  std::map<int, GroupInfo> Groups;
+  for (const MemDep &D : Body.MemDeps) {
+    if (D.Conf != ArcConfidence::MayAlias)
+      continue;
+    GroupInfo &G = Groups[D.AliasGroup];
+    // The omega-0 arc runs in program order: its endpoints name the pair.
+    if (D.Omega == 0) {
+      G.First = D.Src;
+      G.Second = D.Dst;
+    } else if (G.First < 0) {
+      G.First = D.Dst;
+      G.Second = D.Src;
+    }
+    if (D.Prob >= 0)
+      G.Prob = std::max(G.Prob, D.Prob);
+    const bool Qualifies =
+        D.Prob >= 0 ? D.Prob <= Opts.DropProbAtMost : Opts.SpeculateUnknown;
+    if (!Qualifies)
+      G.Drop = false;
+  }
+
+  const bool DropControl = Opts.SpeculateControl && Body.isWhileLoop();
+
+  std::vector<MemDep> Kept;
+  Kept.reserve(Body.MemDeps.size());
+  for (const MemDep &D : Body.MemDeps) {
+    const bool Drop =
+        (D.Conf == ArcConfidence::MayAlias && Groups[D.AliasGroup].Drop) ||
+        (D.Conf == ArcConfidence::Control && DropControl);
+    if (Drop)
+      ++L.DroppedArcs;
+    else
+      Kept.push_back(D);
+  }
+  L.Body.MemDeps = std::move(Kept);
+
+  for (const auto &[Id, G] : Groups) {
+    if (!G.Drop)
+      continue;
+    Assumption A;
+    A.Kind = AssumptionKind::NoAlias;
+    A.SrcOp = G.First;
+    A.DstOp = G.Second;
+    A.AliasGroup = Id;
+    A.Prob = G.Prob;
+    std::ostringstream OS;
+    OS << "noalias(" << (G.First >= 0 ? Body.op(G.First).Name : "?") << ", "
+       << (G.Second >= 0 ? Body.op(G.Second).Name : "?") << ")";
+    A.Text = OS.str();
+    L.Assumptions.push_back(std::move(A));
+  }
+  if (DropControl && L.ControlArcs > 0) {
+    Assumption A;
+    A.Kind = AssumptionKind::NoEarlyExit;
+    A.Text = "noearlyexit(" + Body.value(Body.ExitValue).Name + ")";
+    L.Assumptions.push_back(std::move(A));
+  }
+  return L;
+}

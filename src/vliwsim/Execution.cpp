@@ -90,15 +90,22 @@ public:
   bool evaluate(const Operation &Op, long Iter, std::string &Error,
                 PendingStore *StoreOut = nullptr);
 
-  ExecutionResult finish(std::string Error) {
+  /// Records executed memory accesses when non-null.
+  std::vector<MemTraceEntry> *Trace = nullptr;
+
+  /// \p ActualTrip is the number of iterations actually executed (equals
+  /// the window for counted loops); live-outs are read at the last executed
+  /// iteration.
+  ExecutionResult finish(std::string Error, long ActualTrip) {
     ExecutionResult R;
     R.Error = std::move(Error);
-    if (R.Error.empty() && Iterations > 0) {
+    R.ActualTrip = ActualTrip;
+    if (R.Error.empty() && ActualTrip > 0) {
       for (const Value &V : Body.Values) {
         if (!V.LiveOut)
           continue;
         bool Ok = true;
-        const double D = instance(V.Id, First + Iterations - 1, Ok);
+        const double D = instance(V.Id, First + ActualTrip - 1, Ok);
         R.LiveOuts[V.Id] = Ok ? D : std::numeric_limits<double>::quiet_NaN();
       }
     }
@@ -142,21 +149,36 @@ bool Machine::evaluate(const Operation &Op, long Iter, std::string &Error,
   case Opcode::Stop:
   case Opcode::BrTop:
     return true;
-  case Opcode::Load:
-    (void)Operand(0); // address computed for fidelity; array id drives it
-    Result = memoryAt(Op.ArrayId, Iter * Op.ElemStride + Op.ElemOffset);
+  case Opcode::Load: {
+    // Affine accesses compute the address stream for fidelity but derive
+    // the element index from the subscript; indirect accesses round
+    // operand 0 (the index scalar's runtime value). Loads never fault —
+    // any index reads initialized memory.
+    const double A0 = Operand(0);
+    if (!Ok)
+      break;
+    const long Index = Op.Indirect
+                           ? static_cast<long>(std::llround(A0))
+                           : Iter * Op.ElemStride + Op.ElemOffset;
+    if (Trace)
+      Trace->push_back({Op.Id, Iter, Index, false});
+    Result = memoryAt(Op.ArrayId, Index);
     break;
+  }
   case Opcode::Store: {
-    (void)Operand(0);
+    const double A0 = Operand(0);
     const double Datum = Operand(1);
     if (!Ok)
       break;
+    const long Index = Op.Indirect
+                           ? static_cast<long>(std::llround(A0))
+                           : Iter * Op.ElemStride + Op.ElemOffset;
+    if (Trace)
+      Trace->push_back({Op.Id, Iter, Index, true});
     if (StoreOut) {
-      *StoreOut = {Op.ArrayId, Iter * Op.ElemStride + Op.ElemOffset,
-                   Datum};
+      *StoreOut = {Op.ArrayId, Index, Datum};
     } else {
-      memoryWrite(Op.ArrayId, Iter * Op.ElemStride + Op.ElemOffset,
-                  Datum);
+      memoryWrite(Op.ArrayId, Index, Datum);
     }
     return true;
   }
@@ -226,25 +248,57 @@ std::vector<int> sequentialOrder(const LoopBody &Body) {
 
 } // namespace
 
-ExecutionResult lsms::runReference(const LoopBody &Body, long Iterations,
-                                   const MemoryInit &Init) {
+namespace {
+
+ExecutionResult runReferenceImpl(const LoopBody &Body, long Iterations,
+                                 const MemoryInit &Init,
+                                 std::vector<MemTraceEntry> *TraceOut) {
   Machine M(Body, Iterations, Init);
+  M.Trace = TraceOut;
   const std::vector<int> Order = sequentialOrder(Body);
   std::string Error;
+  long Executed = 0;
   for (long Iter = Body.First; Iter < Body.First + Iterations; ++Iter) {
     for (int OpId : Order) {
       if (!M.evaluate(Body.op(OpId), Iter, Error))
-        return M.finish(std::move(Error));
+        return M.finish(std::move(Error), Executed);
+    }
+    ++Executed;
+    if (Body.isWhileLoop()) {
+      // Do-while: the first iteration whose exit value is false is the
+      // last executed.
+      bool Ok = true;
+      const double Exit = M.instance(Body.ExitValue, Iter, Ok);
+      if (Ok && Exit == 0.0)
+        break;
     }
   }
-  return M.finish(std::string());
+  return M.finish(std::string(), Executed);
+}
+
+} // namespace
+
+ExecutionResult lsms::runReference(const LoopBody &Body, long Iterations,
+                                   const MemoryInit &Init) {
+  return runReferenceImpl(Body, Iterations, Init, nullptr);
+}
+
+ExecutionResult lsms::runReferenceTraced(const LoopBody &Body,
+                                         long Iterations,
+                                         const MemoryInit &Init,
+                                         std::vector<MemTraceEntry> &TraceOut) {
+  TraceOut.clear();
+  return runReferenceImpl(Body, Iterations, Init, &TraceOut);
 }
 
 ExecutionResult lsms::runPipelined(const LoopBody &Body,
                                    const Schedule &Sched, long Iterations,
                                    const MemoryInit &Init) {
-  if (!Sched.Success)
-    return {{}, {}, "cannot execute a failed schedule"};
+  if (!Sched.Success) {
+    ExecutionResult R;
+    R.Error = "cannot execute a failed schedule";
+    return R;
+  }
 
   Machine M(Body, Iterations, Init);
 
@@ -274,10 +328,27 @@ ExecutionResult lsms::runPipelined(const LoopBody &Body,
   // Stores commit one cycle after issue; loads sample memory at issue.
   struct Commit {
     long Time;
+    long Iter;
     Machine::PendingStore Store;
   };
   std::vector<Commit> CommitQueue; // sorted by insertion (times ascend)
   size_t NextCommit = 0;
+
+  // While-loops: the exit compare for iteration j resolves one cycle after
+  // it issues. Once the first false exit value is known (scanning exit
+  // events in time order visits them in iteration order), stores of later
+  // iterations that issue at or after the resolve cycle are squashed;
+  // stores already issued commit anyway — observable misspeculation.
+  // Conservative control arcs (exit -> store, latency 1, omega 1) force
+  // every later store past the resolve cycle, so conservative schedules
+  // squash all of them. Loads and register writes of dead iterations are
+  // harmless: loads never fault and non-negative omegas mean no live
+  // iteration reads a later iteration's values.
+  const int ExitDef =
+      Body.isWhileLoop() ? Body.value(Body.ExitValue).Def : -1;
+  bool ExitFound = false;
+  long ExitIter = 0;
+  long ResolveTime = 0;
 
   std::string Error;
   for (const Event &E : Events) {
@@ -289,15 +360,39 @@ ExecutionResult lsms::runPipelined(const LoopBody &Body,
     const Operation &Op = Body.op(E.Op);
     Machine::PendingStore Pending{-1, 0, 0};
     if (!M.evaluate(Op, E.Iter, Error, &Pending))
-      return M.finish(std::move(Error));
-    if (Pending.Array >= 0)
-      CommitQueue.push_back({E.Time + 1, Pending});
+      return M.finish(std::move(Error),
+                      ExitFound ? ExitIter - Body.First + 1 : Iterations);
+    if (Pending.Array >= 0) {
+      const bool Squashed = ExitFound && E.Iter > ExitIter &&
+                            E.Time >= ResolveTime;
+      if (!Squashed)
+        CommitQueue.push_back({E.Time + 1, E.Iter, Pending});
+    }
+    if (E.Op == ExitDef && !ExitFound) {
+      bool Ok = true;
+      const double Exit = M.instance(Body.ExitValue, E.Iter, Ok);
+      if (Ok && Exit == 0.0) {
+        ExitFound = true;
+        ExitIter = E.Iter;
+        ResolveTime = E.Time + 1;
+      }
+    }
   }
   while (NextCommit < CommitQueue.size()) {
     const auto &S = CommitQueue[NextCommit++].Store;
     M.memoryWrite(S.Array, S.Index, S.Datum);
   }
-  return M.finish(std::string());
+
+  long Misspeculated = 0;
+  if (ExitFound)
+    for (const Commit &C : CommitQueue)
+      if (C.Iter > ExitIter)
+        ++Misspeculated;
+
+  ExecutionResult R = M.finish(
+      std::string(), ExitFound ? ExitIter - Body.First + 1 : Iterations);
+  R.MisspeculatedStores = Misspeculated;
+  return R;
 }
 
 std::string lsms::compareExecutions(const ExecutionResult &A,
@@ -310,6 +405,10 @@ std::string lsms::compareExecutions(const ExecutionResult &A,
     OS << "execution errors: '" << A.Error << "' vs '" << B.Error << "'";
     return OS.str();
   }
+  // Trip counts are deliberately NOT compared here: callers legitimately
+  // compare executions at different granularities (an unrolled body runs
+  // 1/Factor as many iterations over the same work). The speculation
+  // replay, where truncation must agree, checks ActualTrip itself.
   if (A.Arrays.size() != B.Arrays.size()) {
     OS << "different array counts";
     return OS.str();

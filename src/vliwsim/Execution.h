@@ -49,15 +49,41 @@ struct ExecutionResult {
   /// Non-empty when execution failed (e.g. an operation read a value
   /// instance that was never computed).
   std::string Error;
+  /// Iterations actually executed: equals the requested window for counted
+  /// loops; for while-loops the first iteration whose exit value is false
+  /// is the last executed (do-while semantics).
+  long ActualTrip = 0;
+  /// Pipelined execution only: stores from iterations past the exit that
+  /// issued before the exit test resolved and therefore committed anyway.
+  /// Always 0 when the schedule honors the conservative control fences.
+  long MisspeculatedStores = 0;
+};
+
+/// One executed memory access (reference order): used by the speculation
+/// replay to check NoAlias assumptions against a concrete trace.
+struct MemTraceEntry {
+  int Op = -1;
+  long Iter = 0;
+  long Index = 0; ///< element index within the op's array
+  bool IsStore = false;
 };
 
 /// Executes \p Body sequentially for \p Iterations iterations starting at
-/// Body.First.
+/// Body.First. While-loops stop at the first false exit value.
 ExecutionResult runReference(const LoopBody &Body, long Iterations,
                              const MemoryInit &Init = defaultMemoryInit);
 
+/// runReference that additionally records every executed memory access
+/// (predicated-off accesses are not executed and not recorded).
+ExecutionResult runReferenceTraced(const LoopBody &Body, long Iterations,
+                                   const MemoryInit &Init,
+                                   std::vector<MemTraceEntry> &TraceOut);
+
 /// Executes \p Sched's overlapped pipeline for \p Iterations iterations.
-/// \p Sched must be a successful schedule of \p Body.
+/// \p Sched must be a successful schedule of \p Body. For while-loops the
+/// exit test resolves one cycle after its compare issues; stores of later
+/// iterations that issue at or after that cycle are squashed, earlier ones
+/// commit and are counted as misspeculated.
 ExecutionResult runPipelined(const LoopBody &Body, const Schedule &Sched,
                              long Iterations,
                              const MemoryInit &Init = defaultMemoryInit);

@@ -234,6 +234,9 @@ ExecutionResult runKernelImpl(const LoopBody &Body, const KernelCode &Code,
     Result.Arrays[static_cast<size_t>(C.Array)][C.Index] = C.Datum;
   }
 
+  // The kernel simulators execute counted windows only (code generation
+  // rejects while-loops), so the executed trip equals the request.
+  Result.ActualTrip = Iterations;
   return Result;
 }
 

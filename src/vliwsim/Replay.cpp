@@ -1,0 +1,65 @@
+#include "vliwsim/Replay.h"
+
+#include <map>
+
+using namespace lsms;
+
+ReplayResult lsms::replaySchedule(const LoopBody &Body, const Schedule &Sched,
+                                  long Iterations,
+                                  const std::vector<Assumption> &Assumptions,
+                                  const MemoryInit &Init) {
+  ReplayResult R;
+  std::vector<MemTraceEntry> TraceEntries;
+  R.Reference = runReferenceTraced(Body, Iterations, Init, TraceEntries);
+  // Only arcs differ between lowerings, and the pipelined executor reads
+  // timing from the schedule, not from arcs — so the conservative body
+  // replays the speculative schedule faithfully.
+  R.Pipelined = runPipelined(Body, Sched, Iterations, Init);
+
+  // Per-op histogram of executed element indices (reference order —
+  // predicated-off accesses never executed, never recorded).
+  std::map<int, std::map<long, long>> IndexCounts;
+  for (const MemTraceEntry &E : TraceEntries)
+    ++IndexCounts[E.Op][E.Index];
+
+  R.Outcomes.reserve(Assumptions.size());
+  for (const Assumption &A : Assumptions) {
+    AssumptionOutcome O;
+    O.Text = A.Text;
+    switch (A.Kind) {
+    case AssumptionKind::NoAlias: {
+      // Disjoint address sets over the whole executed window: for every
+      // pair of executed instances, the two accesses touch different
+      // elements. Held implies any interleaving of the two ops is safe, so
+      // dropping their ordering arcs was sound on this trace.
+      const auto SrcIt = IndexCounts.find(A.SrcOp);
+      const auto DstIt = IndexCounts.find(A.DstOp);
+      long Collisions = 0;
+      if (SrcIt != IndexCounts.end() && DstIt != IndexCounts.end())
+        for (const auto &[Index, Count] : SrcIt->second) {
+          const auto Hit = DstIt->second.find(Index);
+          if (Hit != DstIt->second.end())
+            Collisions += Count * Hit->second;
+        }
+      O.Violations = Collisions;
+      O.Held = Collisions == 0;
+      break;
+    }
+    case AssumptionKind::NoEarlyExit:
+      O.Violations = Iterations - R.Reference.ActualTrip;
+      O.Held = R.Reference.Error.empty() && O.Violations == 0;
+      break;
+    }
+    R.AllHeld = R.AllHeld && O.Held;
+    R.Outcomes.push_back(std::move(O));
+  }
+
+  if (R.Reference.ActualTrip != R.Pipelined.ActualTrip) {
+    R.Mismatch = "executed trip counts differ: " +
+                 std::to_string(R.Reference.ActualTrip) + " vs " +
+                 std::to_string(R.Pipelined.ActualTrip);
+    return R;
+  }
+  R.Mismatch = compareExecutions(R.Reference, R.Pipelined);
+  return R;
+}

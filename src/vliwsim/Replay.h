@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Speculative-schedule replay: executes a mapped schedule against a
+/// concrete memory trace and reports whether each speculation assumption
+/// held, making misspeculation observable rather than hypothetical.
+///
+/// The ground truth is the sequential reference execution of the
+/// *conservative* body (identical ops — only arcs differ between
+/// lowerings, and arcs do not change dataflow semantics). NoAlias
+/// assumptions are checked by address-set disjointness over the executed
+/// window; NoEarlyExit by whether the exit fired inside the window. When
+/// every assumption holds, the speculative pipelined execution must match
+/// the reference bit for bit; when one is violated, the mismatch (or the
+/// misspeculated stores the simulator counts) is the observable evidence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LSMS_VLIWSIM_REPLAY_H
+#define LSMS_VLIWSIM_REPLAY_H
+
+#include "spec/Speculation.h"
+#include "vliwsim/Execution.h"
+
+#include <string>
+#include <vector>
+
+namespace lsms {
+
+/// Verdict for one assumption after replaying a concrete trace.
+struct AssumptionOutcome {
+  bool Held = false;
+  /// NoAlias: number of (i, j) iteration pairs where the two accesses hit
+  /// the same element. NoEarlyExit: iterations cut off by the exit.
+  long Violations = 0;
+  std::string Text; ///< copied from the assumption, for reports
+};
+
+struct ReplayResult {
+  /// Reference (sequential) execution of \p Body.
+  ExecutionResult Reference;
+  /// Pipelined execution of the (speculative) schedule.
+  ExecutionResult Pipelined;
+  std::vector<AssumptionOutcome> Outcomes; ///< parallel to Assumptions
+  bool AllHeld = true;
+  /// Empty when the pipelined execution matches the reference; otherwise
+  /// the first observed difference. A mismatch with AllHeld would be a
+  /// scheduler bug; with a violated assumption it is expected
+  /// misspeculation.
+  std::string Mismatch;
+};
+
+/// Replays \p Sched (a schedule of the speculative lowering of \p Body)
+/// for \p Iterations against the trace induced by \p Init. \p Body must be
+/// the *conservative* body — the assumption checks read its access trace.
+ReplayResult replaySchedule(const LoopBody &Body, const Schedule &Sched,
+                            long Iterations,
+                            const std::vector<Assumption> &Assumptions,
+                            const MemoryInit &Init = defaultMemoryInit);
+
+} // namespace lsms
+
+#endif // LSMS_VLIWSIM_REPLAY_H

@@ -50,6 +50,50 @@ LoopBody generateRandomLoop(uint64_t Seed, const RandomLoopConfig &Config);
 /// Convenience: Table 2-calibrated loop from a seed alone.
 LoopBody generateRandomLoop(uint64_t Seed);
 
+/// Knobs for one irregular loop (while-exits, data-dependent subscripts).
+struct IrregularLoopConfig {
+  /// Approximate number of affine filler operations added on top of the
+  /// irregular core pattern.
+  int TargetOps = 10;
+  /// Probability that the loop carries a while-style exit clause.
+  double WhileProb = 0.5;
+  /// Relative weights for the irregular core pattern: a histogram update
+  /// (h[b] = h[b] + e with a data-dependent bucket), a store/load pair on
+  /// provably disjoint regions of one array (the canonical held-assumption
+  /// speculation win), and a pointer chase (q = nx[q]).
+  double HistogramWeight = 0.40;
+  double DisjointWeight = 0.35;
+  double ChaseWeight = 0.25;
+  /// Iteration window the stamped collision-probability estimates assume
+  /// (the replay harness executes this many iterations by default).
+  long Window = 64;
+};
+
+/// Generated irregular source plus the generator's seeded collision
+/// estimates, one per array with data-dependent accesses. Estimates model
+/// cross-iteration collisions only — the replay harness additionally counts
+/// same-iteration collisions, so a low stamped probability can still be
+/// violated (that is the point: misspeculation must be observable).
+struct IrregularSource {
+  std::string Source;
+  /// Array name -> estimated probability that two data-dependent accesses
+  /// of the array collide within one Window.
+  std::vector<std::pair<std::string, double>> ArrayAliasProb;
+  bool HasWhile = false;
+};
+
+/// Generates DSL source for one irregular loop.
+IrregularSource generateIrregularLoopSource(Rng &R,
+                                            const IrregularLoopConfig &Config);
+
+/// Generates, compiles, and stamps one irregular loop: every may-alias
+/// group whose operations touch an array listed in ArrayAliasProb gets that
+/// array's estimate as its MemDep::Prob (other groups keep Prob unknown).
+LoopBody generateIrregularLoop(uint64_t Seed, const IrregularLoopConfig &Config);
+
+/// Irregular loop from a seed alone (default config).
+LoopBody generateIrregularLoop(uint64_t Seed);
+
 } // namespace lsms
 
 #endif // LSMS_WORKLOADS_RANDOMLOOP_H

@@ -336,3 +336,38 @@ std::vector<LoopBody> lsms::buildOracleSuite(int Count, int MinOps,
          "oracle suite generation exhausted its attempt budget");
   return Suite;
 }
+
+std::vector<LoopBody> lsms::buildIrregularSuite(int Count, int MaxOps,
+                                                uint64_t Seed, int Jobs) {
+  std::vector<LoopBody> Suite;
+  Suite.reserve(static_cast<size_t>(Count));
+  // Same blocked speculative-attempt scheme as buildOracleSuite: attempt k
+  // is a pure function of (Seed, k), acceptance scans in attempt order.
+  Rng R(Seed ^ 0x1993);
+  int Attempt = 0;
+  const int MaxAttempts = Count * 64;
+  const int BlockSize = std::max(Count, 32);
+  while (static_cast<int>(Suite.size()) < Count && Attempt < MaxAttempts) {
+    const int Block = std::min(BlockSize, MaxAttempts - Attempt);
+    std::vector<IrregularLoopConfig> Configs(static_cast<size_t>(Block));
+    for (IrregularLoopConfig &Config : Configs)
+      Config.TargetOps = static_cast<int>(
+          R.nextInRange(4, std::max<int64_t>(6, MaxOps / 2)));
+    std::vector<LoopBody> Bodies(static_cast<size_t>(Block));
+    parallelFor(resolveJobs(Jobs), Block, [&](int I) {
+      Bodies[static_cast<size_t>(I)] = generateIrregularLoop(
+          Seed + 7778777ULL * static_cast<uint64_t>(Attempt + I + 1),
+          Configs[static_cast<size_t>(I)]);
+    });
+    for (int I = 0;
+         I < Block && static_cast<int>(Suite.size()) < Count; ++I) {
+      if (Bodies[static_cast<size_t>(I)].numMachineOps() > MaxOps)
+        continue;
+      Suite.push_back(std::move(Bodies[static_cast<size_t>(I)]));
+    }
+    Attempt += Block;
+  }
+  assert(static_cast<int>(Suite.size()) == Count &&
+         "irregular suite generation exhausted its attempt budget");
+  return Suite;
+}

@@ -44,6 +44,14 @@ std::vector<LoopBody> buildFullSuite(int TotalLoops = 1525,
 std::vector<LoopBody> buildOracleSuite(int Count, int MinOps, int MaxOps,
                                        uint64_t Seed, int Jobs = 0);
 
+/// Irregular loops (while-exits, data-dependent subscripts, stamped alias
+/// probabilities) for the speculation sweep: \p Count bodies of at most
+/// \p MaxOps machine operations, drawn deterministically from \p Seed with
+/// the same blocked attempt scheme as buildOracleSuite (byte-identical for
+/// every job count).
+std::vector<LoopBody> buildIrregularSuite(int Count, int MaxOps,
+                                          uint64_t Seed, int Jobs = 0);
+
 } // namespace lsms
 
 #endif // LSMS_WORKLOADS_SUITE_H

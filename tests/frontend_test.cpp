@@ -122,9 +122,25 @@ TEST(Parser, ReportsSyntaxErrors) {
   EXPECT_NE(Err.find("'n'"), std::string::npos);
 }
 
-TEST(Parser, RejectsNonConstantSubscript) {
+TEST(Parser, AcceptsDataDependentSubscript) {
+  // 'x[j] = 1' is an indirect store: j is a scalar subscript (here an
+  // implicitly declared loop invariant), not a parse error.
   std::string Err;
-  EXPECT_EQ(parseProgram("loop i = 1, n\nx[j] = 1\nend", Err), nullptr);
+  const std::unique_ptr<Program> P =
+      parseProgram("loop i = 1, n\nx[j] = 1\nend", Err);
+  ASSERT_NE(P, nullptr) << Err;
+  ASSERT_EQ(P->Body.size(), 1u);
+  EXPECT_EQ(P->Body[0]->Assign.IndexVar, "j");
+}
+
+TEST(Parser, RejectsStridedDataDependentSubscript) {
+  // Data-dependent subscripts carry no affine decoration: an offset or a
+  // stride on one is a grammar error.
+  std::string Err;
+  EXPECT_EQ(parseProgram("loop i = 1, n\nx[j+1] = 1\nend", Err), nullptr);
+  EXPECT_NE(Err.find("offset"), std::string::npos) << Err;
+  Err.clear();
+  EXPECT_EQ(parseProgram("loop i = 1, n\nx[2*j] = 1\nend", Err), nullptr);
 }
 
 TEST(LoopCompiler, SampleLoopEliminatesAllLoads) {

@@ -1,0 +1,32 @@
+# Runs the fixed-seed conservative-vs-speculative sweep and fails if the
+# report drifted from the checked-in golden. The sweep is deterministic
+# (seeded RNG, index-ordered merge, exact engines), so any diff is a real
+# behavior change — most importantly a loop losing its certified II gap or
+# a new validation/trace failure.
+# Regenerate intentionally with:
+#   ./build/bench/irregular_gap > tests/golden/irregular_gap.txt
+
+if(NOT IRREGULAR_GAP_BIN OR NOT GOLDEN_FILE OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "check_irregular_gap.cmake needs IRREGULAR_GAP_BIN, GOLDEN_FILE, WORK_DIR")
+endif()
+
+set(ACTUAL "${WORK_DIR}/irregular_gap_actual.txt")
+execute_process(
+  COMMAND ${IRREGULAR_GAP_BIN}
+  OUTPUT_FILE ${ACTUAL}
+  RESULT_VARIABLE RUN_RC)
+if(NOT RUN_RC EQUAL 0)
+  message(FATAL_ERROR "irregular_gap exited with ${RUN_RC} (validation failure?)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN_FILE} ${ACTUAL}
+  RESULT_VARIABLE DIFF_RC)
+if(NOT DIFF_RC EQUAL 0)
+  execute_process(COMMAND diff -u ${GOLDEN_FILE} ${ACTUAL})
+  message(FATAL_ERROR
+    "irregular_gap report drifted from tests/golden/irregular_gap.txt -- if "
+    "the change is intended (e.g. a scheduler or generator improvement), "
+    "regenerate the golden and justify the diff in the PR")
+endif()
